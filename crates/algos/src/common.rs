@@ -1,0 +1,211 @@
+//! Shared experiment plumbing: fault-tolerance configuration and the
+//! translation from a [`Strategy`] descriptor to concrete engine handlers.
+
+use dataflow::codec::Codec;
+use dataflow::dataset::Data;
+use dataflow::error::Result;
+use dataflow::ft::{BulkFaultHandler, DeltaFaultHandler, RestartHandler};
+use recovery::checkpoint::{
+    CheckpointBulkHandler, CheckpointDeltaHandler, CostModel, DiskStore, MemoryStore,
+};
+use recovery::incremental::IncrementalDeltaHandler;
+use recovery::compensation::{BulkCompensation, DeltaCompensation};
+use recovery::ignore::IgnoreHandler;
+use recovery::optimistic::{OptimisticBulkHandler, OptimisticDeltaHandler};
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+
+/// Fault-tolerance configuration of one algorithm run.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Which recovery strategy to install.
+    pub strategy: Strategy,
+    /// When failures strike.
+    pub scenario: FailureScenario,
+    /// Stable-storage cost model for checkpoint strategies.
+    pub checkpoint_cost: CostModel,
+    /// Checkpoint to an on-disk store instead of the in-memory one.
+    pub checkpoint_on_disk: bool,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            strategy: Strategy::Optimistic,
+            scenario: FailureScenario::none(),
+            checkpoint_cost: CostModel::instant(),
+            checkpoint_on_disk: false,
+        }
+    }
+}
+
+impl FtConfig {
+    /// Optimistic recovery under the given failure scenario.
+    pub fn optimistic(scenario: FailureScenario) -> Self {
+        FtConfig { scenario, ..Default::default() }
+    }
+
+    /// Rollback recovery with the given checkpoint interval.
+    pub fn checkpoint(interval: u32, scenario: FailureScenario) -> Self {
+        FtConfig { strategy: Strategy::Checkpoint { interval }, scenario, ..Default::default() }
+    }
+
+    /// Restart-from-scratch under the given scenario.
+    pub fn restart(scenario: FailureScenario) -> Self {
+        FtConfig { strategy: Strategy::Restart, scenario, ..Default::default() }
+    }
+
+    /// Ablation: ignore failures (converges to wrong results).
+    pub fn ignore(scenario: FailureScenario) -> Self {
+        FtConfig { strategy: Strategy::Ignore, scenario, ..Default::default() }
+    }
+
+    /// Builder-style cost-model override.
+    pub fn with_checkpoint_cost(mut self, model: CostModel) -> Self {
+        self.checkpoint_cost = model;
+        self
+    }
+
+    /// Builder-style on-disk checkpointing toggle.
+    pub fn with_disk_checkpoints(mut self, on_disk: bool) -> Self {
+        self.checkpoint_on_disk = on_disk;
+        self
+    }
+
+    /// Combined label for reports, e.g. `"optimistic/fail@3[1]"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.strategy.label(), self.scenario.label())
+    }
+}
+
+/// Build the bulk-iteration fault handler for a strategy, wiring in the
+/// algorithm's compensation function where the strategy calls for one.
+pub fn bulk_handler<T, C>(ft: &FtConfig, compensation: C) -> Result<Box<dyn BulkFaultHandler<T>>>
+where
+    T: Data + Codec,
+    C: BulkCompensation<T> + 'static,
+{
+    Ok(match ft.strategy {
+        Strategy::Optimistic => Box::new(OptimisticBulkHandler::new(compensation)),
+        Strategy::Checkpoint { interval } => {
+            if ft.checkpoint_on_disk {
+                let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
+                Box::new(CheckpointBulkHandler::<T, _>::new(store, interval))
+            } else {
+                let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
+                Box::new(CheckpointBulkHandler::<T, _>::new(store, interval))
+            }
+        }
+        Strategy::IncrementalCheckpoint { .. } => {
+            return Err(dataflow::error::EngineError::Recovery(
+                "incremental checkpointing requires a delta iteration; use a bulk-capable \
+                 strategy (optimistic / checkpoint / restart) here"
+                    .into(),
+            ))
+        }
+        Strategy::Restart => Box::new(RestartHandler),
+        Strategy::Ignore => Box::new(IgnoreHandler),
+    })
+}
+
+/// Build the delta-iteration fault handler for a strategy.
+pub fn delta_handler<K, V, W, C>(
+    ft: &FtConfig,
+    compensation: C,
+) -> Result<Box<dyn DeltaFaultHandler<K, V, W>>>
+where
+    K: Data + Codec + std::hash::Hash + Eq,
+    V: Data + Codec + PartialEq,
+    W: Data + Codec,
+    C: DeltaCompensation<K, V, W> + 'static,
+{
+    Ok(match ft.strategy {
+        Strategy::Optimistic => Box::new(OptimisticDeltaHandler::new(compensation)),
+        Strategy::Checkpoint { interval } => {
+            if ft.checkpoint_on_disk {
+                let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
+                Box::new(CheckpointDeltaHandler::<K, V, W, _>::new(store, interval))
+            } else {
+                let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
+                Box::new(CheckpointDeltaHandler::<K, V, W, _>::new(store, interval))
+            }
+        }
+        Strategy::IncrementalCheckpoint { full_interval } => {
+            if ft.checkpoint_on_disk {
+                let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
+                Box::new(IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval))
+            } else {
+                let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
+                Box::new(IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval))
+            }
+        }
+        Strategy::Restart => Box::new(RestartHandler),
+        Strategy::Ignore => Box::new(IgnoreHandler),
+    })
+}
+
+/// Counter name for the paper's "messages per iteration" plot.
+pub const MESSAGES: &str = "messages";
+/// Gauge: vertices/records that already match the precomputed exact result.
+pub const CONVERGED: &str = "converged";
+/// Gauge: number of distinct labels (the "colours" of the CC demo GUI).
+pub const DISTINCT_LABELS: &str = "distinct_labels";
+/// Gauge: L1 norm between consecutive iteration states (PageRank plot ii).
+pub const L1_DIFF: &str = "l1_diff";
+/// Gauge: sum of all ranks (the invariant `FixRanks` maintains).
+pub const RANK_SUM: &str = "rank_sum";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::dataset::Partitions;
+    use dataflow::ft::BulkRecoveryAction;
+
+    fn noop_comp(_s: &mut Partitions<u64>, _l: &[usize], _i: u32) {}
+
+    #[test]
+    fn strategy_dispatch_builds_matching_handlers() {
+        let mut state = Partitions::round_robin(vec![1u64, 2], 2);
+
+        let ft = FtConfig::optimistic(FailureScenario::none());
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        assert!(matches!(h.on_failure(0, &[0], &mut state).unwrap(), BulkRecoveryAction::Compensated));
+
+        let ft = FtConfig::restart(FailureScenario::none());
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        assert!(matches!(h.on_failure(0, &[0], &mut state).unwrap(), BulkRecoveryAction::Restart));
+
+        let ft = FtConfig::ignore(FailureScenario::none());
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        assert!(matches!(h.on_failure(0, &[0], &mut state).unwrap(), BulkRecoveryAction::Ignore));
+
+        let ft = FtConfig::checkpoint(2, FailureScenario::none());
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        assert!(h.after_superstep(0, &state).unwrap().is_some());
+        assert!(h.after_superstep(1, &state).unwrap().is_none());
+        assert!(matches!(
+            h.on_failure(1, &[0], &mut state).unwrap(),
+            BulkRecoveryAction::Restored { iteration: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn disk_checkpoint_handler_roundtrips() {
+        let ft = FtConfig::checkpoint(1, FailureScenario::none()).with_disk_checkpoints(true);
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        let state = Partitions::round_robin(vec![9u64, 8, 7], 3);
+        assert!(h.after_superstep(0, &state).unwrap().is_some());
+        let mut broken = state.clone();
+        broken.clear_partition(1);
+        match h.on_failure(1, &[1], &mut broken).unwrap() {
+            BulkRecoveryAction::Restored { state: restored, .. } => assert_eq!(restored, state),
+            _ => panic!("expected rollback"),
+        }
+    }
+
+    #[test]
+    fn labels_compose() {
+        let ft = FtConfig::checkpoint(5, FailureScenario::none().fail_at(2, &[0]));
+        assert_eq!(ft.label(), "checkpoint(5)/fail@2[0]");
+    }
+}

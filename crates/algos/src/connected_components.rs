@@ -1,0 +1,511 @@
+//! Connected Components as a delta iteration — the paper's Figure 1a.
+//!
+//! The diffusion-based algorithm (Kang et al., PEGASUS): every vertex starts
+//! with its own id as label; each iteration, vertices that updated their
+//! label send it to their neighbours (*label-to-neighbors* join), every
+//! vertex reduces its incoming candidates to the minimum (*candidate-label*
+//! reduce) and updates its solution-set entry when the candidate is smaller
+//! (*label-update* join). At convergence all vertices of a component carry
+//! the component's minimum vertex id.
+//!
+//! **Compensation (`FixComponents`)**: failures destroy the labels of the
+//! vertices hashed to the lost partitions. Re-initialising those vertices to
+//! their initial labels guarantees convergence to the correct solution
+//! (Schelter et al., CIKM 2013). The restored vertices — as well as their
+//! neighbours — must propagate their labels again, so the compensation also
+//! re-seeds the working set; that extra propagation is the message spike the
+//! demo GUI shows in the iterations after a failure.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use dataflow::api::Environment;
+use dataflow::error::Result;
+use dataflow::ft::SolutionSets;
+use dataflow::dataset::Partitions;
+use dataflow::hash::FxHashSet;
+use dataflow::partition::{hash_partition, PartitionId};
+use dataflow::prelude::DeltaIteration;
+use dataflow::stats::RunStats;
+use graphs::{exact_components, Graph, VertexId};
+use recovery::compensation::{lost_keys, DeltaCompensation};
+
+use crate::common::{self, FtConfig};
+
+/// A `(vertex, label)` record — both the solution-set entry and the workset
+/// message type of the dataflow.
+pub type Label = (VertexId, VertexId);
+
+/// Configuration of a Connected Components run.
+#[derive(Debug, Clone)]
+pub struct CcConfig {
+    /// Number of partitions / simulated workers.
+    pub parallelism: usize,
+    /// Iteration cap (the algorithm normally terminates on an empty
+    /// workset long before).
+    pub max_iterations: u32,
+    /// Recovery strategy and failure scenario.
+    pub ft: FtConfig,
+    /// Precompute the exact components and record the per-iteration
+    /// `converged` / `distinct_labels` gauges the demo GUI plots.
+    pub track_truth: bool,
+    /// Record a full `(vertex, label)` snapshot after every superstep —
+    /// the data behind the GUI's per-iteration colouring (Figure 3).
+    pub capture_history: bool,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            parallelism: 4,
+            max_iterations: 200,
+            ft: FtConfig::default(),
+            track_truth: true,
+            capture_history: false,
+        }
+    }
+}
+
+/// Result of a Connected Components run.
+#[derive(Debug, Clone)]
+pub struct CcResult {
+    /// Final `(vertex, label)` pairs, sorted by vertex id.
+    pub labels: Vec<Label>,
+    /// Number of distinct labels in the result.
+    pub num_components: usize,
+    /// `Some(true)` when the labels match the exact reference
+    /// (only computed when [`CcConfig::track_truth`] is set).
+    pub correct: Option<bool>,
+    /// One `(vertex, label)` snapshot per superstep, sorted by vertex
+    /// (only recorded when [`CcConfig::capture_history`] is set).
+    pub history: Option<Vec<Vec<Label>>>,
+    /// Per-superstep engine statistics.
+    pub stats: RunStats,
+}
+
+/// The paper's `FixComponents` compensation function.
+pub struct FixComponents {
+    adjacency: Arc<Vec<Vec<VertexId>>>,
+    parallelism: usize,
+}
+
+impl FixComponents {
+    /// Compensation over the given graph.
+    pub fn new(graph: &Graph, parallelism: usize) -> Self {
+        FixComponents {
+            adjacency: Arc::new(graph.adjacency_rows().into_iter().map(|(_, ns)| ns).collect()),
+            parallelism,
+        }
+    }
+}
+
+impl DeltaCompensation<VertexId, VertexId, Label> for FixComponents {
+    fn compensate(
+        &mut self,
+        solution: &mut SolutionSets<VertexId, VertexId>,
+        workset: &mut Partitions<Label>,
+        lost: &[PartitionId],
+        _iteration: u32,
+    ) {
+        let lost_set: FxHashSet<PartitionId> = lost.iter().copied().collect();
+        // Surviving neighbours of lost vertices: they hold correct labels
+        // but stopped propagating, so they must re-enter the working set.
+        let mut resenders: FxHashSet<VertexId> = FxHashSet::default();
+        for (v, pid) in lost_keys(self.adjacency.len() as u64, self.parallelism, lost) {
+            // Re-initialise the lost vertex to its initial (unique) label...
+            solution[pid].insert(v, v);
+            // ...and let it propagate again.
+            workset.partition_mut(pid).push((v, v));
+            for &u in &self.adjacency[v as usize] {
+                if !lost_set.contains(&hash_partition(&u, self.parallelism)) {
+                    resenders.insert(u);
+                }
+            }
+        }
+        let mut resenders: Vec<VertexId> = resenders.into_iter().collect();
+        resenders.sort_unstable();
+        for u in resenders {
+            let pid = hash_partition(&u, self.parallelism);
+            if let Some(&label) = solution[pid].get(&u) {
+                workset.partition_mut(pid).push((u, label));
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "FixComponents"
+    }
+}
+
+/// Run Connected Components over an undirected graph.
+///
+/// # Panics
+/// Panics when the graph is directed.
+pub fn run(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
+    assert!(!graph.is_directed(), "connected components expects an undirected graph");
+    let env = Environment::new(config.parallelism);
+    let built = build(&env, graph, config)?;
+
+    let mut labels = built.result.collect()?;
+    labels.sort_unstable();
+    let stats = built.stats.take().expect("iteration executed");
+    let history = built.history.map(|h| h.borrow_mut().split_off(0));
+
+    let mut distinct: Vec<VertexId> = labels.iter().map(|&(_, l)| l).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let correct = config.track_truth.then(|| {
+        let truth = exact_components(graph);
+        labels.len() == truth.len()
+            && labels.iter().all(|&(v, l)| truth[v as usize] == l)
+    });
+    Ok(CcResult { labels, num_components: distinct.len(), correct, history, stats })
+}
+
+/// The dataflow pieces [`build`] returns: the (lazy) result dataset, the
+/// statistics handle, and the optional state-history buffer.
+pub struct BuiltCc {
+    /// Final solution-set dataset; `collect()` triggers execution.
+    pub result: dataflow::api::DataSet<Label>,
+    /// Filled with [`RunStats`] once the plan executes.
+    pub stats: dataflow::prelude::StatsHandle,
+    /// Per-superstep label snapshots (when capturing history).
+    pub history: Option<Rc<RefCell<Vec<Vec<Label>>>>>,
+}
+
+/// Build the CC dataflow inside `env` without executing it. Exposed so
+/// callers can inspect or `explain()` the plan (Figure 1a).
+pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<BuiltCc> {
+    let initial: Vec<Label> = graph.vertices().map(|v| (v, v)).collect();
+    let solution = env.from_keyed_vec(initial.clone(), |r| r.0);
+    let workset = env.from_keyed_vec(initial, |r| r.0);
+    let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();
+    let edges_ds = env.from_keyed_vec(edges, |e| e.0);
+
+    let mut iteration = DeltaIteration::new(&solution, &workset, config.max_iterations);
+    iteration.set_fault_handler(common::delta_handler(
+        &config.ft,
+        FixComponents::new(graph, config.parallelism),
+    )?);
+    iteration.set_failure_source(config.ft.scenario.to_source());
+
+    let truth = if config.track_truth { Some(exact_components(graph)) } else { None };
+    let history: Option<Rc<RefCell<Vec<Vec<Label>>>>> =
+        if config.capture_history { Some(Rc::new(RefCell::new(Vec::new()))) } else { None };
+    let history_sink = history.clone();
+    if truth.is_some() || history_sink.is_some() {
+        iteration.set_observer(move |_iter, solution: &SolutionSets<VertexId, VertexId>, _ws, stats| {
+            if let Some(truth) = &truth {
+                let mut converged = 0u64;
+                let mut distinct: FxHashSet<VertexId> = FxHashSet::default();
+                for set in solution {
+                    for (&v, &label) in set {
+                        if truth[v as usize] == label {
+                            converged += 1;
+                        }
+                        distinct.insert(label);
+                    }
+                }
+                stats.gauges.insert(common::CONVERGED.into(), converged as f64);
+                stats.gauges.insert(common::DISTINCT_LABELS.into(), distinct.len() as f64);
+            }
+            if let Some(history) = &history_sink {
+                let mut snapshot: Vec<Label> =
+                    solution.iter().flat_map(|set| set.iter().map(|(&v, &l)| (v, l))).collect();
+                snapshot.sort_unstable();
+                history.borrow_mut().push(snapshot);
+            }
+        });
+    }
+
+    let edges_in = iteration.import(&edges_ds);
+    // Updated vertices send their label to every neighbour...
+    let candidates = iteration
+        .workset()
+        .join("label-to-neighbors", &edges_in, |w: &Label| w.0, |e| e.0, |w, e| (e.1, w.1))
+        .measured(common::MESSAGES)
+        // ...each vertex keeps the smallest incoming candidate...
+        .reduce_by_key("candidate-label", |c| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+    // ...and updates its solution entry when the candidate improves on it.
+    let updates = candidates
+        .join(
+            "label-update",
+            &iteration.solution(),
+            |c| c.0,
+            |s: &Label| s.0,
+            |c, s| if c.1 < s.1 { Some((c.0, c.1)) } else { None },
+        )
+        .flat_map("updated-labels", |u: &Option<Label>| u.iter().copied().collect());
+    let (result, stats) = iteration.close(updates.clone(), updates);
+    Ok(BuiltCc { result, stats, history })
+}
+
+/// Textual rendering of the Figure 1a dataflow, compensation included.
+pub fn plan_text(parallelism: usize) -> String {
+    let graph = graphs::generators::demo_components();
+    let env = Environment::new(parallelism);
+    let config = CcConfig { parallelism, track_truth: false, ..Default::default() };
+    let built = build(&env, &graph, &config).expect("plan construction cannot fail");
+    let mut text = built.result.explain();
+    text.push_str(
+        "\n(compensation, invoked only after failures:)\n  FixComponents [Map] — reset lost \
+         vertices to initial labels, re-seed propagation\n",
+    );
+    text
+}
+
+/// Connected Components as a **bulk** iteration: every superstep, every
+/// vertex recomputes `min(own label, neighbours' labels)` — no working set,
+/// the whole state is recomputed even where it already converged (§2.1).
+/// Exists for the bulk-vs-delta ablation and as a second recovery target:
+/// the compensation is simply "reset lost vertices to their initial
+/// labels"; the next superstep re-derives their minima from the imports.
+pub fn run_bulk(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
+    assert!(!graph.is_directed(), "connected components expects an undirected graph");
+    let env = Environment::new(config.parallelism);
+    let initial: Vec<Label> = graph.vertices().map(|v| (v, v)).collect();
+    let labels0 = env.from_keyed_vec(initial, |r| r.0);
+    let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();
+    let edges_ds = env.from_keyed_vec(edges, |e| e.0);
+
+    let mut iteration = dataflow::prelude::BulkIteration::new(&labels0, config.max_iterations);
+    let parallelism = config.parallelism;
+    let num_vertices = graph.num_vertices() as VertexId;
+    iteration.set_fault_handler(common::bulk_handler(
+        &config.ft,
+        recovery::compensation::Named::new(
+            "FixComponents",
+            move |state: &mut Partitions<Label>, lost: &[PartitionId], _iter: u32| {
+                for (v, pid) in lost_keys(num_vertices, parallelism, lost) {
+                    state.partition_mut(pid).push((v, v));
+                }
+            },
+        ),
+    )?);
+    iteration.set_failure_source(config.ft.scenario.to_source());
+    if config.track_truth {
+        let truth = exact_components(graph);
+        iteration.set_observer(move |_iter, state: &Partitions<Label>, stats| {
+            let converged =
+                state.iter_records().filter(|&&(v, l)| truth[v as usize] == l).count();
+            stats.gauges.insert(common::CONVERGED.into(), converged as f64);
+        });
+    }
+
+    let edges_in = iteration.import(&edges_ds);
+    let labels = iteration.state();
+    let candidates = labels
+        .join("label-to-neighbors", &edges_in, |l: &Label| l.0, |e| e.0, |l, e| (e.1, l.1))
+        .measured(common::MESSAGES)
+        .union("with-own-label", &labels)
+        .reduce_by_key("candidate-label", |c: &Label| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+    let still_changing = candidates
+        .join("label-update", &labels, |c: &Label| c.0, |l: &Label| l.0, |c, l| c.1 != l.1)
+        .filter("changed", |changed| *changed);
+    let (result, handle) = iteration.close_with_termination(candidates, still_changing);
+
+    let mut labels = result.collect()?;
+    labels.sort_unstable();
+    let stats = handle.take().expect("iteration executed");
+    let mut distinct: Vec<VertexId> = labels.iter().map(|&(_, l)| l).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let correct = config.track_truth.then(|| {
+        let truth = exact_components(graph);
+        labels.len() == truth.len() && labels.iter().all(|&(v, l)| truth[v as usize] == l)
+    });
+    Ok(CcResult { labels, num_components: distinct.len(), correct, history: None, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use recovery::scenario::FailureScenario;
+    use recovery::strategy::Strategy;
+
+    fn assert_correct(result: &CcResult, graph: &Graph) {
+        let truth = exact_components(graph);
+        assert_eq!(result.labels.len(), truth.len());
+        for &(v, label) in &result.labels {
+            assert_eq!(label, truth[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn failure_free_demo_graph() {
+        let graph = generators::demo_components();
+        let result = run(&graph, &CcConfig::default()).unwrap();
+        assert_eq!(result.num_components, 3);
+        assert_eq!(result.correct, Some(true));
+        assert!(result.stats.converged);
+        assert_correct(&result, &graph);
+    }
+
+    #[test]
+    fn messages_start_at_two_e() {
+        let graph = generators::demo_components();
+        let result = run(&graph, &CcConfig::default()).unwrap();
+        let messages = result.stats.counter_series(common::MESSAGES);
+        assert_eq!(messages[0] as usize, 2 * graph.num_edges());
+    }
+
+    #[test]
+    fn converged_gauge_is_monotone_without_failures() {
+        let graph = generators::demo_components();
+        let result = run(&graph, &CcConfig::default()).unwrap();
+        let converged = result.stats.gauge_series(common::CONVERGED);
+        assert!(converged.windows(2).all(|w| w[1] >= w[0]), "{converged:?}");
+        assert_eq!(*converged.last().unwrap() as usize, 16);
+    }
+
+    #[test]
+    fn optimistic_recovery_converges_to_exact_labels() {
+        let graph = generators::demo_components();
+        let config = CcConfig {
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[1])),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true));
+        assert!(result.stats.converged);
+        assert_eq!(result.stats.failures().count(), 1);
+        assert_correct(&result, &graph);
+    }
+
+    #[test]
+    fn failure_plummets_converged_gauge_and_spikes_messages() {
+        // The demo's signature plots: a plummet in converged vertices at the
+        // failure iteration and elevated messages right after.
+        let graph = generators::demo_components();
+        let failure_free = run(&graph, &CcConfig::default()).unwrap();
+        let config = CcConfig {
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[0, 1])),
+            ..Default::default()
+        };
+        let failed = run(&graph, &config).unwrap();
+        let ff_converged = failure_free.stats.gauge_series(common::CONVERGED);
+        let f_converged = failed.stats.gauge_series(common::CONVERGED);
+        assert!(
+            f_converged[2] < ff_converged[2],
+            "converged count must plummet at the failure superstep: {f_converged:?} vs {ff_converged:?}"
+        );
+        let ff_messages = failure_free.stats.counter_series(common::MESSAGES);
+        let f_messages = failed.stats.counter_series(common::MESSAGES);
+        assert!(
+            f_messages[3] > *ff_messages.get(3).unwrap_or(&0),
+            "messages must spike after the failure: {f_messages:?} vs {ff_messages:?}"
+        );
+    }
+
+    #[test]
+    fn all_strategies_except_ignore_are_correct() {
+        let graph = generators::random_components(3, 5..12, 0.3, 11);
+        for strategy in [
+            Strategy::Optimistic,
+            Strategy::Checkpoint { interval: 2 },
+            Strategy::Restart,
+        ] {
+            let config = CcConfig {
+                ft: FtConfig {
+                    strategy,
+                    scenario: FailureScenario::none().fail_at(1, &[0]),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let result = run(&graph, &config).unwrap();
+            assert_eq!(result.correct, Some(true), "strategy {strategy:?}");
+            assert!(result.stats.converged);
+        }
+    }
+
+    #[test]
+    fn ignore_strategy_loses_vertices() {
+        let graph = generators::demo_components();
+        let config = CcConfig {
+            ft: FtConfig::ignore(FailureScenario::none().fail_at(1, &[0, 1])),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert!(result.labels.len() < 16, "lost vertices must stay lost");
+        assert_eq!(result.correct, Some(false));
+    }
+
+    #[test]
+    fn rollback_repeats_iterations() {
+        let graph = generators::path(24);
+        let config = CcConfig {
+            ft: FtConfig::checkpoint(3, FailureScenario::none().fail_at(7, &[0])),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true));
+        // Rolled back from superstep 7 to checkpoint at logical iteration 6:
+        // the run pays extra supersteps compared to its logical count.
+        assert!(result.stats.supersteps() > result.stats.logical_iterations());
+    }
+
+    #[test]
+    fn multiple_failures_still_converge() {
+        let graph = generators::preferential_attachment(300, 2, 5);
+        let config = CcConfig {
+            ft: FtConfig::optimistic(
+                FailureScenario::none().fail_at(1, &[0]).fail_at(3, &[2, 3]).fail_at(4, &[1]),
+            ),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true));
+        assert_eq!(result.stats.failures().count(), 3);
+    }
+
+    #[test]
+    fn plan_text_names_the_figure_1a_operators() {
+        let text = plan_text(4);
+        for name in ["label-to-neighbors", "candidate-label", "label-update", "FixComponents"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn bulk_variant_matches_delta_variant() {
+        let graph = generators::random_components(3, 4..10, 0.3, 77);
+        let delta = run(&graph, &CcConfig::default()).unwrap();
+        let bulk = run_bulk(&graph, &CcConfig::default()).unwrap();
+        assert_eq!(bulk.labels, delta.labels);
+        assert_eq!(bulk.correct, Some(true));
+    }
+
+    #[test]
+    fn bulk_variant_recovers_optimistically() {
+        let graph = generators::demo_components();
+        let config = CcConfig {
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[0, 1])),
+            ..Default::default()
+        };
+        let result = run_bulk(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true));
+        assert_eq!(result.stats.failures().count(), 1);
+    }
+
+    #[test]
+    fn bulk_variant_does_more_message_work_on_skewed_convergence() {
+        // §2.1's motivation: "in many cases parts of the intermediate state
+        // converge at different speeds". A big star converges in two
+        // iterations; the attached path takes ~64. The bulk mode keeps
+        // recomputing the whole star for every path superstep, the delta
+        // working set drops the star immediately.
+        let graph = generators::disjoint_union(&[generators::star(2000), generators::path(64)]);
+        let delta = run(&graph, &CcConfig::default()).unwrap();
+        let bulk = run_bulk(&graph, &CcConfig::default()).unwrap();
+        assert_eq!(bulk.labels, delta.labels);
+        let delta_messages: u64 = delta.stats.counter_series(common::MESSAGES).iter().sum();
+        let bulk_messages: u64 = bulk.stats.counter_series(common::MESSAGES).iter().sum();
+        assert!(
+            bulk_messages > 5 * delta_messages,
+            "bulk {bulk_messages} vs delta {delta_messages}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the dataflow engine's operators: the substrate cost
+//! model behind every experiment (shuffle-heavy vs. co-partitioned keyed
+//! operators, joins, broadcasts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dataflow::prelude::*;
+
+const N: u64 = 100_000;
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_elementwise");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+    group.bench_function("map", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let out = env.from_vec((0..N).collect()).map("inc", |n| n + 1);
+            out.collect().unwrap().len()
+        })
+    });
+    group.bench_function("filter", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let out = env.from_vec((0..N).collect()).filter("even", |n| n % 2 == 0);
+            out.collect().unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_keyed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_keyed");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+    group.bench_function("reduce_by_key_shuffled", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let out = env
+                .from_vec((0..N).map(|v| (v % 1024, 1u64)).collect())
+                .reduce_by_key("count", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1));
+            out.collect().unwrap().len()
+        })
+    });
+    group.bench_function("reduce_by_key_co_partitioned", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let out = env
+                .from_keyed_vec((0..N).map(|v| (v % 1024, 1u64)).collect(), |r| r.0)
+                .reduce_by_key("count", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1));
+            out.collect().unwrap().len()
+        })
+    });
+    group.bench_function("join", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let left = env.from_vec((0..N).map(|v| (v, v * 2)).collect());
+            let right = env.from_vec((0..N / 2).map(|v| (v, v + 1)).collect());
+            let out = left.join(
+                "j",
+                &right,
+                |l: &(u64, u64)| l.0,
+                |r: &(u64, u64)| r.0,
+                |l, r| l.1 + r.1,
+            );
+            out.collect().unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_broadcast");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+    group.bench_function("map_with_broadcast", |b| {
+        b.iter(|| {
+            let env = Environment::new(4);
+            let main = env.from_vec((0..N).collect());
+            let side = env.from_vec(vec![5u64]);
+            let out = main.map_with_broadcast("add", &side, |n, s| n + s[0]);
+            out.collect().unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elementwise, bench_keyed, bench_broadcast);
+criterion_main!(benches);

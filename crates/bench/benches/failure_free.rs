@@ -1,0 +1,63 @@
+//! Criterion benchmark for Claim C1: failure-free runtime by strategy.
+//!
+//! Fixed-length PageRank runs (10 iterations, no termination criterion →
+//! identical work per run) under no failures. Optimistic and restart add
+//! zero fault-tolerance work; checkpointing pays per snapshot, more for
+//! shorter intervals. Absolute times are laptop-local; the *ordering* and
+//! the growth with 1/interval are the reproduced result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use algos::pagerank::{self, PrConfig};
+use algos::FtConfig;
+use recovery::checkpoint::CostModel;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+
+fn fixed_length_config(strategy: Strategy) -> PrConfig {
+    PrConfig {
+        parallelism: 4,
+        max_iterations: 10,
+        // Termination never fires: every run does exactly 10 supersteps.
+        epsilon: 0.0,
+        ft: FtConfig {
+            strategy,
+            scenario: FailureScenario::none(),
+            // A fast stable store (0.2 ms + 1 GB/s) keeps the benchmark
+            // quick while preserving the overhead ordering.
+            checkpoint_cost: CostModel::throughput(
+                std::time::Duration::from_micros(200),
+                1024 * 1024 * 1024,
+            ),
+            checkpoint_on_disk: false,
+        },
+        track_truth: false,
+        ..Default::default()
+    }
+}
+
+fn bench_failure_free(c: &mut Criterion) {
+    let graph = graphs::generators::preferential_attachment(2_000, 3, 42);
+    let mut group = c.benchmark_group("failure_free_pagerank_10iters");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("optimistic", Strategy::Optimistic),
+        ("restart", Strategy::Restart),
+        ("checkpoint_5", Strategy::Checkpoint { interval: 5 }),
+        ("checkpoint_2", Strategy::Checkpoint { interval: 2 }),
+        ("checkpoint_1", Strategy::Checkpoint { interval: 1 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            b.iter(|| {
+                let result =
+                    pagerank::run(&graph, &fixed_length_config(strategy)).expect("run");
+                assert_eq!(result.stats.supersteps(), 10);
+                result.rank_sum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_free);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark for Claim C2: time to converge *through* a failure,
+//! by recovery strategy.
+//!
+//! Connected Components on a Twitter-like graph with one two-partition
+//! failure mid-run. Optimistic recovery continues from the compensated
+//! state; rollback restores a snapshot and redoes iterations; restart
+//! recomputes everything before the failure. Expected ordering:
+//! optimistic ≤ checkpoint < restart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use algos::connected_components::{self, CcConfig};
+use algos::FtConfig;
+use recovery::checkpoint::CostModel;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+
+fn config(strategy: Strategy) -> CcConfig {
+    CcConfig {
+        parallelism: 4,
+        ft: FtConfig {
+            strategy,
+            scenario: FailureScenario::none().fail_at(3, &[0, 1]),
+            checkpoint_cost: CostModel::throughput(
+                std::time::Duration::from_micros(200),
+                1024 * 1024 * 1024,
+            ),
+            checkpoint_on_disk: false,
+        },
+        track_truth: false,
+        ..Default::default()
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let graph = graphs::generators::preferential_attachment(2_000, 3, 42);
+    let mut group = c.benchmark_group("recovery_cc_one_failure");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("optimistic", Strategy::Optimistic),
+        ("checkpoint_3", Strategy::Checkpoint { interval: 3 }),
+        ("restart", Strategy::Restart),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            b.iter(|| {
+                let result = connected_components::run(&graph, &config(strategy)).expect("run");
+                assert!(result.stats.converged);
+                assert_eq!(result.stats.failures().count(), 1);
+                result.num_components
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 1** of the paper: the Connected Components and
+//! PageRank dataflows with their compensation functions, rendered as
+//! operator trees straight from the engine's plan representation.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin figure1_dataflows
+//! ```
+
+fn main() {
+    bench_suite::section("Figure 1a — Connected Components (delta iteration)");
+    print!("{}", algos::connected_components::plan_text(4));
+
+    bench_suite::section("Figure 1b — PageRank (bulk iteration)");
+    print!("{}", algos::pagerank::plan_text(4));
+}

@@ -1,0 +1,140 @@
+//! Regenerates **Figures 4–5** of the paper: the PageRank demo under
+//! optimistic recovery.
+//!
+//! Small hand-crafted graph (rank-proportional vertex bars, like the GUI's
+//! vertex sizes) and the Twitter-like graph (statistics only), with a
+//! failure at superstep 5 — producing the plummet in the
+//! converged-to-true-rank plot and the spike in the L1 plot at iteration 6
+//! (§3.3).
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin figure5_pagerank_recovery
+//! ```
+//! CSV series land in `results/figure5_*.csv`.
+
+use algos::common::{CONVERGED, L1_DIFF, MESSAGES, RANK_SUM};
+use algos::pagerank::{self, PrConfig};
+use algos::FtConfig;
+use flowviz::chart::{ascii_chart, ChartOptions};
+use flowviz::csv::write_run_stats_csv;
+use flowviz::render::render_ranks;
+use flowviz::table::{run_stats_table, run_summary};
+use graphs::VertexId;
+use recovery::scenario::FailureScenario;
+
+const FAILURE_SUPERSTEP: u32 = 5;
+
+fn main() {
+    let results = bench_suite::results_dir();
+    let scenario = FailureScenario::none().fail_at(FAILURE_SUPERSTEP, &[1]);
+
+    // ---------------------------------------------------------------- small
+    bench_suite::section("Figure 5 — PageRank on the small demo graph");
+    let graph = graphs::generators::demo_pagerank();
+    let config = PrConfig {
+        capture_history: true,
+        ft: FtConfig::optimistic(scenario.clone()),
+        ..Default::default()
+    };
+    let result = pagerank::run(&graph, &config).expect("run");
+    let history = result.history.as_ref().expect("history captured");
+    assert!(
+        history.len() > FAILURE_SUPERSTEP as usize + 1,
+        "demo run converged before the scheduled failure (superstep {FAILURE_SUPERSTEP}); \
+         lower PrConfig::epsilon or move the failure earlier"
+    );
+
+    let n = graph.num_vertices() as u64;
+    let uniform: Vec<(VertexId, f64)> = (0..n).map(|v| (v, 1.0 / n as f64)).collect();
+    let lost: Vec<VertexId> = lost_vertices(&result.stats, n, config.parallelism);
+    bench_suite::subsection("(a) initial state: uniform ranks");
+    print!("{}", render_ranks(&uniform, &[], 40));
+    bench_suite::subsection("(b) state right before the failure");
+    print!("{}", render_ranks(&history[FAILURE_SUPERSTEP as usize - 1], &[], 40));
+    bench_suite::subsection("(c) after the failure + compensation (! = restored by FixRanks)");
+    print!("{}", render_ranks(&history[FAILURE_SUPERSTEP as usize], &lost, 40));
+    bench_suite::subsection("(d) converged state");
+    print!("{}", render_ranks(history.last().unwrap(), &[], 40));
+
+    report("small demo graph", &result.stats);
+    write_run_stats_csv(&result.stats, &results.join("figure5_pagerank_small.csv"))
+        .expect("write csv");
+
+    let failure_free = pagerank::run(&graph, &PrConfig::default()).expect("failure-free run");
+    write_run_stats_csv(
+        &failure_free.stats,
+        &results.join("figure5_pagerank_small_failure_free.csv"),
+    )
+    .expect("write csv");
+
+    // ---------------------------------------------------------------- large
+    bench_suite::section("Figure 5 — PageRank on the Twitter-like graph");
+    let graph = bench_suite::twitter_like(1);
+    println!(
+        "graph: {} vertices, {} edges (preferential attachment — Twitter substitute)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let config = PrConfig {
+        parallelism: 8,
+        epsilon: 1e-6,
+        ft: FtConfig::optimistic(scenario),
+        ..Default::default()
+    };
+    let result = pagerank::run(&graph, &config).expect("run");
+    report("twitter-like graph", &result.stats);
+    write_run_stats_csv(&result.stats, &results.join("figure5_pagerank_twitter.csv"))
+        .expect("write csv");
+    println!("\nCSV series written to {}/figure5_*.csv", results.display());
+}
+
+fn lost_vertices(stats: &dataflow::stats::RunStats, n: u64, parallelism: usize) -> Vec<VertexId> {
+    let Some(failure) = &stats.iterations[FAILURE_SUPERSTEP as usize].failure else {
+        return Vec::new();
+    };
+    (0..n)
+        .filter(|v| {
+            failure
+                .lost_partitions
+                .contains(&dataflow::partition::hash_partition(v, parallelism))
+        })
+        .collect()
+}
+
+fn report(label: &str, stats: &dataflow::stats::RunStats) {
+    bench_suite::subsection(&format!("per-iteration statistics ({label})"));
+    print!("{}", run_stats_table(stats));
+    println!("{}", run_summary(stats));
+    let markers: Vec<u32> = stats.failures().map(|(superstep, _)| superstep).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            &stats.gauge_series(CONVERGED),
+            &ChartOptions::titled("plot (i): vertices converged to their true PageRank")
+                .with_markers(markers.clone()),
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            &stats.gauge_series(L1_DIFF),
+            &ChartOptions::titled("plot (ii): L1 norm between consecutive rank estimates")
+                .with_markers(markers.clone()),
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            &stats.gauge_series(RANK_SUM),
+            &ChartOptions::titled("rank-sum invariant (FixRanks keeps it at 1)")
+                .with_markers(markers.clone()),
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            &stats.counter_series(MESSAGES).iter().map(|&m| m as f64).collect::<Vec<_>>(),
+            &ChartOptions::titled("rank contributions sent per iteration").with_markers(markers),
+        )
+    );
+}

@@ -1,0 +1,161 @@
+//! The optimistic fault handlers: no checkpoints, no lineage — on failure,
+//! invoke the compensation function and keep iterating (paper §2.2).
+
+use dataflow::dataset::{Data, Partitions};
+use dataflow::error::Result;
+use dataflow::ft::{
+    BulkFaultHandler, BulkRecoveryAction, CheckpointCost, DeltaFaultHandler, DeltaRecoveryAction,
+    SolutionSets,
+};
+use dataflow::partition::PartitionId;
+
+use crate::compensation::{BulkCompensation, DeltaCompensation};
+
+/// Optimistic recovery for bulk iterations.
+///
+/// `after_superstep` does nothing — this is where the "optimal failure-free
+/// performance" of the paper comes from: the handler adds zero work to a
+/// failure-free run.
+pub struct OptimisticBulkHandler<C> {
+    compensation: C,
+    recoveries: u32,
+}
+
+impl<C> OptimisticBulkHandler<C> {
+    /// Handler around the given compensation function.
+    pub fn new(compensation: C) -> Self {
+        OptimisticBulkHandler { compensation, recoveries: 0 }
+    }
+
+    /// Number of failures compensated so far.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+}
+
+impl<T: Data, C: BulkCompensation<T>> BulkFaultHandler<T> for OptimisticBulkHandler<C> {
+    fn after_superstep(
+        &mut self,
+        _iteration: u32,
+        _state: &Partitions<T>,
+    ) -> Result<Option<CheckpointCost>> {
+        // Deliberately empty: no checkpoint, no lineage tracking.
+        Ok(None)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        state: &mut Partitions<T>,
+    ) -> Result<BulkRecoveryAction<T>> {
+        self.compensation.compensate(state, lost, iteration);
+        self.recoveries += 1;
+        Ok(BulkRecoveryAction::Compensated)
+    }
+}
+
+/// Optimistic recovery for delta iterations: the compensation re-initialises
+/// the lost solution-set partitions *and* seeds workset records so the
+/// restored keys (and, typically, their neighbours) re-propagate.
+pub struct OptimisticDeltaHandler<C> {
+    compensation: C,
+    recoveries: u32,
+}
+
+impl<C> OptimisticDeltaHandler<C> {
+    /// Handler around the given compensation function.
+    pub fn new(compensation: C) -> Self {
+        OptimisticDeltaHandler { compensation, recoveries: 0 }
+    }
+
+    /// Number of failures compensated so far.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+}
+
+impl<K: Data, V: Data, W: Data, C: DeltaCompensation<K, V, W>> DeltaFaultHandler<K, V, W>
+    for OptimisticDeltaHandler<C>
+{
+    fn after_superstep(
+        &mut self,
+        _iteration: u32,
+        _solution: &SolutionSets<K, V>,
+        _workset: &Partitions<W>,
+    ) -> Result<Option<CheckpointCost>> {
+        Ok(None)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        solution: &mut SolutionSets<K, V>,
+        workset: &mut Partitions<W>,
+    ) -> Result<DeltaRecoveryAction<K, V, W>> {
+        self.compensation.compensate(solution, workset, lost, iteration);
+        self.recoveries += 1;
+        Ok(DeltaRecoveryAction::Compensated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_handler_compensates_in_place() {
+        let mut handler = OptimisticBulkHandler::new(
+            |state: &mut Partitions<u64>, lost: &[PartitionId], _iter: u32| {
+                for &pid in lost {
+                    *state.partition_mut(pid) = vec![0];
+                }
+            },
+        );
+        let mut state = Partitions::round_robin(vec![5u64, 6, 7, 8], 2);
+        assert!(handler.after_superstep(0, &state).unwrap().is_none());
+        state.clear_partition(0);
+        match handler.on_failure(1, &[0], &mut state).unwrap() {
+            BulkRecoveryAction::Compensated => {}
+            _ => panic!("optimistic recovery must compensate"),
+        }
+        assert_eq!(state.partition(0), &[0]);
+        assert_eq!(handler.recoveries(), 1);
+    }
+
+    #[test]
+    fn delta_handler_seeds_workset() {
+        let mut handler = OptimisticDeltaHandler::new(
+            |solution: &mut SolutionSets<u64, u64>,
+             workset: &mut Partitions<(u64, u64)>,
+             lost: &[PartitionId],
+             _iter: u32| {
+                for &pid in lost {
+                    solution[pid].insert(pid as u64, 0);
+                    workset.partition_mut(pid).push((pid as u64, 0));
+                }
+            },
+        );
+        let mut solution: SolutionSets<u64, u64> = vec![Default::default(); 2];
+        let mut workset: Partitions<(u64, u64)> = Partitions::empty(2);
+        let action = handler.on_failure(3, &[1], &mut solution, &mut workset).unwrap();
+        assert!(matches!(action, DeltaRecoveryAction::Compensated));
+        assert!(solution[1].contains_key(&1));
+        assert_eq!(workset.total_len(), 1);
+    }
+
+    #[test]
+    fn failure_free_run_does_no_work() {
+        let mut handler = OptimisticBulkHandler::new(
+            |_s: &mut Partitions<u64>, _l: &[PartitionId], _i: u32| {
+                panic!("compensation must not run without a failure")
+            },
+        );
+        let state = Partitions::round_robin(vec![1u64], 1);
+        for iteration in 0..100 {
+            assert!(handler.after_superstep(iteration, &state).unwrap().is_none());
+        }
+        assert_eq!(handler.recoveries(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Failure scenarios: declarative descriptions of when workers die.
+//!
+//! In the demonstration, conference attendees click partitions to fail at
+//! chosen iterations; here, experiments describe the same schedules as data.
+//! A [`FailureScenario`] is a cheap, clonable description that every run of
+//! an experiment converts into a fresh engine-level
+//! [`dataflow::ft::FailureSource`].
+
+use dataflow::ft::{DeterministicFailures, FailureSource};
+use dataflow::partition::PartitionId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A declarative failure schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureScenario {
+    events: Vec<(u32, Vec<PartitionId>)>,
+    random: Option<RandomSpec>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RandomSpec {
+    probability: f64,
+    max_partitions: usize,
+    min_superstep: u32,
+    seed: u64,
+}
+
+impl Eq for RandomSpec {}
+
+impl FailureScenario {
+    /// No failures — the failure-free baseline.
+    pub fn none() -> Self {
+        FailureScenario::default()
+    }
+
+    /// Add a failure of `partitions` at the end of superstep `superstep`.
+    pub fn fail_at(mut self, superstep: u32, partitions: &[PartitionId]) -> Self {
+        self.events.push((superstep, partitions.to_vec()));
+        self
+    }
+
+    /// Add seeded random failures: after `min_superstep`, each superstep
+    /// independently fails with `probability`, killing between one and
+    /// `max_partitions` distinct partitions (an MTBF-style model).
+    pub fn random(mut self, probability: f64, max_partitions: usize, min_superstep: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        assert!(max_partitions >= 1);
+        self.random = Some(RandomSpec { probability, max_partitions, min_superstep, seed });
+        self
+    }
+
+    /// True when the scenario schedules no failures at all.
+    pub fn is_failure_free(&self) -> bool {
+        self.events.is_empty() && self.random.is_none()
+    }
+
+    /// The deterministic events of the scenario.
+    pub fn events(&self) -> &[(u32, Vec<PartitionId>)] {
+        &self.events
+    }
+
+    /// Instantiate a fresh engine failure source for one run.
+    pub fn to_source(&self) -> Box<dyn FailureSource> {
+        let mut deterministic = DeterministicFailures::new();
+        for (superstep, partitions) in &self.events {
+            deterministic = deterministic.fail_at(*superstep, partitions);
+        }
+        match &self.random {
+            None => Box::new(deterministic),
+            Some(spec) => Box::new(Combined {
+                deterministic,
+                random: RandomFailures::new(
+                    spec.probability,
+                    spec.max_partitions,
+                    spec.min_superstep,
+                    spec.seed,
+                ),
+            }),
+        }
+    }
+
+    /// Short label for reports, e.g. `"fail@3[1,2]"`.
+    pub fn label(&self) -> String {
+        if self.is_failure_free() {
+            return "failure-free".to_string();
+        }
+        let mut parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|(s, p)| {
+                let ids: Vec<String> = p.iter().map(|pid| pid.to_string()).collect();
+                format!("fail@{s}[{}]", ids.join(","))
+            })
+            .collect();
+        if let Some(spec) = &self.random {
+            parts.push(format!("random(p={},seed={})", spec.probability, spec.seed));
+        }
+        parts.join("+")
+    }
+}
+
+/// Seeded random failure source: an MTBF-style model where every superstep
+/// past `min_superstep` fails independently with fixed probability.
+#[derive(Debug, Clone)]
+pub struct RandomFailures {
+    rng: StdRng,
+    probability: f64,
+    max_partitions: usize,
+    min_superstep: u32,
+}
+
+impl RandomFailures {
+    /// See [`FailureScenario::random`] for the parameter meanings.
+    pub fn new(probability: f64, max_partitions: usize, min_superstep: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        assert!(max_partitions >= 1);
+        RandomFailures { rng: StdRng::seed_from_u64(seed), probability, max_partitions, min_superstep }
+    }
+}
+
+impl FailureSource for RandomFailures {
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>> {
+        if superstep < self.min_superstep || !self.rng.gen_bool(self.probability) {
+            return None;
+        }
+        let count = self.rng.gen_range(1..=self.max_partitions.min(parallelism));
+        let mut partitions: Vec<PartitionId> = (0..parallelism).collect();
+        for i in 0..count {
+            let j = self.rng.gen_range(i..parallelism);
+            partitions.swap(i, j);
+        }
+        partitions.truncate(count);
+        partitions.sort_unstable();
+        Some(partitions)
+    }
+}
+
+struct Combined {
+    deterministic: DeterministicFailures,
+    random: RandomFailures,
+}
+
+impl FailureSource for Combined {
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>> {
+        let mut lost = self.deterministic.poll(superstep, parallelism).unwrap_or_default();
+        if let Some(random) = self.random.poll(superstep, parallelism) {
+            lost.extend(random);
+        }
+        if lost.is_empty() {
+            return None;
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        Some(lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_scenario_roundtrips() {
+        let scenario = FailureScenario::none().fail_at(3, &[1, 2]).fail_at(7, &[0]);
+        assert!(!scenario.is_failure_free());
+        assert_eq!(scenario.label(), "fail@3[1,2]+fail@7[0]");
+        let mut source = scenario.to_source();
+        assert_eq!(source.poll(0, 4), None);
+        assert_eq!(source.poll(3, 4), Some(vec![1, 2]));
+        assert_eq!(source.poll(7, 4), Some(vec![0]));
+    }
+
+    #[test]
+    fn failure_free_label() {
+        assert_eq!(FailureScenario::none().label(), "failure-free");
+        assert!(FailureScenario::none().is_failure_free());
+    }
+
+    #[test]
+    fn scenario_sources_are_independent() {
+        let scenario = FailureScenario::none().fail_at(1, &[0]);
+        let mut a = scenario.to_source();
+        let mut b = scenario.to_source();
+        assert_eq!(a.poll(1, 2), Some(vec![0]));
+        // Draining source `a` must not affect source `b`.
+        assert_eq!(b.poll(1, 2), Some(vec![0]));
+    }
+
+    #[test]
+    fn random_failures_are_seeded_and_in_range() {
+        let collect = |seed: u64| {
+            let mut source = RandomFailures::new(0.5, 2, 3, seed);
+            (0..50).map(|s| source.poll(s, 4)).collect::<Vec<_>>()
+        };
+        let a = collect(9);
+        let b = collect(9);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().take(3).all(Option::is_none), "no failures before min_superstep");
+        let hits: Vec<_> = a.iter().flatten().collect();
+        assert!(!hits.is_empty(), "p=0.5 over 47 supersteps must fire");
+        for lost in hits {
+            assert!(!lost.is_empty() && lost.len() <= 2);
+            assert!(lost.iter().all(|&p| p < 4));
+            let mut sorted = lost.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, lost, "partitions are distinct and sorted");
+        }
+    }
+
+    #[test]
+    fn combined_scenario_merges_events() {
+        let scenario = FailureScenario::none().fail_at(5, &[1]).random(1.0, 1, 0, 42);
+        let mut source = scenario.to_source();
+        let at5 = source.poll(5, 4).unwrap();
+        assert!(at5.contains(&1));
+        // Every superstep fails due to p = 1.0.
+        assert!(source.poll(6, 4).is_some());
+    }
+}

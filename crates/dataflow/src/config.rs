@@ -1,0 +1,92 @@
+//! Engine configuration.
+
+/// Configuration of an [`crate::api::Environment`].
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Degree of parallelism: the number of partitions every dataset is split
+    /// into. Each partition models the share of the data held by one worker
+    /// of a distributed cluster; failures destroy whole partitions.
+    pub parallelism: usize,
+    /// Execute per-partition work on scoped threads (`true`, the default) or
+    /// inline on the calling thread (`false`; useful when debugging and for
+    /// tiny datasets where thread spawning dominates).
+    pub threaded: bool,
+    /// Minimum number of records per partition before the executor bothers
+    /// spawning threads; below this, partition work runs inline even when
+    /// [`EnvConfig::threaded`] is set.
+    pub thread_threshold: usize,
+    /// Cache loop-body sub-plans that do not depend on the iteration state
+    /// across supersteps (`true`, the default). Disable only for the
+    /// engine-ablation benchmarks.
+    pub loop_invariant_caching: bool,
+}
+
+impl EnvConfig {
+    /// Configuration with the given parallelism and default knobs.
+    ///
+    /// # Panics
+    /// Panics if `parallelism == 0` — a dataflow needs at least one partition.
+    pub fn new(parallelism: usize) -> Self {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        EnvConfig {
+            parallelism,
+            threaded: true,
+            thread_threshold: 4096,
+            loop_invariant_caching: true,
+        }
+    }
+
+    /// Builder-style toggle for threaded partition execution.
+    pub fn with_threaded(mut self, threaded: bool) -> Self {
+        self.threaded = threaded;
+        self
+    }
+
+    /// Builder-style override of the threading threshold.
+    pub fn with_thread_threshold(mut self, threshold: usize) -> Self {
+        self.thread_threshold = threshold;
+        self
+    }
+
+    /// Builder-style toggle for loop-invariant caching.
+    pub fn with_loop_invariant_caching(mut self, enabled: bool) -> Self {
+        self.loop_invariant_caching = enabled;
+        self
+    }
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = EnvConfig::new(8)
+            .with_threaded(false)
+            .with_thread_threshold(10)
+            .with_loop_invariant_caching(false);
+        assert_eq!(c.parallelism, 8);
+        assert!(!c.threaded);
+        assert_eq!(c.thread_threshold, 10);
+        assert!(!c.loop_invariant_caching);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        let _ = EnvConfig::new(0);
+    }
+
+    #[test]
+    fn default_is_four_way() {
+        assert_eq!(EnvConfig::default().parallelism, 4);
+        assert!(EnvConfig::default().threaded);
+        assert!(EnvConfig::default().loop_invariant_caching);
+    }
+}

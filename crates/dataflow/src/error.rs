@@ -1,0 +1,83 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while building or executing a dataflow.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A type-erased dataset was downcast to the wrong record type.
+    TypeMismatch {
+        /// Operator or site where the downcast happened.
+        at: String,
+        /// The requested concrete type.
+        expected: &'static str,
+    },
+    /// The dataflow graph is malformed (cycle outside an iteration,
+    /// dangling node reference, datasets from different environments, ...).
+    Plan(String),
+    /// An iteration was configured inconsistently (e.g. zero max iterations).
+    Iteration(String),
+    /// A fault handler failed to recover from an injected failure.
+    Recovery(String),
+    /// Checkpoint (de)serialisation failed.
+    Codec(String),
+    /// Underlying I/O failure (disk-backed checkpoint stores).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TypeMismatch { at, expected } => {
+                write!(f, "type mismatch at {at}: dataset does not hold `{expected}` records")
+            }
+            EngineError::Plan(msg) => write!(f, "invalid dataflow plan: {msg}"),
+            EngineError::Iteration(msg) => write!(f, "invalid iteration: {msg}"),
+            EngineError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            EngineError::Codec(msg) => write!(f, "codec error: {msg}"),
+            EngineError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = EngineError::TypeMismatch { at: "map[3]".into(), expected: "u64" };
+        assert_eq!(
+            e.to_string(),
+            "type mismatch at map[3]: dataset does not hold `u64` records"
+        );
+        assert_eq!(EngineError::Plan("boom".into()).to_string(), "invalid dataflow plan: boom");
+        assert_eq!(EngineError::Codec("short".into()).to_string(), "codec error: short");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::other("disk on fire");
+        let e: EngineError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

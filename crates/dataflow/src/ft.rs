@@ -1,0 +1,289 @@
+//! Fault-tolerance hooks: failure injection and recovery handler traits.
+//!
+//! The engine itself is policy-free. At every superstep boundary of an
+//! iteration it (1) offers the fresh state to the configured fault handler
+//! (which may checkpoint it), (2) asks the [`FailureSource`] whether a
+//! failure strikes, and if so drops the affected partitions and (3) asks the
+//! handler to recover. The `recovery` crate implements the paper's policies
+//! on top of these traits; the engine ships only [`RestartHandler`], the
+//! trivially correct restart-from-scratch baseline.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::dataset::{Data, Partitions};
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::partition::PartitionId;
+
+/// Decides when failures strike and which partitions they destroy.
+///
+/// `superstep` is the *chronological* superstep index (it never repeats,
+/// unlike logical iteration numbers under rollback), so a deterministic
+/// schedule cannot re-trigger endlessly after recovery.
+pub trait FailureSource {
+    /// Partitions lost at the end of this superstep, if any.
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>>;
+}
+
+/// No failures: the failure-free baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFailures;
+
+impl FailureSource for NoFailures {
+    fn poll(&mut self, _superstep: u32, _parallelism: usize) -> Option<Vec<PartitionId>> {
+        None
+    }
+}
+
+/// A fixed schedule of `(superstep, partitions)` failure events.
+#[derive(Debug, Default, Clone)]
+pub struct DeterministicFailures {
+    events: BTreeMap<u32, Vec<PartitionId>>,
+}
+
+impl DeterministicFailures {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a failure of the given partitions at the end of `superstep`.
+    pub fn fail_at(mut self, superstep: u32, partitions: &[PartitionId]) -> Self {
+        self.events.entry(superstep).or_default().extend_from_slice(partitions);
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl FailureSource for DeterministicFailures {
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>> {
+        self.events.remove(&superstep).map(|mut parts| {
+            parts.retain(|&p| p < parallelism);
+            parts.sort_unstable();
+            parts.dedup();
+            parts
+        })
+    }
+}
+
+/// Cost of a checkpoint taken by a fault handler, for the run statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointCost {
+    /// Snapshot size in bytes (estimated or exact, store-dependent).
+    pub bytes: u64,
+    /// Wall-clock time spent writing, including any modelled stable-storage
+    /// latency.
+    pub duration: Duration,
+}
+
+/// How a bulk-iteration fault handler recovered.
+pub enum BulkRecoveryAction<T> {
+    /// Lost partitions were re-initialised in place (optimistic recovery);
+    /// execution continues with the next logical iteration.
+    Compensated,
+    /// State restored from a checkpoint of the given logical iteration;
+    /// execution resumes at `iteration + 1`.
+    Restored {
+        /// Logical iteration the restored snapshot belongs to.
+        iteration: u32,
+        /// The restored state.
+        state: Partitions<T>,
+    },
+    /// Recompute everything: the engine resets to the initial input and
+    /// logical iteration 0.
+    Restart,
+    /// Leave the lost partitions empty and continue (ablation only —
+    /// produces incorrect results and exists to demonstrate why).
+    Ignore,
+}
+
+/// Fault handler for bulk iterations over state records of type `T`.
+pub trait BulkFaultHandler<T: Data> {
+    /// Called after every completed superstep with the fresh state. Return
+    /// the cost of a checkpoint if one was taken.
+    fn after_superstep(&mut self, iteration: u32, state: &Partitions<T>) -> Result<Option<CheckpointCost>> {
+        let _ = (iteration, state);
+        Ok(None)
+    }
+
+    /// Called when partitions `lost` of `state` have been cleared by a
+    /// failure. Repair `state` in place or return replacement state.
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        state: &mut Partitions<T>,
+    ) -> Result<BulkRecoveryAction<T>>;
+}
+
+/// Per-partition solution sets of a delta iteration: one keyed map per
+/// partition, holding the current value for every key of that partition.
+pub type SolutionSets<K, V> = Vec<FxHashMap<K, V>>;
+
+/// How a delta-iteration fault handler recovered.
+pub enum DeltaRecoveryAction<K, V, W> {
+    /// Lost solution-set partitions were re-initialised and replacement
+    /// workset records seeded (optimistic recovery).
+    Compensated,
+    /// Solution sets and workset restored from a checkpoint.
+    Restored {
+        /// Logical iteration the snapshot belongs to.
+        iteration: u32,
+        /// Restored solution sets.
+        solution: SolutionSets<K, V>,
+        /// Restored workset.
+        workset: Partitions<W>,
+    },
+    /// Recompute from the initial solution set and workset.
+    Restart,
+    /// Continue with the lost partitions empty (ablation only).
+    Ignore,
+}
+
+/// Fault handler for delta iterations.
+pub trait DeltaFaultHandler<K: Data, V: Data, W: Data> {
+    /// Called after every completed superstep (post delta application).
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        solution: &SolutionSets<K, V>,
+        workset: &Partitions<W>,
+    ) -> Result<Option<CheckpointCost>> {
+        let _ = (iteration, solution, workset);
+        Ok(None)
+    }
+
+    /// Called when partitions `lost` have had both their solution set and
+    /// workset cleared by a failure.
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        solution: &mut SolutionSets<K, V>,
+        workset: &mut Partitions<W>,
+    ) -> Result<DeltaRecoveryAction<K, V, W>>;
+}
+
+// Boxed trait objects forward, so callers can pick handlers at runtime
+// (e.g. from a strategy enum) and still use the `set_*` builder methods.
+impl FailureSource for Box<dyn FailureSource> {
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>> {
+        (**self).poll(superstep, parallelism)
+    }
+}
+
+impl<T: Data> BulkFaultHandler<T> for Box<dyn BulkFaultHandler<T>> {
+    fn after_superstep(&mut self, iteration: u32, state: &Partitions<T>) -> Result<Option<CheckpointCost>> {
+        (**self).after_superstep(iteration, state)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        state: &mut Partitions<T>,
+    ) -> Result<BulkRecoveryAction<T>> {
+        (**self).on_failure(iteration, lost, state)
+    }
+}
+
+impl<K: Data, V: Data, W: Data> DeltaFaultHandler<K, V, W> for Box<dyn DeltaFaultHandler<K, V, W>> {
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        solution: &SolutionSets<K, V>,
+        workset: &Partitions<W>,
+    ) -> Result<Option<CheckpointCost>> {
+        (**self).after_superstep(iteration, solution, workset)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        solution: &mut SolutionSets<K, V>,
+        workset: &mut Partitions<W>,
+    ) -> Result<DeltaRecoveryAction<K, V, W>> {
+        (**self).on_failure(iteration, lost, solution, workset)
+    }
+}
+
+/// The engine's built-in baseline: restart from scratch on any failure.
+/// This is what lineage-based recovery degenerates to for iterative jobs
+/// whose every partition depends on all partitions of the previous iteration
+/// (paper §2.2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RestartHandler;
+
+impl<T: Data> BulkFaultHandler<T> for RestartHandler {
+    fn on_failure(
+        &mut self,
+        _iteration: u32,
+        _lost: &[PartitionId],
+        _state: &mut Partitions<T>,
+    ) -> Result<BulkRecoveryAction<T>> {
+        Ok(BulkRecoveryAction::Restart)
+    }
+}
+
+impl<K: Data, V: Data, W: Data> DeltaFaultHandler<K, V, W> for RestartHandler {
+    fn on_failure(
+        &mut self,
+        _iteration: u32,
+        _lost: &[PartitionId],
+        _solution: &mut SolutionSets<K, V>,
+        _workset: &mut Partitions<W>,
+    ) -> Result<DeltaRecoveryAction<K, V, W>> {
+        Ok(DeltaRecoveryAction::Restart)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_never_fires() {
+        let mut src = NoFailures;
+        for s in 0..100 {
+            assert!(src.poll(s, 4).is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_schedule_fires_once_per_superstep() {
+        let mut src = DeterministicFailures::new().fail_at(3, &[1, 2]).fail_at(5, &[0]);
+        assert_eq!(src.poll(0, 4), None);
+        assert_eq!(src.poll(3, 4), Some(vec![1, 2]));
+        // A second poll of the same superstep (should never happen, but) is
+        // empty — events are consumed.
+        assert_eq!(src.poll(3, 4), None);
+        assert_eq!(src.poll(5, 4), Some(vec![0]));
+    }
+
+    #[test]
+    fn out_of_range_partitions_are_dropped() {
+        let mut src = DeterministicFailures::new().fail_at(0, &[0, 7, 2, 2]);
+        assert_eq!(src.poll(0, 4), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn restart_handler_always_restarts() {
+        let mut h = RestartHandler;
+        let mut state = Partitions::round_robin(vec![1u64, 2, 3], 2);
+        match BulkFaultHandler::on_failure(&mut h, 5, &[0], &mut state).unwrap() {
+            BulkRecoveryAction::Restart => {}
+            _ => panic!("expected restart"),
+        }
+    }
+}

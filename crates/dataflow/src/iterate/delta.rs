@@ -1,0 +1,591 @@
+//! Delta iterations: a keyed solution set is selectively updated while a
+//! working set carries the records that still change (paper §2.1).
+
+use std::hash::Hash;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::api::{DataSet, Environment};
+use crate::dataset::{Data, Erased, Partitions};
+use crate::error::{EngineError, Result};
+use crate::exec::{self, ExecContext, PlanCache};
+use crate::ft::{
+    DeltaFaultHandler, DeltaRecoveryAction, FailureSource, NoFailures, RestartHandler,
+    SolutionSets,
+};
+use crate::hash::{fx_hash, FxHashMap};
+use crate::iterate::StatsHandle;
+use crate::operators::{InjectedSource, SourceSlot};
+use crate::partition::hash_partition;
+use crate::plan::{DynOp, NodeId};
+use crate::stats::{FailureRecord, IterationStats, RecoveryKind, RunStats};
+
+/// Observer callback for delta iterations: sees the solution sets and the
+/// working set entering the next iteration.
+pub type DeltaObserverFn<K, V, W> =
+    Box<dyn FnMut(u32, &SolutionSets<K, V>, &Partitions<W>, &mut IterationStats)>;
+
+/// Bound for solution-set key types.
+pub trait SolutionKey: Data + Hash + Eq {}
+impl<K: Data + Hash + Eq> SolutionKey for K {}
+
+/// Builder for a delta iteration.
+///
+/// The *solution set* holds one `(K, V)` entry per key, hash-partitioned by
+/// `K`; the *working set* holds arbitrary records of type `W`. Each
+/// superstep, the loop body consumes both and produces a *delta* (solution
+/// entries to upsert) and the next working set. The iteration terminates
+/// once the working set is empty.
+///
+/// ```
+/// use dataflow::prelude::*;
+///
+/// // Propagate the minimum over a chain 0-1-2-3 (toy connected components).
+/// let env = Environment::new(2);
+/// let solution = env.from_vec((0u64..4).map(|v| (v, v)).collect());
+/// let workset = env.from_vec((0u64..4).map(|v| (v, v)).collect());
+/// let edges = env.from_vec(vec![(0u64, 1u64), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+/// let mut iteration = DeltaIteration::new(&solution, &workset, 50);
+/// let edges_in = iteration.import(&edges);
+/// let candidates = iteration
+///     .workset()
+///     .join("to-neighbors", &edges_in, |w: &(u64, u64)| w.0, |e| e.0, |w, e| (e.1, w.1))
+///     .reduce_by_key("min-label", |c| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+/// let updates = candidates.join(
+///     "label-update",
+///     &iteration.solution(),
+///     |c| c.0,
+///     |s: &(u64, u64)| s.0,
+///     |c, s| if c.1 < s.1 { Some((c.0, c.1)) } else { None },
+/// ).flat_map("updated-only", |u| u.iter().copied().collect());
+/// let (result, stats) = iteration.close(updates.clone(), updates);
+/// let labels = result.collect().unwrap();
+/// assert!(labels.iter().all(|&(_, l)| l == 0));
+/// assert!(stats.take().unwrap().converged);
+/// ```
+pub struct DeltaIteration<K: SolutionKey, V: Data, W: Data> {
+    outer: Environment,
+    body: Environment,
+    initial_solution_id: NodeId,
+    initial_workset_id: NodeId,
+    solution_slot: SourceSlot,
+    workset_slot: SourceSlot,
+    solution_head: DataSet<(K, V)>,
+    workset_head: DataSet<W>,
+    solution_head_id: NodeId,
+    workset_head_id: NodeId,
+    import_ids: Vec<NodeId>,
+    import_slots: Vec<SourceSlot>,
+    max_iterations: u32,
+    superstep_limit: u32,
+    handler: Box<dyn DeltaFaultHandler<K, V, W>>,
+    failures: Box<dyn FailureSource>,
+    observer: Option<DeltaObserverFn<K, V, W>>,
+}
+
+impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
+    /// Start building a delta iteration.
+    ///
+    /// # Panics
+    /// Panics when `max_iterations` is zero or the two datasets come from
+    /// different environments.
+    pub fn new(
+        initial_solution: &DataSet<(K, V)>,
+        initial_workset: &DataSet<W>,
+        max_iterations: u32,
+    ) -> Self {
+        assert!(max_iterations > 0, "an iteration needs at least one iteration");
+        let outer = initial_solution.environment();
+        assert!(
+            Rc::ptr_eq(&initial_workset.environment().inner, &outer.inner),
+            "solution set and workset must come from the same environment"
+        );
+        let body = Environment::with_config(outer.config());
+        let solution_slot = SourceSlot::new();
+        let workset_slot = SourceSlot::new();
+        let solution_head = body.add_node(
+            "solution-set",
+            vec![],
+            Box::new(InjectedSource::new(solution_slot.clone())),
+        );
+        let workset_head = body.add_node(
+            "workset",
+            vec![],
+            Box::new(InjectedSource::new(workset_slot.clone())),
+        );
+        let solution_head_id = solution_head.node_id();
+        let workset_head_id = workset_head.node_id();
+        DeltaIteration {
+            outer,
+            body,
+            initial_solution_id: initial_solution.node_id(),
+            initial_workset_id: initial_workset.node_id(),
+            solution_slot,
+            workset_slot,
+            solution_head,
+            workset_head,
+            solution_head_id,
+            workset_head_id,
+            import_ids: Vec::new(),
+            import_slots: Vec::new(),
+            max_iterations,
+            superstep_limit: max_iterations.saturating_mul(4).saturating_add(16),
+            handler: Box::new(RestartHandler),
+            failures: Box::new(NoFailures),
+            observer: None,
+        }
+    }
+
+    /// Loop-body view of the current solution set.
+    pub fn solution(&self) -> DataSet<(K, V)> {
+        self.solution_head.clone()
+    }
+
+    /// Loop-body view of the current working set.
+    pub fn workset(&self) -> DataSet<W> {
+        self.workset_head.clone()
+    }
+
+    /// The loop-body environment.
+    pub fn body_environment(&self) -> Environment {
+        self.body.clone()
+    }
+
+    /// Make an outer dataset visible inside the loop body.
+    pub fn import<A: Data>(&mut self, outer: &DataSet<A>) -> DataSet<A> {
+        assert!(
+            Rc::ptr_eq(&outer.environment().inner, &self.outer.inner),
+            "import source must come from the enclosing environment"
+        );
+        let slot = SourceSlot::new();
+        let inner =
+            self.body.add_node("import", vec![], Box::new(InjectedSource::new(slot.clone())));
+        self.import_ids.push(outer.node_id());
+        self.import_slots.push(slot);
+        inner
+    }
+
+    /// Install a fault handler (defaults to restart-from-scratch).
+    pub fn set_fault_handler(&mut self, handler: impl DeltaFaultHandler<K, V, W> + 'static) {
+        self.handler = Box::new(handler);
+    }
+
+    /// Install a failure source (defaults to no failures).
+    pub fn set_failure_source(&mut self, failures: impl FailureSource + 'static) {
+        self.failures = Box::new(failures);
+    }
+
+    /// Install a per-superstep observer.
+    pub fn set_observer(
+        &mut self,
+        observer: impl FnMut(u32, &SolutionSets<K, V>, &Partitions<W>, &mut IterationStats) + 'static,
+    ) {
+        self.observer = Some(Box::new(observer));
+    }
+
+    /// Override the chronological superstep budget.
+    pub fn set_superstep_limit(&mut self, limit: u32) {
+        self.superstep_limit = limit;
+    }
+
+    /// Close the loop. `delta` contains solution-set upserts; `next_workset`
+    /// feeds the next iteration. Returns the final solution set.
+    pub fn close(
+        self,
+        delta: DataSet<(K, V)>,
+        next_workset: DataSet<W>,
+    ) -> (DataSet<(K, V)>, StatsHandle) {
+        assert!(
+            Rc::ptr_eq(&delta.environment().inner, &self.body.inner),
+            "delta must be built inside the loop body"
+        );
+        assert!(
+            Rc::ptr_eq(&next_workset.environment().inner, &self.body.inner),
+            "next workset must be built inside the loop body"
+        );
+        let stats = StatsHandle::new();
+        let op = IterateDeltaOp {
+            body: self.body,
+            solution_head_id: self.solution_head_id,
+            workset_head_id: self.workset_head_id,
+            solution_slot: self.solution_slot,
+            workset_slot: self.workset_slot,
+            import_slots: self.import_slots,
+            delta_id: delta.node_id(),
+            next_workset_id: next_workset.node_id(),
+            max_iterations: self.max_iterations,
+            superstep_limit: self.superstep_limit,
+            handler: self.handler,
+            failures: self.failures,
+            observer: self.observer,
+            stats: stats.clone(),
+        };
+        let mut inputs = vec![self.initial_solution_id, self.initial_workset_id];
+        inputs.extend(&self.import_ids);
+        let result = self.outer.add_node("delta-iteration", inputs, Box::new(op));
+        (result, stats)
+    }
+}
+
+struct IterateDeltaOp<K: SolutionKey, V: Data, W: Data> {
+    body: Environment,
+    solution_head_id: NodeId,
+    workset_head_id: NodeId,
+    solution_slot: SourceSlot,
+    workset_slot: SourceSlot,
+    import_slots: Vec<SourceSlot>,
+    delta_id: NodeId,
+    next_workset_id: NodeId,
+    max_iterations: u32,
+    superstep_limit: u32,
+    handler: Box<dyn DeltaFaultHandler<K, V, W>>,
+    failures: Box<dyn FailureSource>,
+    observer: Option<DeltaObserverFn<K, V, W>>,
+    stats: StatsHandle,
+}
+
+/// Build per-partition solution maps from `(K, V)` records, routing each
+/// entry to its key's partition.
+fn build_solution_sets<K: SolutionKey, V: Data>(
+    records: &Partitions<(K, V)>,
+    parallelism: usize,
+) -> SolutionSets<K, V> {
+    let mut sets: SolutionSets<K, V> = (0..parallelism).map(|_| FxHashMap::default()).collect();
+    for (k, v) in records.iter_records() {
+        let pid = hash_partition(k, parallelism);
+        sets[pid].insert(k.clone(), v.clone());
+    }
+    sets
+}
+
+/// Materialise the solution sets as a partitioned dataset, in a
+/// deterministic per-partition order.
+///
+/// The per-superstep clone + sort keeps runs bit-reproducible (hash maps
+/// iterate in arbitrary order); at the scales this simulator targets the
+/// cost is dominated by the body's joins. An index-probed solution-set
+/// join (Flink's optimisation) would remove it and is a natural extension.
+fn materialize_solution<K: SolutionKey, V: Data>(sets: &SolutionSets<K, V>) -> Partitions<(K, V)> {
+    let parts = sets
+        .iter()
+        .map(|set| {
+            let mut records: Vec<(K, V)> =
+                set.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            records.sort_by_key(|(k, _)| fx_hash(k));
+            records
+        })
+        .collect();
+    Partitions::from_parts(parts)
+}
+
+impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
+    fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
+        let parallelism = ctx.config.parallelism;
+        let initial_solution: Partitions<(K, V)> =
+            inputs[0].clone().take("DeltaIteration(solution)")?;
+        let initial_workset: Partitions<W> = inputs[1].clone().take("DeltaIteration(workset)")?;
+        for (slot, input) in self.import_slots.iter().zip(&inputs[2..]) {
+            slot.fill(input.clone());
+        }
+
+        // Loop-invariant caching over the body plan.
+        let volatile = {
+            let inner = self.body.inner.borrow();
+            if ctx.config.loop_invariant_caching {
+                inner.graph.volatility(&[self.solution_head_id, self.workset_head_id])
+            } else {
+                vec![true; inner.graph.len()]
+            }
+        };
+        let mut invariant_cache = PlanCache::new();
+
+        let initial_sets = build_solution_sets(&initial_solution, parallelism);
+        let mut solution = initial_sets.clone();
+        let mut workset = initial_workset.clone();
+
+        let mut run = RunStats::default();
+        let mut iteration: u32 = 0;
+        let mut superstep: u32 = 0;
+        let mut converged = false;
+        let run_start = Instant::now();
+
+        loop {
+            if workset.is_empty() {
+                converged = true;
+                break;
+            }
+            if iteration >= self.max_iterations {
+                break;
+            }
+            if superstep >= self.superstep_limit {
+                return Err(EngineError::Iteration(format!(
+                    "superstep budget of {} exhausted at logical iteration {iteration} \
+                     (likely a recovery live-lock)",
+                    self.superstep_limit
+                )));
+            }
+
+            // 1. Execute the loop body over solution view + workset.
+            let step_ctx = ExecContext::new(ctx.config.clone());
+            self.solution_slot.fill(Erased::new(materialize_solution(&solution)));
+            self.workset_slot.fill(Erased::new(workset));
+            let step_start = Instant::now();
+            let outputs = {
+                let mut inner = self.body.inner.borrow_mut();
+                exec::execute_cached(
+                    &mut inner.graph,
+                    &[self.delta_id, self.next_workset_id],
+                    &step_ctx,
+                    &volatile,
+                    &mut invariant_cache,
+                )?
+            };
+            let delta: Partitions<(K, V)> = outputs[0].clone().take("DeltaIteration(delta)")?;
+            let mut next_workset: Partitions<W> =
+                outputs[1].clone().take("DeltaIteration(next workset)")?;
+
+            // 2. Apply the delta: upsert each entry into its key's partition.
+            let delta_size = delta.total_len() as u64;
+            for (k, v) in delta.into_vec() {
+                let pid = hash_partition(&k, parallelism);
+                solution[pid].insert(k, v);
+            }
+            let duration = step_start.elapsed();
+
+            // 3. Superstep statistics.
+            let (counters, shuffled) = step_ctx.drain();
+            let mut istats = IterationStats {
+                superstep,
+                iteration,
+                duration,
+                counters,
+                records_shuffled: shuffled,
+                workset_size: Some(next_workset.total_len() as u64),
+                ..Default::default()
+            };
+            istats.counters.insert("delta_updates".into(), delta_size);
+
+            // 4. Fault-tolerance hook (checkpointing).
+            if let Some(cost) = self.handler.after_superstep(iteration, &solution, &next_workset)? {
+                istats.checkpoint_bytes = Some(cost.bytes);
+                istats.checkpoint_duration = Some(cost.duration);
+            }
+
+            // 5. Failure injection and recovery. A failure destroys both the
+            // solution-set partition and the workset partition of the lost
+            // workers.
+            let mut next_iteration = iteration + 1;
+            if let Some(lost) = self.failures.poll(superstep, parallelism) {
+                if !lost.is_empty() {
+                    let mut lost_records = 0u64;
+                    for &pid in &lost {
+                        lost_records += solution[pid].len() as u64;
+                        solution[pid] = FxHashMap::default();
+                        lost_records += next_workset.clear_partition(pid) as u64;
+                    }
+                    let recovery_start = Instant::now();
+                    let action =
+                        self.handler.on_failure(iteration, &lost, &mut solution, &mut next_workset)?;
+                    let recovery = match action {
+                        DeltaRecoveryAction::Compensated => RecoveryKind::Compensated,
+                        DeltaRecoveryAction::Restored {
+                            iteration: restored,
+                            solution: restored_solution,
+                            workset: restored_workset,
+                        } => {
+                            solution = restored_solution;
+                            next_workset = restored_workset;
+                            next_iteration = restored + 1;
+                            RecoveryKind::RolledBack { to_iteration: restored }
+                        }
+                        DeltaRecoveryAction::Restart => {
+                            solution = initial_sets.clone();
+                            next_workset = initial_workset.clone();
+                            next_iteration = 0;
+                            RecoveryKind::Restarted
+                        }
+                        DeltaRecoveryAction::Ignore => RecoveryKind::Ignored,
+                    };
+                    istats.workset_size = Some(next_workset.total_len() as u64);
+                    istats.failure = Some(FailureRecord {
+                        lost_partitions: lost,
+                        lost_records,
+                        recovery,
+                        recovery_duration: recovery_start.elapsed(),
+                    });
+                }
+            }
+
+            // 6. Observe and record.
+            if let Some(observer) = &mut self.observer {
+                observer(iteration, &solution, &next_workset, &mut istats);
+            }
+            run.iterations.push(istats);
+            superstep += 1;
+            workset = next_workset;
+            iteration = next_iteration;
+        }
+
+        run.converged = converged;
+        run.total_duration = run_start.elapsed();
+        self.stats.set(run);
+        Ok(Erased::new(materialize_solution(&solution)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "DeltaIteration"
+    }
+
+    fn body_explain(&self) -> Option<String> {
+        let inner = self.body.inner.borrow();
+        let mut text = String::from("(delta:)\n");
+        text.push_str(&inner.graph.explain(self.delta_id));
+        text.push_str("(next workset:)\n");
+        text.push_str(&inner.graph.explain(self.next_workset_id));
+        Some(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ft::DeterministicFailures;
+
+    type Label = (u64, u64);
+
+    /// Min-label propagation over an undirected path graph 0-1-...-n-1,
+    /// the delta-iteration workhorse used by Connected Components.
+    fn min_label_run(
+        n: u64,
+        parallelism: usize,
+        configure: impl FnOnce(&mut DeltaIteration<u64, u64, Label>),
+    ) -> (Vec<Label>, RunStats) {
+        let env = Environment::new(parallelism);
+        let labels: Vec<Label> = (0..n).map(|v| (v, v)).collect();
+        let solution = env.from_keyed_vec(labels.clone(), |r| r.0);
+        let workset = env.from_keyed_vec(labels, |r| r.0);
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for v in 0..n - 1 {
+            edges.push((v, v + 1));
+            edges.push((v + 1, v));
+        }
+        let edges_ds = env.from_keyed_vec(edges, |e| e.0);
+
+        let mut it = DeltaIteration::new(&solution, &workset, 10 * n as u32);
+        configure(&mut it);
+        let edges_in = it.import(&edges_ds);
+        let candidates = it
+            .workset()
+            .join("to-neighbors", &edges_in, |w: &Label| w.0, |e| e.0, |w, e| (e.1, w.1))
+            .measured("messages")
+            .reduce_by_key("min-candidate", |c| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+        let updates = candidates
+            .join(
+                "label-update",
+                &it.solution(),
+                |c| c.0,
+                |s: &Label| s.0,
+                |c, s| if c.1 < s.1 { Some((c.0, c.1)) } else { None },
+            )
+            .flat_map("updated-only", |u: &Option<Label>| u.iter().copied().collect());
+        let (result, stats) = it.close(updates.clone(), updates);
+        let mut labels = result.collect().unwrap();
+        labels.sort_unstable();
+        (labels, stats.take().unwrap())
+    }
+
+    #[test]
+    fn min_label_propagates_to_all_vertices() {
+        let (labels, stats) = min_label_run(16, 4, |_| {});
+        assert!(labels.iter().all(|&(_, l)| l == 0), "{labels:?}");
+        assert!(stats.converged);
+        // The minimum travels one hop per iteration: 15 hops + 1 empty-check.
+        assert!(stats.supersteps() >= 15);
+    }
+
+    #[test]
+    fn workset_shrinks_as_vertices_converge() {
+        let (_, stats) = min_label_run(16, 4, |_| {});
+        let sizes: Vec<u64> = stats.iterations.iter().filter_map(|i| i.workset_size).collect();
+        assert_eq!(sizes.last(), Some(&0), "workset must drain: {sizes:?}");
+        assert!(sizes[0] >= sizes[sizes.len() - 2]);
+    }
+
+    #[test]
+    fn messages_counter_tracks_candidate_labels() {
+        let (_, stats) = min_label_run(8, 2, |_| {});
+        let messages = stats.counter_series("messages");
+        // First superstep: every vertex sends to every neighbour = 2*|E|.
+        assert_eq!(messages[0], 14);
+        assert_eq!(*messages.last().unwrap(), 1, "last update reaches the path end");
+    }
+
+    #[test]
+    fn empty_initial_workset_converges_immediately() {
+        let env = Environment::new(2);
+        let solution = env.from_keyed_vec(vec![(1u64, 5u64)], |r| r.0);
+        let workset = env.from_vec(Vec::<Label>::new());
+        let it = DeltaIteration::new(&solution, &workset, 10);
+        let delta = it.body_environment().from_vec(Vec::<Label>::new());
+        let ws = it.body_environment().from_vec(Vec::<Label>::new());
+        let (result, stats) = it.close(delta, ws);
+        assert_eq!(result.collect().unwrap(), vec![(1, 5)]);
+        let stats = stats.take().unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.supersteps(), 0);
+    }
+
+    #[test]
+    fn restart_recovers_correctly_at_extra_cost() {
+        let (labels, stats) = min_label_run(16, 4, |it| {
+            it.set_failure_source(DeterministicFailures::new().fail_at(4, &[1]));
+        });
+        assert!(labels.iter().all(|&(_, l)| l == 0));
+        assert!(stats.converged);
+        let failure_kinds: Vec<_> = stats.failures().map(|(_, f)| f.recovery.clone()).collect();
+        assert_eq!(failure_kinds, vec![RecoveryKind::Restarted]);
+        // Restart pays the 5 pre-failure supersteps again.
+        assert!(stats.supersteps() >= 20);
+    }
+
+    #[test]
+    fn ignore_handler_converges_to_wrong_labels() {
+        struct IgnoreAll;
+        impl<K: Data, V: Data, W: Data> DeltaFaultHandler<K, V, W> for IgnoreAll {
+            fn on_failure(
+                &mut self,
+                _i: u32,
+                _l: &[usize],
+                _s: &mut SolutionSets<K, V>,
+                _w: &mut Partitions<W>,
+            ) -> Result<DeltaRecoveryAction<K, V, W>> {
+                Ok(DeltaRecoveryAction::Ignore)
+            }
+        }
+        let (labels, stats) = min_label_run(16, 4, |it| {
+            it.set_fault_handler(IgnoreAll);
+            it.set_failure_source(DeterministicFailures::new().fail_at(3, &[0, 1]));
+        });
+        // The run "converges", but vertices were lost outright — this is the
+        // ablation the paper's compensation functions exist to prevent.
+        assert!(stats.converged);
+        assert!(labels.len() < 16, "lost vertices must be missing, got {}", labels.len());
+    }
+
+    #[test]
+    fn max_iterations_bounds_non_converging_loop() {
+        let env = Environment::new(2);
+        let solution = env.from_keyed_vec(vec![(0u64, 0u64)], |r| r.0);
+        let workset = env.from_keyed_vec(vec![(0u64, 0u64)], |r| r.0);
+        let it = DeltaIteration::new(&solution, &workset, 5);
+        // The workset never drains: each superstep re-emits it.
+        let ws = it.workset();
+        let delta = it.body_environment().from_vec(Vec::<Label>::new());
+        let next_ws = ws.map("keep", |w: &Label| *w);
+        let (result, stats) = it.close(delta, next_ws);
+        result.collect().unwrap();
+        let stats = stats.take().unwrap();
+        assert!(!stats.converged);
+        assert_eq!(stats.supersteps(), 5);
+    }
+}

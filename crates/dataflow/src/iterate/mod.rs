@@ -1,0 +1,69 @@
+//! Iterative execution: bulk and delta iterations.
+//!
+//! Both iteration kinds follow the same superstep protocol:
+//!
+//! 1. Inject the current iteration state into the loop body's head nodes and
+//!    execute the body plan.
+//! 2. Drain per-superstep counters into an [`crate::stats::IterationStats`].
+//! 3. Offer the fresh state to the fault handler (which may checkpoint).
+//! 4. Poll the failure source; on failure, drop the lost partitions and let
+//!    the fault handler recover (compensate / roll back / restart / ignore).
+//! 5. Run the user observer, then decide termination.
+//!
+//! Logical iteration numbers move backwards on rollback and restart;
+//! chronological superstep numbers never repeat. The difference between the
+//! two is exactly the redundant work a recovery strategy pays.
+
+mod bulk;
+mod delta;
+
+pub use bulk::BulkIteration;
+pub use delta::DeltaIteration;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::stats::RunStats;
+
+/// Shared handle through which an iteration publishes its [`RunStats`].
+///
+/// Returned by `close(..)`; filled when the enclosing plan executes.
+#[derive(Clone, Default)]
+pub struct StatsHandle {
+    inner: Rc<RefCell<Option<RunStats>>>,
+}
+
+impl StatsHandle {
+    pub(crate) fn new() -> Self {
+        StatsHandle::default()
+    }
+
+    pub(crate) fn set(&self, stats: RunStats) {
+        *self.inner.borrow_mut() = Some(stats);
+    }
+
+    /// Take the statistics of the last execution, leaving the handle empty.
+    pub fn take(&self) -> Option<RunStats> {
+        self.inner.borrow_mut().take()
+    }
+
+    /// Clone the statistics of the last execution.
+    pub fn get(&self) -> Option<RunStats> {
+        self.inner.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_handle_roundtrip() {
+        let h = StatsHandle::new();
+        assert!(h.get().is_none());
+        h.set(RunStats::default());
+        assert!(h.get().is_some());
+        assert!(h.take().is_some());
+        assert!(h.take().is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Convenience aggregations built on the core keyed operators.
+//!
+//! These are thin, well-typed wrappers — the kind of API surface users of a
+//! dataflow engine reach for daily — implemented entirely in terms of
+//! [`crate::api::DataSet::reduce_by_key`] and
+//! [`crate::api::DataSet::co_group`], so they inherit their shuffle
+//! semantics and traffic accounting.
+
+use std::hash::Hash;
+
+use crate::api::DataSet;
+use crate::dataset::Data;
+
+impl<K, V> DataSet<(K, V)>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    /// Per-key record count.
+    pub fn count_by_key(&self, name: impl Into<String>) -> DataSet<(K, u64)> {
+        self.map("to-count", |(k, _): &(K, V)| (k.clone(), 1u64)).reduce_by_key(
+            name,
+            |r| r.0.clone(),
+            |a, b| (a.0, a.1 + b.1),
+        )
+    }
+
+    /// Left outer join: `f` receives `None` for unmatched left records.
+    pub fn left_outer_join<R, O, F>(
+        &self,
+        name: impl Into<String>,
+        right: &DataSet<(K, R)>,
+        f: F,
+    ) -> DataSet<O>
+    where
+        K: Ord,
+        R: Data,
+        O: Data,
+        F: Fn(&K, &V, Option<&R>) -> O + Send + Sync + 'static,
+    {
+        self.co_group(
+            name,
+            right,
+            |l: &(K, V)| l.0.clone(),
+            |r: &(K, R)| r.0.clone(),
+            move |k, lefts, rights| {
+                let mut out = Vec::new();
+                for (_, v) in lefts {
+                    if rights.is_empty() {
+                        out.push(f(k, v, None));
+                    } else {
+                        for (_, r) in rights {
+                            out.push(f(k, v, Some(r)));
+                        }
+                    }
+                }
+                out
+            },
+        )
+    }
+}
+
+macro_rules! impl_numeric_aggregates {
+    ($($num:ty),*) => {$(
+        impl<K> DataSet<(K, $num)>
+        where
+            K: Data + Hash + Eq,
+        {
+            /// Per-key sum.
+            pub fn sum_by_key(&self, name: impl Into<String>) -> DataSet<(K, $num)> {
+                self.reduce_by_key(name, |r| r.0.clone(), |a, b| (a.0, a.1 + b.1))
+            }
+
+            /// Per-key minimum value.
+            pub fn min_by_key(&self, name: impl Into<String>) -> DataSet<(K, $num)> {
+                self.reduce_by_key(name, |r| r.0.clone(), |a, b| {
+                    if b.1 < a.1 { (a.0, b.1) } else { a }
+                })
+            }
+
+            /// Per-key maximum value.
+            pub fn max_by_key(&self, name: impl Into<String>) -> DataSet<(K, $num)> {
+                self.reduce_by_key(name, |r| r.0.clone(), |a, b| {
+                    if b.1 > a.1 { (a.0, b.1) } else { a }
+                })
+            }
+        }
+    )*};
+}
+
+impl_numeric_aggregates!(u64, i64, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::api::Environment;
+
+    #[test]
+    fn count_by_key_counts() {
+        let env = Environment::new(3);
+        let ds = env.from_vec(vec![(1u64, 'a'), (2, 'b'), (1, 'c'), (1, 'd')]);
+        let mut out = ds.count_by_key("counts").collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn sum_min_max_by_key() {
+        let env = Environment::new(3);
+        let ds = env.from_vec(vec![(1u64, 10u64), (2, 5), (1, 32), (2, 7)]);
+        let mut sums = ds.sum_by_key("sums").collect().unwrap();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![(1, 42), (2, 12)]);
+        let mut mins = ds.min_by_key("mins").collect().unwrap();
+        mins.sort_unstable();
+        assert_eq!(mins, vec![(1, 10), (2, 5)]);
+        let mut maxs = ds.max_by_key("maxs").collect().unwrap();
+        maxs.sort_unstable();
+        assert_eq!(maxs, vec![(1, 32), (2, 7)]);
+    }
+
+    #[test]
+    fn float_aggregates() {
+        let env = Environment::new(2);
+        let ds = env.from_vec(vec![(0u64, 1.5f64), (0, 2.5)]);
+        let out = ds.sum_by_key("s").collect().unwrap();
+        assert_eq!(out, vec![(0, 4.0)]);
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let env = Environment::new(2);
+        let left = env.from_vec(vec![(1u64, "a".to_string()), (2, "b".to_string())]);
+        let right = env.from_vec(vec![(1u64, 10u64)]);
+        let mut out = left
+            .left_outer_join("loj", &right, |k, v, r| (*k, v.clone(), r.copied()))
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![(1, "a".to_string(), Some(10)), (2, "b".to_string(), None)]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_duplicates_on_multi_match() {
+        let env = Environment::new(2);
+        let left = env.from_vec(vec![(1u64, 'x')]);
+        let right = env.from_vec(vec![(1u64, 1u64), (1, 2)]);
+        let mut out =
+            left.left_outer_join("loj", &right, |_, _, r| r.copied().unwrap_or(0)).collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+}

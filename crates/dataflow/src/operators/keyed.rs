@@ -1,0 +1,239 @@
+//! Keyed operators: shuffle by key, then work per partition.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::dataset::{Data, Erased, Partitions};
+use crate::error::Result;
+use crate::exec::{par_map, ExecContext};
+use crate::hash::FxHashMap;
+use crate::partition::shuffle_by_key;
+use crate::plan::DynOp;
+
+/// Bound for operator key types.
+pub trait KeyData: Data + Hash + Eq {}
+impl<K: Data + Hash + Eq> KeyData for K {}
+
+/// Combine all records sharing a key into one, Flink's `reduce`:
+/// `f(a, b)` must be associative and commutative.
+pub struct ReduceByKeyOp<T, K, KF, F> {
+    key_of: Arc<KF>,
+    f: Arc<F>,
+    _types: PhantomData<fn(T) -> K>,
+}
+
+impl<T, K, KF, F> ReduceByKeyOp<T, K, KF, F> {
+    /// Operator over the given user function(s).
+    pub fn new(key_of: KF, f: F) -> Self {
+        ReduceByKeyOp { key_of: Arc::new(key_of), f: Arc::new(f), _types: PhantomData }
+    }
+}
+
+impl<T, K, KF, F> DynOp for ReduceByKeyOp<T, K, KF, F>
+where
+    T: Data,
+    K: KeyData,
+    KF: Fn(&T) -> K + Send + Sync + 'static,
+    F: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
+        let input = inputs[0].clone().take::<T>("ReduceByKey")?;
+        let key_of = &*self.key_of;
+        let shuffled = shuffle_by_key(input, key_of);
+        ctx.add_shuffled(shuffled.moved);
+        let f = &*self.f;
+        let work = shuffled.parts.total_len();
+        let out = par_map(shuffled.parts.into_parts(), ctx, work, |_, records| {
+            let mut acc: FxHashMap<K, T> = FxHashMap::default();
+            for record in records {
+                let key = key_of(&record);
+                match acc.remove(&key) {
+                    Some(prev) => {
+                        acc.insert(key, f(prev, record));
+                    }
+                    None => {
+                        acc.insert(key, record);
+                    }
+                }
+            }
+            let mut values: Vec<T> = acc.into_values().collect();
+            // A deterministic output order keeps runs reproducible even
+            // though the hash map iterates in arbitrary order.
+            values.sort_by(|a, b| {
+                crate::hash::fx_hash(&key_of(a)).cmp(&crate::hash::fx_hash(&key_of(b)))
+            });
+            values
+        });
+        Ok(Erased::new(Partitions::from_parts(out)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "Reduce"
+    }
+}
+
+/// Keep one record per key (the first seen within its partition after the
+/// shuffle), Flink's `distinct` over a key expression.
+pub struct DistinctByOp<T, K, KF> {
+    key_of: Arc<KF>,
+    _types: PhantomData<fn(T) -> K>,
+}
+
+impl<T, K, KF> DistinctByOp<T, K, KF> {
+    /// Operator over the given user function(s).
+    pub fn new(key_of: KF) -> Self {
+        DistinctByOp { key_of: Arc::new(key_of), _types: PhantomData }
+    }
+}
+
+impl<T, K, KF> DynOp for DistinctByOp<T, K, KF>
+where
+    T: Data,
+    K: KeyData,
+    KF: Fn(&T) -> K + Send + Sync + 'static,
+{
+    fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
+        let input = inputs[0].clone().take::<T>("Distinct")?;
+        let key_of = &*self.key_of;
+        let shuffled = shuffle_by_key(input, key_of);
+        ctx.add_shuffled(shuffled.moved);
+        let work = shuffled.parts.total_len();
+        let out = par_map(shuffled.parts.into_parts(), ctx, work, |_, records| {
+            let mut seen: FxHashMap<K, ()> = FxHashMap::default();
+            let mut kept = Vec::new();
+            for record in records {
+                if seen.insert(key_of(&record), ()).is_none() {
+                    kept.push(record);
+                }
+            }
+            kept
+        });
+        Ok(Erased::new(Partitions::from_parts(out)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "Distinct"
+    }
+}
+
+/// Explicit hash repartition by key — used to co-partition a dataset once so
+/// later keyed operators shuffle for free.
+pub struct PartitionByOp<T, K, KF> {
+    key_of: Arc<KF>,
+    _types: PhantomData<fn(T) -> K>,
+}
+
+impl<T, K, KF> PartitionByOp<T, K, KF> {
+    /// Operator over the given user function(s).
+    pub fn new(key_of: KF) -> Self {
+        PartitionByOp { key_of: Arc::new(key_of), _types: PhantomData }
+    }
+}
+
+impl<T, K, KF> DynOp for PartitionByOp<T, K, KF>
+where
+    T: Data,
+    K: KeyData,
+    KF: Fn(&T) -> K + Send + Sync + 'static,
+{
+    fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
+        let input = inputs[0].clone().take::<T>("PartitionBy")?;
+        let shuffled = shuffle_by_key(input, &*self.key_of);
+        ctx.add_shuffled(shuffled.moved);
+        Ok(Erased::new(shuffled.parts))
+    }
+
+    fn kind(&self) -> &'static str {
+        "PartitionBy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+    use crate::partition::hash_partition;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(EnvConfig::new(4).with_thread_threshold(0))
+    }
+
+    #[test]
+    fn reduce_by_key_sums_groups() {
+        let input = Erased::new(Partitions::round_robin(
+            (0u64..20).map(|v| (v % 4, 1u64)).collect(),
+            4,
+        ));
+        let mut op = ReduceByKeyOp::new(|r: &(u64, u64)| r.0, |a: (u64, u64), b: (u64, u64)| (a.0, a.1 + b.1));
+        let out = op.execute(&[input], &ctx()).unwrap();
+        let mut v = out.take::<(u64, u64)>("t").unwrap().into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![(0, 5), (1, 5), (2, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn reduce_output_lands_in_key_partition() {
+        let input = Erased::new(Partitions::round_robin((0u64..32).collect(), 4));
+        let mut op = ReduceByKeyOp::new(|v: &u64| *v % 8, |a, _b| a);
+        let out = op.execute(&[input], &ctx()).unwrap();
+        let parts = out.take::<u64>("t").unwrap();
+        for (pid, records) in parts.iter() {
+            for r in records {
+                assert_eq!(hash_partition(&(*r % 8), 4), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_min_is_deterministic() {
+        // min is order-insensitive; run twice and compare.
+        let records: Vec<(u64, u64)> = (0..100).map(|v| (v % 10, v)).collect();
+        let run = || {
+            let input = Erased::new(Partitions::round_robin(records.clone(), 4));
+            let mut op = ReduceByKeyOp::new(
+                |r: &(u64, u64)| r.0,
+                |a: (u64, u64), b: (u64, u64)| if a.1 <= b.1 { a } else { b },
+            );
+            op.execute(&[input], &ctx()).unwrap().take::<(u64, u64)>("t").unwrap().into_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distinct_by_keeps_one_per_key() {
+        let input = Erased::new(Partitions::round_robin(
+            vec![(1u64, 'a'), (2, 'b'), (1, 'c'), (3, 'd'), (2, 'e')],
+            2,
+        ));
+        let mut op = DistinctByOp::new(|r: &(u64, char)| r.0);
+        let out = op.execute(&[input], &ctx()).unwrap();
+        let v = out.take::<(u64, char)>("t").unwrap().into_vec();
+        let mut keys: Vec<u64> = v.iter().map(|r| r.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn partition_by_groups_keys_and_counts_traffic() {
+        let c = ctx();
+        let input = Erased::new(Partitions::round_robin((0u64..100).collect(), 4));
+        let mut op = PartitionByOp::new(|v: &u64| *v);
+        let out = op.execute(&[input], &c).unwrap();
+        let parts = out.take::<u64>("t").unwrap();
+        for (pid, records) in parts.iter() {
+            for r in records {
+                assert_eq!(hash_partition(r, 4), pid);
+            }
+        }
+        let (_, shuffled) = c.drain();
+        assert!(shuffled > 0);
+
+        // Re-partitioning co-partitioned data is free.
+        let mut op2 = PartitionByOp::new(|v: &u64| *v);
+        let out2 = op2.execute(&[Erased::new(parts)], &c).unwrap();
+        assert_eq!(out2.downcast::<u64>("t").unwrap().total_len(), 100);
+        let (_, shuffled2) = c.drain();
+        assert_eq!(shuffled2, 0);
+    }
+}

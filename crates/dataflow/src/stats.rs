@@ -1,0 +1,215 @@
+//! Run and per-superstep statistics.
+//!
+//! The demonstration's GUI plots are all derived from per-iteration
+//! statistics: messages (candidate labels) per iteration, vertices converged
+//! per iteration, the L1 norm of consecutive PageRank estimates, and the
+//! checkpoint / recovery costs of the competing fault-tolerance strategies.
+//! The engine records one [`IterationStats`] per *superstep actually
+//! executed* — after a rollback the same logical iteration number appears
+//! again, which is precisely the redundant work rollback recovery pays.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::partition::PartitionId;
+
+/// What the fault handler did about an injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Lost partitions were re-initialised by a compensation function and the
+    /// iteration continued (the paper's optimistic recovery).
+    Compensated,
+    /// State was restored from a checkpoint taken at the recorded iteration.
+    RolledBack {
+        /// Logical iteration of the restored checkpoint.
+        to_iteration: u32,
+    },
+    /// The computation restarted from its initial state.
+    Restarted,
+    /// The failure was deliberately left unhandled (ablation runs only).
+    Ignored,
+}
+
+/// A failure event observed during one superstep.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Partitions whose iteration state was lost.
+    pub lost_partitions: Vec<PartitionId>,
+    /// Records destroyed by the failure (across all lost partitions).
+    pub lost_records: u64,
+    /// How recovery proceeded.
+    pub recovery: RecoveryKind,
+    /// Wall-clock time spent inside the fault handler.
+    pub recovery_duration: Duration,
+}
+
+/// Statistics for one executed superstep.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Chronological superstep index (0-based, never repeats).
+    pub superstep: u32,
+    /// Logical iteration number (0-based; repeats after a rollback/restart).
+    pub iteration: u32,
+    /// Wall-clock duration of the superstep body (excluding checkpointing
+    /// and recovery, which are reported separately).
+    pub duration: Duration,
+    /// Named record counters filled by `measured` operators — e.g. the
+    /// paper's "messages per iteration".
+    pub counters: BTreeMap<String, u64>,
+    /// Named floating-point gauges filled by iteration observers — e.g. the
+    /// L1 norm between consecutive PageRank estimates.
+    pub gauges: BTreeMap<String, f64>,
+    /// Records that crossed partition boundaries in shuffles/broadcasts.
+    pub records_shuffled: u64,
+    /// Working-set size entering the next iteration (delta iterations only).
+    pub workset_size: Option<u64>,
+    /// Bytes written by the fault handler's checkpoint, if one was taken.
+    pub checkpoint_bytes: Option<u64>,
+    /// Time spent writing that checkpoint.
+    pub checkpoint_duration: Option<Duration>,
+    /// The failure injected at the end of this superstep, if any.
+    pub failure: Option<FailureRecord>,
+}
+
+impl IterationStats {
+    /// Value of a named counter (0 when the counter never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+/// Statistics of a complete iterative run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// One entry per executed superstep, in chronological order.
+    pub iterations: Vec<IterationStats>,
+    /// Whether the run converged (termination criterion / empty working set)
+    /// rather than exhausting its maximum iteration count.
+    pub converged: bool,
+    /// Total wall-clock time of the iteration, including checkpointing and
+    /// recovery overheads.
+    pub total_duration: Duration,
+}
+
+impl RunStats {
+    /// Number of supersteps actually executed (rollbacks re-execute).
+    pub fn supersteps(&self) -> u32 {
+        self.iterations.len() as u32
+    }
+
+    /// Highest logical iteration reached plus one (i.e. the converged
+    /// iteration count an ideal failure-free run would report).
+    pub fn logical_iterations(&self) -> u32 {
+        self.iterations.iter().map(|i| i.iteration + 1).max().unwrap_or(0)
+    }
+
+    /// All failure events, with the superstep they occurred in.
+    pub fn failures(&self) -> impl Iterator<Item = (u32, &FailureRecord)> {
+        self.iterations.iter().filter_map(|i| i.failure.as_ref().map(|f| (i.superstep, f)))
+    }
+
+    /// Series of a named counter over supersteps.
+    pub fn counter_series(&self, name: &str) -> Vec<u64> {
+        self.iterations.iter().map(|i| i.counter(name)).collect()
+    }
+
+    /// Series of a named gauge over supersteps (`NaN` where absent).
+    pub fn gauge_series(&self, name: &str) -> Vec<f64> {
+        self.iterations.iter().map(|i| i.gauge(name).unwrap_or(f64::NAN)).collect()
+    }
+
+    /// Total bytes checkpointed over the whole run.
+    pub fn total_checkpoint_bytes(&self) -> u64 {
+        self.iterations.iter().filter_map(|i| i.checkpoint_bytes).sum()
+    }
+
+    /// Total time spent writing checkpoints.
+    pub fn total_checkpoint_duration(&self) -> Duration {
+        self.iterations.iter().filter_map(|i| i.checkpoint_duration).sum()
+    }
+
+    /// Total time spent inside fault handlers recovering from failures.
+    pub fn total_recovery_duration(&self) -> Duration {
+        self.iterations.iter().filter_map(|i| i.failure.as_ref()).map(|f| f.recovery_duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(superstep: u32, iteration: u32) -> IterationStats {
+        IterationStats { superstep, iteration, ..Default::default() }
+    }
+
+    #[test]
+    fn logical_vs_supersteps_after_rollback() {
+        let mut stats = RunStats::default();
+        // iterations 0,1,2 then rollback to 0, then 1,2,3.
+        for (s, i) in [(0, 0), (1, 1), (2, 2), (3, 1), (4, 2), (5, 3)] {
+            stats.iterations.push(step(s, i));
+        }
+        assert_eq!(stats.supersteps(), 6);
+        assert_eq!(stats.logical_iterations(), 4);
+    }
+
+    #[test]
+    fn counter_series_defaults_to_zero() {
+        let mut stats = RunStats::default();
+        let mut a = step(0, 0);
+        a.counters.insert("messages".into(), 10);
+        stats.iterations.push(a);
+        stats.iterations.push(step(1, 1));
+        assert_eq!(stats.counter_series("messages"), vec![10, 0]);
+    }
+
+    #[test]
+    fn failure_accounting() {
+        let mut stats = RunStats::default();
+        let mut s = step(3, 3);
+        s.failure = Some(FailureRecord {
+            lost_partitions: vec![1, 2],
+            lost_records: 42,
+            recovery: RecoveryKind::Compensated,
+            recovery_duration: Duration::from_millis(5),
+        });
+        stats.iterations.push(s);
+        let failures: Vec<_> = stats.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 3);
+        assert_eq!(failures[0].1.lost_records, 42);
+        assert_eq!(stats.total_recovery_duration(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn checkpoint_accounting() {
+        let mut stats = RunStats::default();
+        for s in 0..4u32 {
+            let mut st = step(s, s);
+            if s % 2 == 0 {
+                st.checkpoint_bytes = Some(100);
+                st.checkpoint_duration = Some(Duration::from_millis(2));
+            }
+            stats.iterations.push(st);
+        }
+        assert_eq!(stats.total_checkpoint_bytes(), 200);
+        assert_eq!(stats.total_checkpoint_duration(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn gauge_series_marks_missing_as_nan() {
+        let mut stats = RunStats::default();
+        let mut a = step(0, 0);
+        a.gauges.insert("l1".into(), 0.5);
+        stats.iterations.push(a);
+        stats.iterations.push(step(1, 1));
+        let series = stats.gauge_series("l1");
+        assert_eq!(series[0], 0.5);
+        assert!(series[1].is_nan());
+    }
+}

@@ -1,0 +1,306 @@
+//! Property-based tests of the engine's core invariants: operators must
+//! agree with their obvious single-machine reference semantics for
+//! arbitrary inputs, partition counts and threading configurations, and
+//! shuffles must neither lose nor invent records.
+
+use std::collections::BTreeMap;
+
+use dataflow::codec::{decode_exact, encode_to_vec};
+use dataflow::config::EnvConfig;
+use dataflow::partition::{hash_partition, shuffle_by_key};
+use dataflow::prelude::*;
+use proptest::prelude::*;
+
+fn env(parallelism: usize, threaded: bool) -> Environment {
+    Environment::with_config(
+        EnvConfig::new(parallelism).with_threaded(threaded).with_thread_threshold(0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn shuffle_conserves_records(
+        records in proptest::collection::vec(0u64..1000, 0..300),
+        parallelism in 1usize..9,
+    ) {
+        let input = Partitions::round_robin(records.clone(), parallelism);
+        let shuffled = shuffle_by_key(input, |v| *v);
+        let mut out = shuffled.parts.clone().into_vec();
+        out.sort_unstable();
+        let mut expected = records;
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+        // Every record sits in its key's partition.
+        for (pid, part) in shuffled.parts.iter() {
+            for r in part {
+                prop_assert_eq!(hash_partition(r, parallelism), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_reference(
+        records in proptest::collection::vec(any::<u32>(), 0..200),
+        parallelism in 1usize..6,
+        threaded in any::<bool>(),
+    ) {
+        let out = env(parallelism, threaded)
+            .from_vec(records.clone())
+            .map("wrap", |v| u64::from(*v) + 7)
+            .collect()
+            .unwrap();
+        let mut sorted = out;
+        sorted.sort_unstable();
+        let mut expected: Vec<u64> = records.iter().map(|&v| u64::from(v) + 7).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_reference(
+        records in proptest::collection::vec((0u64..20, 0u64..100), 0..300),
+        parallelism in 1usize..6,
+    ) {
+        let out = env(parallelism, false)
+            .from_vec(records.clone())
+            .reduce_by_key("sum", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1))
+            .collect()
+            .unwrap();
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in records {
+            *reference.entry(k).or_insert(0) += v;
+        }
+        let mut got: Vec<(u64, u64)> = out;
+        got.sort_unstable();
+        let expected: Vec<(u64, u64)> = reference.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference(
+        left in proptest::collection::vec((0u64..12, 0u64..50), 0..60),
+        right in proptest::collection::vec((0u64..12, 0u64..50), 0..60),
+        parallelism in 1usize..6,
+    ) {
+        let environment = env(parallelism, false);
+        let l = environment.from_vec(left.clone());
+        let r = environment.from_vec(right.clone());
+        let mut out = l
+            .join("j", &r, |a: &(u64, u64)| a.0, |b: &(u64, u64)| b.0, |a, b| (a.0, a.1, b.1))
+            .collect()
+            .unwrap();
+        out.sort_unstable();
+        let mut expected: Vec<(u64, u64, u64)> = Vec::new();
+        for a in &left {
+            for b in &right {
+                if a.0 == b.0 {
+                    expected.push((a.0, a.1, b.1));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn distinct_by_keeps_exactly_one_per_key(
+        records in proptest::collection::vec(0u64..30, 0..200),
+        parallelism in 1usize..6,
+    ) {
+        let out = env(parallelism, false)
+            .from_vec(records.clone())
+            .distinct_by("d", |v| *v)
+            .collect()
+            .unwrap();
+        let mut got = out;
+        got.sort_unstable();
+        let mut expected = records;
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn union_is_multiset_concat(
+        a in proptest::collection::vec(any::<u16>(), 0..100),
+        b in proptest::collection::vec(any::<u16>(), 0..100),
+        parallelism in 1usize..6,
+    ) {
+        let environment = env(parallelism, false);
+        let left = environment.from_vec(a.clone());
+        let right = environment.from_vec(b.clone());
+        let mut out = left.union("u", &right).collect().unwrap();
+        out.sort_unstable();
+        let mut expected = a;
+        expected.extend(b);
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn global_fold_matches_iterator_sum(
+        records in proptest::collection::vec(0u64..1_000_000, 0..200),
+        parallelism in 1usize..6,
+    ) {
+        let out = env(parallelism, false)
+            .from_vec(records.clone())
+            .global_fold("sum", 0u64, |a, v| *a += v, |a, p| *a += p)
+            .collect()
+            .unwrap();
+        prop_assert_eq!(out, vec![records.iter().sum::<u64>()]);
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_nested_values(
+        value in proptest::collection::vec(
+            (any::<u64>(), any::<f64>(), proptest::collection::vec(any::<u32>(), 0..8)),
+            0..32,
+        ),
+    ) {
+        let bytes = encode_to_vec(&value);
+        let back: Vec<(u64, f64, Vec<u32>)> = decode_exact(&bytes).unwrap();
+        prop_assert_eq!(back.len(), value.len());
+        for (a, b) in back.iter().zip(&value) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert!(a.1 == b.1 || (a.1.is_nan() && b.1.is_nan()));
+            prop_assert_eq!(&a.2, &b.2);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_random_truncations(
+        value in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..20),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_to_vec(&value);
+        let cut = cut.index(bytes.len().max(1));
+        if cut < bytes.len() {
+            prop_assert!(decode_exact::<Vec<(u64, u64)>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn threaded_and_inline_execution_agree(
+        records in proptest::collection::vec((0u64..16, 1u64..50), 0..200),
+        parallelism in 1usize..6,
+    ) {
+        let run = |threaded: bool| {
+            let mut out = env(parallelism, threaded)
+                .from_vec(records.clone())
+                .reduce_by_key("sum", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1))
+                .collect()
+                .unwrap();
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn bulk_iteration_is_deterministic(
+        records in proptest::collection::vec(0u64..64, 1..64),
+        iterations in 1u32..8,
+        parallelism in 1usize..5,
+    ) {
+        let run = || {
+            let environment = env(parallelism, false);
+            let initial = environment.from_vec(records.clone());
+            let it = BulkIteration::new(&initial, iterations);
+            let state = it.state();
+            let next = state.map("dec", |n: &u64| n.saturating_sub(1));
+            let (result, _) = it.close(next);
+            let mut out = result.collect().unwrap();
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delta_iteration_min_label_matches_union_find(
+        edges in proptest::collection::vec((0u64..24, 0u64..24), 0..60),
+        parallelism in 1usize..5,
+    ) {
+        // Build the undirected graph + min-label delta iteration inline.
+        let mut builder = graphs_stub::Builder::new(24);
+        for &(u, v) in &edges {
+            builder.add(u, v);
+        }
+        let (directed, truth) = builder.finish();
+
+        let environment = env(parallelism, false);
+        let initial: Vec<(u64, u64)> = (0..24).map(|v| (v, v)).collect();
+        let solution = environment.from_keyed_vec(initial.clone(), |r| r.0);
+        let workset = environment.from_keyed_vec(initial, |r| r.0);
+        let edges_ds = environment.from_keyed_vec(directed, |e| e.0);
+        let mut it = DeltaIteration::new(&solution, &workset, 200);
+        let edges_in = it.import(&edges_ds);
+        let candidates = it
+            .workset()
+            .join("n", &edges_in, |w: &(u64, u64)| w.0, |e| e.0, |w, e| (e.1, w.1))
+            .reduce_by_key("min", |c| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+        let updates = candidates
+            .join("u", &it.solution(), |c| c.0, |s: &(u64, u64)| s.0, |c, s| {
+                if c.1 < s.1 { Some((c.0, c.1)) } else { None }
+            })
+            .flat_map("flat", |u: &Option<(u64, u64)>| u.iter().copied().collect());
+        let (result, _) = it.close(updates.clone(), updates);
+        let mut labels = result.collect().unwrap();
+        labels.sort_unstable();
+        for (v, label) in labels {
+            prop_assert_eq!(label, truth[v as usize]);
+        }
+    }
+}
+
+/// Minimal union-find reference, local to this test (the `graphs` crate is
+/// intentionally not a dependency of `dataflow`).
+mod graphs_stub {
+    pub struct Builder {
+        n: u64,
+        parent: Vec<u64>,
+        edges: Vec<(u64, u64)>,
+    }
+
+    impl Builder {
+        pub fn new(n: u64) -> Self {
+            Builder { n, parent: (0..n).collect(), edges: Vec::new() }
+        }
+
+        fn find(&mut self, x: u64) -> u64 {
+            if self.parent[x as usize] != x {
+                let root = self.find(self.parent[x as usize]);
+                self.parent[x as usize] = root;
+            }
+            self.parent[x as usize]
+        }
+
+        pub fn add(&mut self, u: u64, v: u64) {
+            self.edges.push((u, v));
+            self.edges.push((v, u));
+            let (ru, rv) = (self.find(u), self.find(v));
+            if ru != rv {
+                self.parent[ru as usize] = rv;
+            }
+        }
+
+        pub fn finish(mut self) -> (Vec<(u64, u64)>, Vec<u64>) {
+            let mut min_of_root = vec![u64::MAX; self.n as usize];
+            for v in 0..self.n {
+                let root = self.find(v);
+                min_of_root[root as usize] = min_of_root[root as usize].min(v);
+            }
+            let truth: Vec<u64> = (0..self.n).map(|v| {
+                let root = self.find(v);
+                min_of_root[root as usize]
+            }).collect();
+            (self.edges, truth)
+        }
+    }
+}

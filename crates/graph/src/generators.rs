@@ -1,0 +1,413 @@
+//! Graph generators: the demo's hand-crafted graphs and synthetic families.
+//!
+//! The paper's large input is a Twitter social-network snapshot (Cha et al.,
+//! ICWSM 2010) that is neither shipped nor laptop-sized;
+//! [`preferential_attachment`] generates the closest synthetic equivalent
+//! (heavy-tailed degree distribution, single giant component) at a
+//! configurable scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// The small hand-crafted undirected graph of the Connected Components demo
+/// (Figures 2–3): 16 vertices in three components of different shapes, sized
+/// so that min-label propagation takes several iterations to converge.
+///
+/// * Component `{0..=6}`: a path `0-1-2-3-4-5-6` (slow propagation).
+/// * Component `{7..=11}`: a star centred at 7 with an extra chord.
+/// * Component `{12..=15}`: a 4-cycle.
+pub fn demo_components() -> Graph {
+    let mut b = GraphBuilder::undirected(16);
+    for v in 0..6 {
+        b.add_edge(v, v + 1);
+    }
+    for v in 8..=11 {
+        b.add_edge(7, v);
+    }
+    b.add_edge(10, 11);
+    b.add_edge(12, 13).add_edge(13, 14).add_edge(14, 15).add_edge(15, 12);
+    b.build()
+}
+
+/// The small directed graph of the PageRank demo (Figures 4–5): 10 vertices
+/// with two hubs (0 and 1) that accumulate rank, a few spokes, and a cycle
+/// so that every vertex keeps a nonzero rank. Vertex 9 is dangling.
+pub fn demo_pagerank() -> Graph {
+    let mut b = GraphBuilder::directed(10);
+    // Spokes pointing at hub 0.
+    for v in [2u64, 3, 4, 5] {
+        b.add_edge(v, 0);
+    }
+    // Spokes pointing at hub 1.
+    for v in [5u64, 6, 7] {
+        b.add_edge(v, 1);
+    }
+    // Hubs recycle rank into the periphery.
+    b.add_edge(0, 2).add_edge(0, 8).add_edge(1, 6);
+    // A small cycle keeping the periphery alive.
+    b.add_edge(8, 9).add_edge(2, 3).add_edge(3, 4).add_edge(4, 5);
+    // Vertex 9 has no out-links: exercises dangling-mass redistribution.
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: every undirected edge present with probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches `m`
+/// edges to existing vertices with probability proportional to their degree.
+/// Produces the heavy-tailed degree distribution of social networks — the
+/// synthetic stand-in for the paper's Twitter snapshot.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each vertex must attach at least one edge");
+    assert!(n > m, "need more vertices than attachment edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m as VertexId + 1)..n as VertexId {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// A simple path `0-1-...-n-1` — the worst case for label propagation
+/// (diameter `n-1`).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..n.saturating_sub(1) as VertexId {
+        b.add_edge(v, v + 1);
+    }
+    b.build()
+}
+
+/// A cycle over `n >= 3` vertices.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least three vertices");
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..n as VertexId {
+        b.add_edge(v, (v + 1) % n as VertexId);
+    }
+    b.build()
+}
+
+/// A star: vertex 0 connected to all others.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs at least two vertices");
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// A complete graph over `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A `w × h` grid with 4-neighbourhood.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::undirected(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k/2` nearest neighbours on each side, with every edge
+/// rewired to a random endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and at least 2");
+    assert!(n > k, "need more vertices than lattice neighbours");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..n as VertexId {
+        for offset in 1..=(k / 2) as VertexId {
+            let mut target = (v + offset) % n as VertexId;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform random non-self endpoint.
+                loop {
+                    target = rng.gen_range(0..n as VertexId);
+                    if target != v {
+                        break;
+                    }
+                }
+            }
+            b.add_edge(v, target);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` vertices (vertex 0 is the root; vertex `v`
+/// has children `2v+1` and `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..n as VertexId {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if (child as usize) < n {
+                b.add_edge(v, child);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: `left` + `right` vertices (left ids first), each
+/// cross edge present with probability `p`.
+pub fn bipartite(left: usize, right: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(left + right);
+    for u in 0..left as VertexId {
+        for v in 0..right as VertexId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, left as VertexId + v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The degree of every vertex — handy for verifying heavy tails and for
+/// degree-distribution histograms.
+pub fn degree_sequence(graph: &Graph) -> Vec<u64> {
+    graph.vertices().map(|v| graph.degree(v) as u64).collect()
+}
+
+/// Disjoint union: vertex ids of each graph are shifted past the previous
+/// ones. All inputs must share directedness.
+pub fn disjoint_union(parts: &[Graph]) -> Graph {
+    assert!(!parts.is_empty(), "need at least one graph");
+    let directed = parts[0].is_directed();
+    assert!(
+        parts.iter().all(|g| g.is_directed() == directed),
+        "cannot union directed with undirected graphs"
+    );
+    let total: usize = parts.iter().map(Graph::num_vertices).sum();
+    let mut b =
+        if directed { GraphBuilder::directed(total) } else { GraphBuilder::undirected(total) };
+    let mut offset: VertexId = 0;
+    for g in parts {
+        for (u, v) in g.directed_edges() {
+            // Undirected builders re-add the reverse; skip the duplicates.
+            if directed || u <= v {
+                b.add_edge(u + offset, v + offset);
+            }
+        }
+        offset += g.num_vertices() as VertexId;
+    }
+    b.build()
+}
+
+/// Random multi-component graph for CC experiments: `k` Erdős–Rényi
+/// components with sizes drawn from `size_range`, connected enough to be
+/// single components themselves (a spanning path is always added).
+pub fn random_components(
+    k: usize,
+    size_range: std::ops::Range<usize>,
+    intra_p: f64,
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parts = Vec::with_capacity(k);
+    for i in 0..k {
+        let size = rng.gen_range(size_range.clone()).max(1);
+        let mut component = GraphBuilder::undirected(size);
+        for v in 0..size.saturating_sub(1) as VertexId {
+            component.add_edge(v, v + 1);
+        }
+        for u in 0..size as VertexId {
+            for v in (u + 2)..size as VertexId {
+                if rng.gen_bool(intra_p) {
+                    component.add_edge(u, v);
+                }
+            }
+        }
+        let _ = i;
+        parts.push(component.build());
+    }
+    disjoint_union(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_components;
+
+    #[test]
+    fn demo_components_has_three_components() {
+        let g = demo_components();
+        assert_eq!(g.num_vertices(), 16);
+        let labels = exact_components(&g);
+        let mut distinct: Vec<u64> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, vec![0, 7, 12]);
+    }
+
+    #[test]
+    fn demo_components_path_has_diameter_six() {
+        let g = demo_components();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(3), &[2, 4]);
+    }
+
+    #[test]
+    fn demo_pagerank_shape() {
+        let g = demo_pagerank();
+        assert!(g.is_directed());
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0, "vertex 9 must be dangling");
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn erdos_renyi_is_seeded_and_bounded() {
+        let a = erdos_renyi(50, 0.1, 7);
+        let b = erdos_renyi(50, 0.1, 7);
+        assert_eq!(a, b);
+        assert!(a.num_edges() <= 50 * 49 / 2);
+        let empty = erdos_renyi(20, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, 1);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_tail() {
+        let g = preferential_attachment(2000, 2, 42);
+        assert_eq!(g.num_vertices(), 2000);
+        // One connected component by construction.
+        let labels = exact_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+        // Heavy tail: the max degree dwarfs the average (~2m = 4).
+        let max_degree = (0..2000).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_degree > 40, "max degree {max_degree} not heavy-tailed");
+    }
+
+    #[test]
+    fn structured_families_have_expected_sizes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(ring(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(grid(3, 4).num_vertices(), 12);
+        assert_eq!(grid(3, 4).num_edges(), 2 * 4 + 3 * 3);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_ids() {
+        let g = disjoint_union(&[path(3), ring(3)]);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2 + 3);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 3));
+        let labels = exact_components(&g);
+        assert_eq!(labels[0..3], [0, 0, 0]);
+        assert_eq!(labels[3..6], [3, 3, 3]);
+    }
+
+    #[test]
+    fn random_components_yields_k_components() {
+        let g = random_components(5, 3..10, 0.2, 99);
+        let labels = exact_components(&g);
+        let mut distinct: Vec<u64> = labels;
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn watts_strogatz_keeps_degree_mass() {
+        let g = watts_strogatz(100, 4, 0.1, 5);
+        assert_eq!(g.num_vertices(), 100);
+        // Rewiring can only merge parallel edges, never add: at most n*k/2.
+        assert!(g.num_edges() <= 200);
+        assert!(g.num_edges() > 150, "rewiring rarely collides at beta=0.1");
+        // beta = 0 is the pure ring lattice.
+        let lattice = watts_strogatz(50, 4, 0.0, 1);
+        assert_eq!(lattice.num_edges(), 100);
+        assert!(lattice.has_edge(0, 1) && lattice.has_edge(0, 2));
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2));
+        assert!(g.has_edge(2, 5) && g.has_edge(2, 6));
+        assert_eq!(exact_components(&g).iter().filter(|&&l| l == 0).count(), 7);
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_side_edges() {
+        let g = bipartite(10, 8, 0.5, 3);
+        assert_eq!(g.num_vertices(), 18);
+        for u in 0..10u64 {
+            for v in 0..10u64 {
+                assert!(!g.has_edge(u, v) || u == v);
+            }
+        }
+        for u in 10..18u64 {
+            for v in 10..18u64 {
+                assert!(!g.has_edge(u, v) || u == v);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sequence_matches_graph() {
+        let g = star(5);
+        assert_eq!(degree_sequence(&g), vec![4, 1, 1, 1, 1]);
+    }
+}

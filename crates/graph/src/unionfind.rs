@@ -1,0 +1,108 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// Union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "union-find supports up to 2^32 elements");
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns true when they were disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&mut self) -> usize {
+        (0..self.parent.len()).filter(|&x| self.find(x) == x).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn long_chain_flattens() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+}

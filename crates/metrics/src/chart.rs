@@ -1,0 +1,188 @@
+//! ASCII line charts.
+//!
+//! Good enough to show the demo's signature shapes in a terminal: the
+//! plummet of the converged-vertices curve at a failure, the message spikes
+//! in the following iterations, and the L1 curve's downward trend with a
+//! spike after recovery.
+
+/// Rendering options for [`ascii_chart`].
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Plot height in rows.
+    pub height: usize,
+    /// Maximum plot width in columns (series longer than this are
+    /// downsampled by taking the maximum of each bucket).
+    pub max_width: usize,
+    /// Chart title, printed above the plot.
+    pub title: String,
+    /// Supersteps to mark with a `!` on the x-axis (failure events).
+    pub markers: Vec<u32>,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions { height: 12, max_width: 72, title: String::new(), markers: Vec::new() }
+    }
+}
+
+impl ChartOptions {
+    /// Options with a title.
+    pub fn titled(title: impl Into<String>) -> Self {
+        ChartOptions { title: title.into(), ..Default::default() }
+    }
+
+    /// Builder-style failure markers.
+    pub fn with_markers(mut self, markers: Vec<u32>) -> Self {
+        self.markers = markers;
+        self
+    }
+
+    /// Builder-style height override.
+    pub fn with_height(mut self, height: usize) -> Self {
+        self.height = height.max(2);
+        self
+    }
+}
+
+/// Render `series` (indexed by superstep) as a multi-line ASCII chart.
+/// `NaN` values are skipped.
+pub fn ascii_chart(series: &[f64], options: &ChartOptions) -> String {
+    let mut out = String::new();
+    if !options.title.is_empty() {
+        out.push_str(&format!("  {}\n", options.title));
+    }
+    let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (mut lo, mut hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if (hi - lo).abs() < f64::EPSILON {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+
+    // Downsample long series into buckets, keeping each bucket's maximum
+    // (spikes must survive).
+    let bucket = series.len().div_ceil(options.max_width);
+    let points: Vec<Option<f64>> = series
+        .chunks(bucket)
+        .map(|chunk| {
+            chunk.iter().copied().filter(|v| v.is_finite()).fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+        })
+        .collect();
+
+    let height = options.height.max(2);
+    let row_of = |v: f64| -> usize {
+        let normalized = (v - lo) / (hi - lo);
+        ((1.0 - normalized) * (height - 1) as f64).round() as usize
+    };
+    let mut rows = vec![vec![' '; points.len()]; height];
+    let mut previous_row: Option<usize> = None;
+    for (x, point) in points.iter().enumerate() {
+        match point {
+            None => previous_row = None,
+            Some(v) => {
+                let row = row_of(*v);
+                rows[row][x] = '*';
+                // Fill vertical jumps so cliffs and spikes read as lines.
+                if let Some(prev) = previous_row {
+                    let (a, b) = if prev < row { (prev + 1, row) } else { (row, prev.saturating_sub(1)) };
+                    for filler in rows.iter_mut().take(b.max(a)).skip(a) {
+                        if filler[x] == ' ' {
+                            filler[x] = '|';
+                        }
+                    }
+                }
+                previous_row = Some(row);
+            }
+        }
+    }
+
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>10.3}")
+        } else if i == height - 1 {
+            format!("{lo:>10.3}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+    }
+    // x-axis with failure markers.
+    let mut axis = vec!['-'; points.len()];
+    for &marker in &options.markers {
+        let x = (marker as usize) / bucket;
+        if x < axis.len() {
+            axis[x] = '!';
+        }
+    }
+    out.push_str(&format!("{} +{}\n", " ".repeat(10), axis.iter().collect::<String>()));
+    out.push_str(&format!(
+        "{}  0{}{}\n",
+        " ".repeat(10),
+        " ".repeat(points.len().saturating_sub(format!("{}", series.len() - 1).len() + 1)),
+        series.len() - 1
+    ));
+    if !options.markers.is_empty() {
+        out.push_str(&format!("{}  (! = failure)\n", " ".repeat(10)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_and_extremes() {
+        let series = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let chart = ascii_chart(&series, &ChartOptions::titled("messages"));
+        assert!(chart.contains("messages"));
+        assert!(chart.contains("4.000"));
+        assert!(chart.contains("0.000"));
+        assert_eq!(chart.matches('*').count(), 5);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = ascii_chart(&[2.0; 10], &ChartOptions::default());
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn empty_and_nan_series_render_placeholder() {
+        assert!(ascii_chart(&[], &ChartOptions::default()).contains("(no data)"));
+        assert!(ascii_chart(&[f64::NAN], &ChartOptions::default()).contains("(no data)"));
+    }
+
+    #[test]
+    fn nan_gaps_are_skipped() {
+        let chart = ascii_chart(&[1.0, f64::NAN, 3.0], &ChartOptions::default());
+        assert_eq!(chart.matches('*').count(), 2);
+    }
+
+    #[test]
+    fn long_series_are_downsampled_keeping_spikes() {
+        let mut series = vec![1.0; 500];
+        series[321] = 100.0;
+        let chart = ascii_chart(&series, &ChartOptions::default());
+        // The spike survives bucketing: the max label is 100.
+        assert!(chart.contains("100.000"), "{chart}");
+        let widest = chart.lines().map(str::len).max().unwrap();
+        assert!(widest < 100, "width {widest} must be bounded");
+    }
+
+    #[test]
+    fn failure_markers_appear_on_axis() {
+        let chart =
+            ascii_chart(&[1.0, 2.0, 3.0, 4.0], &ChartOptions::default().with_markers(vec![2]));
+        let axis = chart.lines().find(|l| l.contains('+')).unwrap();
+        assert!(axis.contains('!'), "{axis}");
+        assert!(chart.contains("(! = failure)"));
+    }
+}

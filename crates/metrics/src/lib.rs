@@ -1,0 +1,27 @@
+//! Terminal reporting for iterative dataflow runs — the text-mode
+//! substitute for the demonstration's GUI (Figures 2–5 of the paper).
+//!
+//! The GUI's information content is (a) the per-iteration state of the
+//! small demo graph (component colouring for Connected Components,
+//! rank-proportional vertex sizes for PageRank) and (b) four statistics
+//! plots (converged vertices, messages, and the PageRank L1 series). This
+//! crate renders the same content in a terminal:
+//!
+//! * [`chart`] — ASCII line charts with failure markers.
+//! * [`compare`] — sparkline boards, histograms (multi-run comparisons).
+//! * [`table`] — per-superstep statistics tables.
+//! * [`csv`] — CSV export of every series for external plotting.
+//! * [`render`] — graph-state renderers (the "screenshots" of Figs. 3/5).
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod compare;
+pub mod csv;
+pub mod render;
+pub mod table;
+
+pub use chart::{ascii_chart, ChartOptions};
+pub use compare::{histogram, log2_histogram, sparkline, sparkline_board};
+pub use csv::run_stats_csv;
+pub use table::run_stats_table;

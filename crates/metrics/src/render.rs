@@ -1,0 +1,120 @@
+//! Graph-state renderers — the terminal "screenshots" of Figures 2–5.
+//!
+//! The GUI encloses each intermediate component in a colour and sizes
+//! PageRank vertices by their current rank. In a terminal we render the
+//! same information as grouped listings and proportional bars, with lost
+//! vertices highlighted after a failure.
+
+use std::collections::BTreeMap;
+
+use graphs::VertexId;
+
+/// Render the state of the Connected Components demo: vertices grouped by
+/// their *current* label (one group per "colour"), lost vertices marked.
+///
+/// `labels` holds `(vertex, current label)`; `lost` lists vertices whose
+/// partition just failed.
+pub fn render_components(labels: &[(VertexId, VertexId)], lost: &[VertexId]) -> String {
+    let mut groups: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+    for &(v, label) in labels {
+        groups.entry(label).or_default().push(v);
+    }
+    let mut out = String::new();
+    out.push_str(&format!("  {} component(s):\n", groups.len()));
+    for (label, mut members) in groups {
+        members.sort_unstable();
+        let rendered: Vec<String> = members
+            .iter()
+            .map(|v| {
+                if lost.contains(v) {
+                    format!("[{v}!]")
+                } else {
+                    v.to_string()
+                }
+            })
+            .collect();
+        out.push_str(&format!("  label {label:>4}: {{{}}}\n", rendered.join(", ")));
+    }
+    if !lost.is_empty() {
+        out.push_str("  ([v!] = vertex lost in the failure, restored by compensation)\n");
+    }
+    out
+}
+
+/// Render the state of the PageRank demo: one bar per vertex, proportional
+/// to its current rank (the GUI's vertex sizes), lost vertices marked.
+pub fn render_ranks(ranks: &[(VertexId, f64)], lost: &[VertexId], width: usize) -> String {
+    let mut sorted: Vec<(VertexId, f64)> = ranks.to_vec();
+    sorted.sort_by_key(|r| r.0);
+    let max = sorted.iter().map(|&(_, r)| r).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (v, rank) in sorted {
+        let bar_len = ((rank / max) * width as f64).round() as usize;
+        let marker = if lost.contains(&v) { "!" } else { " " };
+        out.push_str(&format!(
+            "  v{v:<4}{marker} {:<width$} {rank:.5}\n",
+            "#".repeat(bar_len),
+            width = width
+        ));
+    }
+    if !lost.is_empty() {
+        out.push_str("  (! = vertex lost in the failure, restored by compensation)\n");
+    }
+    out
+}
+
+/// Render centroids and a sample of points for the k-means demo.
+pub fn render_centroids(centroids: &[(u64, f64, f64)]) -> String {
+    let mut out = String::new();
+    for &(cid, x, y) in centroids {
+        out.push_str(&format!("  centroid {cid}: ({x:8.3}, {y:8.3})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_group_by_label() {
+        let labels = vec![(0, 0), (1, 0), (2, 2), (3, 2), (4, 0)];
+        let text = render_components(&labels, &[]);
+        assert!(text.contains("2 component(s)"));
+        assert!(text.contains("label    0: {0, 1, 4}"));
+        assert!(text.contains("label    2: {2, 3}"));
+    }
+
+    #[test]
+    fn lost_vertices_are_marked() {
+        let labels = vec![(0, 0), (1, 1)];
+        let text = render_components(&labels, &[1]);
+        assert!(text.contains("[1!]"), "{text}");
+        assert!(text.contains("restored by compensation"));
+    }
+
+    #[test]
+    fn rank_bars_scale_with_rank() {
+        let ranks = vec![(0u64, 0.5), (1u64, 0.25), (2u64, 0.25)];
+        let text = render_ranks(&ranks, &[], 20);
+        let lines: Vec<&str> = text.lines().collect();
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('#').count()).collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+        assert!(text.contains("0.50000"));
+    }
+
+    #[test]
+    fn rank_render_handles_zero_ranks() {
+        let text = render_ranks(&[(0, 0.0), (1, 0.0)], &[0], 10);
+        assert!(text.contains("v0"));
+        assert!(text.contains('!'));
+    }
+
+    #[test]
+    fn centroids_render() {
+        let text = render_centroids(&[(0, 1.0, -2.0)]);
+        assert!(text.contains("centroid 0"));
+        assert!(text.contains("-2.000"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-superstep statistics tables.
+
+use std::collections::BTreeSet;
+
+use dataflow::stats::{RecoveryKind, RunStats};
+
+/// Render a run's per-superstep statistics as an aligned text table:
+/// chronological superstep, logical iteration, duration, shuffled records,
+/// workset size, every named counter and gauge, checkpoint bytes, and the
+/// failure/recovery events.
+pub fn run_stats_table(stats: &RunStats) -> String {
+    let counters: BTreeSet<&str> = stats
+        .iterations
+        .iter()
+        .flat_map(|i| i.counters.keys().map(String::as_str))
+        .collect();
+    let gauges: BTreeSet<&str> =
+        stats.iterations.iter().flat_map(|i| i.gauges.keys().map(String::as_str)).collect();
+
+    let mut header: Vec<String> =
+        vec!["step".into(), "iter".into(), "ms".into(), "shuffled".into(), "workset".into()];
+    header.extend(counters.iter().map(|c| c.to_string()));
+    header.extend(gauges.iter().map(|g| g.to_string()));
+    header.push("ckpt_bytes".into());
+    header.push("event".into());
+
+    let mut rows: Vec<Vec<String>> = vec![header];
+    for i in &stats.iterations {
+        let mut row = vec![
+            i.superstep.to_string(),
+            i.iteration.to_string(),
+            format!("{:.2}", i.duration.as_secs_f64() * 1e3),
+            i.records_shuffled.to_string(),
+            i.workset_size.map_or_else(|| "-".into(), |w| w.to_string()),
+        ];
+        for c in &counters {
+            row.push(i.counter(c).to_string());
+        }
+        for g in &gauges {
+            row.push(i.gauge(g).map_or_else(|| "-".into(), |v| format!("{v:.4}")));
+        }
+        row.push(i.checkpoint_bytes.map_or_else(|| "-".into(), |b| b.to_string()));
+        row.push(match &i.failure {
+            None => String::new(),
+            Some(f) => {
+                let partitions: Vec<String> =
+                    f.lost_partitions.iter().map(|p| p.to_string()).collect();
+                let kind = match &f.recovery {
+                    RecoveryKind::Compensated => "compensated".to_string(),
+                    RecoveryKind::RolledBack { to_iteration } => {
+                        format!("rolled back to {to_iteration}")
+                    }
+                    RecoveryKind::Restarted => "restarted".to_string(),
+                    RecoveryKind::Ignored => "ignored".to_string(),
+                };
+                format!("lost [{}] -> {kind}", partitions.join(","))
+            }
+        });
+        rows.push(row);
+    }
+
+    render_aligned(&rows)
+}
+
+/// Align a rectangular table of strings into columns.
+pub fn render_aligned(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (c, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{cell:>width$}  ", width = widths[c]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if r == 0 {
+            let rule_len = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+            out.push_str(&"-".repeat(rule_len));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One-line summary of a run: supersteps, logical iterations, convergence,
+/// failures, checkpoint and recovery overheads.
+pub fn run_summary(stats: &RunStats) -> String {
+    format!(
+        "{} supersteps ({} logical iterations), {}; {} failure(s); checkpoints: {} bytes in {:.2} ms; recovery: {:.2} ms; total {:.2} ms",
+        stats.supersteps(),
+        stats.logical_iterations(),
+        if stats.converged { "converged" } else { "did NOT converge" },
+        stats.failures().count(),
+        stats.total_checkpoint_bytes(),
+        stats.total_checkpoint_duration().as_secs_f64() * 1e3,
+        stats.total_recovery_duration().as_secs_f64() * 1e3,
+        stats.total_duration.as_secs_f64() * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::stats::{FailureRecord, IterationStats};
+    use std::time::Duration;
+
+    fn sample_stats() -> RunStats {
+        let mut stats = RunStats::default();
+        let mut s0 = IterationStats { superstep: 0, iteration: 0, ..Default::default() };
+        s0.counters.insert("messages".into(), 42);
+        s0.gauges.insert("converged".into(), 3.0);
+        s0.checkpoint_bytes = Some(128);
+        let mut s1 = IterationStats { superstep: 1, iteration: 1, ..Default::default() };
+        s1.failure = Some(FailureRecord {
+            lost_partitions: vec![0, 2],
+            lost_records: 7,
+            recovery: RecoveryKind::Compensated,
+            recovery_duration: Duration::from_millis(1),
+        });
+        stats.iterations = vec![s0, s1];
+        stats.converged = true;
+        stats
+    }
+
+    #[test]
+    fn table_contains_all_columns_and_events() {
+        let table = run_stats_table(&sample_stats());
+        for needle in ["step", "messages", "converged", "ckpt_bytes", "lost [0,2] -> compensated", "42", "128"] {
+            assert!(table.contains(needle), "missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn table_header_is_separated() {
+        let table = run_stats_table(&sample_stats());
+        assert!(table.lines().nth(1).unwrap().starts_with('-'));
+    }
+
+    #[test]
+    fn summary_mentions_failures_and_convergence() {
+        let summary = run_summary(&sample_stats());
+        assert!(summary.contains("2 supersteps"));
+        assert!(summary.contains("1 failure(s)"));
+        assert!(summary.contains("converged"));
+        assert!(summary.contains("128 bytes"));
+    }
+
+    #[test]
+    fn aligned_rendering_pads_columns() {
+        let rows = vec![
+            vec!["a".to_string(), "long-header".to_string()],
+            vec!["400".to_string(), "x".to_string()],
+        ];
+        let text = render_aligned(&rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("400"));
+    }
+
+    #[test]
+    fn empty_stats_render() {
+        let table = run_stats_table(&RunStats::default());
+        assert!(table.contains("step"));
+    }
+
+    #[test]
+    fn all_recovery_kinds_render_distinctly() {
+        let mut stats = RunStats::default();
+        for (superstep, recovery) in [
+            (0u32, RecoveryKind::RolledBack { to_iteration: 2 }),
+            (1, RecoveryKind::Restarted),
+            (2, RecoveryKind::Ignored),
+        ] {
+            let mut s = IterationStats { superstep, iteration: superstep, ..Default::default() };
+            s.failure = Some(FailureRecord {
+                lost_partitions: vec![0],
+                lost_records: 1,
+                recovery,
+                recovery_duration: Duration::ZERO,
+            });
+            stats.iterations.push(s);
+        }
+        let table = run_stats_table(&stats);
+        assert!(table.contains("rolled back to 2"));
+        assert!(table.contains("restarted"));
+        assert!(table.contains("ignored"));
+    }
+
+    #[test]
+    fn summary_reports_non_convergence() {
+        let stats = RunStats { converged: false, ..Default::default() };
+        assert!(run_summary(&stats).contains("did NOT converge"));
+    }
+}

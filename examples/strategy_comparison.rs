@@ -1,0 +1,124 @@
+//! Side-by-side comparison of every recovery strategy on all five fixpoint
+//! algorithms — the one-screen summary of what this repository reproduces.
+//!
+//! ```text
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use algos::{als, connected_components, jacobi, kmeans, pagerank, sssp, FtConfig};
+use flowviz::table::render_aligned;
+use recovery::checkpoint::CostModel;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Optimistic,
+        Strategy::Checkpoint { interval: 3 },
+        Strategy::Restart,
+        Strategy::Ignore,
+    ]
+}
+
+fn ft(strategy: Strategy) -> FtConfig {
+    FtConfig {
+        strategy,
+        scenario: FailureScenario::none().fail_at(2, &[1]),
+        checkpoint_cost: CostModel::instant(),
+        checkpoint_on_disk: false,
+    }
+}
+
+fn main() {
+    let graph = graphs::generators::preferential_attachment(1_000, 2, 7);
+    let points = kmeans::generate_blobs(4, 60, 0.5, 7);
+    let system = jacobi::random_diagonally_dominant(64, 4, 7);
+    let ratings = als::generate_ratings(30, 24, 10, 4, 0.03, 7);
+
+    println!("one failure of partition 1 (of 4) at superstep 2, every algorithm x strategy:\n");
+    let mut table = vec![vec![
+        "algorithm".to_string(),
+        "strategy".to_string(),
+        "supersteps".to_string(),
+        "converged".to_string(),
+        "correct".to_string(),
+    ]];
+
+    for strategy in strategies() {
+        let config = connected_components::CcConfig { ft: ft(strategy), ..Default::default() };
+        let r = connected_components::run(&graph, &config).expect("cc");
+        table.push(vec![
+            "connected-components".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            r.correct.map_or("-".into(), |c| c.to_string()),
+        ]);
+    }
+    for strategy in strategies() {
+        let config =
+            pagerank::PrConfig { ft: ft(strategy), epsilon: 1e-6, ..Default::default() };
+        let r = pagerank::run(&graph, &config).expect("pagerank");
+        table.push(vec![
+            "pagerank".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            r.l1_to_exact.map_or("-".into(), |l1| (l1 < 1e-2).to_string()),
+        ]);
+    }
+    for strategy in strategies() {
+        let config = sssp::SsspConfig { ft: ft(strategy), ..Default::default() };
+        let r = sssp::run(&graph, &config).expect("sssp");
+        table.push(vec![
+            "sssp".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            r.correct.map_or("-".into(), |c| c.to_string()),
+        ]);
+    }
+    for strategy in strategies() {
+        let config = kmeans::KmConfig { ft: ft(strategy), ..Default::default() };
+        let r = kmeans::run(&points, &config).expect("kmeans");
+        table.push(vec![
+            "kmeans".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            format!("objective {:.1}", r.objective),
+        ]);
+    }
+    for strategy in strategies() {
+        let config = jacobi::JacobiConfig { ft: ft(strategy), ..Default::default() };
+        let r = jacobi::run(&system, &config).expect("jacobi");
+        table.push(vec![
+            "jacobi".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            format!("residual {:.1e}", r.residual),
+        ]);
+    }
+
+    for strategy in strategies() {
+        let config = als::AlsConfig { ft: ft(strategy), ..Default::default() };
+        let r = als::run(&ratings, &config).expect("als");
+        table.push(vec![
+            "als".into(),
+            strategy.label(),
+            r.stats.supersteps().to_string(),
+            r.stats.converged.to_string(),
+            format!("rmse {:.3}", r.rmse),
+        ]);
+    }
+
+    println!("{}", render_aligned(&table));
+    println!(
+        "note the `ignore` rows: Connected Components and SSSP converge to WRONG results\n\
+         without a compensation function (lost vertices simply vanish), while the\n\
+         self-stabilising algorithms (PageRank with teleport, Jacobi) pay extra\n\
+         iterations instead. Optimistic recovery keeps every algorithm correct with\n\
+         zero failure-free overhead."
+    );
+}

@@ -1,0 +1,178 @@
+//! `optirec` — the demo launcher: pick an algorithm, an input graph, a
+//! recovery strategy, and the partitions/iterations to fail, then watch the
+//! run recover. Run `optirec --help` for usage.
+
+use algos::common::{CONVERGED, L1_DIFF, MESSAGES, RANK_SUM};
+use flowviz::chart::{ascii_chart, ChartOptions};
+use flowviz::table::{run_stats_table, run_summary};
+use optimistic_recovery::cli::{self, Algorithm, Invocation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{}", cli::usage());
+        return;
+    }
+    let invocation = match cli::parse_args(&args) {
+        Ok(invocation) => invocation,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&invocation) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(invocation: &Invocation) -> Result<(), String> {
+    if invocation.explain_only {
+        let text = match invocation.algorithm {
+            Algorithm::ConnectedComponents => {
+                algos::connected_components::plan_text(invocation.parallelism)
+            }
+            Algorithm::PageRank => algos::pagerank::plan_text(invocation.parallelism),
+            _ => return Err("--explain supports cc and pagerank".into()),
+        };
+        print!("{text}");
+        return Ok(());
+    }
+
+    let ft = cli::ft_config(invocation);
+    println!(
+        "running {:?} on {:?} with {} (parallelism {})",
+        invocation.algorithm,
+        invocation.graph,
+        ft.label(),
+        invocation.parallelism
+    );
+
+    let stats = match invocation.algorithm {
+        Algorithm::ConnectedComponents => {
+            let graph = invocation.graph.build(invocation.algorithm)?;
+            let config = algos::connected_components::CcConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations,
+                ft,
+                ..Default::default()
+            };
+            let result =
+                algos::connected_components::run(&graph, &config).map_err(|e| e.to_string())?;
+            println!("components: {}  correct: {:?}", result.num_components, result.correct);
+            plot(&result.stats, &[(CONVERGED, "vertices at final component")]);
+            plot_counter(&result.stats, MESSAGES, "messages per iteration");
+            result.stats
+        }
+        Algorithm::PageRank => {
+            let graph = invocation.graph.build(invocation.algorithm)?;
+            let config = algos::pagerank::PrConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations,
+                epsilon: 1e-6,
+                ft,
+                ..Default::default()
+            };
+            let result = algos::pagerank::run(&graph, &config).map_err(|e| e.to_string())?;
+            println!(
+                "rank sum: {:.9}  L1 to exact: {:.2e}",
+                result.rank_sum,
+                result.l1_to_exact.unwrap_or(f64::NAN)
+            );
+            plot(&result.stats, &[(L1_DIFF, "L1 between estimates"), (RANK_SUM, "rank sum")]);
+            result.stats
+        }
+        Algorithm::Sssp => {
+            let graph = invocation.graph.build(invocation.algorithm)?;
+            let config = algos::sssp::SsspConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations,
+                ft,
+                ..Default::default()
+            };
+            let result = algos::sssp::run(&graph, &config).map_err(|e| e.to_string())?;
+            let reachable = result
+                .distances
+                .iter()
+                .filter(|&&(_, d)| d != algos::sssp::UNREACHABLE)
+                .count();
+            println!("reachable from 0: {reachable}  correct: {:?}", result.correct);
+            plot(&result.stats, &[(CONVERGED, "vertices at final distance")]);
+            result.stats
+        }
+        Algorithm::Reachability => {
+            let graph = invocation.graph.build(invocation.algorithm)?;
+            let config = algos::reachability::ReachConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations,
+                ft,
+                ..Default::default()
+            };
+            let result = algos::reachability::run(&graph, &config).map_err(|e| e.to_string())?;
+            println!("reached: {}  correct: {:?}", result.num_reached, result.correct);
+            result.stats
+        }
+        Algorithm::KMeans => {
+            let points = algos::kmeans::generate_blobs(4, 100, 0.6, 2015);
+            let config = algos::kmeans::KmConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations,
+                ft,
+                ..Default::default()
+            };
+            let result = algos::kmeans::run(&points, &config).map_err(|e| e.to_string())?;
+            println!("objective: {:.2}", result.objective);
+            print!("{}", flowviz::render::render_centroids(&result.centroids));
+            result.stats
+        }
+        Algorithm::Als => {
+            let ratings = algos::als::generate_ratings(60, 40, 15, 5, 0.03, 2015);
+            let config = algos::als::AlsConfig {
+                parallelism: invocation.parallelism,
+                sweeps: invocation.max_iterations.min(20),
+                ft,
+                ..Default::default()
+            };
+            let result = algos::als::run(&ratings, &config).map_err(|e| e.to_string())?;
+            println!("training rmse: {:.4}", result.rmse);
+            plot(&result.stats, &[("rmse", "training RMSE per sweep"), ("objective", "regularised objective")]);
+            result.stats
+        }
+        Algorithm::Jacobi => {
+            let system = algos::jacobi::random_diagonally_dominant(128, 5, 2015);
+            let config = algos::jacobi::JacobiConfig {
+                parallelism: invocation.parallelism,
+                max_iterations: invocation.max_iterations.max(500),
+                ft,
+                ..Default::default()
+            };
+            let result = algos::jacobi::run(&system, &config).map_err(|e| e.to_string())?;
+            println!("residual: {:.2e}", result.residual);
+            result.stats
+        }
+    };
+
+    println!("\nper-iteration statistics:");
+    print!("{}", run_stats_table(&stats));
+    println!("{}", run_summary(&stats));
+    Ok(())
+}
+
+fn plot(stats: &dataflow::stats::RunStats, gauges: &[(&str, &str)]) {
+    let markers: Vec<u32> = stats.failures().map(|(s, _)| s).collect();
+    for (gauge, title) in gauges {
+        let series = stats.gauge_series(gauge);
+        if series.iter().any(|v| v.is_finite()) {
+            println!(
+                "{}",
+                ascii_chart(&series, &ChartOptions::titled(*title).with_markers(markers.clone()))
+            );
+        }
+    }
+}
+
+fn plot_counter(stats: &dataflow::stats::RunStats, counter: &str, title: &str) {
+    let markers: Vec<u32> = stats.failures().map(|(s, _)| s).collect();
+    let series: Vec<f64> = stats.counter_series(counter).iter().map(|&v| v as f64).collect();
+    println!("{}", ascii_chart(&series, &ChartOptions::titled(title).with_markers(markers)));
+}

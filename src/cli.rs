@@ -1,0 +1,348 @@
+//! Command-line interface of the `optirec` demo launcher — the terminal
+//! analog of the paper's demo application, where conference attendees pick
+//! an algorithm, an input graph, the partitions to fail and the iterations
+//! to fail them in.
+//!
+//! Hand-rolled argument parsing (no CLI dependency): subcommand + `--key
+//! value` options.
+
+use recovery::checkpoint::CostModel;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+
+/// Which demo to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names mirror the algorithm names
+pub enum Algorithm {
+    ConnectedComponents,
+    PageRank,
+    Sssp,
+    Reachability,
+    KMeans,
+    Jacobi,
+    Als,
+}
+
+impl Algorithm {
+    fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "cc" | "connected-components" => Ok(Algorithm::ConnectedComponents),
+            "pagerank" | "pr" => Ok(Algorithm::PageRank),
+            "sssp" => Ok(Algorithm::Sssp),
+            "reachability" | "reach" => Ok(Algorithm::Reachability),
+            "kmeans" => Ok(Algorithm::KMeans),
+            "jacobi" => Ok(Algorithm::Jacobi),
+            "als" => Ok(Algorithm::Als),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// Which input graph to run on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// The paper's small hand-crafted graph for the chosen algorithm.
+    Demo,
+    /// Twitter-like preferential-attachment graph with `n` vertices.
+    Twitter(usize),
+    /// `w x h` grid.
+    Grid(usize, usize),
+    /// Path with `n` vertices.
+    Path(usize),
+    /// Load an edge list from a file.
+    File(String),
+}
+
+impl GraphSpec {
+    fn parse(raw: &str) -> Result<Self, String> {
+        if raw == "demo" {
+            return Ok(GraphSpec::Demo);
+        }
+        if let Some(n) = raw.strip_prefix("twitter:") {
+            return n
+                .parse()
+                .map(GraphSpec::Twitter)
+                .map_err(|_| format!("invalid twitter size {n:?}"));
+        }
+        if let Some(dims) = raw.strip_prefix("grid:") {
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid spec must be grid:WxH, got {raw:?}"))?;
+            let w = w.parse().map_err(|_| format!("invalid grid width {w:?}"))?;
+            let h = h.parse().map_err(|_| format!("invalid grid height {h:?}"))?;
+            return Ok(GraphSpec::Grid(w, h));
+        }
+        if let Some(n) = raw.strip_prefix("path:") {
+            return n.parse().map(GraphSpec::Path).map_err(|_| format!("invalid path size {n:?}"));
+        }
+        if let Some(path) = raw.strip_prefix("file:") {
+            return Ok(GraphSpec::File(path.to_string()));
+        }
+        Err(format!(
+            "unknown graph {raw:?}; expected demo | twitter:N | grid:WxH | path:N | file:PATH"
+        ))
+    }
+
+    /// Build/load the graph. `directed_default` picks edge direction for
+    /// algorithms that care (PageRank uses directed demo input).
+    pub fn build(&self, algorithm: Algorithm) -> Result<graphs::Graph, String> {
+        Ok(match self {
+            GraphSpec::Demo => match algorithm {
+                Algorithm::PageRank => graphs::generators::demo_pagerank(),
+                _ => graphs::generators::demo_components(),
+            },
+            GraphSpec::Twitter(n) => graphs::generators::preferential_attachment(*n, 3, 2015),
+            GraphSpec::Grid(w, h) => graphs::generators::grid(*w, *h),
+            GraphSpec::Path(n) => graphs::generators::path(*n),
+            GraphSpec::File(path) => {
+                let directed = algorithm == Algorithm::PageRank;
+                graphs::io::load_edge_list(std::path::Path::new(path), directed)
+                    .map_err(|e| format!("cannot load {path}: {e}"))?
+                    .graph
+            }
+        })
+    }
+}
+
+/// Parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Which demo to run.
+    pub algorithm: Algorithm,
+    /// Which input graph to run it on.
+    pub graph: GraphSpec,
+    /// Recovery strategy.
+    pub strategy: Strategy,
+    /// Failure schedule.
+    pub scenario: FailureScenario,
+    /// Number of partitions / simulated workers.
+    pub parallelism: usize,
+    /// Iteration cap.
+    pub max_iterations: u32,
+    /// Print the dataflow plan instead of running.
+    pub explain_only: bool,
+}
+
+/// Parse a strategy spec: `optimistic`, `restart`, `ignore`,
+/// `checkpoint:K`, `incremental:K`.
+pub fn parse_strategy(raw: &str) -> Result<Strategy, String> {
+    match raw {
+        "optimistic" => Ok(Strategy::Optimistic),
+        "restart" => Ok(Strategy::Restart),
+        "ignore" => Ok(Strategy::Ignore),
+        other => {
+            if let Some(k) = other.strip_prefix("checkpoint:") {
+                return k
+                    .parse()
+                    .map(|interval| Strategy::Checkpoint { interval })
+                    .map_err(|_| format!("invalid checkpoint interval {k:?}"));
+            }
+            if let Some(k) = other.strip_prefix("incremental:") {
+                return k
+                    .parse()
+                    .map(|full_interval| Strategy::IncrementalCheckpoint { full_interval })
+                    .map_err(|_| format!("invalid incremental interval {k:?}"));
+            }
+            Err(format!(
+                "unknown strategy {other:?}; expected optimistic | checkpoint:K | incremental:K | restart | ignore"
+            ))
+        }
+    }
+}
+
+/// Parse one failure event: `SUPERSTEP:P1,P2,...`.
+pub fn parse_failure(raw: &str) -> Result<(u32, Vec<usize>), String> {
+    let (superstep, partitions) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("failure spec must be SUPERSTEP:P1,P2 — got {raw:?}"))?;
+    let superstep =
+        superstep.parse().map_err(|_| format!("invalid failure superstep {superstep:?}"))?;
+    let partitions: Result<Vec<usize>, String> = partitions
+        .split(',')
+        .map(|p| p.parse().map_err(|_| format!("invalid partition id {p:?}")))
+        .collect();
+    let partitions = partitions?;
+    if partitions.is_empty() {
+        return Err("failure spec needs at least one partition".into());
+    }
+    Ok((superstep, partitions))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "optirec — optimistic recovery for iterative dataflows, demo launcher
+
+USAGE:
+    optirec <ALGORITHM> [OPTIONS]
+
+ALGORITHMS:
+    cc | pagerank | sssp | reachability | kmeans | jacobi | als
+
+OPTIONS:
+    --graph <SPEC>        demo | twitter:N | grid:WxH | path:N | file:PATH   [demo]
+    --strategy <SPEC>     optimistic | checkpoint:K | incremental:K | restart | ignore   [optimistic]
+    --fail <S:P1,P2>      fail partitions P1,P2 at superstep S (repeatable)
+    --parallelism <N>     number of partitions / simulated workers   [4]
+    --max-iterations <N>  iteration cap   [200]
+    --explain             print the dataflow plan instead of running
+
+EXAMPLES:
+    optirec cc --fail 3:1 --fail 5:0,2
+    optirec pagerank --graph twitter:50000 --strategy checkpoint:2 --parallelism 8
+    optirec cc --explain
+"
+}
+
+/// Parse a full argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut iter = args.iter();
+    let algorithm = Algorithm::parse(
+        iter.next().ok_or_else(|| format!("missing algorithm\n\n{}", usage()))?,
+    )?;
+    let mut invocation = Invocation {
+        algorithm,
+        graph: GraphSpec::Demo,
+        strategy: Strategy::Optimistic,
+        scenario: FailureScenario::none(),
+        parallelism: 4,
+        max_iterations: 200,
+        explain_only: false,
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned()
+        };
+        match flag.as_str() {
+            "--graph" => invocation.graph = GraphSpec::parse(&value()?)?,
+            "--strategy" => invocation.strategy = parse_strategy(&value()?)?,
+            "--fail" => {
+                let (superstep, partitions) = parse_failure(&value()?)?;
+                invocation.scenario = invocation.scenario.fail_at(superstep, &partitions);
+            }
+            "--parallelism" => {
+                invocation.parallelism =
+                    value()?.parse().map_err(|_| "invalid parallelism".to_string())?;
+            }
+            "--max-iterations" => {
+                invocation.max_iterations =
+                    value()?.parse().map_err(|_| "invalid iteration cap".to_string())?;
+            }
+            "--explain" => invocation.explain_only = true,
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(invocation)
+}
+
+/// Assemble the fault-tolerance config of an invocation.
+pub fn ft_config(invocation: &Invocation) -> algos::FtConfig {
+    algos::FtConfig {
+        strategy: invocation.strategy,
+        scenario: invocation.scenario.clone(),
+        checkpoint_cost: CostModel::distributed_fs(),
+        checkpoint_on_disk: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let invocation = parse_args(&args(&[
+            "cc",
+            "--graph",
+            "twitter:5000",
+            "--strategy",
+            "checkpoint:2",
+            "--fail",
+            "3:1,2",
+            "--fail",
+            "5:0",
+            "--parallelism",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(invocation.algorithm, Algorithm::ConnectedComponents);
+        assert_eq!(invocation.graph, GraphSpec::Twitter(5000));
+        assert_eq!(invocation.strategy, Strategy::Checkpoint { interval: 2 });
+        assert_eq!(invocation.parallelism, 8);
+        assert_eq!(invocation.scenario.events().len(), 2);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let invocation = parse_args(&args(&["pagerank"])).unwrap();
+        assert_eq!(invocation.algorithm, Algorithm::PageRank);
+        assert_eq!(invocation.graph, GraphSpec::Demo);
+        assert_eq!(invocation.strategy, Strategy::Optimistic);
+        assert!(invocation.scenario.is_failure_free());
+        assert!(!invocation.explain_only);
+    }
+
+    #[test]
+    fn rejects_unknown_inputs() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["cc", "--strategy", "lineage"])).is_err());
+        assert!(parse_args(&args(&["cc", "--graph", "torus:9"])).is_err());
+        assert!(parse_args(&args(&["cc", "--fail", "nope"])).is_err());
+        assert!(parse_args(&args(&["cc", "--fail"])).is_err());
+        assert!(parse_args(&args(&["cc", "--wat", "9"])).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn graph_specs_parse() {
+        assert_eq!(GraphSpec::parse("grid:3x4").unwrap(), GraphSpec::Grid(3, 4));
+        assert_eq!(GraphSpec::parse("path:10").unwrap(), GraphSpec::Path(10));
+        assert_eq!(GraphSpec::parse("file:/tmp/g.txt").unwrap(), GraphSpec::File("/tmp/g.txt".into()));
+        assert!(GraphSpec::parse("grid:3").is_err());
+        assert!(GraphSpec::parse("twitter:abc").is_err());
+    }
+
+    #[test]
+    fn strategy_specs_parse() {
+        assert_eq!(parse_strategy("incremental:4").unwrap(), Strategy::IncrementalCheckpoint { full_interval: 4 });
+        assert_eq!(parse_strategy("restart").unwrap(), Strategy::Restart);
+        assert!(parse_strategy("checkpoint:x").is_err());
+    }
+
+    #[test]
+    fn failure_specs_parse() {
+        assert_eq!(parse_failure("3:1,2").unwrap(), (3, vec![1, 2]));
+        assert_eq!(parse_failure("0:0").unwrap(), (0, vec![0]));
+        assert!(parse_failure("3:").is_err());
+        assert!(parse_failure("3").is_err());
+    }
+
+    #[test]
+    fn demo_graphs_build_per_algorithm() {
+        let cc = GraphSpec::Demo.build(Algorithm::ConnectedComponents).unwrap();
+        assert!(!cc.is_directed());
+        let pr = GraphSpec::Demo.build(Algorithm::PageRank).unwrap();
+        assert!(pr.is_directed());
+        let grid = GraphSpec::Grid(3, 3).build(Algorithm::Sssp).unwrap();
+        assert_eq!(grid.num_vertices(), 9);
+    }
+
+    #[test]
+    fn ft_config_carries_strategy_and_scenario() {
+        let invocation = parse_args(&args(&["cc", "--strategy", "incremental:4", "--fail", "2:1"]))
+            .unwrap();
+        let ft = ft_config(&invocation);
+        assert_eq!(ft.strategy, Strategy::IncrementalCheckpoint { full_interval: 4 });
+        assert_eq!(ft.scenario.events(), &[(2, vec![1])]);
+    }
+
+    #[test]
+    fn twitter_spec_builds_a_graph_of_requested_size() {
+        let graph = GraphSpec::Twitter(200).build(Algorithm::ConnectedComponents).unwrap();
+        assert_eq!(graph.num_vertices(), 200);
+        assert!(!graph.is_directed());
+    }
+}

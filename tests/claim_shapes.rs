@@ -1,0 +1,133 @@
+//! Scaled-down versions of the paper's performance claims, asserted as
+//! *shape* tests so regressions in the recovery machinery show up in CI:
+//!
+//! * C1 — checkpointing writes bytes and costs wall-clock on failure-free
+//!   runs; optimistic/restart write nothing.
+//! * C2 — redone work ordering: optimistic (0) < checkpoint (< interval)
+//!   < restart (everything before the failure).
+//! * A2 — incremental checkpointing writes fewer bytes than full
+//!   per-superstep checkpointing and still recovers exactly.
+
+use algos::connected_components::{self, CcConfig};
+use algos::FtConfig;
+use recovery::checkpoint::CostModel;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy;
+use std::time::Duration;
+
+fn graph() -> graphs::Graph {
+    graphs::generators::preferential_attachment(1_200, 3, 2015)
+}
+
+#[test]
+fn c1_only_checkpoint_strategies_pay_failure_free_overhead() {
+    let graph = graph();
+    let run = |strategy: Strategy| {
+        let config = CcConfig {
+            ft: FtConfig {
+                strategy,
+                scenario: FailureScenario::none(),
+                // A deliberately slow store makes the overhead visible in
+                // wall-clock time even on a fast machine.
+                checkpoint_cost: CostModel::throughput(Duration::from_millis(3), 50_000_000),
+                checkpoint_on_disk: false,
+            },
+            track_truth: false,
+            ..Default::default()
+        };
+        connected_components::run(&graph, &config).unwrap().stats
+    };
+
+    let optimistic = run(Strategy::Optimistic);
+    let restart = run(Strategy::Restart);
+    let every_step = run(Strategy::Checkpoint { interval: 1 });
+    let sparse = run(Strategy::Checkpoint { interval: 3 });
+
+    assert_eq!(optimistic.total_checkpoint_bytes(), 0);
+    assert_eq!(restart.total_checkpoint_bytes(), 0);
+    assert!(every_step.total_checkpoint_bytes() > sparse.total_checkpoint_bytes());
+    assert!(every_step.total_checkpoint_duration() > sparse.total_checkpoint_duration());
+    assert!(sparse.total_checkpoint_duration() >= Duration::from_millis(3));
+    // All converge to the same supersteps when nothing fails.
+    assert_eq!(optimistic.supersteps(), every_step.supersteps());
+}
+
+#[test]
+fn c2_redone_work_ordering_holds() {
+    let graph = graph();
+    let failure = FailureScenario::none().fail_at(3, &[0, 1]);
+    let redone = |strategy: Strategy| {
+        let config = CcConfig {
+            ft: FtConfig { strategy, scenario: failure.clone(), ..Default::default() },
+            ..Default::default()
+        };
+        let result = connected_components::run(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true), "{strategy:?}");
+        result.stats.supersteps() - result.stats.logical_iterations()
+    };
+
+    let optimistic = redone(Strategy::Optimistic);
+    let rollback = redone(Strategy::Checkpoint { interval: 2 });
+    let restart = redone(Strategy::Restart);
+
+    assert_eq!(optimistic, 0, "optimistic never re-executes supersteps");
+    assert!(rollback < 2, "rollback redoes fewer supersteps than the interval");
+    // The failure strikes at the END of superstep 3, so supersteps 0..=3
+    // (four of them) are all recomputed from scratch.
+    assert_eq!(restart, 4, "restart redoes everything up to and including the failed superstep");
+}
+
+#[test]
+fn a2_incremental_checkpointing_writes_less_and_recovers_exactly() {
+    let graph = graph();
+    let failure = FailureScenario::none().fail_at(3, &[1]);
+    let run = |strategy: Strategy| {
+        let config = CcConfig {
+            ft: FtConfig { strategy, scenario: failure.clone(), ..Default::default() },
+            ..Default::default()
+        };
+        connected_components::run(&graph, &config).unwrap()
+    };
+
+    let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
+    let full = run(Strategy::Checkpoint { interval: 1 });
+    let incremental = run(Strategy::IncrementalCheckpoint { full_interval: 100 });
+
+    assert_eq!(full.labels, baseline.labels);
+    assert_eq!(incremental.labels, baseline.labels);
+    assert!(
+        incremental.stats.total_checkpoint_bytes() < full.stats.total_checkpoint_bytes(),
+        "incremental {} vs full {}",
+        incremental.stats.total_checkpoint_bytes(),
+        full.stats.total_checkpoint_bytes()
+    );
+    // The diff logs shrink as the working set drains.
+    let diff_bytes: Vec<u64> = incremental
+        .stats
+        .iterations
+        .iter()
+        .skip(1)
+        .filter_map(|i| i.checkpoint_bytes)
+        .collect();
+    assert!(
+        diff_bytes.last().unwrap() < &diff_bytes[0],
+        "diff logs must shrink: {diff_bytes:?}"
+    );
+}
+
+#[test]
+fn optimistic_recovery_costs_only_extra_convergence_iterations() {
+    // The central quantitative statement of §2.2: after compensation, the
+    // run needs more *logical* iterations (restored labels re-propagate),
+    // but never repeats a superstep.
+    let graph = graph();
+    let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
+    let config = CcConfig {
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[0, 1, 2])),
+        ..Default::default()
+    };
+    let result = connected_components::run(&graph, &config).unwrap();
+    assert_eq!(result.correct, Some(true));
+    assert_eq!(result.stats.supersteps(), result.stats.logical_iterations());
+    assert!(result.stats.logical_iterations() >= baseline.stats.logical_iterations());
+}

@@ -1,0 +1,140 @@
+//! End-to-end reproduction of the paper's two demonstration scenarios
+//! (§3.2 and §3.3), spanning all crates: graph generation → dataflow
+//! execution → failure injection → compensation → statistics → rendering.
+
+use algos::common::{CONVERGED, DISTINCT_LABELS, L1_DIFF, MESSAGES, RANK_SUM};
+use algos::connected_components::{self, CcConfig};
+use algos::pagerank::{self, PrConfig};
+use algos::FtConfig;
+use recovery::scenario::FailureScenario;
+
+/// §3.2: failures in iterations 1 and 3 → plummet in the converged plot at
+/// the failure, elevated messages in iterations 2 and 4, convergence to the
+/// exact components regardless.
+#[test]
+fn cc_demo_scenario_reproduces_section_3_2() {
+    let graph = graphs::generators::demo_components();
+    let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
+    let config = CcConfig {
+        capture_history: true,
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(1, &[1]).fail_at(3, &[2])),
+        ..Default::default()
+    };
+    let result = connected_components::run(&graph, &config).unwrap();
+
+    // Convergence to the exact result "as if no failures had occurred".
+    assert_eq!(result.correct, Some(true));
+    assert_eq!(result.labels, baseline.labels);
+    assert_eq!(result.num_components, 3);
+
+    // Messages are elevated right after each failure relative to the
+    // failure-free run at the same superstep.
+    let messages = result.stats.counter_series(MESSAGES);
+    let baseline_messages = baseline.stats.counter_series(MESSAGES);
+    for after_failure in [2usize, 4] {
+        let expected = baseline_messages.get(after_failure).copied().unwrap_or(0);
+        assert!(
+            messages[after_failure] > expected,
+            "superstep {after_failure}: {} !> {expected} ({messages:?} vs {baseline_messages:?})",
+            messages[after_failure]
+        );
+    }
+
+    // The number of distinct labels ("colours") jumps back up at a failure.
+    let colours = result.stats.gauge_series(DISTINCT_LABELS);
+    assert!(colours[1] > colours[0].min(colours[2]) || colours[3] > colours[2]);
+
+    // And the run needs more supersteps than the failure-free baseline.
+    assert!(result.stats.supersteps() >= baseline.stats.supersteps());
+
+    // The captured history matches the recorded statistics.
+    let history = result.history.unwrap();
+    assert_eq!(history.len(), result.stats.supersteps() as usize);
+    assert_eq!(history.last().unwrap(), &result.labels);
+}
+
+/// §3.3: failure in iteration 5 → plummet of the converged-to-true-rank
+/// count, spike in the L1 plot, ranks keep summing to one throughout, and
+/// the final ranks match the exact reference.
+#[test]
+fn pagerank_demo_scenario_reproduces_section_3_3() {
+    let graph = graphs::generators::demo_pagerank();
+    let baseline = pagerank::run(&graph, &PrConfig::default()).unwrap();
+    let config = PrConfig {
+        capture_history: true,
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(5, &[1])),
+        ..Default::default()
+    };
+    let result = pagerank::run(&graph, &config).unwrap();
+
+    assert!(result.stats.converged);
+    assert!(result.l1_to_exact.unwrap() < 1e-3);
+    assert!((result.rank_sum - 1.0).abs() < 1e-9);
+
+    // L1 spike after the failure vs. the baseline's decaying curve.
+    let l1 = result.stats.gauge_series(L1_DIFF);
+    let baseline_l1 = baseline.stats.gauge_series(L1_DIFF);
+    assert!(l1[6] > baseline_l1[6], "{l1:?} vs {baseline_l1:?}");
+
+    // Converged-count plummet at the failure superstep vs. the baseline.
+    let converged = result.stats.gauge_series(CONVERGED);
+    let baseline_converged = baseline.stats.gauge_series(CONVERGED);
+    assert!(converged[5] <= baseline_converged[5]);
+
+    // FixRanks keeps the invariant at every superstep.
+    for sum in result.stats.gauge_series(RANK_SUM) {
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    // Recovery costs extra supersteps.
+    assert!(result.stats.supersteps() >= baseline.stats.supersteps());
+}
+
+/// The demo lets attendees choose *which* partitions fail and *when*; any
+/// choice must converge to the same correct result.
+#[test]
+fn any_attendee_choice_converges() {
+    let graph = graphs::generators::demo_components();
+    for superstep in [0, 1, 2, 4] {
+        for partitions in [vec![0], vec![3], vec![0, 1], vec![0, 1, 2]] {
+            let config = CcConfig {
+                ft: FtConfig::optimistic(
+                    FailureScenario::none().fail_at(superstep, &partitions),
+                ),
+                ..Default::default()
+            };
+            let result = connected_components::run(&graph, &config).unwrap();
+            assert_eq!(
+                result.correct,
+                Some(true),
+                "failure of {partitions:?} at superstep {superstep}"
+            );
+        }
+    }
+}
+
+/// Rendering the captured states produces the GUI's content (smoke test of
+/// the flowviz pipeline over real run data).
+#[test]
+fn renderers_work_on_real_run_data() {
+    let graph = graphs::generators::demo_components();
+    let config = CcConfig {
+        capture_history: true,
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[1])),
+        ..Default::default()
+    };
+    let result = connected_components::run(&graph, &config).unwrap();
+    let history = result.history.unwrap();
+    let rendered = flowviz::render::render_components(history.last().unwrap(), &[]);
+    assert!(rendered.contains("3 component(s)"));
+
+    let table = flowviz::table::run_stats_table(&result.stats);
+    assert!(table.contains("compensated"));
+    let csv = flowviz::csv::run_stats_csv(&result.stats);
+    assert!(csv.contains("compensated"));
+    let chart = flowviz::chart::ascii_chart(
+        &result.stats.gauge_series(CONVERGED),
+        &flowviz::chart::ChartOptions::titled("converged"),
+    );
+    assert!(chart.contains('*'));
+}

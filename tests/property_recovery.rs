@@ -1,0 +1,134 @@
+//! Property-based tests of the paper's central claim: for the supported
+//! fixpoint algorithms, optimistic recovery converges to the *same* result
+//! as a failure-free run — for arbitrary graphs and arbitrary failure
+//! schedules.
+
+use algos::connected_components::{self, CcConfig};
+use algos::pagerank::{self, PrConfig};
+use algos::sssp::{self, SsspConfig};
+use algos::FtConfig;
+use graphs::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use recovery::scenario::FailureScenario;
+use recovery::strategy::Strategy as RecoveryStrategy;
+
+/// Arbitrary undirected graph: vertex count and edge list.
+fn arb_graph(max_vertices: u64) -> impl Strategy<Value = Graph> {
+    (2..max_vertices).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n as usize)).prop_map(move |edges| {
+            let mut builder = GraphBuilder::undirected(n as usize);
+            for (u, v) in edges {
+                builder.add_edge(u, v);
+            }
+            builder.build()
+        })
+    })
+}
+
+/// Arbitrary failure schedule: up to three events in the first ten
+/// supersteps, each killing up to three of four partitions.
+fn arb_scenario() -> impl Strategy<Value = FailureScenario> {
+    proptest::collection::vec(
+        (0u32..10, proptest::collection::vec(0usize..4, 1..3)),
+        0..3,
+    )
+    .prop_map(|events| {
+        let mut scenario = FailureScenario::none();
+        for (superstep, partitions) in events {
+            scenario = scenario.fail_at(superstep, &partitions);
+        }
+        scenario
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cc_recovers_exactly_for_any_graph_and_schedule(
+        graph in arb_graph(40),
+        scenario in arb_scenario(),
+    ) {
+        let config = CcConfig {
+            ft: FtConfig::optimistic(scenario),
+            track_truth: true,
+            ..Default::default()
+        };
+        let result = connected_components::run(&graph, &config).unwrap();
+        prop_assert_eq!(result.correct, Some(true));
+        prop_assert!(result.stats.converged);
+    }
+
+    #[test]
+    fn sssp_recovers_exactly_for_any_graph_and_schedule(
+        graph in arb_graph(30),
+        scenario in arb_scenario(),
+    ) {
+        let config = SsspConfig {
+            source: 0,
+            ft: FtConfig::optimistic(scenario),
+            ..Default::default()
+        };
+        let result = sssp::run(&graph, &config).unwrap();
+        prop_assert_eq!(result.correct, Some(true));
+    }
+
+    #[test]
+    fn pagerank_recovers_and_keeps_the_invariant(
+        graph in arb_graph(25),
+        scenario in arb_scenario(),
+    ) {
+        let config = PrConfig {
+            ft: FtConfig::optimistic(scenario),
+            epsilon: 1e-8,
+            max_iterations: 300,
+            ..Default::default()
+        };
+        let result = pagerank::run(&graph, &config).unwrap();
+        prop_assert!(result.stats.converged);
+        // Ranks sum to one at every superstep, failures or not.
+        for sum in result.stats.gauge_series(algos::common::RANK_SUM) {
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+        }
+        prop_assert!(
+            result.l1_to_exact.unwrap() < 1e-4,
+            "l1 {:?}", result.l1_to_exact
+        );
+    }
+
+    #[test]
+    fn incremental_checkpointing_is_equivalent_too(
+        graph in arb_graph(30),
+        scenario in arb_scenario(),
+        full_interval in 1u32..6,
+    ) {
+        let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
+        let config = CcConfig {
+            ft: FtConfig {
+                strategy: RecoveryStrategy::IncrementalCheckpoint { full_interval },
+                scenario,
+                ..FtConfig::default()
+            },
+            ..Default::default()
+        };
+        let result = connected_components::run(&graph, &config).unwrap();
+        prop_assert_eq!(result.labels, baseline.labels);
+        // Every superstep checkpoints something (base or diff).
+        prop_assert!(result.stats.iterations.iter().all(|i| i.checkpoint_bytes.is_some()));
+    }
+
+    #[test]
+    fn rollback_recovery_is_equivalent_too(
+        graph in arb_graph(30),
+        scenario in arb_scenario(),
+        interval in 1u32..5,
+    ) {
+        let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
+        let config = CcConfig {
+            ft: FtConfig::checkpoint(interval, scenario),
+            ..Default::default()
+        };
+        let result = connected_components::run(&graph, &config).unwrap();
+        prop_assert_eq!(result.labels, baseline.labels);
+    }
+}
