@@ -15,7 +15,6 @@
 //! sweeps monotonically reduce the objective again, so the run converges to
 //! a local optimum of the same quality as a failure-free run.
 
-use dataflow::api::Environment;
 use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::partition::PartitionId;
@@ -214,12 +213,7 @@ impl BulkCompensation<FactorRow> for FixFactors {
 /// The regularised ALS objective (what a sweep provably never increases):
 /// `Σ (r - p_u · q_i)² + λ Σ_u n_u ‖p_u‖² + λ Σ_i n_i ‖q_i‖²`
 /// with the weighted-λ (ALS-WR) regularisation this implementation solves.
-pub fn objective(
-    ratings: &[Rating],
-    users: &[FactorRow],
-    items: &[FactorRow],
-    lambda: f64,
-) -> f64 {
+pub fn objective(ratings: &[Rating], users: &[FactorRow], items: &[FactorRow], lambda: f64) -> f64 {
     use dataflow::hash::FxHashMap;
     let user_map: FxHashMap<u64, &Vec<f64>> = users.iter().map(|(id, f)| (*id, f)).collect();
     let item_map: FxHashMap<u64, &Vec<f64>> = items.iter().map(|(id, f)| (*id, f)).collect();
@@ -305,10 +299,9 @@ pub fn run(ratings: &[Rating], config: &AlsConfig) -> Result<AlsResult> {
     let rank = config.rank;
     let lambda = config.lambda;
 
-    let env = Environment::new(config.parallelism);
-    let initial: Vec<FactorRow> = (0..num_nodes)
-        .map(|node| (node, initial_factors(node, rank, config.seed)))
-        .collect();
+    let env = crate::common::environment(config.parallelism, &config.ft);
+    let initial: Vec<FactorRow> =
+        (0..num_nodes).map(|node| (node, initial_factors(node, rank, config.seed))).collect();
     let factors0 = env.from_keyed_vec(initial, |r| r.0);
     // Ratings as (user_node, item_node, value) with shifted item ids,
     // co-partitioned once per half-sweep direction: every user's ratings
@@ -355,9 +348,10 @@ pub fn run(ratings: &[Rating], config: &AlsConfig) -> Result<AlsResult> {
     // matrix to the rating partitions — exactly how distributed ALS
     // implementations replicate the smaller factor matrix.
     let new_users = by_user
-        .map_partition("group-user-ratings", |_, records: &[(u64, u64, f64)]| {
-            vec![records.to_vec()]
-        })
+        .map_partition(
+            "group-user-ratings",
+            |_, records: &[(u64, u64, f64)]| vec![records.to_vec()],
+        )
         .map_with_broadcast(
             "solve-users",
             &factors,
@@ -370,9 +364,10 @@ pub fn run(ratings: &[Rating], config: &AlsConfig) -> Result<AlsResult> {
         .flat_map("emit-user-rows", |rows: &Vec<FactorRow>| rows.clone());
     // Half-sweep 2: items against the *new* user factors.
     let new_items = by_item
-        .map_partition("group-item-ratings", |_, records: &[(u64, u64, f64)]| {
-            vec![records.to_vec()]
-        })
+        .map_partition(
+            "group-item-ratings",
+            |_, records: &[(u64, u64, f64)]| vec![records.to_vec()],
+        )
         .map_with_broadcast(
             "solve-items",
             &new_users,

@@ -8,12 +8,13 @@ use dataflow::ft::{BulkFaultHandler, DeltaFaultHandler, RestartHandler};
 use recovery::checkpoint::{
     CheckpointBulkHandler, CheckpointDeltaHandler, CostModel, DiskStore, MemoryStore,
 };
-use recovery::incremental::IncrementalDeltaHandler;
 use recovery::compensation::{BulkCompensation, DeltaCompensation};
 use recovery::ignore::IgnoreHandler;
+use recovery::incremental::IncrementalDeltaHandler;
 use recovery::optimistic::{OptimisticBulkHandler, OptimisticDeltaHandler};
 use recovery::scenario::FailureScenario;
 use recovery::strategy::Strategy;
+use telemetry::SinkHandle;
 
 /// Fault-tolerance configuration of one algorithm run.
 #[derive(Debug, Clone)]
@@ -26,6 +27,9 @@ pub struct FtConfig {
     pub checkpoint_cost: CostModel,
     /// Checkpoint to an on-disk store instead of the in-memory one.
     pub checkpoint_on_disk: bool,
+    /// Telemetry sink shared by the engine and the recovery handlers (the
+    /// disabled no-op handle by default).
+    pub telemetry: SinkHandle,
 }
 
 impl Default for FtConfig {
@@ -35,6 +39,7 @@ impl Default for FtConfig {
             scenario: FailureScenario::none(),
             checkpoint_cost: CostModel::instant(),
             checkpoint_on_disk: false,
+            telemetry: SinkHandle::disabled(),
         }
     }
 }
@@ -72,10 +77,27 @@ impl FtConfig {
         self
     }
 
+    /// Builder-style telemetry sink: the algorithm runner installs it on
+    /// both the engine environment and the recovery handlers, so engine
+    /// events and strategy detail events land in one journal.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Combined label for reports, e.g. `"optimistic/fail@3[1]"`.
     pub fn label(&self) -> String {
         format!("{}/{}", self.strategy.label(), self.scenario.label())
     }
+}
+
+/// Engine environment for an algorithm run: the requested parallelism plus
+/// the fault-tolerance config's telemetry sink, so engine spans and journal
+/// events land in the same sink as the recovery handlers' detail events.
+pub fn environment(parallelism: usize, ft: &FtConfig) -> dataflow::api::Environment {
+    dataflow::api::Environment::with_config(
+        dataflow::config::EnvConfig::new(parallelism).with_telemetry(ft.telemetry.clone()),
+    )
 }
 
 /// Build the bulk-iteration fault handler for a strategy, wiring in the
@@ -86,14 +108,22 @@ where
     C: BulkCompensation<T> + 'static,
 {
     Ok(match ft.strategy {
-        Strategy::Optimistic => Box::new(OptimisticBulkHandler::new(compensation)),
+        Strategy::Optimistic => {
+            Box::new(OptimisticBulkHandler::new(compensation).with_telemetry(ft.telemetry.clone()))
+        }
         Strategy::Checkpoint { interval } => {
             if ft.checkpoint_on_disk {
                 let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
-                Box::new(CheckpointBulkHandler::<T, _>::new(store, interval))
+                Box::new(
+                    CheckpointBulkHandler::<T, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             } else {
                 let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
-                Box::new(CheckpointBulkHandler::<T, _>::new(store, interval))
+                Box::new(
+                    CheckpointBulkHandler::<T, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             }
         }
         Strategy::IncrementalCheckpoint { .. } => {
@@ -120,23 +150,37 @@ where
     C: DeltaCompensation<K, V, W> + 'static,
 {
     Ok(match ft.strategy {
-        Strategy::Optimistic => Box::new(OptimisticDeltaHandler::new(compensation)),
+        Strategy::Optimistic => {
+            Box::new(OptimisticDeltaHandler::new(compensation).with_telemetry(ft.telemetry.clone()))
+        }
         Strategy::Checkpoint { interval } => {
             if ft.checkpoint_on_disk {
                 let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
-                Box::new(CheckpointDeltaHandler::<K, V, W, _>::new(store, interval))
+                Box::new(
+                    CheckpointDeltaHandler::<K, V, W, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             } else {
                 let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
-                Box::new(CheckpointDeltaHandler::<K, V, W, _>::new(store, interval))
+                Box::new(
+                    CheckpointDeltaHandler::<K, V, W, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             }
         }
         Strategy::IncrementalCheckpoint { full_interval } => {
             if ft.checkpoint_on_disk {
                 let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
-                Box::new(IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval))
+                Box::new(
+                    IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             } else {
                 let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
-                Box::new(IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval))
+                Box::new(
+                    IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
             }
         }
         Strategy::Restart => Box::new(RestartHandler),
@@ -169,7 +213,10 @@ mod tests {
 
         let ft = FtConfig::optimistic(FailureScenario::none());
         let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
-        assert!(matches!(h.on_failure(0, &[0], &mut state).unwrap(), BulkRecoveryAction::Compensated));
+        assert!(matches!(
+            h.on_failure(0, &[0], &mut state).unwrap(),
+            BulkRecoveryAction::Compensated
+        ));
 
         let ft = FtConfig::restart(FailureScenario::none());
         let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();

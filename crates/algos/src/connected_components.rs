@@ -21,9 +21,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use dataflow::api::Environment;
+use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::ft::SolutionSets;
-use dataflow::dataset::Partitions;
 use dataflow::hash::FxHashSet;
 use dataflow::partition::{hash_partition, PartitionId};
 use dataflow::prelude::DeltaIteration;
@@ -144,7 +144,7 @@ impl DeltaCompensation<VertexId, VertexId, Label> for FixComponents {
 /// Panics when the graph is directed.
 pub fn run(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
     assert!(!graph.is_directed(), "connected components expects an undirected graph");
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let built = build(&env, graph, config)?;
 
     let mut labels = built.result.collect()?;
@@ -157,8 +157,7 @@ pub fn run(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
     distinct.dedup();
     let correct = config.track_truth.then(|| {
         let truth = exact_components(graph);
-        labels.len() == truth.len()
-            && labels.iter().all(|&(v, l)| truth[v as usize] == l)
+        labels.len() == truth.len() && labels.iter().all(|&(v, l)| truth[v as usize] == l)
     });
     Ok(CcResult { labels, num_components: distinct.len(), correct, history, stats })
 }
@@ -195,28 +194,30 @@ pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<Buil
         if config.capture_history { Some(Rc::new(RefCell::new(Vec::new()))) } else { None };
     let history_sink = history.clone();
     if truth.is_some() || history_sink.is_some() {
-        iteration.set_observer(move |_iter, solution: &SolutionSets<VertexId, VertexId>, _ws, stats| {
-            if let Some(truth) = &truth {
-                let mut converged = 0u64;
-                let mut distinct: FxHashSet<VertexId> = FxHashSet::default();
-                for set in solution {
-                    for (&v, &label) in set {
-                        if truth[v as usize] == label {
-                            converged += 1;
+        iteration.set_observer(
+            move |_iter, solution: &SolutionSets<VertexId, VertexId>, _ws, stats| {
+                if let Some(truth) = &truth {
+                    let mut converged = 0u64;
+                    let mut distinct: FxHashSet<VertexId> = FxHashSet::default();
+                    for set in solution {
+                        for (&v, &label) in set {
+                            if truth[v as usize] == label {
+                                converged += 1;
+                            }
+                            distinct.insert(label);
                         }
-                        distinct.insert(label);
                     }
+                    stats.gauges.insert(common::CONVERGED.into(), converged as f64);
+                    stats.gauges.insert(common::DISTINCT_LABELS.into(), distinct.len() as f64);
                 }
-                stats.gauges.insert(common::CONVERGED.into(), converged as f64);
-                stats.gauges.insert(common::DISTINCT_LABELS.into(), distinct.len() as f64);
-            }
-            if let Some(history) = &history_sink {
-                let mut snapshot: Vec<Label> =
-                    solution.iter().flat_map(|set| set.iter().map(|(&v, &l)| (v, l))).collect();
-                snapshot.sort_unstable();
-                history.borrow_mut().push(snapshot);
-            }
-        });
+                if let Some(history) = &history_sink {
+                    let mut snapshot: Vec<Label> =
+                        solution.iter().flat_map(|set| set.iter().map(|(&v, &l)| (v, l))).collect();
+                    snapshot.sort_unstable();
+                    history.borrow_mut().push(snapshot);
+                }
+            },
+        );
     }
 
     let edges_in = iteration.import(&edges_ds);
@@ -263,7 +264,7 @@ pub fn plan_text(parallelism: usize) -> String {
 /// labels"; the next superstep re-derives their minima from the imports.
 pub fn run_bulk(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
     assert!(!graph.is_directed(), "connected components expects an undirected graph");
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let initial: Vec<Label> = graph.vertices().map(|v| (v, v)).collect();
     let labels0 = env.from_keyed_vec(initial, |r| r.0);
     let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();
@@ -287,8 +288,7 @@ pub fn run_bulk(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
     if config.track_truth {
         let truth = exact_components(graph);
         iteration.set_observer(move |_iter, state: &Partitions<Label>, stats| {
-            let converged =
-                state.iter_records().filter(|&&(v, l)| truth[v as usize] == l).count();
+            let converged = state.iter_records().filter(|&&(v, l)| truth[v as usize] == l).count();
             stats.gauges.insert(common::CONVERGED.into(), converged as f64);
         });
     }
@@ -402,11 +402,9 @@ mod tests {
     #[test]
     fn all_strategies_except_ignore_are_correct() {
         let graph = generators::random_components(3, 5..12, 0.3, 11);
-        for strategy in [
-            Strategy::Optimistic,
-            Strategy::Checkpoint { interval: 2 },
-            Strategy::Restart,
-        ] {
+        for strategy in
+            [Strategy::Optimistic, Strategy::Checkpoint { interval: 2 }, Strategy::Restart]
+        {
             let config = CcConfig {
                 ft: FtConfig {
                     strategy,

@@ -8,7 +8,6 @@
 //! convergence exactly — the cleanest instance of the paper's "robust
 //! fixpoint" class.
 
-use dataflow::api::Environment;
 use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::partition::PartitionId;
@@ -67,8 +66,7 @@ impl LinearSystem {
                 }
                 next[*i as usize] = (b - sum) / diag;
             }
-            let delta =
-                x.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let delta = x.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             x = next;
             if delta < 1e-14 {
                 break;
@@ -92,7 +90,8 @@ pub fn random_diagonally_dominant(n: usize, off_per_row: usize, seed: u64) -> Li
                     offs.push((j, rng.gen_range(-1.0..1.0)));
                 }
             }
-            let dominance: f64 = offs.iter().map(|&(_, a)| a.abs()).sum::<f64>() + 1.0 + rng.gen::<f64>();
+            let dominance: f64 =
+                offs.iter().map(|&(_, a)| a.abs()).sum::<f64>() + 1.0 + rng.gen::<f64>();
             let b = rng.gen_range(-10.0..10.0);
             (i, b, dominance, offs)
         })
@@ -163,7 +162,7 @@ impl BulkCompensation<Entry> for FixSolution {
 /// Solve a strictly diagonally dominant system with distributed Jacobi.
 pub fn run(system: &LinearSystem, config: &JacobiConfig) -> Result<JacobiResult> {
     let n = system.dimension();
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let initial: Vec<Entry> = (0..n as u64).map(|i| (i, 0.0)).collect();
     let x0 = env.from_keyed_vec(initial, |e| e.0);
     let rows_ds = env.from_keyed_vec(system.rows.clone(), |r: &Row| r.0);
@@ -183,11 +182,16 @@ pub fn run(system: &LinearSystem, config: &JacobiConfig) -> Result<JacobiResult>
         offs.iter().map(|&(j, a)| (*i, j, a)).collect()
     });
     let products = entries
-        .join("multiply", &x, |e: &(u64, u64, f64)| e.1, |xe: &Entry| xe.0, |e, xe| (e.0, e.2 * xe.1))
+        .join(
+            "multiply",
+            &x,
+            |e: &(u64, u64, f64)| e.1,
+            |xe: &Entry| xe.0,
+            |e, xe| (e.0, e.2 * xe.1),
+        )
         .measured(common::MESSAGES);
     // ...sum per row...
-    let row_sums =
-        products.reduce_by_key("row-sums", |p: &Entry| p.0, |a, b| (a.0, a.1 + b.1));
+    let row_sums = products.reduce_by_key("row-sums", |p: &Entry| p.0, |a, b| (a.0, a.1 + b.1));
     // ...and apply the Jacobi update (rows with no off-diagonals get sum 0).
     let next = rows_in.co_group(
         "jacobi-update",
@@ -251,9 +255,7 @@ mod tests {
         let system = random_diagonally_dominant(64, 4, 13);
         let failure_free = run(&system, &JacobiConfig::default()).unwrap();
         let config = JacobiConfig {
-            ft: FtConfig::optimistic(
-                FailureScenario::none().fail_at(3, &[0]).fail_at(8, &[1, 2]),
-            ),
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(3, &[0]).fail_at(8, &[1, 2])),
             ..Default::default()
         };
         let result = run(&system, &config).unwrap();

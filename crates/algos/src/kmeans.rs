@@ -13,8 +13,6 @@
 //! global point mean, slightly offset per centroid id so re-seeded
 //! centroids don't coincide.
 
-
-use dataflow::api::Environment;
 use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::partition::PartitionId;
@@ -114,8 +112,10 @@ impl FixCentroids {
     pub fn new(points: &[Point], k: usize, parallelism: usize) -> Self {
         assert!(!points.is_empty(), "k-means needs points");
         let n = points.len() as f64;
-        let mean =
-            (points.iter().map(|p| p.0).sum::<f64>() / n, points.iter().map(|p| p.1).sum::<f64>() / n);
+        let mean = (
+            points.iter().map(|p| p.0).sum::<f64>() / n,
+            points.iter().map(|p| p.1).sum::<f64>() / n,
+        );
         let extent = points
             .iter()
             .map(|&(x, y)| (x - mean.0).abs().max((y - mean.1).abs()))
@@ -126,7 +126,12 @@ impl FixCentroids {
 }
 
 impl BulkCompensation<Centroid> for FixCentroids {
-    fn compensate(&mut self, state: &mut Partitions<Centroid>, lost: &[PartitionId], _iteration: u32) {
+    fn compensate(
+        &mut self,
+        state: &mut Partitions<Centroid>,
+        lost: &[PartitionId],
+        _iteration: u32,
+    ) {
         for (cid, pid) in lost_keys(self.k as u64, self.parallelism, lost) {
             // Deterministic re-seed: spiral the lost centroids around the
             // global mean so they start distinct and inside the data extent.
@@ -152,12 +157,18 @@ impl BulkCompensation<Centroid> for FixCentroids {
 pub fn run(points: &[Point], config: &KmConfig) -> Result<KmResult> {
     assert!(config.k > 0, "k must be positive");
     assert!(points.len() >= config.k, "need at least k points");
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let k = config.k;
 
-    // Deterministic initial centroids: the first k points.
-    let initial: Vec<Centroid> =
-        points.iter().take(k).enumerate().map(|(cid, &(x, y))| (cid as u64, x, y)).collect();
+    // Deterministic initial centroids: the first point of each of k equal
+    // chunks of the input. (Taking the first k points is degenerate for
+    // clustered inputs, where list neighbours are spatial neighbours.)
+    let initial: Vec<Centroid> = (0..k)
+        .map(|cid| {
+            let (x, y) = points[cid * points.len() / k];
+            (cid as u64, x, y)
+        })
+        .collect();
     let centroids0 = env.from_keyed_vec(initial, |c| c.0);
     let points_ds = env.from_vec(points.to_vec());
 
@@ -262,7 +273,7 @@ mod tests {
         let points = blob_points();
         let failure_free = run(&points, &KmConfig::default()).unwrap();
         let config = KmConfig {
-            ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[0, 1])),
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(1, &[0, 1])),
             ..Default::default()
         };
         let result = run(&points, &config).unwrap();
@@ -284,11 +295,12 @@ mod tests {
         let points = blob_points();
         let failure_free = run(&points, &KmConfig::default()).unwrap();
         let config = KmConfig {
-            ft: FtConfig::checkpoint(1, FailureScenario::none().fail_at(2, &[0])),
+            ft: FtConfig::checkpoint(1, FailureScenario::none().fail_at(1, &[0])),
             ..Default::default()
         };
         let result = run(&points, &config).unwrap();
-        // Rollback to the superstep-2 checkpoint replays the identical
+        assert_eq!(result.stats.failures().count(), 1);
+        // Rollback to the latest checkpoint replays the identical
         // deterministic computation.
         for (a, b) in result.centroids.iter().zip(&failure_free.centroids) {
             assert_eq!(a.0, b.0);

@@ -127,7 +127,7 @@ impl BulkCompensation<Rank> for FixRanks {
 
 /// Run PageRank over a (directed) graph.
 pub fn run(graph: &Graph, config: &PrConfig) -> Result<PrResult> {
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let built = build(&env, graph, config)?;
 
     let mut ranks = built.result.collect()?;
@@ -142,8 +142,7 @@ pub fn run(graph: &Graph, config: &PrConfig) -> Result<PrResult> {
         let covered: f64 = ranks.iter().map(|&(v, r)| (r - truth[v as usize]).abs()).sum();
         // Vertices missing from the output (Ignore runs) count with their
         // full true rank.
-        let present: std::collections::HashSet<VertexId> =
-            ranks.iter().map(|&(v, _)| v).collect();
+        let present: std::collections::HashSet<VertexId> = ranks.iter().map(|&(v, _)| v).collect();
         let missing: f64 = truth
             .iter()
             .enumerate()
@@ -187,10 +186,8 @@ pub fn build(env: &Environment, graph: &Graph, config: &PrConfig) -> Result<Buil
     let links_ds = env.from_keyed_vec(links, |l| l.0);
 
     let mut iteration = BulkIteration::new(&ranks0, config.max_iterations);
-    iteration.set_fault_handler(common::bulk_handler(
-        &config.ft,
-        FixRanks::new(n, config.parallelism),
-    )?);
+    iteration
+        .set_fault_handler(common::bulk_handler(&config.ft, FixRanks::new(n, config.parallelism))?);
     iteration.set_failure_source(config.ft.scenario.to_source());
 
     // Observer: rank-sum invariant, L1 between consecutive estimates, and
@@ -366,7 +363,11 @@ mod tests {
         let l1 = result.stats.gauge_series(common::L1_DIFF);
         let l1_ff = failure_free.stats.gauge_series(common::L1_DIFF);
         assert!(l1[6] > l1[4], "L1 must spike after the failure: {:?}", &l1[..10]);
-        assert!(l1[6] > 3.0 * l1_ff[6], "spike must exceed the failure-free decay: {:?}", &l1[..10]);
+        assert!(
+            l1[6] > 3.0 * l1_ff[6],
+            "spike must exceed the failure-free decay: {:?}",
+            &l1[..10]
+        );
         // ...and the compensated run has fewer vertices at their true rank
         // than the failure-free run at the same superstep.
         let converged = result.stats.gauge_series(common::CONVERGED);

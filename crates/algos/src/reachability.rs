@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-use dataflow::api::Environment;
 use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::ft::SolutionSets;
@@ -148,12 +147,10 @@ pub fn run(graph: &Graph, config: &ReachConfig) -> Result<ReachResult> {
     for &s in &config.seeds {
         assert!((s as usize) < graph.num_vertices(), "seed {s} out of range");
     }
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let seeds: FxHashSet<VertexId> = config.seeds.iter().copied().collect();
-    let initial: Vec<Reach> =
-        graph.vertices().map(|v| (v, seeds.contains(&v))).collect();
-    let workset0: Vec<Reach> =
-        config.seeds.iter().map(|&s| (s, true)).collect();
+    let initial: Vec<Reach> = graph.vertices().map(|v| (v, seeds.contains(&v))).collect();
+    let workset0: Vec<Reach> = config.seeds.iter().map(|&s| (s, true)).collect();
     let solution = env.from_keyed_vec(initial, |r| r.0);
     let workset = env.from_keyed_vec(workset0, |r| r.0);
     let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();
@@ -167,14 +164,16 @@ pub fn run(graph: &Graph, config: &ReachConfig) -> Result<ReachResult> {
     iteration.set_failure_source(config.ft.scenario.to_source());
     if config.track_truth {
         let truth = bfs_reachability(graph, &config.seeds);
-        iteration.set_observer(move |_iter, solution: &SolutionSets<VertexId, bool>, _ws, stats| {
-            let converged = solution
-                .iter()
-                .flat_map(|set| set.iter())
-                .filter(|(&v, &reached)| truth[v as usize] == reached)
-                .count();
-            stats.gauges.insert(common::CONVERGED.into(), converged as f64);
-        });
+        iteration.set_observer(
+            move |_iter, solution: &SolutionSets<VertexId, bool>, _ws, stats| {
+                let converged = solution
+                    .iter()
+                    .flat_map(|set| set.iter())
+                    .filter(|(&v, &reached)| truth[v as usize] == reached)
+                    .count();
+                stats.gauges.insert(common::CONVERGED.into(), converged as f64);
+            },
+        );
     }
 
     let edges_in = iteration.import(&edges_ds);
@@ -238,9 +237,7 @@ mod tests {
     fn optimistic_recovery_is_exact() {
         let graph = generators::grid(10, 10);
         let config = ReachConfig {
-            ft: FtConfig::optimistic(
-                FailureScenario::none().fail_at(2, &[0]).fail_at(5, &[1, 3]),
-            ),
+            ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[0]).fail_at(5, &[1, 3])),
             ..Default::default()
         };
         let result = run(&graph, &config).unwrap();

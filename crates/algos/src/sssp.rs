@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-use dataflow::api::Environment;
 use dataflow::dataset::Partitions;
 use dataflow::error::Result;
 use dataflow::ft::SolutionSets;
@@ -153,12 +152,10 @@ pub fn run(graph: &Graph, config: &SsspConfig) -> Result<SsspResult> {
         "source vertex {} out of range",
         config.source
     );
-    let env = Environment::new(config.parallelism);
+    let env = crate::common::environment(config.parallelism, &config.ft);
     let source = config.source;
-    let initial: Vec<Distance> = graph
-        .vertices()
-        .map(|v| (v, if v == source { 0 } else { UNREACHABLE }))
-        .collect();
+    let initial: Vec<Distance> =
+        graph.vertices().map(|v| (v, if v == source { 0 } else { UNREACHABLE })).collect();
     let solution = env.from_keyed_vec(initial, |r| r.0);
     let workset = env.from_keyed_vec(vec![(source, 0u64)], |r| r.0);
     let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();

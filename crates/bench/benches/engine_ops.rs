@@ -36,9 +36,11 @@ fn bench_keyed(c: &mut Criterion) {
     group.bench_function("reduce_by_key_shuffled", |b| {
         b.iter(|| {
             let env = Environment::new(4);
-            let out = env
-                .from_vec((0..N).map(|v| (v % 1024, 1u64)).collect())
-                .reduce_by_key("count", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1));
+            let out = env.from_vec((0..N).map(|v| (v % 1024, 1u64)).collect()).reduce_by_key(
+                "count",
+                |r: &(u64, u64)| r.0,
+                |a, b| (a.0, a.1 + b.1),
+            );
             out.collect().unwrap().len()
         })
     });

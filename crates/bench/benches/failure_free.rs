@@ -30,6 +30,7 @@ fn fixed_length_config(strategy: Strategy) -> PrConfig {
                 1024 * 1024 * 1024,
             ),
             checkpoint_on_disk: false,
+            ..Default::default()
         },
         track_truth: false,
         ..Default::default()
@@ -49,8 +50,7 @@ fn bench_failure_free(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
             b.iter(|| {
-                let result =
-                    pagerank::run(&graph, &fixed_length_config(strategy)).expect("run");
+                let result = pagerank::run(&graph, &fixed_length_config(strategy)).expect("run");
                 assert_eq!(result.stats.supersteps(), 10);
                 result.rank_sum
             })

@@ -61,13 +61,8 @@ fn cc_bulk(graph: &Graph, parallelism: usize) -> usize {
         .join("to-neighbors", &edges_in, |l: &Label| l.0, |e| e.0, |l, e| (e.1, l.1))
         .union("with-self", &labels)
         .reduce_by_key("min", |c: &Label| c.0, |a, b| if a.1 <= b.1 { a } else { b });
-    let changed = candidates.join(
-        "changed",
-        &labels,
-        |c: &Label| c.0,
-        |l: &Label| l.0,
-        |c, l| c.1 != l.1,
-    );
+    let changed =
+        candidates.join("changed", &labels, |c: &Label| c.0, |l: &Label| l.0, |c, l| c.1 != l.1);
     let still_changing = changed.filter("moving", |c| *c);
     let (result, _) = iteration.close_with_termination(candidates, still_changing);
     result.collect().expect("run").len()

@@ -14,9 +14,7 @@ type Entry = (u64, f64);
 /// A fixed-length Jacobi solve, built directly on the engine so the
 /// configuration (caching on/off) is controlled precisely.
 fn jacobi_fixed(system: &[Row], supersteps: u32, caching: bool) -> f64 {
-    let env = Environment::with_config(
-        EnvConfig::new(4).with_loop_invariant_caching(caching),
-    );
+    let env = Environment::with_config(EnvConfig::new(4).with_loop_invariant_caching(caching));
     let n = system.len() as u64;
     let x0 = env.from_keyed_vec((0..n).map(|i| (i, 0.0f64)).collect(), |e: &Entry| e.0);
     let rows = env.from_keyed_vec(system.to_vec(), |r: &Row| r.0);

@@ -26,6 +26,7 @@ fn config(strategy: Strategy) -> CcConfig {
                 1024 * 1024 * 1024,
             ),
             checkpoint_on_disk: false,
+            ..Default::default()
         },
         track_truth: false,
         ..Default::default()

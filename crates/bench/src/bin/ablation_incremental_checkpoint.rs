@@ -55,6 +55,7 @@ fn main() {
             scenario: FailureScenario::none().fail_at(4, &[1]),
             checkpoint_cost: CostModel::distributed_fs(),
             checkpoint_on_disk: false,
+            ..Default::default()
         };
         let config = CcConfig { parallelism: 8, ft, ..Default::default() };
         let result = connected_components::run(&graph, &config).expect("run");

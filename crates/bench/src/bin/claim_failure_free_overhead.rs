@@ -40,6 +40,7 @@ fn ft_for(strategy: Strategy) -> FtConfig {
         scenario: FailureScenario::none(),
         checkpoint_cost: CostModel::distributed_fs(),
         checkpoint_on_disk: false,
+        ..Default::default()
     }
 }
 

@@ -59,10 +59,18 @@ fn main() {
             scenario,
             checkpoint_cost: CostModel::distributed_fs(),
             checkpoint_on_disk: false,
+            ..Default::default()
         };
         let config = CcConfig { parallelism: 8, ft, ..Default::default() };
         let result = connected_components::run(&graph, &config).expect("cc run");
-        push_row(&mut table, &mut csv_rows, "connected-components", strategy, &result.stats, result.correct);
+        push_row(
+            &mut table,
+            &mut csv_rows,
+            "connected-components",
+            strategy,
+            &result.stats,
+            result.correct,
+        );
     }
     for strategy in strategies() {
         let scenario = FailureScenario::none().fail_at(9, &[1, 3]);
@@ -71,9 +79,9 @@ fn main() {
             scenario,
             checkpoint_cost: CostModel::distributed_fs(),
             checkpoint_on_disk: false,
+            ..Default::default()
         };
-        let config =
-            PrConfig { parallelism: 8, epsilon: 1e-6, ft, ..Default::default() };
+        let config = PrConfig { parallelism: 8, epsilon: 1e-6, ft, ..Default::default() };
         let result = pagerank::run(&graph, &config).expect("pagerank run");
         let correct = result.l1_to_exact.map(|l1| l1 < 1e-2);
         push_row(&mut table, &mut csv_rows, "pagerank", strategy, &result.stats, correct);

@@ -20,6 +20,8 @@ use flowviz::render::render_components;
 use flowviz::table::{run_stats_table, run_summary};
 use graphs::VertexId;
 use recovery::scenario::FailureScenario;
+use std::sync::Arc;
+use telemetry::{MemorySink, SinkHandle};
 
 fn main() {
     let results = bench_suite::results_dir();
@@ -28,9 +30,10 @@ fn main() {
     // ---------------------------------------------------------------- small
     bench_suite::section("Figure 3 — Connected Components on the small demo graph");
     let graph = graphs::generators::demo_components();
+    let sink = Arc::new(MemorySink::new());
     let config = CcConfig {
         capture_history: true,
-        ft: FtConfig::optimistic(scenario.clone()),
+        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(SinkHandle::new(sink.clone())),
         ..Default::default()
     };
     let result = connected_components::run(&graph, &config).expect("run");
@@ -52,6 +55,7 @@ fn main() {
 
     report("small demo graph", &result.stats);
     write_run_stats_csv(&result.stats, &results.join("figure3_cc_small.csv")).expect("write csv");
+    bench_suite::write_telemetry(&sink, &result.stats, "figure3_cc_small");
 
     let failure_free =
         connected_components::run(&graph, &CcConfig::default()).expect("failure-free run");
@@ -73,8 +77,7 @@ fn main() {
     };
     let result = connected_components::run(&graph, &config).expect("run");
     report("twitter-like graph", &result.stats);
-    write_run_stats_csv(&result.stats, &results.join("figure3_cc_twitter.csv"))
-        .expect("write csv");
+    write_run_stats_csv(&result.stats, &results.join("figure3_cc_twitter.csv")).expect("write csv");
     println!("\nCSV series written to {}/figure3_*.csv", results.display());
 }
 
@@ -91,9 +94,7 @@ fn lost_vertices(
     let snapshot_len = 16u64; // demo graph size
     (0..snapshot_len)
         .filter(|v| {
-            failure
-                .lost_partitions
-                .contains(&dataflow::partition::hash_partition(v, parallelism))
+            failure.lost_partitions.contains(&dataflow::partition::hash_partition(v, parallelism))
         })
         .collect()
 }
@@ -123,8 +124,7 @@ fn report(label: &str, stats: &dataflow::stats::RunStats) {
         "{}",
         ascii_chart(
             &stats.gauge_series(DISTINCT_LABELS),
-            &ChartOptions::titled("number of distinct labels (GUI colours)")
-                .with_markers(markers),
+            &ChartOptions::titled("number of distinct labels (GUI colours)").with_markers(markers),
         )
     );
 }

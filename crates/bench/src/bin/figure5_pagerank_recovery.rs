@@ -21,6 +21,8 @@ use flowviz::render::render_ranks;
 use flowviz::table::{run_stats_table, run_summary};
 use graphs::VertexId;
 use recovery::scenario::FailureScenario;
+use std::sync::Arc;
+use telemetry::{MemorySink, SinkHandle};
 
 const FAILURE_SUPERSTEP: u32 = 5;
 
@@ -31,9 +33,10 @@ fn main() {
     // ---------------------------------------------------------------- small
     bench_suite::section("Figure 5 — PageRank on the small demo graph");
     let graph = graphs::generators::demo_pagerank();
+    let sink = Arc::new(MemorySink::new());
     let config = PrConfig {
         capture_history: true,
-        ft: FtConfig::optimistic(scenario.clone()),
+        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(SinkHandle::new(sink.clone())),
         ..Default::default()
     };
     let result = pagerank::run(&graph, &config).expect("run");
@@ -59,6 +62,7 @@ fn main() {
     report("small demo graph", &result.stats);
     write_run_stats_csv(&result.stats, &results.join("figure5_pagerank_small.csv"))
         .expect("write csv");
+    bench_suite::write_telemetry(&sink, &result.stats, "figure5_pagerank_small");
 
     let failure_free = pagerank::run(&graph, &PrConfig::default()).expect("failure-free run");
     write_run_stats_csv(
@@ -94,9 +98,7 @@ fn lost_vertices(stats: &dataflow::stats::RunStats, n: u64, parallelism: usize) 
     };
     (0..n)
         .filter(|v| {
-            failure
-                .lost_partitions
-                .contains(&dataflow::partition::hash_partition(v, parallelism))
+            failure.lost_partitions.contains(&dataflow::partition::hash_partition(v, parallelism))
         })
         .collect()
 }

@@ -1,0 +1,129 @@
+//! Overhead guard for the telemetry subsystem.
+//!
+//! Runs failure-free PageRank on the Twitter-like graph under the default
+//! no-op sink and again with full capture (every event, span and histogram
+//! into a `MemorySink`), keeping the fastest of several repetitions per
+//! arm. The no-op arm is byte-for-byte the path every un-instrumented run
+//! takes, so its absolute time is the cross-PR regression trajectory; the
+//! full/no-op ratio bounds what switching telemetry on costs, and since the
+//! no-op path does strictly less work than full capture, a ratio under the
+//! threshold also bounds the no-op path's own overhead.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin telemetry_overhead
+//! ```
+//! JSON verdict lands in `results/BENCH_telemetry_overhead.json`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use algos::pagerank::{self, PrConfig};
+use algos::FtConfig;
+use telemetry::json::Obj;
+use telemetry::{MemorySink, SinkHandle};
+
+/// Maximum tolerated full-capture/no-op slowdown.
+const THRESHOLD: f64 = 1.03;
+/// Paired repetitions; the median ratio damps scheduler noise.
+const REPS: usize = 11;
+/// Runs per arm within a pair; the fastest is kept, filtering out runs
+/// that caught a descheduling hiccup before the ratio is formed.
+const INNER: usize = 3;
+
+fn run_once(graph: &graphs::Graph, ft: FtConfig) -> Duration {
+    let config =
+        PrConfig { parallelism: 8, epsilon: 1e-6, ft, track_truth: false, ..Default::default() };
+    pagerank::run(graph, &config).expect("pagerank run").stats.total_duration
+}
+
+/// Run both arms back-to-back per repetition (so CPU-frequency and cache
+/// drift hit them equally), keeping the fastest of [`INNER`] runs per arm
+/// within each pair. Returns the fastest time of each arm plus the median
+/// of the per-pair full/no-op ratios — the inner minimum filters runs that
+/// caught a scheduler hiccup, pairing cancels machine drift, the median
+/// discards outlier pairs.
+fn measure(graph: &graphs::Graph) -> (Duration, Duration, f64) {
+    let mut noop = Duration::MAX;
+    let mut full = Duration::MAX;
+    let mut ratios = Vec::with_capacity(REPS);
+    let run_noop =
+        |g: &graphs::Graph| (0..INNER).map(|_| run_once(g, FtConfig::default())).min().unwrap();
+    let run_full = |g: &graphs::Graph| {
+        (0..INNER)
+            .map(|_| {
+                run_once(
+                    g,
+                    FtConfig::default()
+                        .with_telemetry(SinkHandle::new(Arc::new(MemorySink::new()))),
+                )
+            })
+            .min()
+            .unwrap()
+    };
+    for rep in 0..REPS {
+        // Alternate which arm goes first so order bias cancels too.
+        let (n, f) = if rep % 2 == 0 {
+            let n = run_noop(graph);
+            (n, run_full(graph))
+        } else {
+            let f = run_full(graph);
+            (run_noop(graph), f)
+        };
+        ratios.push(f.as_secs_f64() / n.as_secs_f64());
+        noop = noop.min(n);
+        full = full.min(f);
+    }
+    ratios.sort_by(f64::total_cmp);
+    (noop, full, ratios[ratios.len() / 2])
+}
+
+fn main() {
+    let results = bench_suite::results_dir();
+    let graph = bench_suite::twitter_like(2);
+    bench_suite::section("Telemetry overhead guard");
+    println!(
+        "workload: failure-free PageRank on {} vertices / {} edges, {} pairs x best-of-{} per arm",
+        graph.num_vertices(),
+        graph.num_edges(),
+        REPS,
+        INNER
+    );
+
+    // Warm-up: fault the code paths and thread pools once per arm.
+    let _ = run_once(&graph, FtConfig::default());
+    let _ = run_once(
+        &graph,
+        FtConfig::default().with_telemetry(SinkHandle::new(Arc::new(MemorySink::new()))),
+    );
+
+    // Arm 1 is the default disabled sink — every hook reduces to a cached
+    // branch; this is what the engine runs when nobody asked for telemetry.
+    // Arm 2 captures everything into a fresh MemorySink per run.
+    let (noop, full, ratio) = measure(&graph);
+
+    println!("\nno-op sink (fastest):    {:.2} ms", noop.as_secs_f64() * 1e3);
+    println!("full capture (fastest):  {:.2} ms", full.as_secs_f64() * 1e3);
+    println!("median paired ratio:     {ratio:.3}x");
+
+    std::fs::create_dir_all(&results).expect("create results dir");
+    let json = Obj::new()
+        .str("benchmark", "telemetry_overhead")
+        .str("workload", "pagerank/twitter-like/failure-free")
+        .u64("reps", REPS as u64)
+        .u64("noop_sink_ns", noop.as_nanos() as u64)
+        .u64("full_capture_ns", full.as_nanos() as u64)
+        .f64("full_over_noop_ratio", ratio)
+        .f64("threshold", THRESHOLD)
+        .bool("within_threshold", ratio < THRESHOLD)
+        .finish();
+    let path = results.join("BENCH_telemetry_overhead.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write verdict");
+    println!("verdict written to {}", path.display());
+
+    assert!(
+        ratio < THRESHOLD,
+        "full telemetry costs {ratio:.3}x the no-op sink (threshold {THRESHOLD}x); \
+         the instrumentation hot paths have regressed"
+    );
+    println!("PASS: full-capture overhead {ratio:.3}x < {THRESHOLD}x");
+}

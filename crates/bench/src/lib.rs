@@ -26,6 +26,35 @@ pub fn subsection(title: &str) {
     println!("\n--- {title} ---");
 }
 
+/// Serialize a run's captured telemetry next to the CSV series: the JSONL
+/// event journal as `<stem>_journal.jsonl` and the aggregated
+/// [`telemetry::RunReport`] as `<stem>_report.json`. Also prints the report
+/// table and cross-checks the journal against the engine's legacy
+/// `RunStats` (panicking on any discrepancy — the journal must faithfully
+/// describe the run it came from).
+pub fn write_telemetry(
+    sink: &telemetry::MemorySink,
+    stats: &dataflow::stats::RunStats,
+    stem: &str,
+) -> telemetry::RunReport {
+    let results = results_dir();
+    std::fs::create_dir_all(&results).expect("create results dir");
+    let report = telemetry::RunReport::from_sink(sink);
+    std::fs::write(results.join(format!("{stem}_journal.jsonl")), sink.journal_lines())
+        .expect("write journal");
+    std::fs::write(results.join(format!("{stem}_report.json")), report.to_json())
+        .expect("write report");
+    let diffs = flowviz::report::reconcile(&report, stats);
+    assert!(diffs.is_empty(), "journal does not reconcile with RunStats: {diffs:#?}");
+    subsection(&format!("telemetry report ({stem})"));
+    print!("{}", flowviz::report::run_report_table(&report));
+    println!(
+        "journal + report written to {}/{stem}_{{journal.jsonl,report.json}}",
+        results.display()
+    );
+    report
+}
+
 /// The Twitter-scale substitute used by the large-graph runs: a
 /// preferential-attachment graph (heavy-tailed degrees, one giant
 /// component). Size is tuned for quick laptop runs; pass a factor > 1 for

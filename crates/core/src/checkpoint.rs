@@ -20,6 +20,7 @@ use dataflow::ft::{
 };
 use dataflow::hash::FxHashMap;
 use dataflow::partition::PartitionId;
+use telemetry::{JournalEvent, SinkHandle};
 
 /// Latency/throughput model of the stable storage behind a checkpoint store.
 ///
@@ -184,8 +185,10 @@ impl DiskStore {
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
-        let sanitized: String =
-            key.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect();
+        let sanitized: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .collect();
         self.dir.join(format!("{sanitized}.ckpt"))
     }
 }
@@ -298,6 +301,7 @@ pub struct CheckpointBulkHandler<T, S> {
     store: S,
     interval: u32,
     latest: Option<(u32, String)>,
+    telemetry: SinkHandle,
     _records: PhantomData<fn(T)>,
 }
 
@@ -308,7 +312,19 @@ impl<T, S: StableStore> CheckpointBulkHandler<T, S> {
     /// Panics when `interval` is zero.
     pub fn new(store: S, interval: u32) -> Self {
         assert!(interval > 0, "checkpoint interval must be at least 1");
-        CheckpointBulkHandler { store, interval, latest: None, _records: PhantomData }
+        CheckpointBulkHandler {
+            store,
+            interval,
+            latest: None,
+            telemetry: SinkHandle::disabled(),
+            _records: PhantomData,
+        }
+    }
+
+    /// Report checkpoint restores to the given telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The iteration of the most recent snapshot, if any.
@@ -355,10 +371,9 @@ impl<T: Data + Codec, S: StableStore> BulkFaultHandler<T> for CheckpointBulkHand
                     EngineError::Recovery(format!("checkpoint {key} vanished from stable storage"))
                 })?;
                 let parts = decode_nested::<T>(&bytes)?;
-                Ok(BulkRecoveryAction::Restored {
-                    iteration: *iteration,
-                    state: Partitions::from_parts(parts),
-                })
+                let iteration = *iteration;
+                self.telemetry.emit(|| JournalEvent::CheckpointRestored { iteration });
+                Ok(BulkRecoveryAction::Restored { iteration, state: Partitions::from_parts(parts) })
             }
         }
     }
@@ -370,6 +385,7 @@ pub struct CheckpointDeltaHandler<K, V, W, S> {
     store: S,
     interval: u32,
     latest: Option<(u32, String)>,
+    telemetry: SinkHandle,
     _records: PhantomData<fn(K, V, W)>,
 }
 
@@ -380,7 +396,19 @@ impl<K, V, W, S: StableStore> CheckpointDeltaHandler<K, V, W, S> {
     /// Panics when `interval` is zero.
     pub fn new(store: S, interval: u32) -> Self {
         assert!(interval > 0, "checkpoint interval must be at least 1");
-        CheckpointDeltaHandler { store, interval, latest: None, _records: PhantomData }
+        CheckpointDeltaHandler {
+            store,
+            interval,
+            latest: None,
+            telemetry: SinkHandle::disabled(),
+            _records: PhantomData,
+        }
+    }
+
+    /// Report checkpoint restores to the given telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The iteration of the most recent snapshot, if any.
@@ -443,7 +471,9 @@ where
         if !input.is_empty() {
             return Err(EngineError::Codec("trailing bytes in delta checkpoint".into()));
         }
-        Ok(DeltaRecoveryAction::Restored { iteration: *iteration, solution, workset })
+        let iteration = *iteration;
+        self.telemetry.emit(|| JournalEvent::CheckpointRestored { iteration });
+        Ok(DeltaRecoveryAction::Restored { iteration, solution, workset })
     }
 }
 

@@ -159,10 +159,8 @@ mod tests {
 
     #[test]
     fn named_wrapper_reports_its_name() {
-        let comp = Named::new(
-            "FixRanks",
-            |_s: &mut Partitions<f64>, _l: &[PartitionId], _i: u32| {},
-        );
+        let comp =
+            Named::new("FixRanks", |_s: &mut Partitions<f64>, _l: &[PartitionId], _i: u32| {});
         assert_eq!(BulkCompensation::<f64>::name(&comp), "FixRanks");
     }
 
@@ -195,9 +193,8 @@ mod tests {
             assert_eq!(hash_partition(&key, parallelism), pid);
             assert!(lost.contains(&pid));
         }
-        let missed: Vec<u64> = (0..100)
-            .filter(|k| lost.contains(&hash_partition(k, parallelism)))
-            .collect();
+        let missed: Vec<u64> =
+            (0..100).filter(|k| lost.contains(&hash_partition(k, parallelism))).collect();
         assert_eq!(selected.len(), missed.len());
     }
 

@@ -23,6 +23,7 @@ use dataflow::dataset::{Data, Partitions};
 use dataflow::error::{EngineError, Result};
 use dataflow::ft::{CheckpointCost, DeltaFaultHandler, DeltaRecoveryAction, SolutionSets};
 use dataflow::partition::PartitionId;
+use telemetry::{JournalEvent, SinkHandle};
 
 use crate::checkpoint::{
     decode_solution_sets, decode_workset, encode_solution_sets, encode_workset, StableStore,
@@ -41,6 +42,7 @@ pub struct IncrementalDeltaHandler<K, V, W, S> {
     /// modelled cost is stable-storage traffic).
     shadow: SolutionSets<K, V>,
     sequence: u64,
+    telemetry: SinkHandle,
     _records: PhantomData<fn(K, V, W)>,
 }
 
@@ -59,8 +61,15 @@ impl<K, V, W, S: StableStore> IncrementalDeltaHandler<K, V, W, S> {
             diff_chain: Vec::new(),
             shadow: Vec::new(),
             sequence: 0,
+            telemetry: SinkHandle::disabled(),
             _records: PhantomData,
         }
+    }
+
+    /// Report restores and diff-chain replays to the given telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Borrow the underlying store (byte accounting).
@@ -169,6 +178,13 @@ where
             workset = decode_workset::<W>(&mut input)?;
             iteration += 1;
         }
+        self.telemetry.emit(|| JournalEvent::CheckpointRestored { iteration: base_iteration });
+        if !self.diff_chain.is_empty() {
+            self.telemetry.emit(|| JournalEvent::DiffChainReplayed {
+                base_iteration,
+                diffs: self.diff_chain.len() as u32,
+            });
+        }
         // The restored state is exactly the latest checkpointed superstep.
         Ok(DeltaRecoveryAction::Restored { iteration, solution, workset })
     }
@@ -197,22 +213,13 @@ mod tests {
             (0..200).map(|k| ((k % 2) as usize, k, k)).collect();
         let workset = Partitions::from_parts(vec![vec![(0u64, 0u64)], vec![]]);
 
-        let full = handler
-            .after_superstep(0, &solution_of(&entries, 2), &workset)
-            .unwrap()
-            .unwrap();
+        let full =
+            handler.after_superstep(0, &solution_of(&entries, 2), &workset).unwrap().unwrap();
         // One entry changes: the diff must be far smaller than the base.
         entries[7].2 = 999;
-        let diff = handler
-            .after_superstep(1, &solution_of(&entries, 2), &workset)
-            .unwrap()
-            .unwrap();
-        assert!(
-            diff.bytes * 10 < full.bytes,
-            "diff {} vs full {}",
-            diff.bytes,
-            full.bytes
-        );
+        let diff =
+            handler.after_superstep(1, &solution_of(&entries, 2), &workset).unwrap().unwrap();
+        assert!(diff.bytes * 10 < full.bytes, "diff {} vs full {}", diff.bytes, full.bytes);
         assert_eq!(handler.chain_length(), 1);
     }
 

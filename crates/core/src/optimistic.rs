@@ -8,6 +8,7 @@ use dataflow::ft::{
     SolutionSets,
 };
 use dataflow::partition::PartitionId;
+use telemetry::{JournalEvent, SinkHandle};
 
 use crate::compensation::{BulkCompensation, DeltaCompensation};
 
@@ -19,12 +20,19 @@ use crate::compensation::{BulkCompensation, DeltaCompensation};
 pub struct OptimisticBulkHandler<C> {
     compensation: C,
     recoveries: u32,
+    telemetry: SinkHandle,
 }
 
 impl<C> OptimisticBulkHandler<C> {
     /// Handler around the given compensation function.
     pub fn new(compensation: C) -> Self {
-        OptimisticBulkHandler { compensation, recoveries: 0 }
+        OptimisticBulkHandler { compensation, recoveries: 0, telemetry: SinkHandle::disabled() }
+    }
+
+    /// Report compensation invocations to the given telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of failures compensated so far.
@@ -51,6 +59,10 @@ impl<T: Data, C: BulkCompensation<T>> BulkFaultHandler<T> for OptimisticBulkHand
     ) -> Result<BulkRecoveryAction<T>> {
         self.compensation.compensate(state, lost, iteration);
         self.recoveries += 1;
+        self.telemetry.emit(|| JournalEvent::CompensationInvoked {
+            name: self.compensation.name().to_owned(),
+            iteration,
+        });
         Ok(BulkRecoveryAction::Compensated)
     }
 }
@@ -61,12 +73,19 @@ impl<T: Data, C: BulkCompensation<T>> BulkFaultHandler<T> for OptimisticBulkHand
 pub struct OptimisticDeltaHandler<C> {
     compensation: C,
     recoveries: u32,
+    telemetry: SinkHandle,
 }
 
 impl<C> OptimisticDeltaHandler<C> {
     /// Handler around the given compensation function.
     pub fn new(compensation: C) -> Self {
-        OptimisticDeltaHandler { compensation, recoveries: 0 }
+        OptimisticDeltaHandler { compensation, recoveries: 0, telemetry: SinkHandle::disabled() }
+    }
+
+    /// Report compensation invocations to the given telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of failures compensated so far.
@@ -96,6 +115,10 @@ impl<K: Data, V: Data, W: Data, C: DeltaCompensation<K, V, W>> DeltaFaultHandler
     ) -> Result<DeltaRecoveryAction<K, V, W>> {
         self.compensation.compensate(solution, workset, lost, iteration);
         self.recoveries += 1;
+        self.telemetry.emit(|| JournalEvent::CompensationInvoked {
+            name: self.compensation.name().to_owned(),
+            iteration,
+        });
         Ok(DeltaRecoveryAction::Compensated)
     }
 }
@@ -147,11 +170,10 @@ mod tests {
 
     #[test]
     fn failure_free_run_does_no_work() {
-        let mut handler = OptimisticBulkHandler::new(
-            |_s: &mut Partitions<u64>, _l: &[PartitionId], _i: u32| {
+        let mut handler =
+            OptimisticBulkHandler::new(|_s: &mut Partitions<u64>, _l: &[PartitionId], _i: u32| {
                 panic!("compensation must not run without a failure")
-            },
-        );
+            });
         let state = Partitions::round_robin(vec![1u64], 1);
         for iteration in 0..100 {
             assert!(handler.after_superstep(iteration, &state).unwrap().is_none());

@@ -43,7 +43,13 @@ impl FailureScenario {
     /// Add seeded random failures: after `min_superstep`, each superstep
     /// independently fails with `probability`, killing between one and
     /// `max_partitions` distinct partitions (an MTBF-style model).
-    pub fn random(mut self, probability: f64, max_partitions: usize, min_superstep: u32, seed: u64) -> Self {
+    pub fn random(
+        mut self,
+        probability: f64,
+        max_partitions: usize,
+        min_superstep: u32,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&probability));
         assert!(max_partitions >= 1);
         self.random = Some(RandomSpec { probability, max_partitions, min_superstep, seed });
@@ -115,7 +121,12 @@ impl RandomFailures {
     pub fn new(probability: f64, max_partitions: usize, min_superstep: u32, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&probability));
         assert!(max_partitions >= 1);
-        RandomFailures { rng: StdRng::seed_from_u64(seed), probability, max_partitions, min_superstep }
+        RandomFailures {
+            rng: StdRng::seed_from_u64(seed),
+            probability,
+            max_partitions,
+            min_superstep,
+        }
     }
 }
 

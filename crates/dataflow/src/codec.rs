@@ -64,7 +64,8 @@ impl Codec for char {
     }
     fn decode(input: &mut &[u8]) -> Result<Self> {
         let raw = u32::decode(input)?;
-        char::from_u32(raw).ok_or_else(|| EngineError::Codec(format!("invalid char scalar {raw:#x}")))
+        char::from_u32(raw)
+            .ok_or_else(|| EngineError::Codec(format!("invalid char scalar {raw:#x}")))
     }
 }
 

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use telemetry::SinkHandle;
+
 /// Configuration of an [`crate::api::Environment`].
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
@@ -8,17 +10,33 @@ pub struct EnvConfig {
     /// of a distributed cluster; failures destroy whole partitions.
     pub parallelism: usize,
     /// Execute per-partition work on scoped threads (`true`, the default) or
-    /// inline on the calling thread (`false`; useful when debugging and for
-    /// tiny datasets where thread spawning dominates).
+    /// inline on the calling thread (`false`).
+    ///
+    /// Inline execution is useful when debugging (deterministic stack
+    /// traces, no interleaving) and for tiny datasets where thread spawning
+    /// dominates the actual work. Correctness never depends on this knob:
+    /// partition tasks are independent and results are assembled in
+    /// partition order either way.
     pub threaded: bool,
-    /// Minimum number of records per partition before the executor bothers
-    /// spawning threads; below this, partition work runs inline even when
-    /// [`EnvConfig::threaded`] is set.
+    /// Minimum number of records (summed across partitions of one operator
+    /// invocation) before the executor bothers spawning threads; below this,
+    /// partition work runs inline even when [`EnvConfig::threaded`] is set.
+    ///
+    /// The default of 4096 is conservative: spawning a scoped thread costs
+    /// on the order of 10µs, so per-partition work should comfortably exceed
+    /// that. Lower it (e.g. to 0 in tests) to force the threaded path, raise
+    /// it to keep small intermediate datasets inline in otherwise large
+    /// runs.
     pub thread_threshold: usize,
     /// Cache loop-body sub-plans that do not depend on the iteration state
     /// across supersteps (`true`, the default). Disable only for the
     /// engine-ablation benchmarks.
     pub loop_invariant_caching: bool,
+    /// Telemetry sink receiving the structured event journal, spans and
+    /// metrics of every iteration run in this environment. Defaults to the
+    /// disabled no-op sink, which reduces every instrumentation site to a
+    /// branch.
+    pub telemetry: SinkHandle,
 }
 
 impl EnvConfig {
@@ -33,6 +51,7 @@ impl EnvConfig {
             threaded: true,
             thread_threshold: 4096,
             loop_invariant_caching: true,
+            telemetry: SinkHandle::disabled(),
         }
     }
 
@@ -53,6 +72,12 @@ impl EnvConfig {
         self.loop_invariant_caching = enabled;
         self
     }
+
+    /// Builder-style attachment of a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 impl Default for EnvConfig {
@@ -64,6 +89,8 @@ impl Default for EnvConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use telemetry::MemorySink;
 
     #[test]
     fn builder_chains() {
@@ -88,5 +115,12 @@ mod tests {
         assert_eq!(EnvConfig::default().parallelism, 4);
         assert!(EnvConfig::default().threaded);
         assert!(EnvConfig::default().loop_invariant_caching);
+    }
+
+    #[test]
+    fn telemetry_defaults_to_disabled() {
+        assert!(!EnvConfig::default().telemetry.enabled());
+        let c = EnvConfig::new(2).with_telemetry(SinkHandle::new(Arc::new(MemorySink::new())));
+        assert!(c.telemetry.enabled());
     }
 }

@@ -156,9 +156,8 @@ impl Erased {
 
     /// Recover an owned typed dataset, cloning only if the handle is shared.
     pub fn take<T: Data>(self, at: &str) -> Result<Partitions<T>> {
-        let arc = self.inner.downcast::<Partitions<T>>().map_err(|_| EngineError::TypeMismatch {
-            at: at.to_string(),
-            expected: std::any::type_name::<T>(),
+        let arc = self.inner.downcast::<Partitions<T>>().map_err(|_| {
+            EngineError::TypeMismatch { at: at.to_string(), expected: std::any::type_name::<T>() }
         })?;
         Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }

@@ -65,10 +65,7 @@ mod tests {
     #[test]
     fn display_formats_are_stable() {
         let e = EngineError::TypeMismatch { at: "map[3]".into(), expected: "u64" };
-        assert_eq!(
-            e.to_string(),
-            "type mismatch at map[3]: dataset does not hold `u64` records"
-        );
+        assert_eq!(e.to_string(), "type mismatch at map[3]: dataset does not hold `u64` records");
         assert_eq!(EngineError::Plan("boom".into()).to_string(), "invalid dataflow plan: boom");
         assert_eq!(EngineError::Codec("short".into()).to_string(), "codec error: short");
     }

@@ -3,8 +3,11 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use telemetry::metrics::PartitionedHistogram;
 
 use crate::config::EnvConfig;
 use crate::dataset::Erased;
@@ -20,12 +23,30 @@ pub struct ExecContext {
     pub config: EnvConfig,
     counters: Mutex<BTreeMap<String, u64>>,
     shuffled: AtomicU64,
+    /// Nanoseconds spent in operators that shuffled records, accumulated
+    /// per superstep and drained by the iteration executors.
+    shuffle_ns: AtomicU64,
+    /// Pre-resolved per-partition task-latency histogram (`None` when
+    /// telemetry is disabled, so the hot path pays one branch).
+    task_hist: Option<Arc<PartitionedHistogram>>,
 }
 
 impl ExecContext {
     /// Fresh context for a run.
     pub fn new(config: EnvConfig) -> Self {
-        ExecContext { config, counters: Mutex::new(BTreeMap::new()), shuffled: AtomicU64::new(0) }
+        let task_hist = config.telemetry.enabled().then(|| {
+            config
+                .telemetry
+                .metrics()
+                .partitioned_histogram("partition_task_ns", config.parallelism)
+        });
+        ExecContext {
+            config,
+            counters: Mutex::new(BTreeMap::new()),
+            shuffled: AtomicU64::new(0),
+            shuffle_ns: AtomicU64::new(0),
+            task_hist,
+        }
     }
 
     /// Add to a named record counter (e.g. `"messages"`).
@@ -54,6 +75,37 @@ impl ExecContext {
         self.shuffled.load(Ordering::Relaxed)
     }
 
+    /// Take and reset the time attributed to shuffling operators this
+    /// superstep (always zero while telemetry is disabled).
+    pub fn take_shuffle_time(&self) -> Duration {
+        Duration::from_nanos(self.shuffle_ns.swap(0, Ordering::Relaxed))
+    }
+
+    /// Run one partition's task, recording its latency into the
+    /// per-partition histogram when telemetry is enabled.
+    fn time_partition_task<U>(&self, pid: usize, f: impl FnOnce() -> U) -> U {
+        match &self.task_hist {
+            Some(hist) => {
+                let start = Instant::now();
+                let out = f();
+                hist.observe(pid, start.elapsed().as_nanos() as u64);
+                out
+            }
+            None => f(),
+        }
+    }
+
+    /// Record one plan-node execution: its latency goes into an
+    /// `op/<kind>_ns` histogram, and nodes that moved records across
+    /// partitions contribute to the superstep's shuffle time.
+    fn record_node(&self, kind: &'static str, elapsed: Duration, shuffle_delta: u64) {
+        let nanos = elapsed.as_nanos() as u64;
+        self.config.telemetry.metrics().histogram(&format!("op/{kind}_ns")).observe(nanos);
+        if shuffle_delta > 0 {
+            self.shuffle_ns.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
     fn should_thread(&self, tasks: usize, work: usize) -> bool {
         self.config.threaded && tasks > 1 && work >= self.config.thread_threshold
     }
@@ -70,14 +122,18 @@ where
     F: Fn(usize, I) -> U + Sync,
 {
     if !ctx.should_thread(items.len(), work) {
-        return items.into_iter().enumerate().map(|(pid, item)| f(pid, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(pid, item)| ctx.time_partition_task(pid, || f(pid, item)))
+            .collect();
     }
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .into_iter()
             .enumerate()
-            .map(|(pid, item)| scope.spawn(move || f(pid, item)))
+            .map(|(pid, item)| scope.spawn(move || ctx.time_partition_task(pid, || f(pid, item))))
             .collect();
         handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
     })
@@ -93,14 +149,18 @@ where
 {
     let total: usize = parts.iter().map(Vec::len).sum();
     if !ctx.should_thread(parts.len(), total) {
-        return parts.iter().enumerate().map(|(pid, p)| f(pid, p)).collect();
+        return parts
+            .iter()
+            .enumerate()
+            .map(|(pid, p)| ctx.time_partition_task(pid, || f(pid, p)))
+            .collect();
     }
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
             .enumerate()
-            .map(|(pid, p)| scope.spawn(move || f(pid, p)))
+            .map(|(pid, p)| scope.spawn(move || ctx.time_partition_task(pid, || f(pid, p))))
             .collect();
         handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
     })
@@ -145,7 +205,11 @@ impl PlanCache {
 ///
 /// Every node executes exactly once per call; shared sub-plans are computed
 /// once and their (reference-counted) outputs handed to each consumer.
-pub fn execute(graph: &mut PlanGraph, targets: &[NodeId], ctx: &ExecContext) -> Result<Vec<Erased>> {
+pub fn execute(
+    graph: &mut PlanGraph,
+    targets: &[NodeId],
+    ctx: &ExecContext,
+) -> Result<Vec<Erased>> {
     let volatile = vec![true; graph.len()];
     execute_cached(graph, targets, ctx, &volatile, &mut PlanCache::new())
 }
@@ -165,10 +229,7 @@ pub fn execute_cached(
     cache.values.resize(graph.len(), None);
     let mut fresh: Vec<Option<Erased>> = (0..graph.len()).map(|_| None).collect();
     let value_of = |fresh: &[Option<Erased>], cache: &PlanCache, id: NodeId| -> Erased {
-        fresh[id]
-            .clone()
-            .or_else(|| cache.values[id].clone())
-            .expect("topological order violated")
+        fresh[id].clone().or_else(|| cache.values[id].clone()).expect("topological order violated")
     };
     for id in order {
         if !volatile[id] && cache.values[id].is_some() {
@@ -177,7 +238,16 @@ pub fn execute_cached(
         let inputs: Vec<Erased> =
             graph.node(id).inputs.iter().map(|&i| value_of(&fresh, cache, i)).collect();
         let node = graph.node_mut(id);
-        let out = node.op.execute(&inputs, ctx)?;
+        let out = if ctx.config.telemetry.enabled() {
+            let kind = node.op.kind();
+            let shuffled_before = ctx.shuffled();
+            let start = Instant::now();
+            let out = node.op.execute(&inputs, ctx)?;
+            ctx.record_node(kind, start.elapsed(), ctx.shuffled() - shuffled_before);
+            out
+        } else {
+            node.op.execute(&inputs, ctx)?
+        };
         if volatile[id] {
             fresh[id] = Some(out);
         } else {

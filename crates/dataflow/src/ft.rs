@@ -111,7 +111,11 @@ pub enum BulkRecoveryAction<T> {
 pub trait BulkFaultHandler<T: Data> {
     /// Called after every completed superstep with the fresh state. Return
     /// the cost of a checkpoint if one was taken.
-    fn after_superstep(&mut self, iteration: u32, state: &Partitions<T>) -> Result<Option<CheckpointCost>> {
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        state: &Partitions<T>,
+    ) -> Result<Option<CheckpointCost>> {
         let _ = (iteration, state);
         Ok(None)
     }
@@ -183,7 +187,11 @@ impl FailureSource for Box<dyn FailureSource> {
 }
 
 impl<T: Data> BulkFaultHandler<T> for Box<dyn BulkFaultHandler<T>> {
-    fn after_superstep(&mut self, iteration: u32, state: &Partitions<T>) -> Result<Option<CheckpointCost>> {
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        state: &Partitions<T>,
+    ) -> Result<Option<CheckpointCost>> {
         (**self).after_superstep(iteration, state)
     }
 

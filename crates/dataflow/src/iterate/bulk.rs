@@ -1,15 +1,14 @@
 //! Bulk iterations: the whole state dataset is recomputed every superstep.
 
 use std::rc::Rc;
-use std::time::Instant;
+
+use telemetry::{IterationMode, JournalEvent, SpanKind, SpanRecord};
 
 use crate::api::{DataSet, Environment};
 use crate::dataset::{Data, Erased, Partitions};
 use crate::error::{EngineError, Result};
 use crate::exec::{self, ExecContext, PlanCache};
-use crate::ft::{
-    BulkFaultHandler, BulkRecoveryAction, FailureSource, NoFailures, RestartHandler,
-};
+use crate::ft::{BulkFaultHandler, BulkRecoveryAction, FailureSource, NoFailures, RestartHandler};
 use crate::iterate::StatsHandle;
 use crate::operators::{InjectedSource, SourceSlot};
 use crate::plan::{DynOp, NodeId};
@@ -240,7 +239,13 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
         let mut iteration: u32 = 0;
         let mut superstep: u32 = 0;
         let mut converged = false;
-        let run_start = Instant::now();
+        let telemetry = ctx.config.telemetry.clone();
+        telemetry.emit(|| JournalEvent::RunStarted {
+            mode: IterationMode::Bulk,
+            parallelism,
+            max_iterations: self.max_iterations,
+        });
+        let run_timer = telemetry.timer(SpanKind::Run, None, None);
 
         while iteration < self.max_iterations {
             if superstep >= self.superstep_limit {
@@ -252,9 +257,11 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
             }
 
             // 1. Execute the loop body over the current state.
+            let step_timer = telemetry.timer(SpanKind::Superstep, Some(superstep), Some(iteration));
             let step_ctx = ExecContext::new(ctx.config.clone());
             self.state_slot.fill(Erased::new(state));
-            let step_start = Instant::now();
+            let compute_timer =
+                telemetry.timer(SpanKind::Compute, Some(superstep), Some(iteration));
             let mut targets = vec![self.next_id];
             if let Some((term_id, _)) = &self.termination {
                 targets.push(*term_id);
@@ -270,7 +277,7 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                 )?
             };
             let mut next: Partitions<T> = outputs[0].clone().take("BulkIteration(next)")?;
-            let duration = step_start.elapsed();
+            let duration = compute_timer.finish();
             let term_empty = match &self.termination {
                 Some((_, probe)) => probe(&outputs[1])? == 0,
                 None => false,
@@ -278,6 +285,21 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
 
             // 2. Superstep statistics.
             let (counters, shuffled) = step_ctx.drain();
+            let shuffle_time = step_ctx.take_shuffle_time();
+            if shuffle_time > std::time::Duration::ZERO {
+                telemetry.span(&SpanRecord {
+                    kind: SpanKind::Shuffle,
+                    superstep: Some(superstep),
+                    iteration: Some(iteration),
+                    duration: shuffle_time,
+                });
+            }
+            telemetry.emit(|| JournalEvent::SuperstepCompleted {
+                superstep,
+                iteration,
+                records_shuffled: shuffled,
+                workset_size: None,
+            });
             let mut istats = IterationStats {
                 superstep,
                 iteration,
@@ -289,6 +311,13 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
 
             // 3. Fault-tolerance hook (checkpointing).
             if let Some(cost) = self.handler.after_superstep(iteration, &next)? {
+                telemetry.emit(|| JournalEvent::CheckpointWritten { iteration, bytes: cost.bytes });
+                telemetry.span(&SpanRecord {
+                    kind: SpanKind::Checkpoint,
+                    superstep: Some(superstep),
+                    iteration: Some(iteration),
+                    duration: cost.duration,
+                });
                 istats.checkpoint_bytes = Some(cost.bytes);
                 istats.checkpoint_duration = Some(cost.duration);
             }
@@ -303,11 +332,21 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                     for &pid in &lost {
                         lost_records += next.clear_partition(pid) as u64;
                     }
-                    let recovery_start = Instant::now();
+                    telemetry.emit(|| JournalEvent::FailureInjected {
+                        superstep,
+                        iteration,
+                        lost_partitions: lost.clone(),
+                        lost_records,
+                    });
+                    let recovery_timer =
+                        telemetry.timer(SpanKind::Recovery, Some(superstep), Some(iteration));
                     let action = self.handler.on_failure(iteration, &lost, &mut next)?;
                     let recovery = match action {
                         BulkRecoveryAction::Compensated => RecoveryKind::Compensated,
-                        BulkRecoveryAction::Restored { iteration: restored, state: restored_state } => {
+                        BulkRecoveryAction::Restored {
+                            iteration: restored,
+                            state: restored_state,
+                        } => {
                             next = restored_state;
                             next_iteration = restored + 1;
                             RecoveryKind::RolledBack { to_iteration: restored }
@@ -319,11 +358,13 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                         }
                         BulkRecoveryAction::Ignore => RecoveryKind::Ignored,
                     };
+                    let recovery_duration = recovery_timer.finish();
+                    telemetry.emit(|| JournalEvent::from_recovery(&recovery, iteration));
                     istats.failure = Some(FailureRecord {
                         lost_partitions: lost,
                         lost_records,
                         recovery,
-                        recovery_duration: recovery_start.elapsed(),
+                        recovery_duration,
                     });
                 }
             }
@@ -333,6 +374,7 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                 observer(iteration, &next, &mut istats);
             }
             run.iterations.push(istats);
+            let _ = step_timer.finish();
             superstep += 1;
             state = next;
             if term_empty && !failed {
@@ -343,7 +385,12 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
         }
 
         run.converged = converged || self.termination.is_none();
-        run.total_duration = run_start.elapsed();
+        run.total_duration = run_timer.finish();
+        telemetry.emit(|| JournalEvent::RunCompleted {
+            supersteps: run.supersteps(),
+            iterations: run.logical_iterations(),
+            converged: run.converged,
+        });
         self.stats.set(run);
         Ok(Erased::new(state))
     }

@@ -3,15 +3,15 @@
 
 use std::hash::Hash;
 use std::rc::Rc;
-use std::time::Instant;
+
+use telemetry::{IterationMode, JournalEvent, SpanKind, SpanRecord};
 
 use crate::api::{DataSet, Environment};
 use crate::dataset::{Data, Erased, Partitions};
 use crate::error::{EngineError, Result};
 use crate::exec::{self, ExecContext, PlanCache};
 use crate::ft::{
-    DeltaFaultHandler, DeltaRecoveryAction, FailureSource, NoFailures, RestartHandler,
-    SolutionSets,
+    DeltaFaultHandler, DeltaRecoveryAction, FailureSource, NoFailures, RestartHandler, SolutionSets,
 };
 use crate::hash::{fx_hash, FxHashMap};
 use crate::iterate::StatsHandle;
@@ -108,11 +108,8 @@ impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
             vec![],
             Box::new(InjectedSource::new(solution_slot.clone())),
         );
-        let workset_head = body.add_node(
-            "workset",
-            vec![],
-            Box::new(InjectedSource::new(workset_slot.clone())),
-        );
+        let workset_head =
+            body.add_node("workset", vec![], Box::new(InjectedSource::new(workset_slot.clone())));
         let solution_head_id = solution_head.node_id();
         let workset_head_id = workset_head.node_id();
         DeltaIteration {
@@ -307,7 +304,13 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
         let mut iteration: u32 = 0;
         let mut superstep: u32 = 0;
         let mut converged = false;
-        let run_start = Instant::now();
+        let telemetry = ctx.config.telemetry.clone();
+        telemetry.emit(|| JournalEvent::RunStarted {
+            mode: IterationMode::Delta,
+            parallelism,
+            max_iterations: self.max_iterations,
+        });
+        let run_timer = telemetry.timer(SpanKind::Run, None, None);
 
         loop {
             if workset.is_empty() {
@@ -326,10 +329,12 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
             }
 
             // 1. Execute the loop body over solution view + workset.
+            let step_timer = telemetry.timer(SpanKind::Superstep, Some(superstep), Some(iteration));
             let step_ctx = ExecContext::new(ctx.config.clone());
             self.solution_slot.fill(Erased::new(materialize_solution(&solution)));
             self.workset_slot.fill(Erased::new(workset));
-            let step_start = Instant::now();
+            let compute_timer =
+                telemetry.timer(SpanKind::Compute, Some(superstep), Some(iteration));
             let outputs = {
                 let mut inner = self.body.inner.borrow_mut();
                 exec::execute_cached(
@@ -350,10 +355,25 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                 let pid = hash_partition(&k, parallelism);
                 solution[pid].insert(k, v);
             }
-            let duration = step_start.elapsed();
+            let duration = compute_timer.finish();
 
             // 3. Superstep statistics.
             let (counters, shuffled) = step_ctx.drain();
+            let shuffle_time = step_ctx.take_shuffle_time();
+            if shuffle_time > std::time::Duration::ZERO {
+                telemetry.span(&SpanRecord {
+                    kind: SpanKind::Shuffle,
+                    superstep: Some(superstep),
+                    iteration: Some(iteration),
+                    duration: shuffle_time,
+                });
+            }
+            telemetry.emit(|| JournalEvent::SuperstepCompleted {
+                superstep,
+                iteration,
+                records_shuffled: shuffled,
+                workset_size: Some(next_workset.total_len() as u64),
+            });
             let mut istats = IterationStats {
                 superstep,
                 iteration,
@@ -367,6 +387,13 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
 
             // 4. Fault-tolerance hook (checkpointing).
             if let Some(cost) = self.handler.after_superstep(iteration, &solution, &next_workset)? {
+                telemetry.emit(|| JournalEvent::CheckpointWritten { iteration, bytes: cost.bytes });
+                telemetry.span(&SpanRecord {
+                    kind: SpanKind::Checkpoint,
+                    superstep: Some(superstep),
+                    iteration: Some(iteration),
+                    duration: cost.duration,
+                });
                 istats.checkpoint_bytes = Some(cost.bytes);
                 istats.checkpoint_duration = Some(cost.duration);
             }
@@ -383,9 +410,20 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                         solution[pid] = FxHashMap::default();
                         lost_records += next_workset.clear_partition(pid) as u64;
                     }
-                    let recovery_start = Instant::now();
-                    let action =
-                        self.handler.on_failure(iteration, &lost, &mut solution, &mut next_workset)?;
+                    telemetry.emit(|| JournalEvent::FailureInjected {
+                        superstep,
+                        iteration,
+                        lost_partitions: lost.clone(),
+                        lost_records,
+                    });
+                    let recovery_timer =
+                        telemetry.timer(SpanKind::Recovery, Some(superstep), Some(iteration));
+                    let action = self.handler.on_failure(
+                        iteration,
+                        &lost,
+                        &mut solution,
+                        &mut next_workset,
+                    )?;
                     let recovery = match action {
                         DeltaRecoveryAction::Compensated => RecoveryKind::Compensated,
                         DeltaRecoveryAction::Restored {
@@ -406,12 +444,14 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                         }
                         DeltaRecoveryAction::Ignore => RecoveryKind::Ignored,
                     };
+                    let recovery_duration = recovery_timer.finish();
+                    telemetry.emit(|| JournalEvent::from_recovery(&recovery, iteration));
                     istats.workset_size = Some(next_workset.total_len() as u64);
                     istats.failure = Some(FailureRecord {
                         lost_partitions: lost,
                         lost_records,
                         recovery,
-                        recovery_duration: recovery_start.elapsed(),
+                        recovery_duration,
                     });
                 }
             }
@@ -421,13 +461,19 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                 observer(iteration, &solution, &next_workset, &mut istats);
             }
             run.iterations.push(istats);
+            let _ = step_timer.finish();
             superstep += 1;
             workset = next_workset;
             iteration = next_iteration;
         }
 
         run.converged = converged;
-        run.total_duration = run_start.elapsed();
+        run.total_duration = run_timer.finish();
+        telemetry.emit(|| JournalEvent::RunCompleted {
+            supersteps: run.supersteps(),
+            iterations: run.logical_iterations(),
+            converged: run.converged,
+        });
         self.stats.set(run);
         Ok(Erased::new(materialize_solution(&solution)))
     }

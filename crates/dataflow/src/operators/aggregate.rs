@@ -106,7 +106,11 @@ mod tests {
     #[test]
     fn global_fold_sums_across_partitions() {
         let input = Erased::new(Partitions::round_robin((1u64..=100).collect(), 4));
-        let mut op = GlobalFoldOp::new(0u64, |acc: &mut u64, v: &u64| *acc += v, |acc: &mut u64, p| *acc += p);
+        let mut op = GlobalFoldOp::new(
+            0u64,
+            |acc: &mut u64, v: &u64| *acc += v,
+            |acc: &mut u64, p| *acc += p,
+        );
         let out = op.execute(&[input], &ctx()).unwrap();
         let parts = out.take::<u64>("t").unwrap();
         assert_eq!(parts.total_len(), 1);
@@ -116,7 +120,11 @@ mod tests {
     #[test]
     fn global_fold_of_empty_input_yields_init() {
         let input = Erased::new(Partitions::<u64>::empty(3));
-        let mut op = GlobalFoldOp::new(7u64, |_: &mut u64, _: &u64| {}, |acc: &mut u64, p| *acc = (*acc).max(p));
+        let mut op = GlobalFoldOp::new(
+            7u64,
+            |_: &mut u64, _: &u64| {},
+            |acc: &mut u64, p| *acc = (*acc).max(p),
+        );
         let out = op.execute(&[input], &ctx()).unwrap();
         assert_eq!(out.take::<u64>("t").unwrap().partition(0), &[7]);
     }

@@ -185,8 +185,7 @@ where
         let f = &*self.f;
         let rights: Vec<Vec<R>> = replicated.parts.into_parts();
         let work = left.total_len() + replicated.moved as usize;
-        let zipped: Vec<(&Vec<L>, Vec<R>)> =
-            left.as_parts().iter().zip(rights).collect();
+        let zipped: Vec<(&Vec<L>, Vec<R>)> = left.as_parts().iter().zip(rights).collect();
         let out = par_map(zipped, ctx, work, |_, (lefts, rs)| {
             let mut out = Vec::with_capacity(lefts.len() * rs.len());
             for l in lefts {
@@ -304,7 +303,12 @@ mod tests {
             |r: &(u64, u64)| r.0,
             |l: &(u64, char), r: &(u64, u64)| (l.0, l.1, r.1),
         );
-        let mut v = op.execute(&[left, right], &ctx()).unwrap().take::<(u64, char, u64)>("t").unwrap().into_vec();
+        let mut v = op
+            .execute(&[left, right], &ctx())
+            .unwrap()
+            .take::<(u64, char, u64)>("t")
+            .unwrap()
+            .into_vec();
         v.sort_unstable();
         assert_eq!(v, vec![(1, 'a', 10), (1, 'a', 11), (3, 'c', 30)]);
     }
@@ -313,8 +317,11 @@ mod tests {
     fn join_empty_right_is_empty() {
         let left = erased(vec![(1u64, 1u64)], 2);
         let right = erased(Vec::<(u64, u64)>::new(), 2);
-        let mut op =
-            JoinOp::new(|l: &(u64, u64)| l.0, |r: &(u64, u64)| r.0, |l: &(u64, u64), _r: &(u64, u64)| *l);
+        let mut op = JoinOp::new(
+            |l: &(u64, u64)| l.0,
+            |r: &(u64, u64)| r.0,
+            |l: &(u64, u64), _r: &(u64, u64)| *l,
+        );
         let out = op.execute(&[left, right], &ctx()).unwrap();
         assert_eq!(out.downcast::<(u64, u64)>("t").unwrap().total_len(), 0);
     }
@@ -330,7 +337,12 @@ mod tests {
                 vec![(*k, ls.len() as u64, rs.len() as u64)]
             },
         );
-        let mut v = op.execute(&[left, right], &ctx()).unwrap().take::<(u64, u64, u64)>("t").unwrap().into_vec();
+        let mut v = op
+            .execute(&[left, right], &ctx())
+            .unwrap()
+            .take::<(u64, u64, u64)>("t")
+            .unwrap()
+            .into_vec();
         v.sort_unstable();
         assert_eq!(v, vec![(1, 1, 0), (2, 0, 1)]);
     }
@@ -340,7 +352,8 @@ mod tests {
         let left = erased(vec![1u64, 2], 2);
         let right = erased(vec![10u64, 20], 2);
         let mut op = CrossOp::new(|l: &u64, r: &u64| l * r);
-        let mut v = op.execute(&[left, right], &ctx()).unwrap().take::<u64>("t").unwrap().into_vec();
+        let mut v =
+            op.execute(&[left, right], &ctx()).unwrap().take::<u64>("t").unwrap().into_vec();
         v.sort_unstable();
         assert_eq!(v, vec![10, 20, 20, 40]);
     }

@@ -136,10 +136,7 @@ mod tests {
             .collect()
             .unwrap();
         out.sort();
-        assert_eq!(
-            out,
-            vec![(1, "a".to_string(), Some(10)), (2, "b".to_string(), None)]
-        );
+        assert_eq!(out, vec![(1, "a".to_string(), Some(10)), (2, "b".to_string(), None)]);
     }
 
     #[test]
@@ -147,8 +144,10 @@ mod tests {
         let env = Environment::new(2);
         let left = env.from_vec(vec![(1u64, 'x')]);
         let right = env.from_vec(vec![(1u64, 1u64), (1, 2)]);
-        let mut out =
-            left.left_outer_join("loj", &right, |_, _, r| r.copied().unwrap_or(0)).collect().unwrap();
+        let mut out = left
+            .left_outer_join("loj", &right, |_, _, r| r.copied().unwrap_or(0))
+            .collect()
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 2]);
     }

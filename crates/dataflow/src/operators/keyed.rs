@@ -161,11 +161,12 @@ mod tests {
 
     #[test]
     fn reduce_by_key_sums_groups() {
-        let input = Erased::new(Partitions::round_robin(
-            (0u64..20).map(|v| (v % 4, 1u64)).collect(),
-            4,
-        ));
-        let mut op = ReduceByKeyOp::new(|r: &(u64, u64)| r.0, |a: (u64, u64), b: (u64, u64)| (a.0, a.1 + b.1));
+        let input =
+            Erased::new(Partitions::round_robin((0u64..20).map(|v| (v % 4, 1u64)).collect(), 4));
+        let mut op = ReduceByKeyOp::new(
+            |r: &(u64, u64)| r.0,
+            |a: (u64, u64), b: (u64, u64)| (a.0, a.1 + b.1),
+        );
         let out = op.execute(&[input], &ctx()).unwrap();
         let mut v = out.take::<(u64, u64)>("t").unwrap().into_vec();
         v.sort_unstable();

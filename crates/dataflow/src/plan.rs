@@ -55,7 +55,12 @@ impl PlanGraph {
     }
 
     /// Append a node and return its id. Inputs must already exist.
-    pub fn add(&mut self, name: impl Into<String>, inputs: Vec<NodeId>, op: Box<dyn DynOp>) -> NodeId {
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<NodeId>,
+        op: Box<dyn DynOp>,
+    ) -> NodeId {
         let id = self.nodes.len();
         for &i in &inputs {
             assert!(i < id, "plan node references unknown input {i}");

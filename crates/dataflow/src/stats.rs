@@ -11,37 +11,11 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use crate::partition::PartitionId;
-
-/// What the fault handler did about an injected failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RecoveryKind {
-    /// Lost partitions were re-initialised by a compensation function and the
-    /// iteration continued (the paper's optimistic recovery).
-    Compensated,
-    /// State was restored from a checkpoint taken at the recorded iteration.
-    RolledBack {
-        /// Logical iteration of the restored checkpoint.
-        to_iteration: u32,
-    },
-    /// The computation restarted from its initial state.
-    Restarted,
-    /// The failure was deliberately left unhandled (ablation runs only).
-    Ignored,
-}
-
-/// A failure event observed during one superstep.
-#[derive(Debug, Clone)]
-pub struct FailureRecord {
-    /// Partitions whose iteration state was lost.
-    pub lost_partitions: Vec<PartitionId>,
-    /// Records destroyed by the failure (across all lost partitions).
-    pub lost_records: u64,
-    /// How recovery proceeded.
-    pub recovery: RecoveryKind,
-    /// Wall-clock time spent inside the fault handler.
-    pub recovery_duration: Duration,
-}
+// The canonical definitions of "what the fault handler did" live in the
+// telemetry crate (the event journal records the same facts); re-exported
+// here so engine users keep importing them from `dataflow::stats`. The
+// telemetry `PartitionId` is the same `usize` as `crate::partition::PartitionId`.
+pub use telemetry::{FailureRecord, RecoveryKind};
 
 /// Statistics for one executed superstep.
 #[derive(Debug, Clone, Default)]

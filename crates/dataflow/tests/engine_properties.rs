@@ -296,10 +296,12 @@ mod graphs_stub {
                 let root = self.find(v);
                 min_of_root[root as usize] = min_of_root[root as usize].min(v);
             }
-            let truth: Vec<u64> = (0..self.n).map(|v| {
-                let root = self.find(v);
-                min_of_root[root as usize]
-            }).collect();
+            let truth: Vec<u64> = (0..self.n)
+                .map(|v| {
+                    let root = self.find(v);
+                    min_of_root[root as usize]
+                })
+                .collect();
             (self.edges, truth)
         }
     }

@@ -65,11 +65,7 @@ impl Graph {
     /// Adjacency rows `(vertex, neighbours)` — the `graph`/`links` input
     /// datasets of the paper's dataflows.
     pub fn adjacency_rows(&self) -> Vec<(VertexId, Vec<VertexId>)> {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .map(|(v, ns)| (v as VertexId, ns.clone()))
-            .collect()
+        self.adjacency.iter().enumerate().map(|(v, ns)| (v as VertexId, ns.clone())).collect()
     }
 
     /// The transpose (directed graphs only; undirected graphs are their own
@@ -143,8 +139,12 @@ impl GraphBuilder {
         let num_edges = if self.directed {
             entries
         } else {
-            let self_loops =
-                self.adjacency.iter().enumerate().filter(|(v, ns)| ns.contains(&(*v as VertexId))).count();
+            let self_loops = self
+                .adjacency
+                .iter()
+                .enumerate()
+                .filter(|(v, ns)| ns.contains(&(*v as VertexId)))
+                .count();
             (entries - self_loops) / 2 + self_loops
         };
         Graph { adjacency: self.adjacency, directed: self.directed, num_edges }

@@ -23,10 +23,13 @@ pub struct LoadedGraph {
 
 /// Parse an edge list from any reader.
 pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> std::io::Result<LoadedGraph> {
-    let mut builder = if directed { GraphBuilder::directed(0) } else { GraphBuilder::undirected(0) };
+    let mut builder =
+        if directed { GraphBuilder::directed(0) } else { GraphBuilder::undirected(0) };
     let mut external_ids: Vec<u64> = Vec::new();
     let mut remap: std::collections::HashMap<u64, VertexId> = std::collections::HashMap::new();
-    let intern = |external: u64, ids: &mut Vec<u64>, remap: &mut std::collections::HashMap<u64, VertexId>| {
+    let intern = |external: u64,
+                  ids: &mut Vec<u64>,
+                  remap: &mut std::collections::HashMap<u64, VertexId>| {
         *remap.entry(external).or_insert_with(|| {
             ids.push(external);
             (ids.len() - 1) as VertexId

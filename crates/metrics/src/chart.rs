@@ -70,9 +70,11 @@ pub fn ascii_chart(series: &[f64], options: &ChartOptions) -> String {
     let points: Vec<Option<f64>> = series
         .chunks(bucket)
         .map(|chunk| {
-            chunk.iter().copied().filter(|v| v.is_finite()).fold(None, |acc: Option<f64>, v| {
-                Some(acc.map_or(v, |a| a.max(v)))
-            })
+            chunk
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
         })
         .collect();
 
@@ -91,7 +93,8 @@ pub fn ascii_chart(series: &[f64], options: &ChartOptions) -> String {
                 rows[row][x] = '*';
                 // Fill vertical jumps so cliffs and spikes read as lines.
                 if let Some(prev) = previous_row {
-                    let (a, b) = if prev < row { (prev + 1, row) } else { (row, prev.saturating_sub(1)) };
+                    let (a, b) =
+                        if prev < row { (prev + 1, row) } else { (row, prev.saturating_sub(1)) };
                     for filler in rows.iter_mut().take(b.max(a)).skip(a) {
                         if filler[x] == ' ' {
                             filler[x] = '|';

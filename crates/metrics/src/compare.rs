@@ -90,7 +90,8 @@ pub fn log2_histogram(values: &[u64], bar_width: usize) -> String {
     let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
     let mut out = String::new();
     for (bucket, count) in counts.iter().enumerate() {
-        let (lo, hi) = if bucket == 0 { (0, 0) } else { (1u64 << (bucket - 1), (1u64 << bucket) - 1) };
+        let (lo, hi) =
+            if bucket == 0 { (0, 0) } else { (1u64 << (bucket - 1), (1u64 << bucket) - 1) };
         let bar = "#".repeat(count * bar_width / max_count);
         out.push_str(&format!("  [{lo:>8}, {hi:>8}]  {bar} {count}\n"));
     }
@@ -135,10 +136,8 @@ mod tests {
         assert_eq!(text.lines().count(), 5);
         assert!(text.contains('#'));
         // Total count preserved.
-        let total: usize = text
-            .lines()
-            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
-            .sum();
+        let total: usize =
+            text.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap()).sum();
         assert_eq!(total, 5);
     }
 
@@ -154,10 +153,8 @@ mod tests {
         let text = log2_histogram(&[0, 1, 2, 3, 4, 1000], 10);
         assert!(text.contains("[       0,        0]"));
         assert!(text.contains("[     512,     1023]"));
-        let total: usize = text
-            .lines()
-            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
-            .sum();
+        let total: usize =
+            text.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap()).sum();
         assert_eq!(total, 6);
     }
 }

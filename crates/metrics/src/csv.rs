@@ -10,11 +10,8 @@ use dataflow::stats::{RecoveryKind, RunStats};
 /// become one column each; the failure columns record lost partitions and
 /// the recovery kind.
 pub fn run_stats_csv(stats: &RunStats) -> String {
-    let counters: BTreeSet<&str> = stats
-        .iterations
-        .iter()
-        .flat_map(|i| i.counters.keys().map(String::as_str))
-        .collect();
+    let counters: BTreeSet<&str> =
+        stats.iterations.iter().flat_map(|i| i.counters.keys().map(String::as_str)).collect();
     let gauges: BTreeSet<&str> =
         stats.iterations.iter().flat_map(|i| i.gauges.keys().map(String::as_str)).collect();
 
@@ -29,8 +26,15 @@ pub fn run_stats_csv(stats: &RunStats) -> String {
     header.extend(counters.iter().map(|c| format!("counter_{c}")));
     header.extend(gauges.iter().map(|g| format!("gauge_{g}")));
     header.extend(
-        ["checkpoint_bytes", "checkpoint_us", "failed", "lost_partitions", "recovery", "recovery_us"]
-            .map(String::from),
+        [
+            "checkpoint_bytes",
+            "checkpoint_us",
+            "failed",
+            "lost_partitions",
+            "recovery",
+            "recovery_us",
+        ]
+        .map(String::from),
     );
     out.push_str(&header.join(","));
     out.push('\n');
@@ -58,14 +62,12 @@ pub fn run_stats_csv(stats: &RunStats) -> String {
                 let partitions: Vec<String> =
                     f.lost_partitions.iter().map(|p| p.to_string()).collect();
                 row.push(partitions.join("|"));
-                row.push(
-                    match &f.recovery {
-                        RecoveryKind::Compensated => "compensated".to_string(),
-                        RecoveryKind::RolledBack { to_iteration } => format!("rollback:{to_iteration}"),
-                        RecoveryKind::Restarted => "restart".to_string(),
-                        RecoveryKind::Ignored => "ignored".to_string(),
-                    },
-                );
+                row.push(match &f.recovery {
+                    RecoveryKind::Compensated => "compensated".to_string(),
+                    RecoveryKind::RolledBack { to_iteration } => format!("rollback:{to_iteration}"),
+                    RecoveryKind::Restarted => "restart".to_string(),
+                    RecoveryKind::Ignored => "ignored".to_string(),
+                });
                 row.push(f.recovery_duration.as_micros().to_string());
             }
         }
@@ -92,11 +94,7 @@ pub fn write_run_stats_csv(stats: &RunStats, path: &Path) -> std::io::Result<()>
 /// Write a generic table (header + rows) as CSV, creating parent
 /// directories. Used by the figure-regeneration binaries for series that
 /// combine several runs.
-pub fn write_table_csv(
-    header: &[&str],
-    rows: &[Vec<String>],
-    path: &Path,
-) -> std::io::Result<()> {
+pub fn write_table_csv(header: &[&str], rows: &[Vec<String>], path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -172,12 +170,8 @@ mod tests {
     fn generic_table_csv() {
         let dir = std::env::temp_dir().join("optirec-csv-test2");
         let path = dir.join("table.csv");
-        write_table_csv(
-            &["strategy", "ms"],
-            &[vec!["optimistic".into(), "1.5".into()]],
-            &path,
-        )
-        .unwrap();
+        write_table_csv(&["strategy", "ms"], &[vec!["optimistic".into(), "1.5".into()]], &path)
+            .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "strategy,ms\noptimistic,1.5\n");
         std::fs::remove_dir_all(&dir).ok();

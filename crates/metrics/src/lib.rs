@@ -12,6 +12,8 @@
 //! * [`table`] — per-superstep statistics tables.
 //! * [`csv`] — CSV export of every series for external plotting.
 //! * [`render`] — graph-state renderers (the "screenshots" of Figs. 3/5).
+//! * [`report`] — telemetry [`RunReport`](telemetry::RunReport) tables and
+//!   reconciliation against the engine's legacy `RunStats`.
 
 #![warn(missing_docs)]
 
@@ -19,9 +21,11 @@ pub mod chart;
 pub mod compare;
 pub mod csv;
 pub mod render;
+pub mod report;
 pub mod table;
 
 pub use chart::{ascii_chart, ChartOptions};
 pub use compare::{histogram, log2_histogram, sparkline, sparkline_board};
 pub use csv::run_stats_csv;
+pub use report::{reconcile, run_report_table};
 pub use table::run_stats_table;

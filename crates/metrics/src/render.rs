@@ -25,13 +25,7 @@ pub fn render_components(labels: &[(VertexId, VertexId)], lost: &[VertexId]) -> 
         members.sort_unstable();
         let rendered: Vec<String> = members
             .iter()
-            .map(|v| {
-                if lost.contains(v) {
-                    format!("[{v}!]")
-                } else {
-                    v.to_string()
-                }
-            })
+            .map(|v| if lost.contains(v) { format!("[{v}!]") } else { v.to_string() })
             .collect();
         out.push_str(&format!("  label {label:>4}: {{{}}}\n", rendered.join(", ")));
     }

@@ -9,11 +9,8 @@ use dataflow::stats::{RecoveryKind, RunStats};
 /// workset size, every named counter and gauge, checkpoint bytes, and the
 /// failure/recovery events.
 pub fn run_stats_table(stats: &RunStats) -> String {
-    let counters: BTreeSet<&str> = stats
-        .iterations
-        .iter()
-        .flat_map(|i| i.counters.keys().map(String::as_str))
-        .collect();
+    let counters: BTreeSet<&str> =
+        stats.iterations.iter().flat_map(|i| i.counters.keys().map(String::as_str)).collect();
     let gauges: BTreeSet<&str> =
         stats.iterations.iter().flat_map(|i| i.gauges.keys().map(String::as_str)).collect();
 
@@ -134,7 +131,15 @@ mod tests {
     #[test]
     fn table_contains_all_columns_and_events() {
         let table = run_stats_table(&sample_stats());
-        for needle in ["step", "messages", "converged", "ckpt_bytes", "lost [0,2] -> compensated", "42", "128"] {
+        for needle in [
+            "step",
+            "messages",
+            "converged",
+            "ckpt_bytes",
+            "lost [0,2] -> compensated",
+            "42",
+            "128",
+        ] {
             assert!(table.contains(needle), "missing {needle}:\n{table}");
         }
     }

@@ -1,0 +1,78 @@
+//! Vendored offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this crate wraps
+//! `std::sync::Mutex` behind parking_lot's poison-free API: `lock()` returns
+//! the guard directly instead of a `Result`. A poisoned lock (a panic while
+//! held) is propagated by recovering the inner guard — the panicking thread
+//! has already aborted the test or run, so the data is as consistent as
+//! parking_lot's own semantics guarantee.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutably borrow the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+}

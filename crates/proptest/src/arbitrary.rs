@@ -1,0 +1,97 @@
+//! `any::<T>()` — the default strategy for a type.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The default strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        // Mostly arbitrary bit patterns (these already cover NaN payloads and
+        // both infinities), with the classic edge cases injected explicitly
+        // so they show up even in short runs.
+        const SPECIALS: [f64; 8] = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN,
+            f64::MAX,
+            f64::EPSILON,
+        ];
+        if runner.rng().gen_range(0u64..8) == 0 {
+            SPECIALS[runner.rng().gen_range(0usize..SPECIALS.len())]
+        } else {
+            f64::from_bits(runner.rng().gen::<u64>())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{any, Arbitrary};
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn any_is_deterministic_per_runner() {
+        let draw = || {
+            let mut runner = TestRunner::deterministic("arbitrary::test", 9);
+            (0..32).map(|_| any::<u32>().generate(&mut runner)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn f64_hits_special_values_eventually() {
+        let mut runner = TestRunner::deterministic("arbitrary::f64", 0);
+        let mut saw_nan = false;
+        for _ in 0..10_000 {
+            saw_nan |= f64::arbitrary(&mut runner).is_nan();
+        }
+        assert!(saw_nan);
+    }
+}

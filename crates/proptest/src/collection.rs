@@ -1,0 +1,47 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = runner.rng().gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vec;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn length_and_elements_respect_bounds() {
+        let mut runner = TestRunner::deterministic("collection::test", 0);
+        let strat = vec(5u64..10, 2..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut runner);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|e| (5..10).contains(e)));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of proptest the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! `Strategy` with `prop_map`/`prop_flat_map`, range/tuple/`any`/collection
+//! strategies, `prop::sample::Index`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports its case number and seed instead
+//!   of a minimised input;
+//! - cases are seeded deterministically from the test's module path and the
+//!   case index, so a failure reproduces on every run.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests: one or more `#[test] fn name(arg in strategy, ..) { .. }`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+///
+/// Each generated test runs `config.cases` deterministic cases; a panicking
+/// case reports its index and seed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @expand($config) $($rest)* }
+    };
+    (@expand($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                for __case in 0..__config.cases {
+                    let __name = concat!(module_path!(), "::", stringify!($name));
+                    let __guard = $crate::test_runner::CaseGuard::new(__name, __case);
+                    let mut __runner =
+                        $crate::test_runner::TestRunner::deterministic(__name, u64::from(__case));
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __runner);)+
+                    $body
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @expand($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property test (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

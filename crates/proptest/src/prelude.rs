@@ -1,0 +1,12 @@
+//! The usual `use proptest::prelude::*;` surface.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Module-style access to strategy namespaces (`prop::sample::Index`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}

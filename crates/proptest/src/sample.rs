@@ -1,0 +1,46 @@
+//! Sampling helpers (`prop::sample`).
+
+use rand::Rng;
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRunner;
+
+/// An index into a collection whose length is only known at use time
+/// (stand-in for `proptest::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `0..size`.
+    ///
+    /// # Panics
+    /// Panics when `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index called with size 0");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        Index(runner.rng().gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Index;
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut runner = TestRunner::deterministic("sample::test", 0);
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut runner);
+            for size in [1usize, 2, 7, 1000] {
+                assert!(idx.index(size) < size);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The `Strategy` trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value *tree* (no shrinking): a strategy
+/// simply draws a fresh value from the runner's RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derive a second strategy from each generated value and draw from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.source.generate(runner)).generate(runner)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn combinators_compose() {
+        let mut runner = TestRunner::deterministic("strategy::test", 0);
+        let strat = (1u64..5).prop_flat_map(|n| (0u64..n, 10u64..20).prop_map(|(a, b)| a + b));
+        for _ in 0..100 {
+            let v = strat.generate(&mut runner);
+            assert!((10..24).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-test configuration and the deterministic case runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-level configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property test executes.
+    pub cases: u32,
+    /// Accepted for source compatibility; this implementation never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Supplies the entropy strategies draw from. Seeded deterministically from
+/// the test name and case index, so every run generates identical inputs.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner for case `case` of the test named `test_name`.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        TestRunner { rng: StdRng::seed_from_u64(Self::seed(test_name, case)) }
+    }
+
+    /// FNV-1a over the test name, mixed with the case index.
+    fn seed(test_name: &str, case: u64) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The runner's random-number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Reports which case was executing if a property test panics; without
+/// shrinking this is the replay handle (same name + case → same inputs).
+#[derive(Debug)]
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    /// Guard the given case. Dropping during a panic prints the case index.
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CaseGuard { test_name, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed on case {} (deterministic seed; rerun reproduces it)",
+                self.test_name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRunner;
+    use rand::Rng;
+
+    #[test]
+    fn same_name_and_case_give_identical_streams() {
+        let mut a = TestRunner::deterministic("mod::test", 3);
+        let mut b = TestRunner::deterministic("mod::test", 3);
+        for _ in 0..64 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_diverge() {
+        let mut a = TestRunner::deterministic("mod::test", 0);
+        let mut b = TestRunner::deterministic("mod::test", 1);
+        assert_ne!(a.rng().next_u64(), b.rng().next_u64());
+    }
+}

@@ -1,0 +1,345 @@
+//! The structured event journal: what happened during a run, minus when.
+//!
+//! Events are the *facts* of an iterative run — supersteps completing,
+//! checkpoints written, failures injected, recovery decisions taken. They
+//! deliberately carry no wall-clock data: a deterministic run (fixed input,
+//! fixed failure schedule) must replay to a byte-identical JSONL journal,
+//! which is what lets tests assert on recovery behaviour instead of
+//! scraping log strings. Timings live in [`crate::span`] and
+//! [`crate::metrics`] instead.
+//!
+//! This module also owns the canonical [`RecoveryKind`] and
+//! [`FailureRecord`] types. The engine crate re-exports them from its
+//! `stats` module, so there is exactly one definition of "what the fault
+//! handler did" across the workspace.
+
+use std::time::Duration;
+
+use crate::json::Obj;
+
+/// Identifier of a simulated worker partition.
+///
+/// Mirrors the engine's partition id (both are `usize`); defined here so
+/// the journal does not depend on the engine crate.
+pub type PartitionId = usize;
+
+/// What the fault handler did about an injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Lost partitions were re-initialised by a compensation function and the
+    /// iteration continued (the paper's optimistic recovery).
+    Compensated,
+    /// State was restored from a checkpoint taken at the recorded iteration.
+    RolledBack {
+        /// Logical iteration of the restored checkpoint.
+        to_iteration: u32,
+    },
+    /// The computation restarted from its initial state.
+    Restarted,
+    /// The failure was deliberately left unhandled (ablation runs only).
+    Ignored,
+}
+
+/// A failure event observed during one superstep.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Partitions whose iteration state was lost.
+    pub lost_partitions: Vec<PartitionId>,
+    /// Records destroyed by the failure (across all lost partitions).
+    pub lost_records: u64,
+    /// How recovery proceeded.
+    pub recovery: RecoveryKind,
+    /// Wall-clock time spent inside the fault handler.
+    pub recovery_duration: Duration,
+}
+
+/// Which iteration template produced a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationMode {
+    /// Bulk iteration: the whole state is recomputed every superstep.
+    Bulk,
+    /// Delta iteration: solution set plus shrinking working set.
+    Delta,
+}
+
+impl IterationMode {
+    /// Stable label used in the journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            IterationMode::Bulk => "bulk",
+            IterationMode::Delta => "delta",
+        }
+    }
+}
+
+/// One entry of the structured event journal.
+///
+/// Variants carry only deterministic payloads (iteration coordinates,
+/// counts, names) — never durations or timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// An iterative run began.
+    RunStarted {
+        /// Bulk or delta iteration.
+        mode: IterationMode,
+        /// Number of simulated worker partitions.
+        parallelism: usize,
+        /// Configured iteration cap.
+        max_iterations: u32,
+    },
+    /// A superstep's body finished executing (before checkpoint/failure
+    /// handling for that step).
+    SuperstepCompleted {
+        /// Chronological superstep index (never repeats).
+        superstep: u32,
+        /// Logical iteration number (repeats after rollback/restart).
+        iteration: u32,
+        /// Records that crossed partition boundaries during the step.
+        records_shuffled: u64,
+        /// Working-set size entering the next iteration (delta only).
+        workset_size: Option<u64>,
+    },
+    /// The fault handler wrote a checkpoint of the recorded iteration.
+    CheckpointWritten {
+        /// Logical iteration the checkpoint captures.
+        iteration: u32,
+        /// Serialized size of the checkpoint.
+        bytes: u64,
+    },
+    /// A failure was injected, destroying partition state.
+    FailureInjected {
+        /// Superstep during which the failure struck.
+        superstep: u32,
+        /// Logical iteration during which the failure struck.
+        iteration: u32,
+        /// Partitions whose state was lost.
+        lost_partitions: Vec<PartitionId>,
+        /// Records destroyed across the lost partitions.
+        lost_records: u64,
+    },
+    /// Optimistic recovery: a compensation function repaired the lost
+    /// partitions and the iteration continued.
+    CompensationApplied {
+        /// Logical iteration that continues after compensation.
+        iteration: u32,
+    },
+    /// The named compensation function ran (emitted by the strategy layer,
+    /// alongside the engine's [`JournalEvent::CompensationApplied`]).
+    CompensationInvoked {
+        /// `Compensation::name()` of the function that repaired the state.
+        name: String,
+        /// Logical iteration it repaired.
+        iteration: u32,
+    },
+    /// Rollback recovery: state was restored from a checkpoint.
+    RolledBack {
+        /// Logical iteration the run rolled back to.
+        to_iteration: u32,
+    },
+    /// The strategy layer restored a checkpoint from stable storage.
+    CheckpointRestored {
+        /// Logical iteration of the restored checkpoint.
+        iteration: u32,
+    },
+    /// Incremental rollback: a base checkpoint plus a chain of diffs was
+    /// replayed.
+    DiffChainReplayed {
+        /// Logical iteration of the full base checkpoint.
+        base_iteration: u32,
+        /// Number of diffs replayed on top of the base.
+        diffs: u32,
+    },
+    /// The computation restarted from its initial state.
+    Restarted,
+    /// The failure was deliberately ignored (ablation runs).
+    FailureIgnored {
+        /// Logical iteration during which the failure was ignored.
+        iteration: u32,
+    },
+    /// The run finished.
+    RunCompleted {
+        /// Supersteps actually executed (rollbacks re-execute).
+        supersteps: u32,
+        /// Highest logical iteration reached plus one.
+        iterations: u32,
+        /// Whether the termination criterion was met (vs. hitting the cap).
+        converged: bool,
+    },
+}
+
+impl JournalEvent {
+    /// Stable variant name, used as the `event` field of the JSONL journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::RunStarted { .. } => "RunStarted",
+            JournalEvent::SuperstepCompleted { .. } => "SuperstepCompleted",
+            JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            JournalEvent::FailureInjected { .. } => "FailureInjected",
+            JournalEvent::CompensationApplied { .. } => "CompensationApplied",
+            JournalEvent::CompensationInvoked { .. } => "CompensationInvoked",
+            JournalEvent::RolledBack { .. } => "RolledBack",
+            JournalEvent::CheckpointRestored { .. } => "CheckpointRestored",
+            JournalEvent::DiffChainReplayed { .. } => "DiffChainReplayed",
+            JournalEvent::Restarted => "Restarted",
+            JournalEvent::FailureIgnored { .. } => "FailureIgnored",
+            JournalEvent::RunCompleted { .. } => "RunCompleted",
+        }
+    }
+
+    /// The engine-side event describing a recovery decision.
+    ///
+    /// Strategy-specific detail events ([`JournalEvent::CompensationInvoked`],
+    /// [`JournalEvent::CheckpointRestored`], ...) are emitted separately by
+    /// the strategies themselves.
+    pub fn from_recovery(kind: &RecoveryKind, iteration: u32) -> JournalEvent {
+        match kind {
+            RecoveryKind::Compensated => JournalEvent::CompensationApplied { iteration },
+            RecoveryKind::RolledBack { to_iteration } => {
+                JournalEvent::RolledBack { to_iteration: *to_iteration }
+            }
+            RecoveryKind::Restarted => JournalEvent::Restarted,
+            RecoveryKind::Ignored => JournalEvent::FailureIgnored { iteration },
+        }
+    }
+
+    /// Serialize as one line of JSON (no trailing newline). The `event`
+    /// field always comes first; remaining fields are in declaration order.
+    pub fn to_json(&self) -> String {
+        let obj = Obj::new().str("event", self.kind());
+        match self {
+            JournalEvent::RunStarted { mode, parallelism, max_iterations } => obj
+                .str("mode", mode.label())
+                .u64("parallelism", *parallelism as u64)
+                .u64("max_iterations", u64::from(*max_iterations))
+                .finish(),
+            JournalEvent::SuperstepCompleted {
+                superstep,
+                iteration,
+                records_shuffled,
+                workset_size,
+            } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("iteration", u64::from(*iteration))
+                .u64("records_shuffled", *records_shuffled)
+                .opt_u64("workset_size", *workset_size)
+                .finish(),
+            JournalEvent::CheckpointWritten { iteration, bytes } => {
+                obj.u64("iteration", u64::from(*iteration)).u64("bytes", *bytes).finish()
+            }
+            JournalEvent::FailureInjected {
+                superstep,
+                iteration,
+                lost_partitions,
+                lost_records,
+            } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("iteration", u64::from(*iteration))
+                .u64_array("lost_partitions", lost_partitions.iter().map(|&p| p as u64))
+                .u64("lost_records", *lost_records)
+                .finish(),
+            JournalEvent::CompensationApplied { iteration } => {
+                obj.u64("iteration", u64::from(*iteration)).finish()
+            }
+            JournalEvent::CompensationInvoked { name, iteration } => {
+                obj.str("name", name).u64("iteration", u64::from(*iteration)).finish()
+            }
+            JournalEvent::RolledBack { to_iteration } => {
+                obj.u64("to_iteration", u64::from(*to_iteration)).finish()
+            }
+            JournalEvent::CheckpointRestored { iteration } => {
+                obj.u64("iteration", u64::from(*iteration)).finish()
+            }
+            JournalEvent::DiffChainReplayed { base_iteration, diffs } => obj
+                .u64("base_iteration", u64::from(*base_iteration))
+                .u64("diffs", u64::from(*diffs))
+                .finish(),
+            JournalEvent::Restarted => obj.finish(),
+            JournalEvent::FailureIgnored { iteration } => {
+                obj.u64("iteration", u64::from(*iteration)).finish()
+            }
+            JournalEvent::RunCompleted { supersteps, iterations, converged } => obj
+                .u64("supersteps", u64::from(*supersteps))
+                .u64("iterations", u64::from(*iterations))
+                .bool("converged", *converged)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_stable() {
+        let event = JournalEvent::FailureInjected {
+            superstep: 3,
+            iteration: 2,
+            lost_partitions: vec![0, 2],
+            lost_records: 17,
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"event\":\"FailureInjected\",\"superstep\":3,\"iteration\":2,\
+             \"lost_partitions\":[0,2],\"lost_records\":17}"
+        );
+    }
+
+    #[test]
+    fn workset_size_is_omitted_for_bulk_steps() {
+        let bulk = JournalEvent::SuperstepCompleted {
+            superstep: 0,
+            iteration: 0,
+            records_shuffled: 5,
+            workset_size: None,
+        };
+        assert!(!bulk.to_json().contains("workset_size"));
+        let delta = JournalEvent::SuperstepCompleted {
+            superstep: 0,
+            iteration: 0,
+            records_shuffled: 5,
+            workset_size: Some(0),
+        };
+        assert!(delta.to_json().contains("\"workset_size\":0"));
+    }
+
+    #[test]
+    fn recovery_kinds_map_to_events() {
+        assert_eq!(
+            JournalEvent::from_recovery(&RecoveryKind::Compensated, 4),
+            JournalEvent::CompensationApplied { iteration: 4 }
+        );
+        assert_eq!(
+            JournalEvent::from_recovery(&RecoveryKind::RolledBack { to_iteration: 2 }, 4),
+            JournalEvent::RolledBack { to_iteration: 2 }
+        );
+        assert_eq!(
+            JournalEvent::from_recovery(&RecoveryKind::Restarted, 4),
+            JournalEvent::Restarted
+        );
+        assert_eq!(
+            JournalEvent::from_recovery(&RecoveryKind::Ignored, 4),
+            JournalEvent::FailureIgnored { iteration: 4 }
+        );
+    }
+
+    #[test]
+    fn every_variant_has_a_kind() {
+        let events = [
+            JournalEvent::RunStarted {
+                mode: IterationMode::Bulk,
+                parallelism: 4,
+                max_iterations: 10,
+            },
+            JournalEvent::RunCompleted { supersteps: 3, iterations: 3, converged: true },
+            JournalEvent::CheckpointWritten { iteration: 1, bytes: 10 },
+            JournalEvent::CheckpointRestored { iteration: 1 },
+            JournalEvent::DiffChainReplayed { base_iteration: 0, diffs: 3 },
+            JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
+            JournalEvent::Restarted,
+        ];
+        for e in &events {
+            assert!(e.to_json().starts_with(&format!("{{\"event\":\"{}\"", e.kind())));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! A minimal JSON object writer.
+//!
+//! The journal and report serializers need exactly one shape — a flat-ish
+//! object with string/number/bool/array fields written in a fixed order —
+//! so a ~hundred-line writer beats a serde dependency. Field order is the
+//! insertion order, which keeps serialized output deterministic.
+
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Infinity; those
+/// serialize as `null`).
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        // `{:?}` round-trips f64 exactly while keeping short decimals short.
+        format!("{value:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental writer for one JSON object.
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start a new object (`{`).
+    pub fn new() -> Self {
+        Obj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Add an unsigned integer field (`u64`, or anything that widens to it).
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add an array-of-unsigned field.
+    pub fn u64_array(mut self, key: &str, values: impl IntoIterator<Item = u64>) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Add an optional unsigned field; `None` is omitted entirely so absent
+    /// and zero stay distinguishable.
+    pub fn opt_u64(self, key: &str, value: Option<u64>) -> Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self,
+        }
+    }
+
+    /// Close the object (`}`) and return the serialized string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn builds_objects_in_insertion_order() {
+        let json = Obj::new()
+            .str("event", "Test")
+            .u64("n", 3)
+            .bool("ok", true)
+            .u64_array("ids", [1u64, 2])
+            .opt_u64("absent", None)
+            .opt_u64("present", Some(9))
+            .f64("x", 0.5)
+            .finish();
+        assert_eq!(
+            json,
+            "{\"event\":\"Test\",\"n\":3,\"ok\":true,\"ids\":[1,2],\"present\":9,\"x\":0.5}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.25), "1.25");
+    }
+}

@@ -1,0 +1,224 @@
+//! Aggregation of a finished run's telemetry into a serializable report.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::event::JournalEvent;
+use crate::json::Obj;
+use crate::metrics::MetricsSnapshot;
+use crate::sink::MemorySink;
+use crate::span::{SpanKind, SpanRecord};
+
+/// Totals of one iterative run, derived from its event journal and spans.
+///
+/// The report intentionally overlaps with the engine's legacy `RunStats`:
+/// tests reconcile the two, proving the journal faithfully describes the
+/// run it came from.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Supersteps actually executed (rollbacks re-execute).
+    pub supersteps: u32,
+    /// Highest logical iteration reached plus one.
+    pub logical_iterations: u32,
+    /// Whether the run converged (from `RunCompleted`).
+    pub converged: bool,
+    /// Total records shuffled across partitions, summed over supersteps.
+    pub records_shuffled: u64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Records destroyed by failures.
+    pub lost_records: u64,
+    /// Failures answered by compensation (optimistic recovery).
+    pub compensations: u64,
+    /// Failures answered by checkpoint rollback.
+    pub rollbacks: u64,
+    /// Failures answered by full restart.
+    pub restarts: u64,
+    /// Failures deliberately ignored.
+    pub ignored: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Total bytes written by checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Count of every event kind seen, by kind name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Total wall-clock per span kind (label → duration).
+    pub span_totals: BTreeMap<String, Duration>,
+}
+
+impl RunReport {
+    /// Aggregate a journal and the spans recorded alongside it.
+    pub fn from_journal(events: &[JournalEvent], spans: &[SpanRecord]) -> Self {
+        let mut report = RunReport::default();
+        for event in events {
+            *report.event_counts.entry(event.kind().to_owned()).or_insert(0) += 1;
+            match event {
+                JournalEvent::SuperstepCompleted { records_shuffled, .. } => {
+                    report.records_shuffled += records_shuffled;
+                }
+                JournalEvent::CheckpointWritten { bytes, .. } => {
+                    report.checkpoints += 1;
+                    report.checkpoint_bytes += bytes;
+                }
+                JournalEvent::FailureInjected { lost_records, .. } => {
+                    report.failures += 1;
+                    report.lost_records += lost_records;
+                }
+                JournalEvent::CompensationApplied { .. } => report.compensations += 1,
+                JournalEvent::RolledBack { .. } => report.rollbacks += 1,
+                JournalEvent::Restarted => report.restarts += 1,
+                JournalEvent::FailureIgnored { .. } => report.ignored += 1,
+                JournalEvent::RunCompleted { supersteps, iterations, converged } => {
+                    report.supersteps = *supersteps;
+                    report.logical_iterations = *iterations;
+                    report.converged = *converged;
+                }
+                _ => {}
+            }
+        }
+        for span in spans {
+            *report.span_totals.entry(span.kind.label().to_owned()).or_insert(Duration::ZERO) +=
+                span.duration;
+        }
+        report
+    }
+
+    /// Aggregate everything a [`MemorySink`] captured.
+    pub fn from_sink(sink: &MemorySink) -> Self {
+        RunReport::from_journal(&sink.events(), &sink.spans())
+    }
+
+    /// Total wall-clock attributed to one span kind.
+    pub fn span_total(&self, kind: SpanKind) -> Duration {
+        self.span_totals.get(kind.label()).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Serialize as a JSON object (durations in integer nanoseconds).
+    pub fn to_json(&self) -> String {
+        let mut event_counts = Obj::new();
+        for (kind, count) in &self.event_counts {
+            event_counts = event_counts.u64(kind, *count);
+        }
+        let mut span_totals = Obj::new();
+        for (label, duration) in &self.span_totals {
+            span_totals = span_totals.u64(&format!("{label}_ns"), duration.as_nanos() as u64);
+        }
+        Obj::new()
+            .u64("supersteps", u64::from(self.supersteps))
+            .u64("logical_iterations", u64::from(self.logical_iterations))
+            .bool("converged", self.converged)
+            .u64("records_shuffled", self.records_shuffled)
+            .u64("failures", self.failures)
+            .u64("lost_records", self.lost_records)
+            .u64("compensations", self.compensations)
+            .u64("rollbacks", self.rollbacks)
+            .u64("restarts", self.restarts)
+            .u64("ignored", self.ignored)
+            .u64("checkpoints", self.checkpoints)
+            .u64("checkpoint_bytes", self.checkpoint_bytes)
+            .raw("event_counts", &event_counts.finish())
+            .raw("span_totals", &span_totals.finish())
+            .finish()
+    }
+
+    /// Serialize the report together with a metrics snapshot.
+    pub fn to_json_with_metrics(&self, metrics: &MetricsSnapshot) -> String {
+        Obj::new().raw("report", &self.to_json()).raw("metrics", &metrics.to_json()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IterationMode;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::RunStarted {
+                mode: IterationMode::Bulk,
+                parallelism: 4,
+                max_iterations: 10,
+            },
+            JournalEvent::SuperstepCompleted {
+                superstep: 0,
+                iteration: 0,
+                records_shuffled: 100,
+                workset_size: None,
+            },
+            JournalEvent::CheckpointWritten { iteration: 0, bytes: 64 },
+            JournalEvent::SuperstepCompleted {
+                superstep: 1,
+                iteration: 1,
+                records_shuffled: 80,
+                workset_size: None,
+            },
+            JournalEvent::FailureInjected {
+                superstep: 1,
+                iteration: 1,
+                lost_partitions: vec![2],
+                lost_records: 7,
+            },
+            JournalEvent::RolledBack { to_iteration: 0 },
+            JournalEvent::SuperstepCompleted {
+                superstep: 2,
+                iteration: 1,
+                records_shuffled: 80,
+                workset_size: None,
+            },
+            JournalEvent::RunCompleted { supersteps: 3, iterations: 2, converged: true },
+        ]
+    }
+
+    #[test]
+    fn aggregates_event_totals() {
+        let report = RunReport::from_journal(&sample_events(), &[]);
+        assert_eq!(report.supersteps, 3);
+        assert_eq!(report.logical_iterations, 2);
+        assert!(report.converged);
+        assert_eq!(report.records_shuffled, 260);
+        assert_eq!(report.failures, 1);
+        assert_eq!(report.lost_records, 7);
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.compensations, 0);
+        assert_eq!(report.checkpoints, 1);
+        assert_eq!(report.checkpoint_bytes, 64);
+        assert_eq!(report.event_counts["SuperstepCompleted"], 3);
+    }
+
+    #[test]
+    fn aggregates_span_totals() {
+        let spans = vec![
+            SpanRecord {
+                kind: SpanKind::Compute,
+                superstep: Some(0),
+                iteration: Some(0),
+                duration: Duration::from_millis(5),
+            },
+            SpanRecord {
+                kind: SpanKind::Compute,
+                superstep: Some(1),
+                iteration: Some(1),
+                duration: Duration::from_millis(7),
+            },
+            SpanRecord {
+                kind: SpanKind::Run,
+                superstep: None,
+                iteration: None,
+                duration: Duration::from_millis(20),
+            },
+        ];
+        let report = RunReport::from_journal(&[], &spans);
+        assert_eq!(report.span_total(SpanKind::Compute), Duration::from_millis(12));
+        assert_eq!(report.span_total(SpanKind::Run), Duration::from_millis(20));
+        assert_eq!(report.span_total(SpanKind::Shuffle), Duration::ZERO);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let report = RunReport::from_journal(&sample_events(), &[]);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"supersteps\":3,"));
+        assert!(json.contains("\"event_counts\":{"));
+        assert!(json.contains("\"RolledBack\":1"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Sinks: where events and spans go, and the handle the engine carries.
+//!
+//! The engine is instrumented unconditionally but configured with a
+//! [`SinkHandle`] that defaults to the [`NoopSink`]. Every emission site
+//! checks [`SinkHandle::enabled`] first — with the no-op sink that is a
+//! single non-atomic bool read, and event payloads are built lazily via
+//! [`SinkHandle::emit`], so disabled telemetry costs near nothing.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::event::JournalEvent;
+use crate::metrics::MetricRegistry;
+use crate::span::{SpanKind, SpanRecord, SpanTimer};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Receiver of telemetry signals. Implementations must be cheap and
+/// thread-safe; the engine may call them from worker threads.
+pub trait TelemetrySink: Send + Sync {
+    /// Whether the sink wants signals at all. When `false` the engine skips
+    /// event construction and span reporting entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receive one journal event.
+    fn event(&self, event: &JournalEvent);
+
+    /// Receive one finished span.
+    fn span(&self, span: &SpanRecord);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&self, _: &JournalEvent) {}
+
+    fn span(&self, _: &SpanRecord) {}
+}
+
+/// In-memory sink capturing events and spans for inspection — the workhorse
+/// of tests and of report generation in the bench binaries.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<JournalEvent>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemorySink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copy of every captured event, in emission order.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        lock(&self.events).clone()
+    }
+
+    /// Copy of every captured span, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.spans).clone()
+    }
+
+    /// The captured events rendered as a JSONL journal (one event per line,
+    /// trailing newline). Byte-identical across replays of a deterministic
+    /// run, because events carry no wall-clock data.
+    pub fn journal_lines(&self) -> String {
+        let mut out = String::new();
+        for event in lock(&self.events).iter() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop all captured events and spans.
+    pub fn clear(&self) {
+        lock(&self.events).clear();
+        lock(&self.spans).clear();
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn event(&self, event: &JournalEvent) {
+        lock(&self.events).push(event.clone());
+    }
+
+    fn span(&self, span: &SpanRecord) {
+        lock(&self.spans).push(span.clone());
+    }
+}
+
+/// Sink that streams the event journal to a JSONL file as it happens.
+///
+/// Spans are *not* written: their durations are nondeterministic, and the
+/// file exists to be diffed and asserted on. Use a [`MemorySink`] (or the
+/// metric registry) when timings matter.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        lock(&self.writer).flush()
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn event(&self, event: &JournalEvent) {
+        let mut writer = lock(&self.writer);
+        let _ = writer.write_all(event.to_json().as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    fn span(&self, _: &SpanRecord) {}
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// The handle the engine and strategies carry: a shared sink plus a shared
+/// metric registry. Cloning is two `Arc` bumps; the default is the no-op
+/// sink with a fresh (unused) registry.
+#[derive(Clone)]
+pub struct SinkHandle {
+    sink: Arc<dyn TelemetrySink>,
+    enabled: bool,
+    metrics: Arc<MetricRegistry>,
+}
+
+impl SinkHandle {
+    /// Handle around an existing sink.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        let enabled = sink.enabled();
+        SinkHandle { sink, enabled, metrics: Arc::new(MetricRegistry::new()) }
+    }
+
+    /// The disabled default handle.
+    pub fn disabled() -> Self {
+        SinkHandle::new(Arc::new(NoopSink))
+    }
+
+    /// Whether telemetry is live. Checked (cheaply) before every emission.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emit an event, constructing it lazily so disabled telemetry pays for
+    /// neither the payload allocation nor the sink call.
+    pub fn emit(&self, event: impl FnOnce() -> JournalEvent) {
+        if self.enabled {
+            self.sink.event(&event());
+        }
+    }
+
+    /// Report an already-built span record.
+    pub fn span(&self, span: &SpanRecord) {
+        if self.enabled {
+            self.sink.span(span);
+        }
+    }
+
+    /// Start a span timer at the given coordinates. Always measures (the
+    /// engine needs the duration for its legacy statistics); reports to the
+    /// sink only when enabled.
+    pub fn timer(
+        &self,
+        kind: SpanKind,
+        superstep: Option<u32>,
+        iteration: Option<u32>,
+    ) -> SpanTimer {
+        let sink = self.enabled.then(|| Arc::clone(&self.sink));
+        SpanTimer::start(sink, kind, superstep, iteration)
+    }
+
+    /// The shared metric registry.
+    pub fn metrics(&self) -> &Arc<MetricRegistry> {
+        &self.metrics
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::disabled()
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle").field("enabled", &self.enabled).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::JournalEvent;
+
+    #[test]
+    fn disabled_handle_skips_payload_construction() {
+        let handle = SinkHandle::default();
+        assert!(!handle.enabled());
+        handle.emit(|| unreachable!("payload must not be built when disabled"));
+    }
+
+    #[test]
+    fn memory_sink_round_trips_journal_lines() {
+        let sink = Arc::new(MemorySink::new());
+        let handle = SinkHandle::new(sink.clone());
+        assert!(handle.enabled());
+        handle.emit(|| JournalEvent::Restarted);
+        handle.emit(|| JournalEvent::RolledBack { to_iteration: 1 });
+        assert_eq!(
+            sink.journal_lines(),
+            "{\"event\":\"Restarted\"}\n{\"event\":\"RolledBack\",\"to_iteration\":1}\n"
+        );
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_events_not_spans() {
+        let dir = std::env::temp_dir().join("telemetry-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            let handle = SinkHandle::new(Arc::new(sink));
+            handle.emit(|| JournalEvent::Restarted);
+            let timer = handle.timer(crate::span::SpanKind::Run, None, None);
+            let _ = timer.finish();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"event\":\"Restarted\"}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn handles_share_one_metric_registry() {
+        let handle = SinkHandle::new(Arc::new(MemorySink::new()));
+        let clone = handle.clone();
+        handle.metrics().counter("x").add(2);
+        clone.metrics().counter("x").add(3);
+        assert_eq!(handle.metrics().counter("x").get(), 5);
+    }
+}

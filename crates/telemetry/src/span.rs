@@ -1,0 +1,142 @@
+//! Hierarchical timing spans.
+//!
+//! The engine wraps each phase of the superstep protocol in a
+//! [`SpanTimer`]; finishing the timer reports a [`SpanRecord`] to the sink
+//! *and* returns the measured [`Duration`], so the legacy per-superstep
+//! statistics keep getting the same numbers they always did. The hierarchy
+//! is positional rather than pointer-based: every record carries its
+//! superstep / logical-iteration coordinates, which is all a single-loop
+//! engine needs to reconstruct `run > superstep > phase` nesting.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sink::TelemetrySink;
+
+/// The phase of the run a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// The whole iterative run, entry to exit.
+    Run,
+    /// One executed superstep, including its checkpoint/recovery hooks.
+    Superstep,
+    /// The dataflow-body execution of one superstep.
+    Compute,
+    /// Time spent in operators that moved records across partitions during
+    /// one superstep.
+    Shuffle,
+    /// Writing a checkpoint after one superstep.
+    Checkpoint,
+    /// Running the fault handler after an injected failure.
+    Recovery,
+}
+
+impl SpanKind {
+    /// Stable lowercase label (used in reports and metric names).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Superstep => "superstep",
+            SpanKind::Compute => "compute",
+            SpanKind::Shuffle => "shuffle",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Recovery => "recovery",
+        }
+    }
+
+    /// All kinds, in hierarchy order.
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Run,
+        SpanKind::Superstep,
+        SpanKind::Compute,
+        SpanKind::Shuffle,
+        SpanKind::Checkpoint,
+        SpanKind::Recovery,
+    ];
+}
+
+/// A finished span: a phase, its position in the run, and how long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which phase this span covers.
+    pub kind: SpanKind,
+    /// Chronological superstep index ([`None`] for run-level spans).
+    pub superstep: Option<u32>,
+    /// Logical iteration number ([`None`] for run-level spans).
+    pub iteration: Option<u32>,
+    /// Wall-clock duration of the phase.
+    pub duration: Duration,
+}
+
+/// An in-flight span; construct via `SinkHandle::timer`, stop with
+/// [`SpanTimer::finish`].
+pub struct SpanTimer {
+    sink: Option<Arc<dyn TelemetrySink>>,
+    kind: SpanKind,
+    superstep: Option<u32>,
+    iteration: Option<u32>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Start a timer that reports to `sink` on finish (pass [`None`] for a
+    /// measure-only timer, e.g. when the sink is disabled).
+    pub fn start(
+        sink: Option<Arc<dyn TelemetrySink>>,
+        kind: SpanKind,
+        superstep: Option<u32>,
+        iteration: Option<u32>,
+    ) -> Self {
+        SpanTimer { sink, kind, superstep, iteration, start: Instant::now() }
+    }
+
+    /// Stop the timer, report the span, and return the measured duration.
+    pub fn finish(self) -> Duration {
+        let duration = self.start.elapsed();
+        if let Some(sink) = &self.sink {
+            sink.span(&SpanRecord {
+                kind: self.kind,
+                superstep: self.superstep,
+                iteration: self.iteration,
+                duration,
+            });
+        }
+        duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn finished_timers_report_their_coordinates() {
+        let sink = Arc::new(MemorySink::new());
+        let timer = SpanTimer::start(
+            Some(sink.clone() as Arc<dyn TelemetrySink>),
+            SpanKind::Compute,
+            Some(3),
+            Some(2),
+        );
+        let duration = timer.finish();
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Compute);
+        assert_eq!(spans[0].superstep, Some(3));
+        assert_eq!(spans[0].iteration, Some(2));
+        assert_eq!(spans[0].duration, duration);
+    }
+
+    #[test]
+    fn sinkless_timers_still_measure() {
+        let timer = SpanTimer::start(None, SpanKind::Run, None, None);
+        let _ = timer.finish(); // must not panic
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, ["run", "superstep", "compute", "shuffle", "checkpoint", "recovery"]);
+    }
+}

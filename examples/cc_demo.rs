@@ -37,9 +37,7 @@ fn main() {
     let config = CcConfig {
         parallelism,
         capture_history: true,
-        ft: FtConfig::optimistic(
-            FailureScenario::none().fail_at(failure_superstep, &partitions),
-        ),
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(failure_superstep, &partitions)),
         ..Default::default()
     };
     let result = run(&graph, &config).expect("run succeeds");

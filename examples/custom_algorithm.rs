@@ -26,8 +26,7 @@ fn main() {
     // 1. Sources: all heat starts on vertex 0; the adjacency is a
     //    loop-invariant import.
     let env = Environment::new(parallelism);
-    let initial: Vec<Heat> =
-        (0..n as u64).map(|v| (v, if v == 0 { 1.0 } else { 0.0 })).collect();
+    let initial: Vec<Heat> = (0..n as u64).map(|v| (v, if v == 0 { 1.0 } else { 0.0 })).collect();
     let heat0 = env.from_keyed_vec(initial, |h| h.0);
     let links = env.from_keyed_vec(graph.adjacency_rows(), |l| l.0);
 
@@ -54,9 +53,11 @@ fn main() {
             neighbors.iter().map(|&w| (w, share)).collect()
         })
         .measured("heat-packets");
-    let next = kept
-        .union("combine", &spread)
-        .reduce_by_key("sum-heat", |h: &Heat| h.0, |a, b| (a.0, a.1 + b.1));
+    let next = kept.union("combine", &spread).reduce_by_key(
+        "sum-heat",
+        |h: &Heat| h.0,
+        |a, b| (a.0, a.1 + b.1),
+    );
     // 3. Fault tolerance: a closure is a full compensation function.
     //    Restore the conservation invariant exactly like FixRanks.
     iteration.set_fault_handler(OptimisticBulkHandler::new(
@@ -71,8 +72,7 @@ fn main() {
             }
         },
     ));
-    iteration
-        .set_failure_source(FailureScenario::none().fail_at(4, &[0]).to_source());
+    iteration.set_failure_source(FailureScenario::none().fail_at(4, &[0]).to_source());
     iteration.set_observer(|_iter, state: &Partitions<Heat>, stats| {
         let total: f64 = state.iter_records().map(|&(_, h)| h).sum();
         stats.gauges.insert("total_heat".into(), total);
@@ -85,11 +85,7 @@ fn main() {
     let stats = stats.take().expect("stats recorded");
 
     println!("heat diffusion over an 8x8 grid, failure at superstep 4, compensated\n");
-    println!(
-        "supersteps: {} (fixed)  failures: {}",
-        stats.supersteps(),
-        stats.failures().count()
-    );
+    println!("supersteps: {} (fixed)  failures: {}", stats.supersteps(), stats.failures().count());
     for (superstep, total) in stats.gauge_series("total_heat").iter().enumerate() {
         assert!((total - 1.0).abs() < 1e-9, "heat leaked at superstep {superstep}");
     }

@@ -36,9 +36,7 @@ fn main() {
     let config = PrConfig {
         parallelism,
         capture_history: true,
-        ft: FtConfig::optimistic(
-            FailureScenario::none().fail_at(failure_superstep, &partitions),
-        ),
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(failure_superstep, &partitions)),
         ..Default::default()
     };
     let result = run(&graph, &config).expect("run succeeds");

@@ -26,6 +26,7 @@ fn ft(strategy: Strategy) -> FtConfig {
         scenario: FailureScenario::none().fail_at(2, &[1]),
         checkpoint_cost: CostModel::instant(),
         checkpoint_on_disk: false,
+        ..Default::default()
     }
 }
 
@@ -56,8 +57,7 @@ fn main() {
         ]);
     }
     for strategy in strategies() {
-        let config =
-            pagerank::PrConfig { ft: ft(strategy), epsilon: 1e-6, ..Default::default() };
+        let config = pagerank::PrConfig { ft: ft(strategy), epsilon: 1e-6, ..Default::default() };
         let r = pagerank::run(&graph, &config).expect("pagerank");
         table.push(vec![
             "pagerank".into(),

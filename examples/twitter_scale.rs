@@ -16,8 +16,8 @@ use algos::pagerank::{self, PrConfig};
 use algos::FtConfig;
 use flowviz::chart::{ascii_chart, ChartOptions};
 use flowviz::table::run_summary;
-use recovery::checkpoint::CostModel;
 use optimistic_recovery::cli::parse_strategy;
+use recovery::checkpoint::CostModel;
 use recovery::scenario::FailureScenario;
 use recovery::strategy::Strategy;
 
@@ -45,10 +45,12 @@ fn main() {
         scenario: FailureScenario::none().fail_at(2, &[3]).fail_at(5, &[1, 6]),
         checkpoint_cost: CostModel::distributed_fs(),
         checkpoint_on_disk: false,
+        ..Default::default()
     };
 
     println!("== Connected Components (delta iteration) ==");
-    let config = CcConfig { parallelism: 8, ft: ft.clone(), track_truth: false, ..Default::default() };
+    let config =
+        CcConfig { parallelism: 8, ft: ft.clone(), track_truth: false, ..Default::default() };
     let result = connected_components::run(&graph, &config).expect("cc run");
     println!("components: {}", result.num_components);
     println!("{}", run_summary(&result.stats));

@@ -91,11 +91,8 @@ fn run(invocation: &Invocation) -> Result<(), String> {
                 ..Default::default()
             };
             let result = algos::sssp::run(&graph, &config).map_err(|e| e.to_string())?;
-            let reachable = result
-                .distances
-                .iter()
-                .filter(|&&(_, d)| d != algos::sssp::UNREACHABLE)
-                .count();
+            let reachable =
+                result.distances.iter().filter(|&&(_, d)| d != algos::sssp::UNREACHABLE).count();
             println!("reachable from 0: {reachable}  correct: {:?}", result.correct);
             plot(&result.stats, &[(CONVERGED, "vertices at final distance")]);
             result.stats
@@ -135,7 +132,10 @@ fn run(invocation: &Invocation) -> Result<(), String> {
             };
             let result = algos::als::run(&ratings, &config).map_err(|e| e.to_string())?;
             println!("training rmse: {:.4}", result.rmse);
-            plot(&result.stats, &[("rmse", "training RMSE per sweep"), ("objective", "regularised objective")]);
+            plot(
+                &result.stats,
+                &[("rmse", "training RMSE per sweep"), ("objective", "regularised objective")],
+            );
             result.stats
         }
         Algorithm::Jacobi => {

@@ -196,9 +196,8 @@ EXAMPLES:
 /// Parse a full argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut iter = args.iter();
-    let algorithm = Algorithm::parse(
-        iter.next().ok_or_else(|| format!("missing algorithm\n\n{}", usage()))?,
-    )?;
+    let algorithm =
+        Algorithm::parse(iter.next().ok_or_else(|| format!("missing algorithm\n\n{}", usage()))?)?;
     let mut invocation = Invocation {
         algorithm,
         graph: GraphSpec::Demo,
@@ -209,9 +208,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         explain_only: false,
     };
     while let Some(flag) = iter.next() {
-        let mut value = || {
-            iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned()
-        };
+        let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
         match flag.as_str() {
             "--graph" => invocation.graph = GraphSpec::parse(&value()?)?,
             "--strategy" => invocation.strategy = parse_strategy(&value()?)?,
@@ -241,6 +238,7 @@ pub fn ft_config(invocation: &Invocation) -> algos::FtConfig {
         scenario: invocation.scenario.clone(),
         checkpoint_cost: CostModel::distributed_fs(),
         checkpoint_on_disk: false,
+        ..Default::default()
     }
 }
 
@@ -300,14 +298,20 @@ mod tests {
     fn graph_specs_parse() {
         assert_eq!(GraphSpec::parse("grid:3x4").unwrap(), GraphSpec::Grid(3, 4));
         assert_eq!(GraphSpec::parse("path:10").unwrap(), GraphSpec::Path(10));
-        assert_eq!(GraphSpec::parse("file:/tmp/g.txt").unwrap(), GraphSpec::File("/tmp/g.txt".into()));
+        assert_eq!(
+            GraphSpec::parse("file:/tmp/g.txt").unwrap(),
+            GraphSpec::File("/tmp/g.txt".into())
+        );
         assert!(GraphSpec::parse("grid:3").is_err());
         assert!(GraphSpec::parse("twitter:abc").is_err());
     }
 
     #[test]
     fn strategy_specs_parse() {
-        assert_eq!(parse_strategy("incremental:4").unwrap(), Strategy::IncrementalCheckpoint { full_interval: 4 });
+        assert_eq!(
+            parse_strategy("incremental:4").unwrap(),
+            Strategy::IncrementalCheckpoint { full_interval: 4 }
+        );
         assert_eq!(parse_strategy("restart").unwrap(), Strategy::Restart);
         assert!(parse_strategy("checkpoint:x").is_err());
     }
@@ -332,8 +336,8 @@ mod tests {
 
     #[test]
     fn ft_config_carries_strategy_and_scenario() {
-        let invocation = parse_args(&args(&["cc", "--strategy", "incremental:4", "--fail", "2:1"]))
-            .unwrap();
+        let invocation =
+            parse_args(&args(&["cc", "--strategy", "incremental:4", "--fail", "2:1"])).unwrap();
         let ft = ft_config(&invocation);
         assert_eq!(ft.strategy, Strategy::IncrementalCheckpoint { full_interval: 4 });
         assert_eq!(ft.scenario.events(), &[(2, vec![1])]);

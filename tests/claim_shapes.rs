@@ -31,6 +31,7 @@ fn c1_only_checkpoint_strategies_pay_failure_free_overhead() {
                 // wall-clock time even on a fast machine.
                 checkpoint_cost: CostModel::throughput(Duration::from_millis(3), 50_000_000),
                 checkpoint_on_disk: false,
+                ..Default::default()
             },
             track_truth: false,
             ..Default::default()
@@ -102,17 +103,9 @@ fn a2_incremental_checkpointing_writes_less_and_recovers_exactly() {
         full.stats.total_checkpoint_bytes()
     );
     // The diff logs shrink as the working set drains.
-    let diff_bytes: Vec<u64> = incremental
-        .stats
-        .iterations
-        .iter()
-        .skip(1)
-        .filter_map(|i| i.checkpoint_bytes)
-        .collect();
-    assert!(
-        diff_bytes.last().unwrap() < &diff_bytes[0],
-        "diff logs must shrink: {diff_bytes:?}"
-    );
+    let diff_bytes: Vec<u64> =
+        incremental.stats.iterations.iter().skip(1).filter_map(|i| i.checkpoint_bytes).collect();
+    assert!(diff_bytes.last().unwrap() < &diff_bytes[0], "diff logs must shrink: {diff_bytes:?}");
 }
 
 #[test]

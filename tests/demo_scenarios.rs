@@ -98,9 +98,7 @@ fn any_attendee_choice_converges() {
     for superstep in [0, 1, 2, 4] {
         for partitions in [vec![0], vec![3], vec![0, 1], vec![0, 1, 2]] {
             let config = CcConfig {
-                ft: FtConfig::optimistic(
-                    FailureScenario::none().fail_at(superstep, &partitions),
-                ),
+                ft: FtConfig::optimistic(FailureScenario::none().fail_at(superstep, &partitions)),
                 ..Default::default()
             };
             let result = connected_components::run(&graph, &config).unwrap();

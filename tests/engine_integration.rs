@@ -17,14 +17,21 @@ fn batch_pipeline_across_operators() {
         (1, "apples".to_string(), 2),
         (3, "plums".to_string(), 7),
     ]);
-    let customers =
-        env.from_vec(vec![(1u64, "ada".to_string()), (2, "grace".to_string()), (3, "edsger".to_string())]);
+    let customers = env.from_vec(vec![
+        (1u64, "ada".to_string()),
+        (2, "grace".to_string()),
+        (3, "edsger".to_string()),
+    ]);
     let totals = orders
         .map("strip-product", |o: &(u64, String, u64)| (o.0, o.2))
         .reduce_by_key("sum-per-customer", |r: &(u64, u64)| r.0, |a, b| (a.0, a.1 + b.1))
-        .join("attach-name", &customers, |t: &(u64, u64)| t.0, |c: &(u64, String)| c.0, |t, c| {
-            (c.1.clone(), t.1)
-        });
+        .join(
+            "attach-name",
+            &customers,
+            |t: &(u64, u64)| t.0,
+            |c: &(u64, String)| c.0,
+            |t, c| (c.1.clone(), t.1),
+        );
     let mut out = totals.collect().unwrap();
     out.sort();
     assert_eq!(
@@ -79,10 +86,7 @@ fn checkpoint_handler_with_engine_iteration_rolls_back() {
     let mut iteration = BulkIteration::new(&state0, 10);
     let state = iteration.state();
     let next = state.map("inc", |&(k, x): &(u64, u64)| (k, x + 1));
-    iteration.set_fault_handler(CheckpointBulkHandler::<(u64, u64), _>::new(
-        MemoryStore::new(),
-        2,
-    ));
+    iteration.set_fault_handler(CheckpointBulkHandler::<(u64, u64), _>::new(MemoryStore::new(), 2));
     iteration.set_failure_source(FailureScenario::none().fail_at(5, &[0]).to_source());
     let (result, stats) = iteration.close(next);
     let mut out = result.collect().unwrap();

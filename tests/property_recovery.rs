@@ -28,17 +28,14 @@ fn arb_graph(max_vertices: u64) -> impl Strategy<Value = Graph> {
 /// Arbitrary failure schedule: up to three events in the first ten
 /// supersteps, each killing up to three of four partitions.
 fn arb_scenario() -> impl Strategy<Value = FailureScenario> {
-    proptest::collection::vec(
-        (0u32..10, proptest::collection::vec(0usize..4, 1..3)),
-        0..3,
-    )
-    .prop_map(|events| {
-        let mut scenario = FailureScenario::none();
-        for (superstep, partitions) in events {
-            scenario = scenario.fail_at(superstep, &partitions);
-        }
-        scenario
-    })
+    proptest::collection::vec((0u32..10, proptest::collection::vec(0usize..4, 1..3)), 0..3)
+        .prop_map(|events| {
+            let mut scenario = FailureScenario::none();
+            for (superstep, partitions) in events {
+                scenario = scenario.fail_at(superstep, &partitions);
+            }
+            scenario
+        })
 }
 
 proptest! {

@@ -87,8 +87,7 @@ fn jacobi_solution_unique_across_strategies() {
 #[test]
 fn repeated_failures_across_strategies_still_converge() {
     let graph = graphs::generators::preferential_attachment(400, 2, 31);
-    let scenario =
-        FailureScenario::none().fail_at(1, &[0]).fail_at(4, &[1, 2]).fail_at(6, &[3]);
+    let scenario = FailureScenario::none().fail_at(1, &[0]).fail_at(4, &[1, 2]).fail_at(6, &[3]);
     let baseline = connected_components::run(&graph, &CcConfig::default()).unwrap();
     for ft in fts(scenario) {
         let label = ft.label();
@@ -102,11 +101,8 @@ fn repeated_failures_across_strategies_still_converge() {
 fn random_failures_with_fixed_seed_converge() {
     let graph = graphs::generators::preferential_attachment(300, 2, 41);
     let scenario = FailureScenario::none().random(0.6, 2, 1, 99);
-    let config = CcConfig {
-        ft: FtConfig::optimistic(scenario),
-        max_iterations: 400,
-        ..Default::default()
-    };
+    let config =
+        CcConfig { ft: FtConfig::optimistic(scenario), max_iterations: 400, ..Default::default() };
     let result = connected_components::run(&graph, &config).unwrap();
     assert_eq!(result.correct, Some(true));
     assert!(result.stats.failures().count() > 0, "p=0.6 must fire at least once");
@@ -125,10 +121,7 @@ fn checkpoint_interval_bounds_redone_work() {
         let result = connected_components::run(&graph, &config).unwrap();
         assert_eq!(result.correct, Some(true));
         let redone = result.stats.supersteps() - result.stats.logical_iterations();
-        assert!(
-            redone < interval,
-            "interval {interval}: redone {redone} supersteps"
-        );
+        assert!(redone < interval, "interval {interval}: redone {redone} supersteps");
     }
 }
 
@@ -148,10 +141,8 @@ fn strategy_descriptor_properties_match_behavior() {
     let result = connected_components::run(&graph, &config).unwrap();
     assert!(result.stats.total_checkpoint_bytes() > 0, "checkpointing must write bytes");
 
-    let config = CcConfig {
-        ft: FtConfig::optimistic(FailureScenario::none()),
-        ..Default::default()
-    };
+    let config =
+        CcConfig { ft: FtConfig::optimistic(FailureScenario::none()), ..Default::default() };
     let result = connected_components::run(&graph, &config).unwrap();
     assert_eq!(result.stats.total_checkpoint_bytes(), 0, "optimistic writes nothing");
 }

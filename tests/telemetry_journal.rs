@@ -1,0 +1,152 @@
+//! End-to-end telemetry: run the prebuilt algorithms with failures under a
+//! capturing sink and assert on the structured event journal — the ordered
+//! recovery sequences, replay determinism, and reconciliation between the
+//! journal-derived `RunReport` and the engine's legacy `RunStats`.
+
+use std::sync::Arc;
+
+use algos::connected_components::{self, CcConfig};
+use algos::pagerank::{self, PrConfig};
+use algos::FtConfig;
+use recovery::scenario::FailureScenario;
+use telemetry::{JournalEvent, MemorySink, RunReport, SinkHandle, SpanKind};
+
+fn cc_run(ft: FtConfig) -> (Arc<MemorySink>, dataflow::stats::RunStats) {
+    let sink = Arc::new(MemorySink::new());
+    let config = CcConfig {
+        parallelism: 4,
+        ft: ft.with_telemetry(SinkHandle::new(sink.clone())),
+        ..Default::default()
+    };
+    let graph = graphs::generators::demo_components();
+    let result = connected_components::run(&graph, &config).expect("cc run");
+    (sink, result.stats)
+}
+
+/// Positions of each event kind, in journal order.
+fn kind_positions(events: &[JournalEvent], kind: &str) -> Vec<usize> {
+    events.iter().enumerate().filter(|(_, e)| e.kind() == kind).map(|(i, _)| i).collect()
+}
+
+#[test]
+fn optimistic_journal_records_compensation_sequence() {
+    let scenario = FailureScenario::none().fail_at(1, &[1]);
+    let (sink, stats) = cc_run(FtConfig::optimistic(scenario));
+    let events = sink.events();
+
+    let failures = kind_positions(&events, "FailureInjected");
+    assert_eq!(failures.len(), 1, "exactly one injected failure");
+    let fail_at = failures[0];
+
+    // The handler's own account comes first, then the engine's verdict:
+    // FailureInjected → CompensationInvoked → CompensationApplied.
+    assert!(
+        matches!(&events[fail_at + 1], JournalEvent::CompensationInvoked { name, .. }
+            if name == "FixComponents"),
+        "expected the named compensation right after the failure, got {:?}",
+        events[fail_at + 1]
+    );
+    assert!(
+        matches!(&events[fail_at + 2], JournalEvent::CompensationApplied { iteration: 1 }),
+        "expected CompensationApplied at iteration 1, got {:?}",
+        events[fail_at + 2]
+    );
+
+    // No rollback machinery fired, and the legacy stats agree.
+    assert!(kind_positions(&events, "RolledBack").is_empty());
+    assert!(kind_positions(&events, "CheckpointWritten").is_empty());
+    assert_eq!(stats.failures().count(), 1);
+}
+
+#[test]
+fn checkpoint_journal_records_rollback_sequence() {
+    let scenario = FailureScenario::none().fail_at(3, &[1]);
+    let (sink, stats) = cc_run(FtConfig::checkpoint(2, scenario));
+    let events = sink.events();
+
+    assert!(
+        !kind_positions(&events, "CheckpointWritten").is_empty(),
+        "interval-2 strategy must write checkpoints"
+    );
+    let failures = kind_positions(&events, "FailureInjected");
+    assert_eq!(failures.len(), 1);
+    let fail_at = failures[0];
+
+    // FailureInjected → CheckpointRestored (handler) → RolledBack (engine),
+    // rolling back to the latest checkpoint before the failure iteration.
+    assert!(
+        matches!(&events[fail_at + 1], JournalEvent::CheckpointRestored { iteration: 2 }),
+        "expected restore from the iteration-2 checkpoint, got {:?}",
+        events[fail_at + 1]
+    );
+    assert!(
+        matches!(&events[fail_at + 2], JournalEvent::RolledBack { to_iteration: 2 }),
+        "expected RolledBack to iteration 2, got {:?}",
+        events[fail_at + 2]
+    );
+
+    // The rollback re-executes iterations: more supersteps than logical ones.
+    assert!(stats.supersteps() > stats.logical_iterations());
+    assert!(kind_positions(&events, "CompensationApplied").is_empty());
+}
+
+#[test]
+fn deterministic_scenario_replays_to_byte_identical_journal() {
+    let scenario = || FailureScenario::none().fail_at(1, &[1]).fail_at(3, &[0, 2]);
+    let (first, _) = cc_run(FtConfig::optimistic(scenario()));
+    let (second, _) = cc_run(FtConfig::optimistic(scenario()));
+    let a = first.journal_lines();
+    assert!(!a.is_empty() && a.ends_with('\n'));
+    // Events carry no wall-clock data, so a deterministic schedule replays
+    // to the byte. (Spans and metrics carry the timings instead.)
+    assert_eq!(a, second.journal_lines());
+}
+
+#[test]
+fn run_report_reconciles_with_legacy_stats() {
+    for ft in [
+        FtConfig::optimistic(FailureScenario::none().fail_at(1, &[1])),
+        FtConfig::checkpoint(2, FailureScenario::none().fail_at(3, &[1])),
+        FtConfig::restart(FailureScenario::none().fail_at(2, &[0])),
+        FtConfig::ignore(FailureScenario::none().fail_at(1, &[3])),
+    ] {
+        let label = ft.label();
+        let (sink, stats) = cc_run(ft);
+        let report = RunReport::from_sink(&sink);
+        let diffs = flowviz::reconcile(&report, &stats);
+        assert!(diffs.is_empty(), "{label}: journal disagrees with RunStats: {diffs:#?}");
+    }
+}
+
+#[test]
+fn spans_cover_the_superstep_hierarchy() {
+    let sink = Arc::new(MemorySink::new());
+    let config = PrConfig {
+        parallelism: 4,
+        ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[1]))
+            .with_telemetry(SinkHandle::new(sink.clone())),
+        ..Default::default()
+    };
+    let graph = graphs::generators::demo_pagerank();
+    let result = pagerank::run(&graph, &config).expect("pagerank run");
+
+    let spans = sink.spans();
+    let count = |kind: SpanKind| spans.iter().filter(|s| s.kind == kind).count() as u32;
+    assert_eq!(count(SpanKind::Run), 1);
+    assert_eq!(count(SpanKind::Superstep), result.stats.supersteps());
+    assert_eq!(count(SpanKind::Compute), result.stats.supersteps());
+    assert_eq!(count(SpanKind::Recovery), 1);
+    // The run span is the root: it must dominate every superstep span.
+    let run_span = spans.iter().find(|s| s.kind == SpanKind::Run).unwrap();
+    assert!(spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Superstep)
+        .all(|s| s.duration <= run_span.duration));
+
+    // Per-partition timing landed in the registry for all four partitions.
+    let handle = config.ft.telemetry.clone();
+    let snapshot = handle.metrics().snapshot();
+    let hist =
+        snapshot.histograms.get("partition_task_ns").expect("partition task histogram recorded");
+    assert!(hist.count > 0);
+}
