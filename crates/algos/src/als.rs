@@ -320,6 +320,16 @@ pub fn run(ratings: &[Rating], config: &AlsConfig) -> Result<AlsResult> {
         FixFactors::new(num_nodes, rank, config.seed, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: L1 movement of the factor matrices; any row that
+    // moved at all counts as changed (ALS sweeps touch every row).
+    iteration.set_convergence_probe(common::keyed_bulk_probe(
+        |f: &FactorRow| f.0,
+        |old, new| match old {
+            Some(o) => new.1.iter().zip(&o.1).map(|(a, b)| (a - b).abs()).sum(),
+            None => new.1.iter().map(|a| a.abs()).sum(),
+        },
+        0.0,
+    ));
 
     // Observer: training RMSE + regularised objective per sweep.
     let observer_ratings = ratings.to_vec();

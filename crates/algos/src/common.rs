@@ -1,10 +1,15 @@
 //! Shared experiment plumbing: fault-tolerance configuration and the
 //! translation from a [`Strategy`] descriptor to concrete engine handlers.
 
+use std::hash::Hash;
+
 use dataflow::codec::Codec;
-use dataflow::dataset::Data;
+use dataflow::dataset::{Data, Partitions};
 use dataflow::error::Result;
-use dataflow::ft::{BulkFaultHandler, DeltaFaultHandler, RestartHandler};
+use dataflow::ft::{BulkFaultHandler, DeltaFaultHandler, RestartHandler, SolutionSets};
+use dataflow::hash::FxHashMap;
+use dataflow::iterate::ConvergenceMeasure;
+use dataflow::partition::hash_partition;
 use recovery::checkpoint::{
     CheckpointBulkHandler, CheckpointDeltaHandler, CostModel, DiskStore, MemoryStore,
 };
@@ -186,6 +191,72 @@ where
         Strategy::Restart => Box::new(RestartHandler),
         Strategy::Ignore => Box::new(IgnoreHandler),
     })
+}
+
+/// Build a convergence probe for bulk iterations over keyed records.
+///
+/// `diff` scores how far a record moved relative to its predecessor under
+/// the same key (`None` when the key is new — e.g. after a restart); a
+/// record counts as *changed* when its score exceeds `epsilon`, and the
+/// summed scores become the sample's delta norm. Scores are accumulated
+/// sequentially in partition-then-record order, so deterministic runs
+/// produce bit-identical norms.
+pub fn keyed_bulk_probe<T, K>(
+    key_of: impl Fn(&T) -> K + 'static,
+    diff: impl Fn(Option<&T>, &T) -> f64 + 'static,
+    epsilon: f64,
+) -> impl FnMut(&Partitions<T>, &Partitions<T>) -> ConvergenceMeasure
+where
+    T: Data,
+    K: Hash + Eq,
+{
+    move |prev, next| {
+        let mut old: FxHashMap<K, &T> = FxHashMap::default();
+        for record in prev.iter_records() {
+            old.insert(key_of(record), record);
+        }
+        let parts = next.as_parts();
+        let mut changed_per_partition = vec![0u64; parts.len()];
+        let mut norm = 0.0f64;
+        for (pid, part) in parts.iter().enumerate() {
+            for record in part {
+                let score = diff(old.get(&key_of(record)).copied(), record);
+                norm += score;
+                if score > epsilon {
+                    changed_per_partition[pid] += 1;
+                }
+            }
+        }
+        ConvergenceMeasure { changed_per_partition, delta_norm: Some(norm) }
+    }
+}
+
+/// The probe signature delta iterations accept: pre-apply solution sets
+/// plus the superstep's delta, returning the optional aggregate norm.
+pub type DeltaNormProbe<K, V> = dyn FnMut(&SolutionSets<K, V>, &Partitions<(K, V)>) -> Option<f64>;
+
+/// Build a norm probe for delta iterations: sums `diff(old, new)` over the
+/// delta's upserts, looking the old value up in the pre-apply solution sets
+/// (`None` when the key has no entry — e.g. on a failure-cleared
+/// partition). Accumulation order is the delta's partition-then-record
+/// order, so deterministic runs produce bit-identical norms.
+#[allow(clippy::type_complexity)]
+pub fn delta_norm_probe<K, V>(
+    diff: impl Fn(Option<&V>, &V) -> f64 + 'static,
+) -> impl FnMut(&SolutionSets<K, V>, &Partitions<(K, V)>) -> Option<f64>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    move |solution, delta| {
+        let parallelism = solution.len();
+        let mut norm = 0.0f64;
+        for (k, v) in delta.iter_records() {
+            let pid = hash_partition(k, parallelism);
+            norm += diff(solution[pid].get(k), v);
+        }
+        Some(norm)
+    }
 }
 
 /// Counter name for the paper's "messages per iteration" plot.

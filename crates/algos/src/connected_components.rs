@@ -188,6 +188,11 @@ pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<Buil
         FixComponents::new(graph, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: total label decrease per superstep (labels only
+    // ever shrink towards the component minimum).
+    iteration.set_norm_probe(common::delta_norm_probe(|old: Option<&VertexId>, new| {
+        old.map_or(0.0, |&o| o.saturating_sub(*new) as f64)
+    }));
 
     let truth = if config.track_truth { Some(exact_components(graph)) } else { None };
     let history: Option<Rc<RefCell<Vec<Vec<Label>>>>> =
@@ -285,6 +290,13 @@ pub fn run_bulk(graph: &Graph, config: &CcConfig) -> Result<CcResult> {
         ),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Same norm as the delta variant: summed label decrease; a vertex
+    // counts as changed when its label moved at all.
+    iteration.set_convergence_probe(common::keyed_bulk_probe(
+        |l: &Label| l.0,
+        |old, new| old.map_or(0.0, |o| o.1.saturating_sub(new.1) as f64),
+        0.0,
+    ));
     if config.track_truth {
         let truth = exact_components(graph);
         iteration.set_observer(move |_iter, state: &Partitions<Label>, stats| {

@@ -173,6 +173,14 @@ pub fn run(system: &LinearSystem, config: &JacobiConfig) -> Result<JacobiResult>
         FixSolution::new(n, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: L1 movement of the solution vector; entries moving
+    // more than epsilon count as changed (the termination metric).
+    let probe_epsilon = config.epsilon;
+    iteration.set_convergence_probe(common::keyed_bulk_probe(
+        |e: &Entry| e.0,
+        |old, new| old.map_or_else(|| new.1.abs(), |o| (new.1 - o.1).abs()),
+        probe_epsilon,
+    ));
 
     let rows_in = iteration.import(&rows_ds);
     let x = iteration.state();

@@ -178,6 +178,17 @@ pub fn run(points: &[Point], config: &KmConfig) -> Result<KmResult> {
         FixCentroids::new(points, k, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: summed centroid movement; a centroid moving more
+    // than epsilon counts as changed (the termination criterion's metric).
+    let probe_epsilon = config.epsilon;
+    iteration.set_convergence_probe(common::keyed_bulk_probe(
+        |c: &Centroid| c.0,
+        |old, new| match old {
+            Some(o) => ((new.1 - o.1).powi(2) + (new.2 - o.2).powi(2)).sqrt(),
+            None => (new.1.powi(2) + new.2.powi(2)).sqrt(),
+        },
+        probe_epsilon,
+    ));
 
     let points_in = iteration.import(&points_ds);
     let centroids = iteration.state();

@@ -189,6 +189,14 @@ pub fn build(env: &Environment, graph: &Graph, config: &PrConfig) -> Result<Buil
     iteration
         .set_fault_handler(common::bulk_handler(&config.ft, FixRanks::new(n, config.parallelism))?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: L1 rank movement; vertices moving more than the
+    // termination epsilon count as changed (mirrors Figure 1b's check).
+    let probe_epsilon = config.epsilon;
+    iteration.set_convergence_probe(common::keyed_bulk_probe(
+        |r: &Rank| r.0,
+        |old, new| old.map_or_else(|| new.1.abs(), |o| (new.1 - o.1).abs()),
+        probe_epsilon,
+    ));
 
     // Observer: rank-sum invariant, L1 between consecutive estimates, and
     // (optionally) the converged-to-true-rank count.

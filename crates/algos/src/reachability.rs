@@ -162,6 +162,9 @@ pub fn run(graph: &Graph, config: &ReachConfig) -> Result<ReachResult> {
         FixReachability::new(graph, &config.seeds, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: vertices flipped to reached this superstep (each
+    // upsert is exactly one unreached-to-reached transition).
+    iteration.set_norm_probe(common::delta_norm_probe(|_old: Option<&bool>, _new| 1.0));
     if config.track_truth {
         let truth = bfs_reachability(graph, &config.seeds);
         iteration.set_observer(

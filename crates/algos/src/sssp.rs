@@ -167,6 +167,12 @@ pub fn run(graph: &Graph, config: &SsspConfig) -> Result<SsspResult> {
         FixDistances::new(graph, source, config.parallelism),
     )?);
     iteration.set_failure_source(config.ft.scenario.to_source());
+    // Convergence norm: summed distance improvement; a vertex leaving
+    // UNREACHABLE (or re-seeded after a failure) counts as one unit.
+    iteration.set_norm_probe(common::delta_norm_probe(|old: Option<&u64>, new| match old {
+        Some(&o) if o != UNREACHABLE => o.saturating_sub(*new) as f64,
+        _ => 1.0,
+    }));
 
     if config.track_truth {
         let truth = bfs_distances(graph, source);

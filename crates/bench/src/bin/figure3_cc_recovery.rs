@@ -31,9 +31,10 @@ fn main() {
     bench_suite::section("Figure 3 — Connected Components on the small demo graph");
     let graph = graphs::generators::demo_components();
     let sink = Arc::new(MemorySink::new());
+    let handle = SinkHandle::new(sink.clone());
     let config = CcConfig {
         capture_history: true,
-        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(SinkHandle::new(sink.clone())),
+        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(handle.clone()),
         ..Default::default()
     };
     let result = connected_components::run(&graph, &config).expect("run");
@@ -55,7 +56,7 @@ fn main() {
 
     report("small demo graph", &result.stats);
     write_run_stats_csv(&result.stats, &results.join("figure3_cc_small.csv")).expect("write csv");
-    bench_suite::write_telemetry(&sink, &result.stats, "figure3_cc_small");
+    bench_suite::write_telemetry(&sink, handle.metrics(), &result.stats, "figure3_cc_small");
 
     let failure_free =
         connected_components::run(&graph, &CcConfig::default()).expect("failure-free run");

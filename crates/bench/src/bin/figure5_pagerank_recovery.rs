@@ -34,9 +34,10 @@ fn main() {
     bench_suite::section("Figure 5 — PageRank on the small demo graph");
     let graph = graphs::generators::demo_pagerank();
     let sink = Arc::new(MemorySink::new());
+    let handle = SinkHandle::new(sink.clone());
     let config = PrConfig {
         capture_history: true,
-        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(SinkHandle::new(sink.clone())),
+        ft: FtConfig::optimistic(scenario.clone()).with_telemetry(handle.clone()),
         ..Default::default()
     };
     let result = pagerank::run(&graph, &config).expect("run");
@@ -62,7 +63,7 @@ fn main() {
     report("small demo graph", &result.stats);
     write_run_stats_csv(&result.stats, &results.join("figure5_pagerank_small.csv"))
         .expect("write csv");
-    bench_suite::write_telemetry(&sink, &result.stats, "figure5_pagerank_small");
+    bench_suite::write_telemetry(&sink, handle.metrics(), &result.stats, "figure5_pagerank_small");
 
     let failure_free = pagerank::run(&graph, &PrConfig::default()).expect("failure-free run");
     write_run_stats_csv(

@@ -26,31 +26,31 @@ pub fn subsection(title: &str) {
     println!("\n--- {title} ---");
 }
 
-/// Serialize a run's captured telemetry next to the CSV series: the JSONL
-/// event journal as `<stem>_journal.jsonl` and the aggregated
-/// [`telemetry::RunReport`] as `<stem>_report.json`. Also prints the report
-/// table and cross-checks the journal against the engine's legacy
-/// `RunStats` (panicking on any discrepancy — the journal must faithfully
-/// describe the run it came from).
+/// Serialize a run's captured telemetry next to the CSV series, in the
+/// layout `optirec inspect` consumes: the JSONL event journal as
+/// `<stem>_journal.jsonl`, wall-clock spans as `<stem>_spans.jsonl`, and the
+/// aggregated [`telemetry::RunReport`] (wrapped together with the metrics
+/// snapshot) as `<stem>_report.json`. Also prints the report table and
+/// cross-checks the journal against the engine's legacy `RunStats`
+/// (panicking on any discrepancy — the journal must faithfully describe the
+/// run it came from).
 pub fn write_telemetry(
     sink: &telemetry::MemorySink,
+    metrics: &telemetry::MetricRegistry,
     stats: &dataflow::stats::RunStats,
     stem: &str,
 ) -> telemetry::RunReport {
     let results = results_dir();
-    std::fs::create_dir_all(&results).expect("create results dir");
+    let paths = flowscope::save_run(sink, metrics, &results.join(format!("{stem}_journal.jsonl")))
+        .expect("write telemetry sidecars");
     let report = telemetry::RunReport::from_sink(sink);
-    std::fs::write(results.join(format!("{stem}_journal.jsonl")), sink.journal_lines())
-        .expect("write journal");
-    std::fs::write(results.join(format!("{stem}_report.json")), report.to_json())
-        .expect("write report");
     let diffs = flowviz::report::reconcile(&report, stats);
     assert!(diffs.is_empty(), "journal does not reconcile with RunStats: {diffs:#?}");
     subsection(&format!("telemetry report ({stem})"));
     print!("{}", flowviz::report::run_report_table(&report));
     println!(
-        "journal + report written to {}/{stem}_{{journal.jsonl,report.json}}",
-        results.display()
+        "journal + spans + report written to {}/{stem}_{{journal.jsonl,spans.jsonl,report.json}}",
+        paths.journal.parent().unwrap_or(&results).display()
     );
     report
 }

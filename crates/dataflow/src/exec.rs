@@ -12,6 +12,7 @@ use telemetry::metrics::PartitionedHistogram;
 use crate::config::EnvConfig;
 use crate::dataset::Erased;
 use crate::error::Result;
+use crate::partition::Shuffled;
 use crate::plan::{NodeId, PlanGraph};
 
 /// Shared execution state handed to every operator.
@@ -29,6 +30,9 @@ pub struct ExecContext {
     /// Pre-resolved per-partition task-latency histogram (`None` when
     /// telemetry is disabled, so the hot path pays one branch).
     task_hist: Option<Arc<PartitionedHistogram>>,
+    /// Per-partition shuffle-cost histogram: shuffle wall-clock attributed
+    /// to destination partitions proportionally to records received.
+    shuffle_hist: Option<Arc<PartitionedHistogram>>,
 }
 
 impl ExecContext {
@@ -40,12 +44,19 @@ impl ExecContext {
                 .metrics()
                 .partitioned_histogram("partition_task_ns", config.parallelism)
         });
+        let shuffle_hist = config.telemetry.enabled().then(|| {
+            config
+                .telemetry
+                .metrics()
+                .partitioned_histogram("partition_shuffle_ns", config.parallelism)
+        });
         ExecContext {
             config,
             counters: Mutex::new(BTreeMap::new()),
             shuffled: AtomicU64::new(0),
             shuffle_ns: AtomicU64::new(0),
             task_hist,
+            shuffle_hist,
         }
     }
 
@@ -90,6 +101,32 @@ impl ExecContext {
                 let out = f();
                 hist.observe(pid, start.elapsed().as_nanos() as u64);
                 out
+            }
+            None => f(),
+        }
+    }
+
+    /// Run a shuffle, timing it and attributing its wall-clock cost to the
+    /// *destination* partitions proportionally to the records each one
+    /// received. This is the per-partition shuffle analogue of the
+    /// `partition_task_ns` compute histogram: together they let a profile
+    /// view show where each partition's superstep time went.
+    pub fn time_shuffle<T>(&self, f: impl FnOnce() -> Shuffled<T>) -> Shuffled<T> {
+        match &self.shuffle_hist {
+            Some(hist) => {
+                let start = Instant::now();
+                let shuffled = f();
+                let nanos = start.elapsed().as_nanos() as u64;
+                let sizes = shuffled.parts.partition_sizes();
+                let total: u64 = sizes.iter().map(|&n| n as u64).sum();
+                for (pid, &n) in sizes.iter().enumerate() {
+                    if n > 0 {
+                        if let Some(share) = (nanos * n as u64).checked_div(total) {
+                            hist.observe(pid, share);
+                        }
+                    }
+                }
+                shuffled
             }
             None => f(),
         }

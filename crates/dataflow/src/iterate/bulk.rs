@@ -2,14 +2,14 @@
 
 use std::rc::Rc;
 
-use telemetry::{IterationMode, JournalEvent, SpanKind, SpanRecord};
+use telemetry::{IterationMode, JournalEvent, Norm, SpanKind, SpanRecord};
 
 use crate::api::{DataSet, Environment};
 use crate::dataset::{Data, Erased, Partitions};
 use crate::error::{EngineError, Result};
 use crate::exec::{self, ExecContext, PlanCache};
 use crate::ft::{BulkFaultHandler, BulkRecoveryAction, FailureSource, NoFailures, RestartHandler};
-use crate::iterate::StatsHandle;
+use crate::iterate::{ConvergenceMeasure, StatsHandle};
 use crate::operators::{InjectedSource, SourceSlot};
 use crate::plan::{DynOp, NodeId};
 use crate::stats::{FailureRecord, IterationStats, RecoveryKind, RunStats};
@@ -17,6 +17,12 @@ use crate::stats::{FailureRecord, IterationStats, RecoveryKind, RunStats};
 /// Observer callback invoked after every superstep with the (possibly
 /// recovered) state; may record gauges/counters into the superstep's stats.
 pub type BulkObserverFn<T> = Box<dyn FnMut(u32, &Partitions<T>, &mut IterationStats)>;
+
+/// Convergence probe for bulk iterations: called with the previous and the
+/// freshly computed state after every superstep (telemetry-enabled runs
+/// only); the measurement feeds the `ConvergenceSample` journal event.
+pub type BulkConvergenceProbe<T> =
+    Box<dyn FnMut(&Partitions<T>, &Partitions<T>) -> ConvergenceMeasure>;
 
 /// Termination criterion: the body node to probe plus a closure measuring
 /// its (type-erased) cardinality.
@@ -56,6 +62,7 @@ pub struct BulkIteration<T: Data> {
     handler: Box<dyn BulkFaultHandler<T>>,
     failures: Box<dyn FailureSource>,
     observer: Option<BulkObserverFn<T>>,
+    convergence: Option<BulkConvergenceProbe<T>>,
 }
 
 impl<T: Data> BulkIteration<T> {
@@ -91,6 +98,7 @@ impl<T: Data> BulkIteration<T> {
             handler: Box::new(RestartHandler),
             failures: Box::new(NoFailures),
             observer: None,
+            convergence: None,
         }
     }
 
@@ -135,6 +143,17 @@ impl<T: Data> BulkIteration<T> {
         observer: impl FnMut(u32, &Partitions<T>, &mut IterationStats) + 'static,
     ) {
         self.observer = Some(Box::new(observer));
+    }
+
+    /// Install a convergence probe: called after every superstep with the
+    /// previous and the freshly computed state (telemetry-enabled runs
+    /// only). Without a probe, every record of the new state counts as
+    /// changed — bulk iterations recompute everything each superstep.
+    pub fn set_convergence_probe(
+        &mut self,
+        probe: impl FnMut(&Partitions<T>, &Partitions<T>) -> ConvergenceMeasure + 'static,
+    ) {
+        self.convergence = Some(Box::new(probe));
     }
 
     /// Override the chronological superstep budget (safety net against
@@ -190,6 +209,7 @@ impl<T: Data> BulkIteration<T> {
             handler: self.handler,
             failures: self.failures,
             observer: self.observer,
+            convergence: self.convergence,
             stats: stats.clone(),
         };
         let mut inputs = vec![self.initial_id];
@@ -211,6 +231,7 @@ struct IterateBulkOp<T: Data> {
     handler: Box<dyn BulkFaultHandler<T>>,
     failures: Box<dyn FailureSource>,
     observer: Option<BulkObserverFn<T>>,
+    convergence: Option<BulkConvergenceProbe<T>>,
     stats: StatsHandle,
 }
 
@@ -259,6 +280,10 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
             // 1. Execute the loop body over the current state.
             let step_timer = telemetry.timer(SpanKind::Superstep, Some(superstep), Some(iteration));
             let step_ctx = ExecContext::new(ctx.config.clone());
+            // The convergence probe compares against the pre-superstep
+            // state, which the injection slot is about to consume.
+            let probe_prev: Option<Partitions<T>> =
+                (telemetry.enabled() && self.convergence.is_some()).then(|| state.clone());
             self.state_slot.fill(Erased::new(state));
             let compute_timer =
                 telemetry.timer(SpanKind::Compute, Some(superstep), Some(iteration));
@@ -300,6 +325,29 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                 records_shuffled: shuffled,
                 workset_size: None,
             });
+            if telemetry.enabled() {
+                let measure = match (&mut self.convergence, &probe_prev) {
+                    (Some(probe), Some(prev)) => probe(prev, &next),
+                    // Bulk recomputes the whole state: without a probe,
+                    // every record counts as changed.
+                    _ => ConvergenceMeasure {
+                        changed_per_partition: next
+                            .partition_sizes()
+                            .iter()
+                            .map(|&n| n as u64)
+                            .collect(),
+                        delta_norm: None,
+                    },
+                };
+                telemetry.emit(|| JournalEvent::ConvergenceSample {
+                    superstep,
+                    iteration,
+                    changed: measure.changed(),
+                    changed_per_partition: measure.changed_per_partition,
+                    delta_norm: measure.delta_norm.map(Norm),
+                    workset_per_partition: None,
+                });
+            }
             let mut istats = IterationStats {
                 superstep,
                 iteration,

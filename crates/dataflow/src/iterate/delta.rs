@@ -4,7 +4,7 @@
 use std::hash::Hash;
 use std::rc::Rc;
 
-use telemetry::{IterationMode, JournalEvent, SpanKind, SpanRecord};
+use telemetry::{IterationMode, JournalEvent, Norm, SpanKind, SpanRecord};
 
 use crate::api::{DataSet, Environment};
 use crate::dataset::{Data, Erased, Partitions};
@@ -24,6 +24,13 @@ use crate::stats::{FailureRecord, IterationStats, RecoveryKind, RunStats};
 /// working set entering the next iteration.
 pub type DeltaObserverFn<K, V, W> =
     Box<dyn FnMut(u32, &SolutionSets<K, V>, &Partitions<W>, &mut IterationStats)>;
+
+/// Norm probe for delta iterations: called with the solution sets *before*
+/// the delta is applied plus the delta itself, and returns an
+/// algorithm-specific aggregate norm (e.g. summed label decrease) for the
+/// `ConvergenceSample` journal event. Telemetry-enabled runs only.
+pub type DeltaNormProbe<K, V> =
+    Box<dyn FnMut(&SolutionSets<K, V>, &Partitions<(K, V)>) -> Option<f64>>;
 
 /// Bound for solution-set key types.
 pub trait SolutionKey: Data + Hash + Eq {}
@@ -81,6 +88,7 @@ pub struct DeltaIteration<K: SolutionKey, V: Data, W: Data> {
     handler: Box<dyn DeltaFaultHandler<K, V, W>>,
     failures: Box<dyn FailureSource>,
     observer: Option<DeltaObserverFn<K, V, W>>,
+    norm_probe: Option<DeltaNormProbe<K, V>>,
 }
 
 impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
@@ -130,6 +138,7 @@ impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
             handler: Box::new(RestartHandler),
             failures: Box::new(NoFailures),
             observer: None,
+            norm_probe: None,
         }
     }
 
@@ -180,6 +189,18 @@ impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
         self.observer = Some(Box::new(observer));
     }
 
+    /// Install a delta-norm probe: called before each delta is applied,
+    /// with the pre-apply solution sets and the delta, to compute an
+    /// algorithm-specific convergence norm. Per-partition changed counts
+    /// and workset sizes are tracked by the driver itself; the probe only
+    /// adds the optional norm dimension.
+    pub fn set_norm_probe(
+        &mut self,
+        probe: impl FnMut(&SolutionSets<K, V>, &Partitions<(K, V)>) -> Option<f64> + 'static,
+    ) {
+        self.norm_probe = Some(Box::new(probe));
+    }
+
     /// Override the chronological superstep budget.
     pub fn set_superstep_limit(&mut self, limit: u32) {
         self.superstep_limit = limit;
@@ -215,6 +236,7 @@ impl<K: SolutionKey, V: Data, W: Data> DeltaIteration<K, V, W> {
             handler: self.handler,
             failures: self.failures,
             observer: self.observer,
+            norm_probe: self.norm_probe,
             stats: stats.clone(),
         };
         let mut inputs = vec![self.initial_solution_id, self.initial_workset_id];
@@ -238,6 +260,7 @@ struct IterateDeltaOp<K: SolutionKey, V: Data, W: Data> {
     handler: Box<dyn DeltaFaultHandler<K, V, W>>,
     failures: Box<dyn FailureSource>,
     observer: Option<DeltaObserverFn<K, V, W>>,
+    norm_probe: Option<DeltaNormProbe<K, V>>,
     stats: StatsHandle,
 }
 
@@ -350,9 +373,18 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                 outputs[1].clone().take("DeltaIteration(next workset)")?;
 
             // 2. Apply the delta: upsert each entry into its key's partition.
+            // The norm probe must observe the solution *before* the apply
+            // loop consumes the delta.
             let delta_size = delta.total_len() as u64;
+            let delta_norm = if telemetry.enabled() {
+                self.norm_probe.as_mut().and_then(|probe| probe(&solution, &delta))
+            } else {
+                None
+            };
+            let mut changed_per_partition = vec![0u64; parallelism];
             for (k, v) in delta.into_vec() {
                 let pid = hash_partition(&k, parallelism);
+                changed_per_partition[pid] += 1;
                 solution[pid].insert(k, v);
             }
             let duration = compute_timer.finish();
@@ -374,6 +406,18 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                 records_shuffled: shuffled,
                 workset_size: Some(next_workset.total_len() as u64),
             });
+            if telemetry.enabled() {
+                let workset_per_partition: Vec<u64> =
+                    next_workset.partition_sizes().iter().map(|&n| n as u64).collect();
+                telemetry.emit(|| JournalEvent::ConvergenceSample {
+                    superstep,
+                    iteration,
+                    changed: delta_size,
+                    changed_per_partition,
+                    delta_norm: delta_norm.map(Norm),
+                    workset_per_partition: Some(workset_per_partition),
+                });
+            }
             let mut istats = IterationStats {
                 superstep,
                 iteration,

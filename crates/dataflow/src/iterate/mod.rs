@@ -25,6 +25,30 @@ use std::rc::Rc;
 
 use crate::stats::RunStats;
 
+/// What a convergence probe measured for one superstep.
+///
+/// Probes run between computing the next state and the fault-tolerance
+/// hooks, so they see the *pre-failure* result of the superstep — the
+/// numbers a `ConvergenceSample` journal event carries. Per-partition
+/// counts are indexed by partition id; missing probes fall back to
+/// driver-level defaults (bulk: every record counts as changed, delta:
+/// solution-set upserts).
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceMeasure {
+    /// Elements whose value moved during the superstep, per partition.
+    pub changed_per_partition: Vec<u64>,
+    /// Algorithm-specific aggregate delta norm (e.g. L1 rank movement);
+    /// [`None`] when the probe measures counts only.
+    pub delta_norm: Option<f64>,
+}
+
+impl ConvergenceMeasure {
+    /// Total changed elements across all partitions.
+    pub fn changed(&self) -> u64 {
+        self.changed_per_partition.iter().sum()
+    }
+}
+
 /// Shared handle through which an iteration publishes its [`RunStats`].
 ///
 /// Returned by `close(..)`; filled when the enclosing plan executes.

@@ -74,7 +74,7 @@ pub mod prelude {
         DeterministicFailures, FailureSource, NoFailures, RestartHandler,
     };
     pub use crate::hash::{FxHashMap, FxHashSet};
-    pub use crate::iterate::{BulkIteration, DeltaIteration, StatsHandle};
+    pub use crate::iterate::{BulkIteration, ConvergenceMeasure, DeltaIteration, StatsHandle};
     pub use crate::partition::{hash_partition, PartitionId};
     pub use crate::stats::{IterationStats, RunStats};
 }

@@ -45,8 +45,8 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let left = inputs[0].clone().take::<L>("Join(left)")?;
         let right = inputs[1].clone().take::<R>("Join(right)")?;
-        let shuffled_left = shuffle_by_key(left, &*self.key_left);
-        let shuffled_right = shuffle_by_key(right, &*self.key_right);
+        let shuffled_left = ctx.time_shuffle(|| shuffle_by_key(left, &*self.key_left));
+        let shuffled_right = ctx.time_shuffle(|| shuffle_by_key(right, &*self.key_right));
         ctx.add_shuffled(shuffled_left.moved + shuffled_right.moved);
 
         let key_left = &*self.key_left;
@@ -116,8 +116,8 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let left = inputs[0].clone().take::<L>("CoGroup(left)")?;
         let right = inputs[1].clone().take::<R>("CoGroup(right)")?;
-        let shuffled_left = shuffle_by_key(left, &*self.key_left);
-        let shuffled_right = shuffle_by_key(right, &*self.key_right);
+        let shuffled_left = ctx.time_shuffle(|| shuffle_by_key(left, &*self.key_left));
+        let shuffled_right = ctx.time_shuffle(|| shuffle_by_key(right, &*self.key_right));
         ctx.add_shuffled(shuffled_left.moved + shuffled_right.moved);
 
         let key_left = &*self.key_left;
@@ -180,7 +180,7 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let left = inputs[0].downcast::<L>("Cross(left)")?;
         let right = inputs[1].downcast::<R>("Cross(right)")?;
-        let replicated = broadcast(right, left.num_partitions());
+        let replicated = ctx.time_shuffle(|| broadcast(right, left.num_partitions()));
         ctx.add_shuffled(replicated.moved);
         let f = &*self.f;
         let rights: Vec<Vec<R>> = replicated.parts.into_parts();

@@ -40,7 +40,7 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let input = inputs[0].clone().take::<T>("ReduceByKey")?;
         let key_of = &*self.key_of;
-        let shuffled = shuffle_by_key(input, key_of);
+        let shuffled = ctx.time_shuffle(|| shuffle_by_key(input, key_of));
         ctx.add_shuffled(shuffled.moved);
         let f = &*self.f;
         let work = shuffled.parts.total_len();
@@ -96,7 +96,7 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let input = inputs[0].clone().take::<T>("Distinct")?;
         let key_of = &*self.key_of;
-        let shuffled = shuffle_by_key(input, key_of);
+        let shuffled = ctx.time_shuffle(|| shuffle_by_key(input, key_of));
         ctx.add_shuffled(shuffled.moved);
         let work = shuffled.parts.total_len();
         let out = par_map(shuffled.parts.into_parts(), ctx, work, |_, records| {
@@ -139,7 +139,7 @@ where
 {
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let input = inputs[0].clone().take::<T>("PartitionBy")?;
-        let shuffled = shuffle_by_key(input, &*self.key_of);
+        let shuffled = ctx.time_shuffle(|| shuffle_by_key(input, &*self.key_of));
         ctx.add_shuffled(shuffled.moved);
         Ok(Erased::new(shuffled.parts))
     }

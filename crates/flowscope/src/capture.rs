@@ -1,0 +1,112 @@
+//! Capture helpers: write the full inspectable artifact set for one run —
+//! journal, spans sidecar, and metrics-wrapped report — with the sidecar
+//! names every loader and the `optirec inspect` CLI expect.
+//!
+//! The journal stays pure (deterministic, byte-identical on replay); the
+//! wall-clock data lives in the `_spans.jsonl` sidecar and inside the
+//! report's span totals, which is why they are separate files.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use telemetry::{MemorySink, MetricRegistry, RunReport};
+
+/// The artifact paths for one captured run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturePaths {
+    /// The deterministic JSONL event journal.
+    pub journal: PathBuf,
+    /// The wall-clock span sidecar.
+    pub spans: PathBuf,
+    /// The metrics-wrapped run report.
+    pub report: PathBuf,
+}
+
+/// Derive sidecar paths from a journal path. `<stem>_journal.jsonl` (the
+/// bench convention) maps to `<stem>_spans.jsonl` / `<stem>_report.json`;
+/// any other name gets `.spans.jsonl` / `.report.json` suffixes.
+pub fn capture_paths(journal: &Path) -> CapturePaths {
+    let name = journal.file_name().and_then(|n| n.to_str()).unwrap_or("run.jsonl");
+    let (spans_name, report_name) = match name.strip_suffix("_journal.jsonl") {
+        Some(stem) => (format!("{stem}_spans.jsonl"), format!("{stem}_report.json")),
+        None => {
+            let stem = name.strip_suffix(".jsonl").unwrap_or(name);
+            (format!("{stem}.spans.jsonl"), format!("{stem}.report.json"))
+        }
+    };
+    CapturePaths {
+        journal: journal.to_path_buf(),
+        spans: journal.with_file_name(spans_name),
+        report: journal.with_file_name(report_name),
+    }
+}
+
+/// Write the full artifact set for a captured run: the journal, a spans
+/// sidecar, and a report wrapping the metrics snapshot. Returns the paths
+/// written.
+pub fn save_run(
+    sink: &MemorySink,
+    metrics: &MetricRegistry,
+    journal_path: &Path,
+) -> io::Result<CapturePaths> {
+    let paths = capture_paths(journal_path);
+    if let Some(dir) = paths.journal.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&paths.journal, sink.journal_lines())?;
+    let mut spans_text = String::new();
+    for span in sink.spans() {
+        spans_text.push_str(&span.to_json());
+        spans_text.push('\n');
+    }
+    std::fs::write(&paths.spans, spans_text)?;
+    let report = RunReport::from_sink(sink);
+    std::fs::write(&paths.report, report.to_json_with_metrics(&metrics.snapshot()))?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use telemetry::{JournalEvent, SinkHandle, SpanKind};
+
+    #[test]
+    fn bench_style_names_map_to_sidecars() {
+        let paths = capture_paths(Path::new("results/figure3_cc_small_journal.jsonl"));
+        assert_eq!(paths.spans, PathBuf::from("results/figure3_cc_small_spans.jsonl"));
+        assert_eq!(paths.report, PathBuf::from("results/figure3_cc_small_report.json"));
+    }
+
+    #[test]
+    fn generic_names_get_dotted_sidecars() {
+        let paths = capture_paths(Path::new("/tmp/run.jsonl"));
+        assert_eq!(paths.spans, PathBuf::from("/tmp/run.spans.jsonl"));
+        assert_eq!(paths.report, PathBuf::from("/tmp/run.report.json"));
+    }
+
+    #[test]
+    fn save_run_writes_all_three_artifacts() {
+        let sink = Arc::new(MemorySink::new());
+        let handle = SinkHandle::new(sink.clone());
+        handle.emit(|| JournalEvent::Restarted);
+        let _ = handle.timer(SpanKind::Run, None, None).finish();
+        handle.metrics().counter("records").add(7);
+
+        let dir = std::env::temp_dir().join("flowscope_capture_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("demo_journal.jsonl");
+        let paths = save_run(&sink, handle.metrics(), &journal).unwrap();
+
+        let journal_text = std::fs::read_to_string(&paths.journal).unwrap();
+        assert_eq!(journal_text, "{\"event\":\"Restarted\"}\n");
+        let spans_text = std::fs::read_to_string(&paths.spans).unwrap();
+        assert!(spans_text.contains("\"span\":\"run\""), "{spans_text}");
+        let report_text = std::fs::read_to_string(&paths.report).unwrap();
+        assert!(report_text.starts_with("{\"report\":"), "{report_text}");
+        assert!(report_text.contains("\"records\":7"), "{report_text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! flowscope: post-hoc inspection of telemetry artifacts.
+//!
+//! The telemetry crate records what a run did (journal), how long it took
+//! (spans, metrics), and the aggregate (report). This crate reads those
+//! artifacts back and answers the questions the paper's evaluation asks:
+//!
+//! - [`timeline`] — what happened when: an ASCII Gantt of supersteps with
+//!   failure, compensation, and rollback markers.
+//! - [`profile`] — where the time went: per-partition and per-operator
+//!   breakdowns with straggler detection.
+//! - [`convergence`] — the paper's figures in a terminal: changed-element
+//!   and delta-norm curves with recovery overlays, plus CSV/HTML export.
+//! - [`diff`] — regression gating: compare two runs and flag
+//!   superstep-count, wall-clock, and recovery-overhead regressions.
+//!
+//! Everything is file-driven (`inspect` runs long after the run finished)
+//! and serde-free: [`jsonv`] parses exactly the JSON dialect
+//! `telemetry::json` writes, and [`load::parse_journal`] round-trips
+//! journals byte-identically.
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod convergence;
+pub mod diff;
+pub mod jsonv;
+pub mod load;
+pub mod model;
+pub mod profile;
+pub mod timeline;
+
+pub use capture::{capture_paths, save_run, CapturePaths};
+pub use convergence::{render_convergence, write_convergence_csv, write_convergence_html};
+pub use diff::{diff_runs, render_diff, DiffOptions, DiffReport, RunFacts};
+pub use load::{load_journal, load_report, load_spans, Journal, LoadError, ReportSummary};
+pub use model::RunModel;
+pub use profile::{build_profile, render_profile, Profile};
+pub use timeline::render_timeline;

@@ -1,0 +1,384 @@
+//! Loaders: JSONL journals, span sidecars, and run reports, parsed back
+//! into structured form.
+//!
+//! The journal loader is the inverse of [`telemetry::JournalEvent::to_json`]
+//! and round-trips byte-identically (asserted by tests), which is what lets
+//! `inspect diff` compare a fresh run against a checked-in baseline without
+//! worrying about formatting drift. Unknown event kinds are tolerated and
+//! counted, so journals written by future versions still load.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use telemetry::{IterationMode, JournalEvent, Norm};
+
+use crate::jsonv::{self, Value};
+
+/// A loading failure: IO, JSON syntax, or an event that fails validation.
+#[derive(Debug)]
+pub struct LoadError(pub String);
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError(e.to_string())
+    }
+}
+
+/// Result alias for loaders.
+pub type Result<T> = std::result::Result<T, LoadError>;
+
+/// A parsed journal: the recognized events plus a count of skipped lines
+/// (unknown event kinds from newer writers).
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// Events in journal order.
+    pub events: Vec<JournalEvent>,
+    /// Lines whose `event` kind was not recognized.
+    pub skipped: usize,
+}
+
+/// Parse a JSONL journal from text.
+pub fn parse_journal(text: &str) -> Result<Journal> {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = jsonv::parse(line)
+            .map_err(|e| LoadError(format!("journal line {}: {e}", lineno + 1)))?;
+        match parse_event(&value) {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => skipped += 1,
+            Err(msg) => return Err(LoadError(format!("journal line {}: {msg}", lineno + 1))),
+        }
+    }
+    Ok(Journal { events, skipped })
+}
+
+/// Load a JSONL journal from disk.
+pub fn load_journal(path: &Path) -> Result<Journal> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
+    parse_journal(&text)
+}
+
+fn u64_field(v: &Value, key: &str) -> std::result::Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing u64 field {key:?}"))
+}
+
+fn u32_field(v: &Value, key: &str) -> std::result::Result<u32, String> {
+    u64_field(v, key)?.try_into().map_err(|_| format!("field {key:?} out of u32 range"))
+}
+
+fn u64_array_field(v: &Value, key: &str) -> std::result::Result<Vec<u64>, String> {
+    let arr = v.get(key).and_then(Value::as_arr).ok_or_else(|| format!("missing array {key:?}"))?;
+    arr.iter()
+        .map(|item| item.as_u64().ok_or_else(|| format!("non-integer entry in {key:?}")))
+        .collect()
+}
+
+/// Parse one journal line into an event; `Ok(None)` marks an unknown kind.
+fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
+    let kind = v.get("event").and_then(Value::as_str).ok_or("missing \"event\" field")?;
+    let event = match kind {
+        "RunStarted" => JournalEvent::RunStarted {
+            mode: match v.get("mode").and_then(Value::as_str) {
+                Some("bulk") => IterationMode::Bulk,
+                Some("delta") => IterationMode::Delta,
+                other => return Err(format!("bad mode {other:?}")),
+            },
+            parallelism: u64_field(v, "parallelism")? as usize,
+            max_iterations: u32_field(v, "max_iterations")?,
+        },
+        "SuperstepCompleted" => JournalEvent::SuperstepCompleted {
+            superstep: u32_field(v, "superstep")?,
+            iteration: u32_field(v, "iteration")?,
+            records_shuffled: u64_field(v, "records_shuffled")?,
+            workset_size: v.get("workset_size").and_then(Value::as_u64),
+        },
+        "ConvergenceSample" => JournalEvent::ConvergenceSample {
+            superstep: u32_field(v, "superstep")?,
+            iteration: u32_field(v, "iteration")?,
+            changed: u64_field(v, "changed")?,
+            changed_per_partition: u64_array_field(v, "changed_per_partition")?,
+            delta_norm: v.get("delta_norm").and_then(Value::as_f64).map(Norm),
+            workset_per_partition: match v.get("workset_per_partition") {
+                Some(_) => Some(u64_array_field(v, "workset_per_partition")?),
+                None => None,
+            },
+        },
+        "CheckpointWritten" => JournalEvent::CheckpointWritten {
+            iteration: u32_field(v, "iteration")?,
+            bytes: u64_field(v, "bytes")?,
+        },
+        "FailureInjected" => JournalEvent::FailureInjected {
+            superstep: u32_field(v, "superstep")?,
+            iteration: u32_field(v, "iteration")?,
+            lost_partitions: u64_array_field(v, "lost_partitions")?
+                .into_iter()
+                .map(|p| p as usize)
+                .collect(),
+            lost_records: u64_field(v, "lost_records")?,
+        },
+        "CompensationApplied" => {
+            JournalEvent::CompensationApplied { iteration: u32_field(v, "iteration")? }
+        }
+        "CompensationInvoked" => JournalEvent::CompensationInvoked {
+            name: v.get("name").and_then(Value::as_str).ok_or("missing name")?.to_string(),
+            iteration: u32_field(v, "iteration")?,
+        },
+        "RolledBack" => JournalEvent::RolledBack { to_iteration: u32_field(v, "to_iteration")? },
+        "CheckpointRestored" => {
+            JournalEvent::CheckpointRestored { iteration: u32_field(v, "iteration")? }
+        }
+        "DiffChainReplayed" => JournalEvent::DiffChainReplayed {
+            base_iteration: u32_field(v, "base_iteration")?,
+            diffs: u32_field(v, "diffs")?,
+        },
+        "Restarted" => JournalEvent::Restarted,
+        "FailureIgnored" => JournalEvent::FailureIgnored { iteration: u32_field(v, "iteration")? },
+        "RunCompleted" => JournalEvent::RunCompleted {
+            supersteps: u32_field(v, "supersteps")?,
+            iterations: u32_field(v, "iterations")?,
+            converged: v.get("converged").and_then(Value::as_bool).ok_or("missing converged")?,
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(event))
+}
+
+/// One line of a `*.spans.jsonl` sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// Span kind label (`run`, `superstep`, `compute`, ...).
+    pub kind: String,
+    /// Chronological superstep, absent for run-level spans.
+    pub superstep: Option<u32>,
+    /// Logical iteration, absent for run-level spans.
+    pub iteration: Option<u32>,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Parse a span sidecar from text.
+pub fn parse_spans(text: &str) -> Result<Vec<SpanEntry>> {
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v =
+            jsonv::parse(line).map_err(|e| LoadError(format!("spans line {}: {e}", lineno + 1)))?;
+        let kind = v
+            .get("span")
+            .and_then(Value::as_str)
+            .ok_or_else(|| LoadError(format!("spans line {}: missing \"span\"", lineno + 1)))?;
+        spans.push(SpanEntry {
+            kind: kind.to_string(),
+            superstep: v.get("superstep").and_then(Value::as_u64).map(|s| s as u32),
+            iteration: v.get("iteration").and_then(Value::as_u64).map(|s| s as u32),
+            duration_ns: v.get("duration_ns").and_then(Value::as_u64).unwrap_or(0),
+        });
+    }
+    Ok(spans)
+}
+
+/// Load a span sidecar from disk.
+pub fn load_spans(path: &Path) -> Result<Vec<SpanEntry>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
+    parse_spans(&text)
+}
+
+/// Summary statistics of one named histogram from a metrics snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// A parsed run report (the `*_report.json` the figure bins write), either
+/// the bare report object or the `{"report":…,"metrics":…}` wrapper.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSummary {
+    /// Supersteps actually executed.
+    pub supersteps: u32,
+    /// Highest logical iteration reached plus one.
+    pub logical_iterations: u32,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Records moved across partitions.
+    pub records_shuffled: u64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Compensation recoveries.
+    pub compensations: u64,
+    /// Rollback recoveries.
+    pub rollbacks: u64,
+    /// Restart recoveries.
+    pub restarts: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Wall-clock totals per span label, in nanoseconds.
+    pub span_totals_ns: BTreeMap<String, u64>,
+    /// Histogram summaries from the metrics snapshot (empty for bare
+    /// reports without metrics).
+    pub histograms: BTreeMap<String, HistogramStats>,
+    /// Counters from the metrics snapshot.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Parse a report JSON document (bare or metrics-wrapped).
+pub fn parse_report(text: &str) -> Result<ReportSummary> {
+    let root = jsonv::parse(text).map_err(|e| LoadError(format!("report: {e}")))?;
+    let (report, metrics) = match root.get("report") {
+        Some(inner) => (inner, root.get("metrics")),
+        None => (&root, None),
+    };
+    let get = |key: &str| report.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let mut summary = ReportSummary {
+        supersteps: get("supersteps") as u32,
+        logical_iterations: get("logical_iterations") as u32,
+        converged: report.get("converged").and_then(Value::as_bool).unwrap_or(false),
+        records_shuffled: get("records_shuffled"),
+        failures: get("failures"),
+        compensations: get("compensations"),
+        rollbacks: get("rollbacks"),
+        restarts: get("restarts"),
+        checkpoints: get("checkpoints"),
+        ..Default::default()
+    };
+    if let Some(fields) = report.get("span_totals").and_then(Value::as_obj) {
+        for (name, v) in fields {
+            if let (Some(label), Some(ns)) = (name.strip_suffix("_ns"), v.as_u64()) {
+                summary.span_totals_ns.insert(label.to_string(), ns);
+            }
+        }
+    }
+    if let Some(metrics) = metrics {
+        if let Some(fields) = metrics.get("histograms").and_then(Value::as_obj) {
+            for (name, h) in fields {
+                summary.histograms.insert(
+                    name.clone(),
+                    HistogramStats {
+                        count: h.get("count").and_then(Value::as_u64).unwrap_or(0),
+                        sum: h.get("sum").and_then(Value::as_u64).unwrap_or(0),
+                        mean: h.get("mean").and_then(Value::as_f64).unwrap_or(0.0),
+                        p99: h.get("p99").and_then(Value::as_u64).unwrap_or(0),
+                        max: h.get("max").and_then(Value::as_u64).unwrap_or(0),
+                    },
+                );
+            }
+        }
+        if let Some(fields) = metrics.get("counters").and_then(Value::as_obj) {
+            for (name, v) in fields {
+                if let Some(n) = v.as_u64() {
+                    summary.counters.insert(name.clone(), n);
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Load a report from disk.
+pub fn load_report(path: &Path) -> Result<ReportSummary> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
+    parse_report(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"event\":\"RunStarted\",\"mode\":\"delta\",\"parallelism\":2,\"max_iterations\":9}\n",
+        "{\"event\":\"SuperstepCompleted\",\"superstep\":0,\"iteration\":0,",
+        "\"records_shuffled\":5,\"workset_size\":3}\n",
+        "{\"event\":\"ConvergenceSample\",\"superstep\":0,\"iteration\":0,\"changed\":4,",
+        "\"changed_per_partition\":[1,3],\"delta_norm\":2.5,\"workset_per_partition\":[2,1]}\n",
+        "{\"event\":\"FailureInjected\",\"superstep\":0,\"iteration\":0,",
+        "\"lost_partitions\":[1],\"lost_records\":2}\n",
+        "{\"event\":\"CompensationInvoked\",\"name\":\"Fix\",\"iteration\":0}\n",
+        "{\"event\":\"CompensationApplied\",\"iteration\":0}\n",
+        "{\"event\":\"RunCompleted\",\"supersteps\":1,\"iterations\":1,\"converged\":true}\n",
+    );
+
+    #[test]
+    fn journal_roundtrips_byte_identically() {
+        let journal = parse_journal(SAMPLE).unwrap();
+        assert_eq!(journal.skipped, 0);
+        let rewritten: String = journal.events.iter().map(|e| e.to_json() + "\n").collect();
+        assert_eq!(rewritten, SAMPLE);
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_skipped_not_fatal() {
+        let text = "{\"event\":\"SomethingNew\",\"x\":1}\n{\"event\":\"Restarted\"}\n";
+        let journal = parse_journal(text).unwrap();
+        assert_eq!(journal.skipped, 1);
+        assert_eq!(journal.events, vec![JournalEvent::Restarted]);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_journal("{\"event\":\"RunCompleted\"}\n").is_err());
+        assert!(parse_journal("not json\n").is_err());
+    }
+
+    #[test]
+    fn spans_parse_with_optional_coordinates() {
+        let text = "{\"span\":\"run\",\"duration_ns\":500}\n\
+                    {\"span\":\"compute\",\"superstep\":1,\"iteration\":1,\"duration_ns\":120}\n";
+        let spans = parse_spans(text).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, "run");
+        assert_eq!(spans[0].superstep, None);
+        assert_eq!(spans[1].superstep, Some(1));
+        assert_eq!(spans[1].duration_ns, 120);
+    }
+
+    #[test]
+    fn reports_parse_bare_and_wrapped() {
+        let bare = "{\"supersteps\":7,\"logical_iterations\":7,\"converged\":true,\
+                    \"records_shuffled\":88,\"failures\":2,\"lost_records\":12,\
+                    \"compensations\":2,\"rollbacks\":0,\"restarts\":0,\"ignored\":0,\
+                    \"checkpoints\":0,\"checkpoint_bytes\":0,\"event_counts\":{},\
+                    \"span_totals\":{\"run_ns\":1000,\"compute_ns\":700}}";
+        let summary = parse_report(bare).unwrap();
+        assert_eq!(summary.supersteps, 7);
+        assert_eq!(summary.span_totals_ns.get("run"), Some(&1000));
+        assert!(summary.histograms.is_empty());
+
+        let wrapped = format!(
+            "{{\"report\":{bare},\"metrics\":{{\"counters\":{{\"c\":4}},\"gauges\":{{}},\
+             \"histograms\":{{\"partition_task_ns/p0\":{{\"count\":3,\"sum\":900,\
+             \"mean\":300.0,\"p99\":512,\"max\":400}}}}}}}}"
+        );
+        let summary = parse_report(&wrapped).unwrap();
+        assert_eq!(summary.failures, 2);
+        assert_eq!(summary.counters.get("c"), Some(&4));
+        let h = summary.histograms.get("partition_task_ns/p0").unwrap();
+        assert_eq!(h.sum, 900);
+        assert_eq!(h.mean, 300.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! A structured view of a journal: one row per superstep, with failures,
+//! recovery actions, checkpoints, and convergence samples attached to the
+//! superstep they happened in.
+//!
+//! The journal is flat and chronological; the analyses (timeline, profile,
+//! convergence) all want "what happened during superstep N". This module
+//! does that fold once. Attribution rule: events between
+//! `SuperstepCompleted(N)` and `SuperstepCompleted(N+1)` belong to row N —
+//! failures strike after a superstep's body finishes, and recovery runs
+//! before the next superstep starts, so this matches the engine's actual
+//! sequencing.
+
+use telemetry::{IterationMode, JournalEvent, PartitionId};
+
+/// A recovery action taken after a failure, in journal terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Optimistic recovery: a compensation function repaired the state.
+    Compensation {
+        /// `Compensation::name()` if the strategy layer recorded it.
+        name: Option<String>,
+    },
+    /// Pessimistic recovery: rolled back to a checkpointed iteration.
+    Rollback {
+        /// Iteration the run resumed from.
+        to_iteration: u32,
+    },
+    /// The run restarted from scratch.
+    Restart,
+    /// The failure was deliberately ignored (ablation runs).
+    Ignored,
+}
+
+impl RecoveryAction {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        match self {
+            RecoveryAction::Compensation { name: Some(name) } => format!("compensate[{name}]"),
+            RecoveryAction::Compensation { name: None } => "compensate".to_string(),
+            RecoveryAction::Rollback { to_iteration } => format!("rollback->it{to_iteration}"),
+            RecoveryAction::Restart => "restart".to_string(),
+            RecoveryAction::Ignored => "ignored".to_string(),
+        }
+    }
+}
+
+/// A failure observed after one superstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureMark {
+    /// Partitions whose state was lost.
+    pub lost_partitions: Vec<PartitionId>,
+    /// Records destroyed.
+    pub lost_records: u64,
+}
+
+/// Everything the journal says about one chronological superstep.
+#[derive(Debug, Clone, Default)]
+pub struct SuperstepRow {
+    /// Chronological superstep index.
+    pub superstep: u32,
+    /// Logical iteration (repeats after rollback/restart).
+    pub iteration: u32,
+    /// Records that crossed partitions during the step.
+    pub records_shuffled: u64,
+    /// Working-set size entering the next iteration (delta only).
+    pub workset_size: Option<u64>,
+    /// Convergence sample for the step, when the run recorded one.
+    pub sample: Option<ConvergencePoint>,
+    /// Failure injected after this superstep, if any.
+    pub failure: Option<FailureMark>,
+    /// Recovery actions that ran before the next superstep.
+    pub recovery: Vec<RecoveryAction>,
+    /// Bytes checkpointed after this superstep (0 = no checkpoint).
+    pub checkpoint_bytes: Option<u64>,
+}
+
+/// The convergence measurements of one superstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Elements changed across all partitions.
+    pub changed: u64,
+    /// Elements changed per partition.
+    pub changed_per_partition: Vec<u64>,
+    /// Algorithm-specific delta norm, when a probe was registered.
+    pub delta_norm: Option<f64>,
+    /// Working-set size per partition (delta runs only).
+    pub workset_per_partition: Option<Vec<u64>>,
+}
+
+/// A whole run folded into per-superstep rows.
+#[derive(Debug, Clone, Default)]
+pub struct RunModel {
+    /// Bulk or delta, from `RunStarted`.
+    pub mode: Option<IterationMode>,
+    /// Worker partitions, from `RunStarted`.
+    pub parallelism: usize,
+    /// One row per chronological superstep, in order.
+    pub rows: Vec<SuperstepRow>,
+    /// Whether the run converged (from `RunCompleted`; `false` if the
+    /// journal is truncated).
+    pub converged: bool,
+    /// Highest logical iteration reached plus one.
+    pub logical_iterations: u32,
+}
+
+impl RunModel {
+    /// Fold a journal into per-superstep rows.
+    pub fn from_events(events: &[JournalEvent]) -> RunModel {
+        let mut model = RunModel::default();
+        for event in events {
+            match event {
+                JournalEvent::RunStarted { mode, parallelism, .. } => {
+                    model.mode = Some(*mode);
+                    model.parallelism = *parallelism;
+                }
+                JournalEvent::SuperstepCompleted {
+                    superstep,
+                    iteration,
+                    records_shuffled,
+                    workset_size,
+                } => {
+                    model.rows.push(SuperstepRow {
+                        superstep: *superstep,
+                        iteration: *iteration,
+                        records_shuffled: *records_shuffled,
+                        workset_size: *workset_size,
+                        ..Default::default()
+                    });
+                }
+                JournalEvent::ConvergenceSample {
+                    changed,
+                    changed_per_partition,
+                    delta_norm,
+                    workset_per_partition,
+                    ..
+                } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.sample = Some(ConvergencePoint {
+                            changed: *changed,
+                            changed_per_partition: changed_per_partition.clone(),
+                            delta_norm: delta_norm.map(|n| n.0),
+                            workset_per_partition: workset_per_partition.clone(),
+                        });
+                    }
+                }
+                JournalEvent::CheckpointWritten { bytes, .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.checkpoint_bytes = Some(*bytes);
+                    }
+                }
+                JournalEvent::FailureInjected { lost_partitions, lost_records, .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.failure = Some(FailureMark {
+                            lost_partitions: lost_partitions.clone(),
+                            lost_records: *lost_records,
+                        });
+                    }
+                }
+                JournalEvent::CompensationInvoked { name, .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        // Upgrade the engine's anonymous CompensationApplied
+                        // (if already attached) with the strategy's name.
+                        match row.recovery.last_mut() {
+                            Some(RecoveryAction::Compensation { name: slot @ None }) => {
+                                *slot = Some(name.clone());
+                            }
+                            _ => row
+                                .recovery
+                                .push(RecoveryAction::Compensation { name: Some(name.clone()) }),
+                        }
+                    }
+                }
+                JournalEvent::CompensationApplied { .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        // The strategy layer may have already recorded the
+                        // named invocation; don't double-count.
+                        if !matches!(row.recovery.last(), Some(RecoveryAction::Compensation { .. }))
+                        {
+                            row.recovery.push(RecoveryAction::Compensation { name: None });
+                        }
+                    }
+                }
+                JournalEvent::RolledBack { to_iteration } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.recovery.push(RecoveryAction::Rollback { to_iteration: *to_iteration });
+                    }
+                }
+                JournalEvent::Restarted => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.recovery.push(RecoveryAction::Restart);
+                    }
+                }
+                JournalEvent::FailureIgnored { .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.recovery.push(RecoveryAction::Ignored);
+                    }
+                }
+                JournalEvent::RunCompleted { iterations, converged, .. } => {
+                    model.converged = *converged;
+                    model.logical_iterations = *iterations;
+                }
+                // CheckpointRestored / DiffChainReplayed are mechanics of a
+                // rollback already represented by RolledBack.
+                _ => {}
+            }
+        }
+        model
+    }
+
+    /// Supersteps that carry a failure mark.
+    pub fn failure_supersteps(&self) -> Vec<u32> {
+        self.rows.iter().filter(|r| r.failure.is_some()).map(|r| r.superstep).collect()
+    }
+
+    /// Supersteps after which a compensation ran.
+    pub fn compensation_supersteps(&self) -> Vec<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.recovery.iter().any(|a| matches!(a, RecoveryAction::Compensation { .. })))
+            .map(|r| r.superstep)
+            .collect()
+    }
+
+    /// Supersteps after which a rollback or restart ran.
+    pub fn rollback_supersteps(&self) -> Vec<u32> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.recovery
+                    .iter()
+                    .any(|a| matches!(a, RecoveryAction::Rollback { .. } | RecoveryAction::Restart))
+            })
+            .map(|r| r.superstep)
+            .collect()
+    }
+
+    /// Redundant supersteps: executed minus logical progress. Nonzero only
+    /// for rollback/restart runs, which re-execute work — the paper's
+    /// recovery-overhead measure.
+    pub fn redundant_supersteps(&self) -> u32 {
+        (self.rows.len() as u32).saturating_sub(self.logical_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Norm;
+
+    fn step(superstep: u32, iteration: u32) -> JournalEvent {
+        JournalEvent::SuperstepCompleted {
+            superstep,
+            iteration,
+            records_shuffled: 10,
+            workset_size: None,
+        }
+    }
+
+    #[test]
+    fn recovery_events_attach_to_the_failed_superstep() {
+        let events = vec![
+            JournalEvent::RunStarted {
+                mode: IterationMode::Bulk,
+                parallelism: 4,
+                max_iterations: 10,
+            },
+            step(0, 0),
+            step(1, 1),
+            JournalEvent::FailureInjected {
+                superstep: 1,
+                iteration: 1,
+                lost_partitions: vec![2],
+                lost_records: 7,
+            },
+            JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
+            JournalEvent::CompensationApplied { iteration: 1 },
+            step(2, 2),
+            JournalEvent::RunCompleted { supersteps: 3, iterations: 3, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(model.rows.len(), 3);
+        assert_eq!(model.parallelism, 4);
+        assert!(model.converged);
+        let failed = &model.rows[1];
+        assert_eq!(failed.failure.as_ref().unwrap().lost_records, 7);
+        assert_eq!(
+            failed.recovery,
+            vec![RecoveryAction::Compensation { name: Some("Fix".into()) }]
+        );
+        assert!(model.rows[0].failure.is_none());
+        assert_eq!(model.failure_supersteps(), vec![1]);
+        assert_eq!(model.compensation_supersteps(), vec![1]);
+        assert_eq!(model.redundant_supersteps(), 0);
+    }
+
+    #[test]
+    fn rollback_runs_count_redundant_supersteps() {
+        let events = vec![
+            step(0, 0),
+            step(1, 1),
+            JournalEvent::FailureInjected {
+                superstep: 1,
+                iteration: 1,
+                lost_partitions: vec![0],
+                lost_records: 3,
+            },
+            JournalEvent::RolledBack { to_iteration: 0 },
+            step(2, 1),
+            step(3, 2),
+            JournalEvent::RunCompleted { supersteps: 4, iterations: 3, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(model.rollback_supersteps(), vec![1]);
+        assert_eq!(model.redundant_supersteps(), 1);
+    }
+
+    #[test]
+    fn convergence_samples_land_on_their_row() {
+        let events = vec![
+            step(0, 0),
+            JournalEvent::ConvergenceSample {
+                superstep: 0,
+                iteration: 0,
+                changed: 5,
+                changed_per_partition: vec![2, 3],
+                delta_norm: Some(Norm(1.5)),
+                workset_per_partition: Some(vec![4, 1]),
+            },
+        ];
+        let model = RunModel::from_events(&events);
+        let sample = model.rows[0].sample.as_ref().unwrap();
+        assert_eq!(sample.changed, 5);
+        assert_eq!(sample.delta_norm, Some(1.5));
+        assert_eq!(sample.workset_per_partition.as_deref(), Some(&[4, 1][..]));
+    }
+}

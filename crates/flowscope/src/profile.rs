@@ -1,0 +1,227 @@
+//! Profile view: where did the time go — per partition, per operator, and
+//! per phase — with straggler detection.
+//!
+//! Works off a metrics-wrapped run report: per-partition tracks of the
+//! `partition_task_ns` / `partition_shuffle_ns` histograms give the
+//! partition breakdown, `op/<kind>_ns` histograms give the operator
+//! breakdown, and `span_totals` gives the phase split. A partition whose
+//! total (compute + shuffle) exceeds `straggler_factor` times the median
+//! is flagged — on the simulated workers that means skewed partitioning,
+//! the same signal the paper's cluster runs surface as stragglers.
+
+use std::collections::BTreeMap;
+
+use crate::load::ReportSummary;
+
+/// Time attribution for one partition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionProfile {
+    /// Partition id.
+    pub pid: usize,
+    /// Nanoseconds in operator compute on this partition.
+    pub compute_ns: u64,
+    /// Nanoseconds of shuffle cost attributed to this partition.
+    pub shuffle_ns: u64,
+    /// Flagged as a straggler against the median partition.
+    pub straggler: bool,
+}
+
+impl PartitionProfile {
+    /// Compute plus shuffle.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns + self.shuffle_ns
+    }
+}
+
+/// The assembled profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-partition attribution, ordered by pid.
+    pub partitions: Vec<PartitionProfile>,
+    /// Total nanoseconds per operator kind (from `op/<kind>_ns` histograms).
+    pub operators: Vec<(String, u64)>,
+    /// Wall-clock totals per phase label from the report's span totals.
+    pub phases: Vec<(String, u64)>,
+    /// The straggler threshold that was applied.
+    pub straggler_factor: f64,
+}
+
+fn partition_track(name: &str, prefix: &str) -> Option<usize> {
+    name.strip_prefix(prefix)?.strip_prefix("/p")?.parse().ok()
+}
+
+/// Build a profile from a loaded report. `straggler_factor` is the multiple
+/// of the median partition total beyond which a partition is flagged.
+pub fn build_profile(report: &ReportSummary, straggler_factor: f64) -> Profile {
+    let mut partitions: BTreeMap<usize, PartitionProfile> = BTreeMap::new();
+    let mut operators: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, stats) in &report.histograms {
+        if let Some(pid) = partition_track(name, "partition_task_ns") {
+            let slot = partitions
+                .entry(pid)
+                .or_insert_with(|| PartitionProfile { pid, ..Default::default() });
+            slot.compute_ns += stats.sum;
+        } else if let Some(pid) = partition_track(name, "partition_shuffle_ns") {
+            let slot = partitions
+                .entry(pid)
+                .or_insert_with(|| PartitionProfile { pid, ..Default::default() });
+            slot.shuffle_ns += stats.sum;
+        } else if let Some(op) = name.strip_prefix("op/").and_then(|n| n.strip_suffix("_ns")) {
+            *operators.entry(op.to_string()).or_default() += stats.sum;
+        }
+    }
+
+    let mut partitions: Vec<PartitionProfile> = partitions.into_values().collect();
+    let mut totals: Vec<u64> = partitions.iter().map(PartitionProfile::total_ns).collect();
+    totals.sort_unstable();
+    let median = if totals.is_empty() { 0 } else { totals[totals.len() / 2] };
+    for p in &mut partitions {
+        p.straggler = median > 0 && p.total_ns() as f64 >= straggler_factor * median as f64;
+    }
+
+    let mut operators: Vec<(String, u64)> = operators.into_iter().collect();
+    operators.sort_by_key(|o| std::cmp::Reverse(o.1));
+
+    let mut phases: Vec<(String, u64)> =
+        report.span_totals_ns.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    phases.sort_by_key(|p| std::cmp::Reverse(p.1));
+
+    Profile { partitions, operators, phases, straggler_factor }
+}
+
+fn bar(part: u64, max: u64, width: usize) -> String {
+    let filled = if max == 0 { 0 } else { (part as u128 * width as u128 / max as u128) as usize };
+    let mut s = "#".repeat(filled);
+    if part > 0 && filled == 0 {
+        s.push('#');
+    }
+    s
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Render the profile as aligned text sections.
+pub fn render_profile(profile: &Profile) -> String {
+    let mut out = String::new();
+
+    out.push_str("per-partition time (compute + shuffle):\n");
+    if profile.partitions.is_empty() {
+        out.push_str(
+            "  (no per-partition histograms in this report; \
+                      re-run with telemetry enabled)\n",
+        );
+    }
+    let max_total = profile.partitions.iter().map(PartitionProfile::total_ns).max().unwrap_or(0);
+    let grand_total: u64 = profile.partitions.iter().map(PartitionProfile::total_ns).sum();
+    for p in &profile.partitions {
+        out.push_str(&format!(
+            "  p{:<3} |{:<24}| {:>6.2}%  compute {:>12}ns  shuffle {:>12}ns{}\n",
+            p.pid,
+            bar(p.total_ns(), max_total, 24),
+            pct(p.total_ns(), grand_total),
+            p.compute_ns,
+            p.shuffle_ns,
+            if p.straggler {
+                format!("  STRAGGLER (>= {:.1}x median)", profile.straggler_factor)
+            } else {
+                String::new()
+            },
+        ));
+    }
+
+    out.push_str("\nper-operator time:\n");
+    if profile.operators.is_empty() {
+        out.push_str("  (no op/<kind>_ns histograms in this report)\n");
+    }
+    let op_total: u64 = profile.operators.iter().map(|(_, ns)| ns).sum();
+    let op_max = profile.operators.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
+    for (op, ns) in &profile.operators {
+        out.push_str(&format!(
+            "  {:<14} |{:<24}| {:>6.2}%  {:>12}ns\n",
+            op,
+            bar(*ns, op_max, 24),
+            pct(*ns, op_total),
+            ns,
+        ));
+    }
+
+    out.push_str("\nphase wall-clock (span totals):\n");
+    if profile.phases.is_empty() {
+        out.push_str("  (report carries no span totals)\n");
+    }
+    let run_ns = profile
+        .phases
+        .iter()
+        .find(|(k, _)| k == "run")
+        .map(|(_, ns)| *ns)
+        .unwrap_or_else(|| profile.phases.iter().map(|(_, ns)| ns).sum());
+    for (phase, ns) in &profile.phases {
+        out.push_str(
+            &format!("  {:<14} {:>12}ns  {:>6.2}% of run\n", phase, ns, pct(*ns, run_ns),),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::HistogramStats;
+
+    fn hist(sum: u64) -> HistogramStats {
+        HistogramStats { count: 1, sum, mean: sum as f64, p99: sum, max: sum }
+    }
+
+    fn report_with_skew() -> ReportSummary {
+        let mut report = ReportSummary::default();
+        for (name, sum) in [
+            ("partition_task_ns/p0", 100u64),
+            ("partition_task_ns/p1", 110),
+            ("partition_task_ns/p2", 600),
+            ("partition_shuffle_ns/p0", 20),
+            ("partition_shuffle_ns/p2", 50),
+            ("op/reduce_ns", 400),
+            ("op/join_ns", 300),
+        ] {
+            report.histograms.insert(name.to_string(), hist(sum));
+        }
+        report.span_totals_ns.insert("run".into(), 1000);
+        report.span_totals_ns.insert("compute".into(), 700);
+        report.span_totals_ns.insert("recovery".into(), 50);
+        report
+    }
+
+    #[test]
+    fn stragglers_are_flagged_against_the_median() {
+        let profile = build_profile(&report_with_skew(), 2.0);
+        assert_eq!(profile.partitions.len(), 3);
+        assert!(!profile.partitions[0].straggler);
+        assert!(!profile.partitions[1].straggler);
+        assert!(profile.partitions[2].straggler);
+        assert_eq!(profile.partitions[2].total_ns(), 650);
+        // Operators sorted by time, descending.
+        assert_eq!(profile.operators[0].0, "reduce");
+    }
+
+    #[test]
+    fn render_mentions_stragglers_and_phases() {
+        let profile = build_profile(&report_with_skew(), 2.0);
+        let text = render_profile(&profile);
+        assert!(text.contains("STRAGGLER"), "{text}");
+        assert!(text.contains("reduce"), "{text}");
+        assert!(text.contains("% of run"), "{text}");
+    }
+
+    #[test]
+    fn empty_reports_render_placeholders() {
+        let profile = build_profile(&ReportSummary::default(), 2.0);
+        let text = render_profile(&profile);
+        assert!(text.contains("no per-partition histograms"), "{text}");
+    }
+}

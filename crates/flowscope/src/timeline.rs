@@ -1,0 +1,225 @@
+//! ASCII Gantt timeline of a run: one row per superstep, bar length
+//! proportional to wall-clock time, with failure / compensation / rollback
+//! markers inline.
+//!
+//! Durations come from the `*.spans.jsonl` sidecar when one is available.
+//! Journals deliberately carry no timing, so without spans the view falls
+//! back to records-shuffled as a work proxy and says so in the header.
+
+use std::collections::BTreeMap;
+
+use crate::load::SpanEntry;
+use crate::model::{RunModel, SuperstepRow};
+
+/// Bar glyphs: compute, shuffle-dominated remainder, checkpoint, recovery.
+const COMPUTE: char = '#';
+const SHUFFLE: char = '~';
+const CHECKPOINT: char = '%';
+const RECOVERY: char = '!';
+
+const MAX_BAR: usize = 48;
+
+#[derive(Default, Clone, Copy)]
+struct StepTiming {
+    compute_ns: u64,
+    shuffle_ns: u64,
+    checkpoint_ns: u64,
+    recovery_ns: u64,
+}
+
+impl StepTiming {
+    fn total(&self) -> u64 {
+        self.compute_ns + self.shuffle_ns + self.checkpoint_ns + self.recovery_ns
+    }
+}
+
+fn timings_from_spans(spans: &[SpanEntry]) -> BTreeMap<u32, StepTiming> {
+    let mut by_step: BTreeMap<u32, StepTiming> = BTreeMap::new();
+    for span in spans {
+        let Some(superstep) = span.superstep else { continue };
+        let slot = by_step.entry(superstep).or_default();
+        match span.kind.as_str() {
+            "compute" => slot.compute_ns += span.duration_ns,
+            "shuffle" => slot.shuffle_ns += span.duration_ns,
+            "checkpoint" => slot.checkpoint_ns += span.duration_ns,
+            "recovery" => slot.recovery_ns += span.duration_ns,
+            // "superstep" envelopes double-count their children; skip.
+            _ => {}
+        }
+    }
+    by_step
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn annotations(row: &SuperstepRow) -> String {
+    let mut notes = Vec::new();
+    if let Some(failure) = &row.failure {
+        notes.push(format!(
+            "FAIL p{:?} (-{} records)",
+            failure.lost_partitions, failure.lost_records
+        ));
+    }
+    for action in &row.recovery {
+        notes.push(action.label());
+    }
+    if let Some(bytes) = row.checkpoint_bytes {
+        notes.push(format!("ckpt {bytes}B"));
+    }
+    notes.join("  ")
+}
+
+/// Render the Gantt timeline. Pass the spans sidecar when available; without
+/// it bar lengths fall back to records-shuffled as a work proxy.
+pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String {
+    let timings = spans.map(timings_from_spans);
+    let mut out = String::new();
+    let mode = model.mode.map_or("?", |m| m.label());
+    out.push_str(&format!(
+        "timeline: {} supersteps, {} partitions, mode={mode}, {}\n",
+        model.rows.len(),
+        model.parallelism,
+        if model.converged { "converged" } else { "not converged" },
+    ));
+    match &timings {
+        Some(_) => out.push_str(
+            "bar = wall-clock per superstep  \
+                                 (# compute, ~ shuffle, % checkpoint, ! recovery)\n",
+        ),
+        None => out.push_str("no spans sidecar: bar = records shuffled (work proxy)\n"),
+    }
+    out.push('\n');
+
+    // Scale bars against the largest superstep.
+    let weight = |row: &SuperstepRow| -> u64 {
+        match &timings {
+            Some(t) => t.get(&row.superstep).map_or(0, StepTiming::total),
+            None => row.records_shuffled,
+        }
+    };
+    let max_weight = model.rows.iter().map(weight).max().unwrap_or(0).max(1);
+    let scaled = |part: u64| -> usize {
+        if part == 0 {
+            0
+        } else {
+            // At least one glyph for any nonzero segment.
+            ((part as u128 * MAX_BAR as u128 / max_weight as u128) as usize).max(1)
+        }
+    };
+
+    for row in &model.rows {
+        let mut bar = String::new();
+        match &timings {
+            Some(t) => {
+                let step = t.get(&row.superstep).copied().unwrap_or_default();
+                bar.extend(std::iter::repeat_n(COMPUTE, scaled(step.compute_ns)));
+                bar.extend(std::iter::repeat_n(SHUFFLE, scaled(step.shuffle_ns)));
+                bar.extend(std::iter::repeat_n(CHECKPOINT, scaled(step.checkpoint_ns)));
+                bar.extend(std::iter::repeat_n(RECOVERY, scaled(step.recovery_ns)));
+            }
+            None => {
+                bar.extend(std::iter::repeat_n(COMPUTE, scaled(row.records_shuffled)));
+                if row.checkpoint_bytes.is_some() {
+                    bar.push(CHECKPOINT);
+                }
+                if row.failure.is_some() {
+                    bar.push(RECOVERY);
+                }
+            }
+        }
+        let detail = match &timings {
+            Some(t) => {
+                let step = t.get(&row.superstep).copied().unwrap_or_default();
+                format_ns(step.total())
+            }
+            None => format!("{} shuffled", row.records_shuffled),
+        };
+        let notes = annotations(row);
+        out.push_str(&format!(
+            "s{:>3} it{:<3} |{:<width$}| {}{}{}\n",
+            row.superstep,
+            row.iteration,
+            bar,
+            detail,
+            if notes.is_empty() { "" } else { "  " },
+            notes,
+            width = MAX_BAR,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FailureMark, RecoveryAction};
+
+    fn model_with_failure() -> RunModel {
+        let mut model = RunModel { parallelism: 2, converged: true, ..Default::default() };
+        model.rows.push(SuperstepRow {
+            superstep: 0,
+            iteration: 0,
+            records_shuffled: 40,
+            ..Default::default()
+        });
+        model.rows.push(SuperstepRow {
+            superstep: 1,
+            iteration: 1,
+            records_shuffled: 20,
+            failure: Some(FailureMark { lost_partitions: vec![1], lost_records: 9 }),
+            recovery: vec![RecoveryAction::Compensation { name: Some("Fix".into()) }],
+            ..Default::default()
+        });
+        model
+    }
+
+    #[test]
+    fn proxy_timeline_marks_failures_and_recovery() {
+        let text = render_timeline(&model_with_failure(), None);
+        assert!(text.contains("work proxy"), "{text}");
+        assert!(text.contains("FAIL p[1] (-9 records)"), "{text}");
+        assert!(text.contains("compensate[Fix]"), "{text}");
+        // Superstep 0 shuffled twice as much: its bar is the longest.
+        let bar_len = |line: &str| line.chars().filter(|&c| c == COMPUTE).count();
+        let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('s')).collect();
+        assert!(bar_len(lines[0]) > bar_len(lines[1]), "{text}");
+    }
+
+    #[test]
+    fn span_timeline_draws_phase_segments() {
+        let spans = vec![
+            SpanEntry {
+                kind: "compute".into(),
+                superstep: Some(0),
+                iteration: Some(0),
+                duration_ns: 3_000,
+            },
+            SpanEntry {
+                kind: "shuffle".into(),
+                superstep: Some(0),
+                iteration: Some(0),
+                duration_ns: 1_000,
+            },
+            SpanEntry {
+                kind: "recovery".into(),
+                superstep: Some(1),
+                iteration: Some(1),
+                duration_ns: 2_000,
+            },
+        ];
+        let text = render_timeline(&model_with_failure(), Some(&spans));
+        assert!(text.contains(SHUFFLE), "{text}");
+        assert!(text.contains(RECOVERY), "{text}");
+        assert!(text.contains("4.0us"), "{text}");
+    }
+}

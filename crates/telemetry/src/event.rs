@@ -53,6 +53,29 @@ pub struct FailureRecord {
     pub recovery_duration: Duration,
 }
 
+/// An `f64` compared by bit pattern, so journal events containing norms can
+/// stay `Eq` (replay tests compare whole event sequences for equality).
+///
+/// Deterministic runs produce bit-identical floats — the engine sums
+/// per-partition contributions in a fixed sequential order — so bit equality
+/// is exactly the right notion here, NaN payloads included.
+#[derive(Debug, Clone, Copy)]
+pub struct Norm(pub f64);
+
+impl PartialEq for Norm {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for Norm {}
+
+impl From<f64> for Norm {
+    fn from(value: f64) -> Self {
+        Norm(value)
+    }
+}
+
 /// Which iteration template produced a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IterationMode {
@@ -98,6 +121,30 @@ pub enum JournalEvent {
         records_shuffled: u64,
         /// Working-set size entering the next iteration (delta only).
         workset_size: Option<u64>,
+    },
+    /// Per-superstep convergence measurement, emitted right after the
+    /// matching [`JournalEvent::SuperstepCompleted`] entry.
+    ///
+    /// `changed` counts the elements whose value moved during the superstep
+    /// (bulk: records that differ from the previous state under the
+    /// configured probe; delta: solution-set upserts). All payloads are
+    /// deterministic: norms are summed in fixed partition order, so the
+    /// byte-identical-replay guarantee holds for convergence samples too.
+    ConvergenceSample {
+        /// Chronological superstep index this sample describes.
+        superstep: u32,
+        /// Logical iteration number this sample describes.
+        iteration: u32,
+        /// Elements changed during the superstep, across all partitions.
+        changed: u64,
+        /// Elements changed per partition, indexed by partition id.
+        changed_per_partition: Vec<u64>,
+        /// Aggregate delta norm (algorithm-specific, e.g. L1 rank movement);
+        /// [`None`] when the algorithm registered no norm probe.
+        delta_norm: Option<Norm>,
+        /// Working-set size per partition entering the next iteration
+        /// (delta iterations only).
+        workset_per_partition: Option<Vec<u64>>,
     },
     /// The fault handler wrote a checkpoint of the recorded iteration.
     CheckpointWritten {
@@ -173,6 +220,7 @@ impl JournalEvent {
         match self {
             JournalEvent::RunStarted { .. } => "RunStarted",
             JournalEvent::SuperstepCompleted { .. } => "SuperstepCompleted",
+            JournalEvent::ConvergenceSample { .. } => "ConvergenceSample",
             JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
             JournalEvent::FailureInjected { .. } => "FailureInjected",
             JournalEvent::CompensationApplied { .. } => "CompensationApplied",
@@ -223,6 +271,27 @@ impl JournalEvent {
                 .u64("records_shuffled", *records_shuffled)
                 .opt_u64("workset_size", *workset_size)
                 .finish(),
+            JournalEvent::ConvergenceSample {
+                superstep,
+                iteration,
+                changed,
+                changed_per_partition,
+                delta_norm,
+                workset_per_partition,
+            } => {
+                let mut obj = obj
+                    .u64("superstep", u64::from(*superstep))
+                    .u64("iteration", u64::from(*iteration))
+                    .u64("changed", *changed)
+                    .u64_array("changed_per_partition", changed_per_partition.iter().copied());
+                if let Some(norm) = delta_norm {
+                    obj = obj.f64("delta_norm", norm.0);
+                }
+                if let Some(workset) = workset_per_partition {
+                    obj = obj.u64_array("workset_per_partition", workset.iter().copied());
+                }
+                obj.finish()
+            }
             JournalEvent::CheckpointWritten { iteration, bytes } => {
                 obj.u64("iteration", u64::from(*iteration)).u64("bytes", *bytes).finish()
             }
@@ -304,6 +373,45 @@ mod tests {
     }
 
     #[test]
+    fn convergence_samples_serialize_optional_fields_conditionally() {
+        let bulk = JournalEvent::ConvergenceSample {
+            superstep: 2,
+            iteration: 2,
+            changed: 9,
+            changed_per_partition: vec![3, 2, 4],
+            delta_norm: Some(Norm(0.125)),
+            workset_per_partition: None,
+        };
+        assert_eq!(
+            bulk.to_json(),
+            "{\"event\":\"ConvergenceSample\",\"superstep\":2,\"iteration\":2,\
+             \"changed\":9,\"changed_per_partition\":[3,2,4],\"delta_norm\":0.125}"
+        );
+        let delta = JournalEvent::ConvergenceSample {
+            superstep: 0,
+            iteration: 0,
+            changed: 5,
+            changed_per_partition: vec![5, 0],
+            delta_norm: None,
+            workset_per_partition: Some(vec![1, 2]),
+        };
+        assert_eq!(
+            delta.to_json(),
+            "{\"event\":\"ConvergenceSample\",\"superstep\":0,\"iteration\":0,\
+             \"changed\":5,\"changed_per_partition\":[5,0],\
+             \"workset_per_partition\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn norms_compare_by_bit_pattern() {
+        assert_eq!(Norm(0.5), Norm(0.5));
+        assert_ne!(Norm(0.0), Norm(-0.0));
+        assert_eq!(Norm(f64::NAN), Norm(f64::NAN));
+        assert_eq!(Norm::from(2.0), Norm(2.0));
+    }
+
+    #[test]
     fn recovery_kinds_map_to_events() {
         assert_eq!(
             JournalEvent::from_recovery(&RecoveryKind::Compensated, 4),
@@ -336,6 +444,14 @@ mod tests {
             JournalEvent::CheckpointRestored { iteration: 1 },
             JournalEvent::DiffChainReplayed { base_iteration: 0, diffs: 3 },
             JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
+            JournalEvent::ConvergenceSample {
+                superstep: 0,
+                iteration: 0,
+                changed: 1,
+                changed_per_partition: vec![1],
+                delta_norm: None,
+                workset_per_partition: None,
+            },
             JournalEvent::Restarted,
         ];
         for e in &events {

@@ -34,7 +34,7 @@ pub mod report;
 pub mod sink;
 pub mod span;
 
-pub use event::{FailureRecord, IterationMode, JournalEvent, PartitionId, RecoveryKind};
+pub use event::{FailureRecord, IterationMode, JournalEvent, Norm, PartitionId, RecoveryKind};
 pub use metrics::MetricRegistry;
 pub use report::RunReport;
 pub use sink::{JsonlSink, MemorySink, NoopSink, SinkHandle, TelemetrySink};

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::json::Obj;
 use crate::sink::TelemetrySink;
 
 /// The phase of the run a span covers.
@@ -66,6 +67,22 @@ pub struct SpanRecord {
     pub iteration: Option<u32>,
     /// Wall-clock duration of the phase.
     pub duration: Duration,
+}
+
+impl SpanRecord {
+    /// Serialize as one line of JSON (no trailing newline), for the
+    /// `*.spans.jsonl` sidecar that run-capture helpers write next to the
+    /// event journal. Spans carry wall-clock durations, so the sidecar is
+    /// *not* replay-deterministic — which is exactly why spans stay out of
+    /// the journal proper.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("span", self.kind.label())
+            .opt_u64("superstep", self.superstep.map(u64::from))
+            .opt_u64("iteration", self.iteration.map(u64::from))
+            .u64("duration_ns", self.duration.as_nanos() as u64)
+            .finish()
+    }
 }
 
 /// An in-flight span; construct via `SinkHandle::timer`, stop with
@@ -132,6 +149,27 @@ mod tests {
     fn sinkless_timers_still_measure() {
         let timer = SpanTimer::start(None, SpanKind::Run, None, None);
         let _ = timer.finish(); // must not panic
+    }
+
+    #[test]
+    fn span_json_omits_run_level_coordinates() {
+        let step = SpanRecord {
+            kind: SpanKind::Compute,
+            superstep: Some(3),
+            iteration: Some(2),
+            duration: Duration::from_nanos(1500),
+        };
+        assert_eq!(
+            step.to_json(),
+            "{\"span\":\"compute\",\"superstep\":3,\"iteration\":2,\"duration_ns\":1500}"
+        );
+        let run = SpanRecord {
+            kind: SpanKind::Run,
+            superstep: None,
+            iteration: None,
+            duration: Duration::from_nanos(10),
+        };
+        assert_eq!(run.to_json(), "{\"span\":\"run\",\"duration_ns\":10}");
     }
 
     #[test]

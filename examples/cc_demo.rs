@@ -4,7 +4,7 @@
 //! compensation restore them.
 //!
 //! ```text
-//! cargo run --release --example cc_demo [failure_superstep] [partition ...]
+//! cargo run --release --example cc_demo [failure_superstep] [partition ...] [--journal <path>]
 //! cargo run --release --example cc_demo 3 1 2     # fail partitions 1+2 at superstep 3
 //! ```
 
@@ -16,10 +16,13 @@ use flowviz::chart::{ascii_chart, ChartOptions};
 use flowviz::render::render_components;
 use flowviz::table::run_summary;
 use graphs::VertexId;
+use optimistic_recovery::journal::JournalCapture;
 use recovery::scenario::FailureScenario;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+    let mut args = args.into_iter();
     let failure_superstep: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
     let partitions: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
     let partitions = if partitions.is_empty() { vec![1] } else { partitions };
@@ -34,12 +37,15 @@ fn main() {
     );
     println!("failing partition(s) {partitions:?} at superstep {failure_superstep}\n");
 
-    let config = CcConfig {
+    let mut config = CcConfig {
         parallelism,
         capture_history: true,
         ft: FtConfig::optimistic(FailureScenario::none().fail_at(failure_superstep, &partitions)),
         ..Default::default()
     };
+    if let Some(capture) = &capture {
+        config.ft.telemetry = capture.handle();
+    }
     let result = run(&graph, &config).expect("run succeeds");
 
     // Replay the run iteration by iteration, like pressing "play" in the GUI.
@@ -87,4 +93,8 @@ fn main() {
         )
     );
     println!("result correct: {:?}", result.correct);
+
+    if let Some(capture) = capture {
+        capture.finish().expect("write telemetry");
+    }
 }

@@ -8,24 +8,33 @@
 //! give the lost vertices an equal share of the missing heat.
 //!
 //! ```text
-//! cargo run --release --example custom_algorithm
+//! cargo run --release --example custom_algorithm [--journal <path>]
 //! ```
 
 use dataflow::partition::hash_partition;
 use dataflow::prelude::*;
+use optimistic_recovery::journal::JournalCapture;
 use recovery::optimistic::OptimisticBulkHandler;
 use recovery::scenario::FailureScenario;
 
 type Heat = (u64, f64);
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+
     let graph = graphs::generators::grid(8, 8);
     let n = graph.num_vertices();
     let parallelism = 4;
 
     // 1. Sources: all heat starts on vertex 0; the adjacency is a
-    //    loop-invariant import.
-    let env = Environment::new(parallelism);
+    //    loop-invariant import. On the raw engine API, telemetry is
+    //    installed on the environment config rather than an FtConfig.
+    let mut env_config = dataflow::config::EnvConfig::new(parallelism);
+    if let Some(capture) = &capture {
+        env_config = env_config.with_telemetry(capture.handle());
+    }
+    let env = Environment::with_config(env_config);
     let initial: Vec<Heat> = (0..n as u64).map(|v| (v, if v == 0 { 1.0 } else { 0.0 })).collect();
     let heat0 = env.from_keyed_vec(initial, |h| h.0);
     let links = env.from_keyed_vec(graph.adjacency_rows(), |l| l.0);
@@ -60,7 +69,7 @@ fn main() {
     );
     // 3. Fault tolerance: a closure is a full compensation function.
     //    Restore the conservation invariant exactly like FixRanks.
-    iteration.set_fault_handler(OptimisticBulkHandler::new(
+    let mut handler = OptimisticBulkHandler::new(
         move |state: &mut Partitions<Heat>, lost: &[usize], _iteration: u32| {
             let surviving: f64 = state.iter_records().map(|&(_, h)| h).sum();
             let lost_vertices: Vec<u64> =
@@ -71,7 +80,11 @@ fn main() {
                 state.partition_mut(pid).push((v, share));
             }
         },
-    ));
+    );
+    if let Some(capture) = &capture {
+        handler = handler.with_telemetry(capture.handle());
+    }
+    iteration.set_fault_handler(handler);
     iteration.set_failure_source(FailureScenario::none().fail_at(4, &[0]).to_source());
     iteration.set_observer(|_iter, state: &Partitions<Heat>, stats| {
         let total: f64 = state.iter_records().map(|&(_, h)| h).sum();
@@ -96,4 +109,8 @@ fn main() {
     );
     println!("hottest vertex: {} ({:.5})", hottest.0, hottest.1);
     println!("coldest vertex: {} ({:.5})", coldest.0, coldest.1);
+
+    if let Some(capture) = capture {
+        capture.finish().expect("write telemetry");
+    }
 }

@@ -3,7 +3,7 @@
 //! partitions and `FixRanks` redistributes the lost probability mass.
 //!
 //! ```text
-//! cargo run --release --example pagerank_demo [failure_superstep] [partition ...]
+//! cargo run --release --example pagerank_demo [failure_superstep] [partition ...] [--journal <path>]
 //! cargo run --release --example pagerank_demo 5 1    # the paper's scenario
 //! ```
 
@@ -15,10 +15,13 @@ use flowviz::chart::{ascii_chart, ChartOptions};
 use flowviz::render::render_ranks;
 use flowviz::table::run_summary;
 use graphs::VertexId;
+use optimistic_recovery::journal::JournalCapture;
 use recovery::scenario::FailureScenario;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+    let mut args = args.into_iter();
     let failure_superstep: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
     let partitions: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
     let partitions = if partitions.is_empty() { vec![1] } else { partitions };
@@ -33,12 +36,15 @@ fn main() {
     );
     println!("failing partition(s) {partitions:?} at superstep {failure_superstep}\n");
 
-    let config = PrConfig {
+    let mut config = PrConfig {
         parallelism,
         capture_history: true,
         ft: FtConfig::optimistic(FailureScenario::none().fail_at(failure_superstep, &partitions)),
         ..Default::default()
     };
+    if let Some(capture) = &capture {
+        config.ft.telemetry = capture.handle();
+    }
     let result = run(&graph, &config).expect("run succeeds");
     let history = result.history.as_ref().expect("history captured");
 
@@ -105,4 +111,8 @@ fn main() {
         result.rank_sum,
         result.l1_to_exact.unwrap_or(f64::NAN)
     );
+
+    if let Some(capture) = capture {
+        capture.finish().expect("write telemetry");
+    }
 }

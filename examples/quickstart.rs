@@ -3,26 +3,33 @@
 //! computation "back on track".
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [--journal <path>]
 //! ```
 
 use algos::connected_components::{run, CcConfig};
 use algos::FtConfig;
 use flowviz::table::{run_stats_table, run_summary};
+use optimistic_recovery::journal::JournalCapture;
 use recovery::scenario::FailureScenario;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+
     // A small graph with three connected components.
     let graph = graphs::generators::demo_components();
 
     // Fail partition 1 (of 4) at the end of superstep 2; recover
     // optimistically with the FixComponents compensation function —
     // no checkpoints anywhere.
-    let config = CcConfig {
+    let mut config = CcConfig {
         parallelism: 4,
         ft: FtConfig::optimistic(FailureScenario::none().fail_at(2, &[1])),
         ..Default::default()
     };
+    if let Some(capture) = &capture {
+        config.ft.telemetry = capture.handle();
+    }
 
     let result = run(&graph, &config).expect("run succeeds");
 
@@ -35,4 +42,8 @@ fn main() {
     println!("\nper-iteration statistics:");
     print!("{}", run_stats_table(&result.stats));
     println!("{}", run_summary(&result.stats));
+
+    if let Some(capture) = capture {
+        capture.finish().expect("write telemetry");
+    }
 }

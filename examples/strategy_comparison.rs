@@ -2,11 +2,16 @@
 //! algorithms — the one-screen summary of what this repository reproduces.
 //!
 //! ```text
-//! cargo run --release --example strategy_comparison
+//! cargo run --release --example strategy_comparison [--journal <path>]
 //! ```
+//!
+//! With `--journal`, each Connected Components run writes its own journal
+//! (the optimistic run at the given path, the other strategies as siblings
+//! tagged with the strategy name) — ready for `optirec inspect diff`.
 
 use algos::{als, connected_components, jacobi, kmeans, pagerank, sssp, FtConfig};
 use flowviz::table::render_aligned;
+use optimistic_recovery::journal::JournalCapture;
 use recovery::checkpoint::CostModel;
 use recovery::scenario::FailureScenario;
 use recovery::strategy::Strategy;
@@ -31,6 +36,9 @@ fn ft(strategy: Strategy) -> FtConfig {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let base_capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+
     let graph = graphs::generators::preferential_attachment(1_000, 2, 7);
     let points = kmeans::generate_blobs(4, 60, 0.5, 7);
     let system = jacobi::random_diagonally_dominant(64, 4, 7);
@@ -46,7 +54,22 @@ fn main() {
     ]];
 
     for strategy in strategies() {
-        let config = connected_components::CcConfig { ft: ft(strategy), ..Default::default() };
+        let capture = base_capture.as_ref().map(|base| match strategy {
+            Strategy::Optimistic => JournalCapture::to_path(base.path().to_path_buf()),
+            other => {
+                let tag: String = other
+                    .label()
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                base.sibling(tag.trim_matches('_'))
+            }
+        });
+        let mut cc_ft = ft(strategy);
+        if let Some(capture) = &capture {
+            cc_ft.telemetry = capture.handle();
+        }
+        let config = connected_components::CcConfig { ft: cc_ft, ..Default::default() };
         let r = connected_components::run(&graph, &config).expect("cc");
         table.push(vec![
             "connected-components".into(),
@@ -55,6 +78,9 @@ fn main() {
             r.stats.converged.to_string(),
             r.correct.map_or("-".into(), |c| c.to_string()),
         ]);
+        if let Some(capture) = capture {
+            capture.finish().expect("write telemetry");
+        }
     }
     for strategy in strategies() {
         let config = pagerank::PrConfig { ft: ft(strategy), epsilon: 1e-6, ..Default::default() };

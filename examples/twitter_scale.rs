@@ -5,7 +5,7 @@
 //! statistics plots only, exactly as the demo does for the large input.
 //!
 //! ```text
-//! cargo run --release --example twitter_scale [vertices] [strategy]
+//! cargo run --release --example twitter_scale [vertices] [strategy] [--journal <path>]
 //! cargo run --release --example twitter_scale 100000 optimistic
 //! cargo run --release --example twitter_scale 50000 checkpoint:2
 //! ```
@@ -17,12 +17,18 @@ use algos::FtConfig;
 use flowviz::chart::{ascii_chart, ChartOptions};
 use flowviz::table::run_summary;
 use optimistic_recovery::cli::parse_strategy;
+use optimistic_recovery::journal::JournalCapture;
 use recovery::checkpoint::CostModel;
 use recovery::scenario::FailureScenario;
 use recovery::strategy::Strategy;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The CC run writes to the given journal; the PageRank run that follows
+    // gets a sibling journal with `_pagerank` in the name.
+    let cc_capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+    let pr_capture = cc_capture.as_ref().map(|c| c.sibling("pagerank"));
+    let mut args = args.into_iter();
     let vertices: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let strategy = parse_strategy(&args.next().unwrap_or_else(|| "optimistic".into()))
         .unwrap_or_else(|message| {
@@ -49,8 +55,11 @@ fn main() {
     };
 
     println!("== Connected Components (delta iteration) ==");
-    let config =
-        CcConfig { parallelism: 8, ft: ft.clone(), track_truth: false, ..Default::default() };
+    let mut cc_ft = ft.clone();
+    if let Some(capture) = &cc_capture {
+        cc_ft.telemetry = capture.handle();
+    }
+    let config = CcConfig { parallelism: 8, ft: cc_ft, track_truth: false, ..Default::default() };
     let result = connected_components::run(&graph, &config).expect("cc run");
     println!("components: {}", result.num_components);
     println!("{}", run_summary(&result.stats));
@@ -75,8 +84,15 @@ fn main() {
         )
     );
 
+    if let Some(capture) = cc_capture {
+        capture.finish().expect("write cc telemetry");
+    }
+
     println!("== PageRank (bulk iteration) ==");
     let mut pr_ft = ft;
+    if let Some(capture) = &pr_capture {
+        pr_ft.telemetry = capture.handle();
+    }
     if let Strategy::IncrementalCheckpoint { full_interval } = pr_ft.strategy {
         // Incremental checkpointing is delta-only; bulk PageRank falls back
         // to full snapshots at the same cadence.
@@ -108,4 +124,8 @@ fn main() {
                 .with_markers(markers),
         )
     );
+
+    if let Some(capture) = pr_capture {
+        capture.finish().expect("write pagerank telemetry");
+    }
 }

@@ -2,16 +2,35 @@
 //! recovery strategy, and the partitions/iterations to fail, then watch the
 //! run recover. Run `optirec --help` for usage.
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
 use algos::common::{CONVERGED, L1_DIFF, MESSAGES, RANK_SUM};
 use flowviz::chart::{ascii_chart, ChartOptions};
 use flowviz::table::{run_stats_table, run_summary};
-use optimistic_recovery::cli::{self, Algorithm, Invocation};
+use optimistic_recovery::cli::{self, Algorithm, InspectCommand, Invocation};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         print!("{}", cli::usage());
         return;
+    }
+    if args[0] == "inspect" {
+        let command = match cli::parse_inspect(&args[1..]) {
+            Ok(command) => command,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        };
+        match inspect(&command) {
+            Ok(code) => std::process::exit(code),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
     }
     let invocation = match cli::parse_args(&args) {
         Ok(invocation) => invocation,
@@ -23,6 +42,75 @@ fn main() {
     if let Err(message) = run(&invocation) {
         eprintln!("error: {message}");
         std::process::exit(1);
+    }
+}
+
+/// Spans sidecar next to the journal, when the capture wrote one.
+fn derived_spans(journal: &Path) -> Option<PathBuf> {
+    let path = flowscope::capture_paths(journal).spans;
+    path.exists().then_some(path)
+}
+
+/// Report sidecar next to the journal, when the capture wrote one.
+fn derived_report(journal: &Path) -> Option<PathBuf> {
+    let path = flowscope::capture_paths(journal).report;
+    path.exists().then_some(path)
+}
+
+fn inspect(command: &InspectCommand) -> Result<i32, String> {
+    let load_model = |journal: &Path| -> Result<flowscope::RunModel, String> {
+        let loaded = flowscope::load_journal(journal).map_err(|e| e.to_string())?;
+        if loaded.skipped > 0 {
+            eprintln!("note: skipped {} unknown journal lines", loaded.skipped);
+        }
+        Ok(flowscope::RunModel::from_events(&loaded.events))
+    };
+    match command {
+        InspectCommand::Timeline { journal, spans } => {
+            let model = load_model(journal)?;
+            let spans_path = spans.clone().or_else(|| derived_spans(journal));
+            let spans = match &spans_path {
+                Some(path) => Some(flowscope::load_spans(path).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            print!("{}", flowscope::render_timeline(&model, spans.as_deref()));
+            Ok(0)
+        }
+        InspectCommand::Profile { report, straggler_factor } => {
+            let summary = flowscope::load_report(report).map_err(|e| e.to_string())?;
+            let profile = flowscope::build_profile(&summary, *straggler_factor);
+            print!("{}", flowscope::render_profile(&profile));
+            Ok(0)
+        }
+        InspectCommand::Convergence { journal, csv, html } => {
+            let model = load_model(journal)?;
+            print!("{}", flowscope::render_convergence(&model));
+            if let Some(path) = csv {
+                flowscope::write_convergence_csv(&model, path).map_err(|e| e.to_string())?;
+                println!("csv written to {}", path.display());
+            }
+            if let Some(path) = html {
+                flowscope::write_convergence_html(&model, path).map_err(|e| e.to_string())?;
+                println!("html written to {}", path.display());
+            }
+            Ok(0)
+        }
+        InspectCommand::Diff { baseline, journal, baseline_report, report, options } => {
+            let facts = |journal: &Path, report: &Option<PathBuf>| -> Result<_, String> {
+                let loaded = flowscope::load_journal(journal).map_err(|e| e.to_string())?;
+                let mut facts = flowscope::RunFacts::from_journal(&loaded);
+                if let Some(path) = report.clone().or_else(|| derived_report(journal)) {
+                    let summary = flowscope::load_report(&path).map_err(|e| e.to_string())?;
+                    facts = facts.with_report(&summary);
+                }
+                Ok(facts)
+            };
+            let baseline = facts(baseline, baseline_report)?;
+            let current = facts(journal, report)?;
+            let diff = flowscope::diff_runs(&baseline, &current, options);
+            print!("{}", flowscope::render_diff(&diff));
+            Ok(if diff.has_regressions() { 1 } else { 0 })
+        }
     }
 }
 
@@ -39,7 +127,15 @@ fn run(invocation: &Invocation) -> Result<(), String> {
         return Ok(());
     }
 
-    let ft = cli::ft_config(invocation);
+    let mut ft = cli::ft_config(invocation);
+    let capture = invocation.journal.as_ref().map(|path| {
+        let sink = Arc::new(telemetry::MemorySink::new());
+        let handle = telemetry::SinkHandle::new(sink.clone());
+        (sink, handle, path.clone())
+    });
+    if let Some((_, handle, _)) = &capture {
+        ft.telemetry = handle.clone();
+    }
     println!(
         "running {:?} on {:?} with {} (parallelism {})",
         invocation.algorithm,
@@ -155,6 +251,21 @@ fn run(invocation: &Invocation) -> Result<(), String> {
     println!("\nper-iteration statistics:");
     print!("{}", run_stats_table(&stats));
     println!("{}", run_summary(&stats));
+
+    if let Some((sink, handle, path)) = &capture {
+        let paths = flowscope::save_run(sink, handle.metrics(), path)
+            .map_err(|e| format!("cannot write telemetry to {}: {e}", path.display()))?;
+        println!(
+            "telemetry written: {} (spans: {}, report: {})",
+            paths.journal.display(),
+            paths.spans.display(),
+            paths.report.display()
+        );
+        println!(
+            "inspect it with: optirec inspect convergence --journal {}",
+            paths.journal.display()
+        );
+    }
     Ok(())
 }
 

@@ -6,6 +6,9 @@
 //! Hand-rolled argument parsing (no CLI dependency): subcommand + `--key
 //! value` options.
 
+use std::path::PathBuf;
+
+use flowscope::DiffOptions;
 use recovery::checkpoint::CostModel;
 use recovery::scenario::FailureScenario;
 use recovery::strategy::Strategy;
@@ -121,6 +124,9 @@ pub struct Invocation {
     pub max_iterations: u32,
     /// Print the dataflow plan instead of running.
     pub explain_only: bool,
+    /// Capture telemetry and write the journal (plus spans and report
+    /// sidecars) to this path.
+    pub journal: Option<PathBuf>,
 }
 
 /// Parse a strategy spec: `optimistic`, `restart`, `ignore`,
@@ -168,12 +174,24 @@ pub fn parse_failure(raw: &str) -> Result<(u32, Vec<usize>), String> {
     Ok((superstep, partitions))
 }
 
+/// Valid flags of the run subcommand, listed in unknown-flag errors.
+pub const RUN_FLAGS: &[&str] = &[
+    "--graph",
+    "--strategy",
+    "--fail",
+    "--parallelism",
+    "--max-iterations",
+    "--explain",
+    "--journal",
+];
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "optirec — optimistic recovery for iterative dataflows, demo launcher
 
 USAGE:
     optirec <ALGORITHM> [OPTIONS]
+    optirec inspect <timeline|profile|convergence|diff> [OPTIONS]
 
 ALGORITHMS:
     cc | pagerank | sssp | reachability | kmeans | jacobi | als
@@ -185,12 +203,180 @@ OPTIONS:
     --parallelism <N>     number of partitions / simulated workers   [4]
     --max-iterations <N>  iteration cap   [200]
     --explain             print the dataflow plan instead of running
+    --journal <PATH>      capture telemetry: write the event journal there,
+                          plus spans and report sidecars (inspect reads them)
 
 EXAMPLES:
     optirec cc --fail 3:1 --fail 5:0,2
     optirec pagerank --graph twitter:50000 --strategy checkpoint:2 --parallelism 8
-    optirec cc --explain
+    optirec cc --journal results/cc_journal.jsonl
+    optirec inspect convergence --journal results/cc_journal.jsonl
+    optirec inspect diff --baseline results/base_journal.jsonl --journal results/cc_journal.jsonl
 "
+}
+
+/// Usage text of the `inspect` subcommands.
+pub fn inspect_usage() -> &'static str {
+    "optirec inspect — analyse a captured run
+
+USAGE:
+    optirec inspect timeline    --journal <PATH> [--spans <PATH>]
+    optirec inspect profile     --report <PATH> [--straggler-factor <F>]
+    optirec inspect convergence --journal <PATH> [--csv <PATH>] [--html <PATH>]
+    optirec inspect diff        --baseline <PATH> --journal <PATH>
+                                [--baseline-report <PATH>] [--report <PATH>]
+                                [--superstep-pct <P>] [--wall-pct <P>]
+                                [--redundant-steps <N>] [--recovery-pct <P>]
+
+Paths point at JSONL journals written with --journal (or by the figure
+binaries); spans and report sidecars are found automatically next to the
+journal when present. `diff` exits nonzero when the current run regresses
+beyond the thresholds (defaults: supersteps +0%, wall +20%, redundant
+supersteps +0, recovery wall +25%).
+"
+}
+
+/// One `optirec inspect` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InspectCommand {
+    /// ASCII Gantt of supersteps with failure/recovery markers.
+    Timeline {
+        /// Event journal to fold.
+        journal: PathBuf,
+        /// Explicit spans sidecar (auto-derived from the journal otherwise).
+        spans: Option<PathBuf>,
+    },
+    /// Per-partition / per-operator time breakdown.
+    Profile {
+        /// Metrics-wrapped (or bare) run report.
+        report: PathBuf,
+        /// Straggler threshold as a multiple of the median partition.
+        straggler_factor: f64,
+    },
+    /// Convergence curves with recovery overlays.
+    Convergence {
+        /// Event journal to fold.
+        journal: PathBuf,
+        /// Also export the per-superstep table as CSV.
+        csv: Option<PathBuf>,
+        /// Also export an HTML page with SVG charts.
+        html: Option<PathBuf>,
+    },
+    /// Compare two runs and flag regressions.
+    Diff {
+        /// Baseline journal.
+        baseline: PathBuf,
+        /// Current journal.
+        journal: PathBuf,
+        /// Explicit baseline report (auto-derived otherwise).
+        baseline_report: Option<PathBuf>,
+        /// Explicit current report (auto-derived otherwise).
+        report: Option<PathBuf>,
+        /// Regression thresholds.
+        options: DiffOptions,
+    },
+}
+
+fn unknown_flag(flag: &str, valid: &[&str]) -> String {
+    format!("unknown flag {flag:?}; valid flags: {}", valid.join(", "))
+}
+
+/// Parse the arguments following `inspect`.
+pub fn parse_inspect(args: &[String]) -> Result<InspectCommand, String> {
+    let mut iter = args.iter();
+    let view =
+        iter.next().ok_or_else(|| format!("missing inspect subcommand\n\n{}", inspect_usage()))?;
+    let mut flags: Vec<(String, String)> = Vec::new();
+    while let Some(flag) = iter.next() {
+        let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+        flags.push((flag.clone(), value.clone()));
+    }
+    let take = |flags: &mut Vec<(String, String)>, name: &str| -> Option<String> {
+        flags.iter().position(|(f, _)| f == name).map(|i| flags.remove(i).1)
+    };
+    let require = |value: Option<String>, name: &str| -> Result<PathBuf, String> {
+        value.map(PathBuf::from).ok_or_else(|| format!("inspect {view} requires {name} <PATH>"))
+    };
+    let parse_f64 = |raw: String, name: &str| -> Result<f64, String> {
+        raw.parse().map_err(|_| format!("invalid value for {name}: {raw:?}"))
+    };
+
+    let command = match view.as_str() {
+        "timeline" => {
+            let valid = ["--journal", "--spans"];
+            let journal = require(take(&mut flags, "--journal"), "--journal")?;
+            let spans = take(&mut flags, "--spans").map(PathBuf::from);
+            if let Some((flag, _)) = flags.first() {
+                return Err(unknown_flag(flag, &valid));
+            }
+            InspectCommand::Timeline { journal, spans }
+        }
+        "profile" => {
+            let valid = ["--report", "--straggler-factor"];
+            let report = require(take(&mut flags, "--report"), "--report")?;
+            let straggler_factor = match take(&mut flags, "--straggler-factor") {
+                Some(raw) => parse_f64(raw, "--straggler-factor")?,
+                None => 2.0,
+            };
+            if let Some((flag, _)) = flags.first() {
+                return Err(unknown_flag(flag, &valid));
+            }
+            InspectCommand::Profile { report, straggler_factor }
+        }
+        "convergence" => {
+            let valid = ["--journal", "--csv", "--html"];
+            let journal = require(take(&mut flags, "--journal"), "--journal")?;
+            let csv = take(&mut flags, "--csv").map(PathBuf::from);
+            let html = take(&mut flags, "--html").map(PathBuf::from);
+            if let Some((flag, _)) = flags.first() {
+                return Err(unknown_flag(flag, &valid));
+            }
+            InspectCommand::Convergence { journal, csv, html }
+        }
+        "diff" => {
+            let valid = [
+                "--baseline",
+                "--journal",
+                "--baseline-report",
+                "--report",
+                "--superstep-pct",
+                "--wall-pct",
+                "--redundant-steps",
+                "--recovery-pct",
+            ];
+            let baseline = require(take(&mut flags, "--baseline"), "--baseline")?;
+            let journal = require(take(&mut flags, "--journal"), "--journal")?;
+            let baseline_report = take(&mut flags, "--baseline-report").map(PathBuf::from);
+            let report = take(&mut flags, "--report").map(PathBuf::from);
+            let mut options = DiffOptions::default();
+            if let Some(raw) = take(&mut flags, "--superstep-pct") {
+                options.superstep_pct = parse_f64(raw, "--superstep-pct")?;
+            }
+            if let Some(raw) = take(&mut flags, "--wall-pct") {
+                options.wall_pct = parse_f64(raw, "--wall-pct")?;
+            }
+            if let Some(raw) = take(&mut flags, "--redundant-steps") {
+                options.redundant_steps = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value for --redundant-steps: {raw:?}"))?;
+            }
+            if let Some(raw) = take(&mut flags, "--recovery-pct") {
+                options.recovery_pct = parse_f64(raw, "--recovery-pct")?;
+            }
+            if let Some((flag, _)) = flags.first() {
+                return Err(unknown_flag(flag, &valid));
+            }
+            InspectCommand::Diff { baseline, journal, baseline_report, report, options }
+        }
+        other => {
+            return Err(format!(
+                "unknown inspect subcommand {other:?}; expected timeline | profile | \
+                 convergence | diff\n\n{}",
+                inspect_usage()
+            ))
+        }
+    };
+    Ok(command)
 }
 
 /// Parse a full argument list (without the program name).
@@ -206,6 +392,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         parallelism: 4,
         max_iterations: 200,
         explain_only: false,
+        journal: None,
     };
     while let Some(flag) = iter.next() {
         let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
@@ -225,7 +412,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     value()?.parse().map_err(|_| "invalid iteration cap".to_string())?;
             }
             "--explain" => invocation.explain_only = true,
-            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+            "--journal" => invocation.journal = Some(PathBuf::from(value()?)),
+            other => return Err(format!("{}\n\n{}", unknown_flag(other, RUN_FLAGS), usage())),
         }
     }
     Ok(invocation)
@@ -341,6 +529,74 @@ mod tests {
         let ft = ft_config(&invocation);
         assert_eq!(ft.strategy, Strategy::IncrementalCheckpoint { full_interval: 4 });
         assert_eq!(ft.scenario.events(), &[(2, vec![1])]);
+    }
+
+    #[test]
+    fn journal_flag_parses_and_unknown_flags_list_the_valid_set() {
+        let invocation = parse_args(&args(&["cc", "--journal", "/tmp/run_journal.jsonl"])).unwrap();
+        assert_eq!(invocation.journal, Some(PathBuf::from("/tmp/run_journal.jsonl")));
+
+        let err = parse_args(&args(&["cc", "--journl", "x"])).unwrap_err();
+        assert!(err.contains("unknown flag \"--journl\""), "{err}");
+        assert!(err.contains("--journal"), "{err}");
+        assert!(err.contains("--strategy"), "{err}");
+    }
+
+    #[test]
+    fn inspect_subcommands_parse() {
+        let cmd = parse_inspect(&args(&["timeline", "--journal", "j.jsonl"])).unwrap();
+        assert_eq!(
+            cmd,
+            InspectCommand::Timeline { journal: PathBuf::from("j.jsonl"), spans: None }
+        );
+
+        let cmd =
+            parse_inspect(&args(&["convergence", "--journal", "j.jsonl", "--csv", "out.csv"]))
+                .unwrap();
+        match cmd {
+            InspectCommand::Convergence { journal, csv, html } => {
+                assert_eq!(journal, PathBuf::from("j.jsonl"));
+                assert_eq!(csv, Some(PathBuf::from("out.csv")));
+                assert_eq!(html, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let cmd = parse_inspect(&args(&[
+            "diff",
+            "--baseline",
+            "a.jsonl",
+            "--journal",
+            "b.jsonl",
+            "--redundant-steps",
+            "2",
+            "--wall-pct",
+            "50",
+        ]))
+        .unwrap();
+        match cmd {
+            InspectCommand::Diff { options, .. } => {
+                assert_eq!(options.redundant_steps, 2);
+                assert_eq!(options.wall_pct, 50.0);
+                assert_eq!(options.superstep_pct, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inspect_rejects_bad_invocations_listing_valid_flags() {
+        assert!(parse_inspect(&[]).is_err());
+        assert!(parse_inspect(&args(&["frob"])).is_err());
+        // Missing the required journal.
+        assert!(parse_inspect(&args(&["timeline"])).is_err());
+        // Unknown flag errors name the valid set.
+        let err =
+            parse_inspect(&args(&["profile", "--report", "r.json", "--wat", "1"])).unwrap_err();
+        assert!(err.contains("--straggler-factor"), "{err}");
+        let err = parse_inspect(&args(&["diff", "--baseline", "a", "--journal", "b", "--x", "1"]))
+            .unwrap_err();
+        assert!(err.contains("--recovery-pct"), "{err}");
     }
 
     #[test]

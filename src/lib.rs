@@ -10,6 +10,8 @@
 //! * [`algos`] — Connected Components, PageRank, and extension fixpoint
 //!   algorithms with their compensation functions.
 //! * [`flowviz`] — terminal rendering of the demo's statistics and graphs.
+//! * [`flowscope`] — post-hoc inspection of captured telemetry: timeline,
+//!   profile, convergence, and regression diff views.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the `optirec`
 //! binary ([`cli`]) for the interactive demo launcher.
@@ -17,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod journal;
 
 pub use algos;
 pub use dataflow;
+pub use flowscope;
 pub use flowviz;
 pub use graphs;
 pub use recovery;

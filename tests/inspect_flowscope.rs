@@ -1,0 +1,133 @@
+//! End-to-end flowscope inspection: run real algorithms under a capturing
+//! sink, then load the artifacts back through the `flowscope` readers and
+//! assert on the analyses `optirec inspect` exposes — delta termination on
+//! an empty workset, report reconciliation, convergence rendering with
+//! recovery overlays, and byte-identical round-trips of checked-in
+//! baselines.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use algos::connected_components::{self, CcConfig};
+use algos::FtConfig;
+use flowscope::load::parse_journal;
+use flowscope::RunModel;
+use recovery::scenario::FailureScenario;
+use telemetry::{JournalEvent, MemorySink, RunReport, SinkHandle};
+
+fn cc_journal(ft: FtConfig) -> (Arc<MemorySink>, dataflow::stats::RunStats) {
+    let sink = Arc::new(MemorySink::new());
+    let config = CcConfig {
+        parallelism: 4,
+        ft: ft.with_telemetry(SinkHandle::new(sink.clone())),
+        ..Default::default()
+    };
+    let graph = graphs::generators::demo_components();
+    let result = connected_components::run(&graph, &config).expect("cc run");
+    (sink, result.stats)
+}
+
+/// Workset sizes per superstep, from the journal's `SuperstepCompleted`
+/// events (delta iterations always report one).
+fn worksets(events: &[JournalEvent]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::SuperstepCompleted { workset_size, .. } => *workset_size,
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn delta_journal_terminates_early_on_empty_workset() {
+    // Failure-free: the delta iteration must stop as soon as the workset
+    // drains, well before the max-iteration bound, and the workset must
+    // shrink monotonically to zero.
+    let (sink, stats) = cc_journal(FtConfig::default());
+    let journal = parse_journal(&sink.journal_lines()).expect("parse own journal");
+    assert_eq!(journal.skipped, 0);
+
+    let sizes = worksets(&journal.events);
+    assert_eq!(sizes.len() as u32, stats.supersteps());
+    assert!((sizes.len() as u32) < 200, "terminated well before the iteration bound");
+    assert_eq!(*sizes.last().unwrap(), 0, "final superstep drains the workset");
+    assert!(
+        sizes.windows(2).all(|w| w[1] <= w[0]),
+        "failure-free workset shrinks monotonically: {sizes:?}"
+    );
+
+    // The convergence samples agree with the workset record.
+    let model = RunModel::from_events(&journal.events);
+    assert!(model.converged);
+    for row in &model.rows {
+        let sample = row.sample.as_ref().expect("delta runs sample every superstep");
+        let workset = sample.workset_per_partition.as_ref().expect("delta samples carry worksets");
+        let per_partition: u64 = workset.iter().sum();
+        assert_eq!(Some(per_partition), row.workset_size, "superstep {}", row.superstep);
+    }
+
+    // Report reconciliation: the journal-derived report matches RunStats.
+    let report = RunReport::from_sink(&sink);
+    let diffs = flowviz::reconcile(&report, &stats);
+    assert!(diffs.is_empty(), "journal disagrees with RunStats: {diffs:#?}");
+}
+
+#[test]
+fn workset_bumps_only_at_compensated_failures() {
+    // With a failure, monotonicity may break — but only at supersteps where
+    // the journal records a recovery action.
+    let (sink, _) = cc_journal(FtConfig::optimistic(FailureScenario::none().fail_at(2, &[1])));
+    let journal = parse_journal(&sink.journal_lines()).expect("parse");
+    let model = RunModel::from_events(&journal.events);
+    let failed = model.failure_supersteps();
+    assert_eq!(failed, vec![2]);
+
+    let sizes = worksets(&journal.events);
+    for (i, w) in sizes.windows(2).enumerate() {
+        let superstep = (i + 1) as u32;
+        // A failure at superstep 2 perturbs the state the *next* superstep
+        // recomputes from, so growth is only legal right after it.
+        if w[1] > w[0] {
+            assert!(
+                failed.contains(&(superstep - 1)) || failed.contains(&superstep),
+                "workset grew at superstep {superstep} with no failure nearby: {sizes:?}"
+            );
+        }
+    }
+    assert_eq!(*sizes.last().unwrap(), 0);
+}
+
+#[test]
+fn convergence_view_renders_failure_and_compensation_markers() {
+    let (sink, _) = cc_journal(FtConfig::optimistic(FailureScenario::none().fail_at(3, &[1])));
+    let journal = parse_journal(&sink.journal_lines()).expect("parse");
+    let model = RunModel::from_events(&journal.events);
+    assert_eq!(model.failure_supersteps(), vec![3]);
+    assert_eq!(model.compensation_supersteps(), vec![3]);
+
+    let view = flowscope::render_convergence(&model);
+    assert!(view.contains("failures at supersteps: [3]"), "{view}");
+    assert!(view.contains("compensations at supersteps: [3]"), "{view}");
+    assert!(view.contains("elements changed per superstep"), "{view}");
+    assert!(view.contains("working-set size per superstep"), "{view}");
+    assert!(view.contains("(! = failure)"), "{view}");
+    assert!(view.contains("(c = compensation, r = rollback/restart)"), "{view}");
+}
+
+#[test]
+fn checked_in_baseline_round_trips_byte_identically() {
+    // The committed figure-3 journal is the CI diff baseline; the loader
+    // must reproduce it byte for byte (the replay guarantee extends to
+    // ConvergenceSample events).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/figure3_cc_small_journal.jsonl");
+    let text = std::fs::read_to_string(&path).expect("read checked-in baseline");
+    let journal = parse_journal(&text).expect("parse baseline");
+    assert_eq!(journal.skipped, 0, "baseline contains only known event kinds");
+    assert!(
+        journal.events.iter().any(|e| e.kind() == "ConvergenceSample"),
+        "baseline journal carries convergence samples"
+    );
+    let replayed: String = journal.events.iter().map(|e| format!("{}\n", e.to_json())).collect();
+    assert_eq!(replayed, text, "loader round-trips the baseline byte-identically");
+}
