@@ -35,6 +35,10 @@ pub struct FtConfig {
     /// Telemetry sink shared by the engine and the recovery handlers (the
     /// disabled no-op handle by default).
     pub telemetry: SinkHandle,
+    /// How threaded partition work is dispatched: the persistent worker
+    /// pool (the engine default) or per-invocation scoped threads (the
+    /// `worker_pool_guard` benchmark's comparison baseline).
+    pub dispatch: dataflow::config::DispatchMode,
 }
 
 impl Default for FtConfig {
@@ -45,6 +49,7 @@ impl Default for FtConfig {
             checkpoint_cost: CostModel::instant(),
             checkpoint_on_disk: false,
             telemetry: SinkHandle::disabled(),
+            dispatch: dataflow::config::DispatchMode::Pool,
         }
     }
 }
@@ -90,6 +95,12 @@ impl FtConfig {
         self
     }
 
+    /// Builder-style dispatch-mode override for the engine environment.
+    pub fn with_dispatch(mut self, dispatch: dataflow::config::DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Combined label for reports, e.g. `"optimistic/fail@3[1]"`.
     pub fn label(&self) -> String {
         format!("{}/{}", self.strategy.label(), self.scenario.label())
@@ -101,7 +112,9 @@ impl FtConfig {
 /// events land in the same sink as the recovery handlers' detail events.
 pub fn environment(parallelism: usize, ft: &FtConfig) -> dataflow::api::Environment {
     dataflow::api::Environment::with_config(
-        dataflow::config::EnvConfig::new(parallelism).with_telemetry(ft.telemetry.clone()),
+        dataflow::config::EnvConfig::new(parallelism)
+            .with_telemetry(ft.telemetry.clone())
+            .with_dispatch(ft.dispatch),
     )
 }
 

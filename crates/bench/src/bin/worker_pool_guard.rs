@@ -1,0 +1,113 @@
+//! Performance guard for the persistent worker-pool executor.
+//!
+//! Runs the Figure-3 Connected Components workload (Twitter-like graph,
+//! failures at supersteps 1 and 3, optimistic recovery) under the pool
+//! dispatcher and again under the seed engine's scoped-threads dispatcher
+//! — fresh OS threads per operator invocation. The pool amortises thread
+//! spawn/join across the whole run, so it must not be slower than the
+//! scoped baseline beyond noise; the paired-median ratio is asserted
+//! against a 5% ceiling.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin worker_pool_guard
+//! ```
+//! JSON verdict lands in `results/BENCH_worker_pool.json`.
+
+use std::time::Duration;
+
+use algos::connected_components::{self, CcConfig};
+use algos::FtConfig;
+use dataflow::config::DispatchMode;
+use recovery::scenario::FailureScenario;
+use telemetry::json::Obj;
+
+/// Maximum tolerated pool/scoped-threads slowdown.
+const THRESHOLD: f64 = 1.05;
+/// Paired repetitions; the median ratio damps scheduler noise.
+const REPS: usize = 11;
+/// Runs per arm within a pair; the fastest is kept, filtering out runs
+/// that caught a descheduling hiccup before the ratio is formed.
+const INNER: usize = 3;
+
+fn run_once(graph: &graphs::Graph, dispatch: DispatchMode) -> Duration {
+    let scenario = FailureScenario::none().fail_at(1, &[1]).fail_at(3, &[4, 5]);
+    let config = CcConfig {
+        parallelism: 8,
+        ft: FtConfig::optimistic(scenario).with_dispatch(dispatch),
+        ..Default::default()
+    };
+    connected_components::run(graph, &config).expect("cc run").stats.total_duration
+}
+
+/// Paired measurement, mirroring the telemetry-overhead guard: both arms
+/// run back-to-back per repetition with alternating order (machine drift
+/// and order bias cancel), the fastest of [`INNER`] runs per arm enters
+/// each pair, and the median of per-pair pool/scoped ratios is the
+/// verdict.
+fn measure(graph: &graphs::Graph) -> (Duration, Duration, f64) {
+    let mut pool = Duration::MAX;
+    let mut scoped = Duration::MAX;
+    let mut ratios = Vec::with_capacity(REPS);
+    let best_of = |g: &graphs::Graph, dispatch: DispatchMode| {
+        (0..INNER).map(|_| run_once(g, dispatch)).min().unwrap()
+    };
+    for rep in 0..REPS {
+        let (p, s) = if rep % 2 == 0 {
+            let p = best_of(graph, DispatchMode::Pool);
+            (p, best_of(graph, DispatchMode::ScopedThreads))
+        } else {
+            let s = best_of(graph, DispatchMode::ScopedThreads);
+            (best_of(graph, DispatchMode::Pool), s)
+        };
+        ratios.push(p.as_secs_f64() / s.as_secs_f64());
+        pool = pool.min(p);
+        scoped = scoped.min(s);
+    }
+    ratios.sort_by(f64::total_cmp);
+    (pool, scoped, ratios[ratios.len() / 2])
+}
+
+fn main() {
+    let results = bench_suite::results_dir();
+    let graph = bench_suite::twitter_like(2);
+    bench_suite::section("Worker-pool dispatch guard");
+    println!(
+        "workload: CC with failures on {} vertices / {} edges, {} pairs x best-of-{} per arm",
+        graph.num_vertices(),
+        graph.num_edges(),
+        REPS,
+        INNER
+    );
+
+    // Warm-up: fault code paths and spawn the pool once per arm.
+    let _ = run_once(&graph, DispatchMode::Pool);
+    let _ = run_once(&graph, DispatchMode::ScopedThreads);
+
+    let (pool, scoped, ratio) = measure(&graph);
+
+    println!("\nworker pool (fastest):    {:.2} ms", pool.as_secs_f64() * 1e3);
+    println!("scoped threads (fastest): {:.2} ms", scoped.as_secs_f64() * 1e3);
+    println!("median paired ratio:      {ratio:.3}x");
+
+    std::fs::create_dir_all(&results).expect("create results dir");
+    let json = Obj::new()
+        .str("benchmark", "worker_pool_guard")
+        .str("workload", "connected-components/twitter-like/failures@1,3")
+        .u64("reps", REPS as u64)
+        .u64("pool_ns", pool.as_nanos() as u64)
+        .u64("scoped_threads_ns", scoped.as_nanos() as u64)
+        .f64("pool_over_scoped_ratio", ratio)
+        .f64("threshold", THRESHOLD)
+        .bool("within_threshold", ratio < THRESHOLD)
+        .finish();
+    let path = results.join("BENCH_worker_pool.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write verdict");
+    println!("verdict written to {}", path.display());
+
+    assert!(
+        ratio < THRESHOLD,
+        "worker-pool dispatch is {ratio:.3}x the scoped-thread baseline \
+         (threshold {THRESHOLD}x)"
+    );
+    println!("PASS: pool dispatch within {THRESHOLD}x of scoped threads");
+}

@@ -2,6 +2,21 @@
 
 use telemetry::SinkHandle;
 
+use crate::pool::PoolHandle;
+
+/// How threaded partition work is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Run partition tasks on the environment's persistent worker pool
+    /// (the default): `worker_threads` long-lived workers with stable
+    /// partition→worker affinity, spawned lazily on first use.
+    Pool,
+    /// Spawn fresh scoped threads per operator invocation — the seed
+    /// engine's dispatch strategy, kept as the comparison baseline for the
+    /// `worker_pool_guard` benchmark and as a debugging fallback.
+    ScopedThreads,
+}
+
 /// Configuration of an [`crate::api::Environment`].
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
@@ -9,25 +24,34 @@ pub struct EnvConfig {
     /// into. Each partition models the share of the data held by one worker
     /// of a distributed cluster; failures destroy whole partitions.
     pub parallelism: usize,
-    /// Execute per-partition work on scoped threads (`true`, the default) or
+    /// Execute per-partition work on worker threads (`true`, the default) or
     /// inline on the calling thread (`false`).
     ///
     /// Inline execution is useful when debugging (deterministic stack
-    /// traces, no interleaving) and for tiny datasets where thread spawning
-    /// dominates the actual work. Correctness never depends on this knob:
-    /// partition tasks are independent and results are assembled in
+    /// traces, no interleaving) and for tiny datasets where dispatch
+    /// overhead dominates the actual work. Correctness never depends on this
+    /// knob: partition tasks are independent and results are assembled in
     /// partition order either way.
     pub threaded: bool,
     /// Minimum number of records (summed across partitions of one operator
-    /// invocation) before the executor bothers spawning threads; below this,
-    /// partition work runs inline even when [`EnvConfig::threaded`] is set.
+    /// invocation) before the executor bothers dispatching to threads;
+    /// below this, partition work runs inline even when
+    /// [`EnvConfig::threaded`] is set.
     ///
-    /// The default of 4096 is conservative: spawning a scoped thread costs
-    /// on the order of 10µs, so per-partition work should comfortably exceed
-    /// that. Lower it (e.g. to 0 in tests) to force the threaded path, raise
-    /// it to keep small intermediate datasets inline in otherwise large
-    /// runs.
+    /// The default of 4096 is conservative: even pool dispatch costs a few
+    /// microseconds of channel traffic per partition, so per-partition work
+    /// should comfortably exceed that. Lower it (e.g. to 0 in tests) to
+    /// force the threaded path, raise it to keep small intermediate datasets
+    /// inline in otherwise large runs.
     pub thread_threshold: usize,
+    /// How threaded work is dispatched: the persistent worker pool (the
+    /// default) or fresh scoped threads per invocation.
+    pub dispatch: DispatchMode,
+    /// Worker threads in the persistent pool; `None` (the default) sizes the
+    /// pool to [`EnvConfig::parallelism`], giving every partition its own
+    /// pinned worker. Smaller pools oversubscribe workers (partitions keep
+    /// stable affinity via `pid % workers`).
+    pub worker_threads: Option<usize>,
     /// Cache loop-body sub-plans that do not depend on the iteration state
     /// across supersteps (`true`, the default). Disable only for the
     /// engine-ablation benchmarks.
@@ -37,6 +61,11 @@ pub struct EnvConfig {
     /// disabled no-op sink, which reduces every instrumentation site to a
     /// branch.
     pub telemetry: SinkHandle,
+    /// Shared handle to the environment's persistent worker pool. All
+    /// configuration clones (iteration bodies, per-superstep contexts) share
+    /// one pool; it spawns lazily on the first threaded dispatch and joins
+    /// its workers when the last handle drops.
+    pub pool: PoolHandle,
 }
 
 impl EnvConfig {
@@ -50,8 +79,11 @@ impl EnvConfig {
             parallelism,
             threaded: true,
             thread_threshold: 4096,
+            dispatch: DispatchMode::Pool,
+            worker_threads: None,
             loop_invariant_caching: true,
             telemetry: SinkHandle::disabled(),
+            pool: PoolHandle::new(),
         }
     }
 
@@ -67,6 +99,22 @@ impl EnvConfig {
         self
     }
 
+    /// Builder-style choice of dispatch strategy.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Builder-style override of the worker-pool size.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "the worker pool needs at least one thread");
+        self.worker_threads = Some(workers);
+        self
+    }
+
     /// Builder-style toggle for loop-invariant caching.
     pub fn with_loop_invariant_caching(mut self, enabled: bool) -> Self {
         self.loop_invariant_caching = enabled;
@@ -77,6 +125,11 @@ impl EnvConfig {
     pub fn with_telemetry(mut self, telemetry: SinkHandle) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Effective worker-pool size: the explicit override, or parallelism.
+    pub fn pool_size(&self) -> usize {
+        self.worker_threads.unwrap_or(self.parallelism).max(1)
     }
 }
 
@@ -97,11 +150,15 @@ mod tests {
         let c = EnvConfig::new(8)
             .with_threaded(false)
             .with_thread_threshold(10)
-            .with_loop_invariant_caching(false);
+            .with_loop_invariant_caching(false)
+            .with_dispatch(DispatchMode::ScopedThreads)
+            .with_worker_threads(3);
         assert_eq!(c.parallelism, 8);
         assert!(!c.threaded);
         assert_eq!(c.thread_threshold, 10);
         assert!(!c.loop_invariant_caching);
+        assert_eq!(c.dispatch, DispatchMode::ScopedThreads);
+        assert_eq!(c.pool_size(), 3);
     }
 
     #[test]
@@ -111,10 +168,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "worker pool")]
+    fn zero_worker_threads_rejected() {
+        let _ = EnvConfig::new(2).with_worker_threads(0);
+    }
+
+    #[test]
     fn default_is_four_way() {
         assert_eq!(EnvConfig::default().parallelism, 4);
         assert!(EnvConfig::default().threaded);
         assert!(EnvConfig::default().loop_invariant_caching);
+        assert_eq!(EnvConfig::default().dispatch, DispatchMode::Pool);
+        assert_eq!(EnvConfig::default().pool_size(), 4);
     }
 
     #[test]
@@ -122,5 +187,14 @@ mod tests {
         assert!(!EnvConfig::default().telemetry.enabled());
         let c = EnvConfig::new(2).with_telemetry(SinkHandle::new(Arc::new(MemorySink::new())));
         assert!(c.telemetry.enabled());
+    }
+
+    #[test]
+    fn clones_share_one_pool_handle() {
+        let c = EnvConfig::new(2);
+        let d = c.clone();
+        let first = c.pool.get_or_spawn(c.pool_size(), &c.telemetry) as *const _;
+        let second = d.pool.get_or_spawn(d.pool_size(), &d.telemetry) as *const _;
+        assert_eq!(first, second, "configuration clones must share the worker pool");
     }
 }

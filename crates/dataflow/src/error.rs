@@ -22,6 +22,23 @@ pub enum EngineError {
     Iteration(String),
     /// A fault handler failed to recover from an injected failure.
     Recovery(String),
+    /// A user-defined function panicked while processing one partition.
+    ///
+    /// The executor captures the unwind instead of aborting the process;
+    /// iteration drivers convert this error into a
+    /// [`crate::stats::FailureRecord`] and hand the damaged partition to the
+    /// configured fault handler, so real panics flow through the same
+    /// recovery machinery as injected failures.
+    PartitionPanic {
+        /// Partition whose task panicked.
+        pid: usize,
+        /// Chronological superstep the task ran in, when known (tasks
+        /// outside an iteration carry `None`).
+        superstep: Option<u32>,
+        /// Stringified panic payload (`&str`/`String` payloads; anything
+        /// else is reported as opaque).
+        message: String,
+    },
     /// Checkpoint (de)serialisation failed.
     Codec(String),
     /// Underlying I/O failure (disk-backed checkpoint stores).
@@ -37,6 +54,12 @@ impl fmt::Display for EngineError {
             EngineError::Plan(msg) => write!(f, "invalid dataflow plan: {msg}"),
             EngineError::Iteration(msg) => write!(f, "invalid iteration: {msg}"),
             EngineError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            EngineError::PartitionPanic { pid, superstep, message } => match superstep {
+                Some(s) => {
+                    write!(f, "partition {pid} panicked during superstep {s}: {message}")
+                }
+                None => write!(f, "partition {pid} panicked: {message}"),
+            },
             EngineError::Codec(msg) => write!(f, "codec error: {msg}"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -68,6 +91,18 @@ mod tests {
         assert_eq!(e.to_string(), "type mismatch at map[3]: dataset does not hold `u64` records");
         assert_eq!(EngineError::Plan("boom".into()).to_string(), "invalid dataflow plan: boom");
         assert_eq!(EngineError::Codec("short".into()).to_string(), "codec error: short");
+    }
+
+    #[test]
+    fn partition_panic_names_the_partition() {
+        let e = EngineError::PartitionPanic {
+            pid: 3,
+            superstep: Some(7),
+            message: "divide by zero".into(),
+        };
+        assert_eq!(e.to_string(), "partition 3 panicked during superstep 7: divide by zero");
+        let e = EngineError::PartitionPanic { pid: 1, superstep: None, message: "boom".into() };
+        assert_eq!(e.to_string(), "partition 1 panicked: boom");
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //! topological executor.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use telemetry::metrics::PartitionedHistogram;
+use telemetry::metrics::{Histogram, PartitionedHistogram};
 
-use crate::config::EnvConfig;
+use crate::config::{DispatchMode, EnvConfig};
 use crate::dataset::Erased;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::partition::Shuffled;
 use crate::plan::{NodeId, PlanGraph};
 
@@ -33,6 +34,14 @@ pub struct ExecContext {
     /// Per-partition shuffle-cost histogram: shuffle wall-clock attributed
     /// to destination partitions proportionally to records received.
     shuffle_hist: Option<Arc<PartitionedHistogram>>,
+    /// Pool-backlog histogram (`pool/queue_depth`): the number of tasks
+    /// already queued or running on the worker pool, observed at every pool
+    /// dispatch.
+    queue_hist: Option<Arc<Histogram>>,
+    /// Chronological superstep this context executes, when driven by an
+    /// iteration. Partition panics captured under this context carry it, so
+    /// the resulting failure records are attributed to the right superstep.
+    superstep: Option<u32>,
 }
 
 impl ExecContext {
@@ -50,6 +59,10 @@ impl ExecContext {
                 .metrics()
                 .partitioned_histogram("partition_shuffle_ns", config.parallelism)
         });
+        let queue_hist = (config.telemetry.enabled()
+            && config.threaded
+            && config.dispatch == DispatchMode::Pool)
+            .then(|| config.telemetry.metrics().histogram("pool/queue_depth"));
         ExecContext {
             config,
             counters: Mutex::new(BTreeMap::new()),
@@ -57,7 +70,22 @@ impl ExecContext {
             shuffle_ns: AtomicU64::new(0),
             task_hist,
             shuffle_hist,
+            queue_hist,
+            superstep: None,
         }
+    }
+
+    /// Attribute work executed under this context to a chronological
+    /// superstep (used by the iteration drivers, so captured partition
+    /// panics name the superstep they happened in).
+    pub fn at_superstep(mut self, superstep: u32) -> Self {
+        self.superstep = Some(superstep);
+        self
+    }
+
+    /// The superstep this context is attributed to, if any.
+    pub fn superstep(&self) -> Option<u32> {
+        self.superstep
     }
 
     /// Add to a named record counter (e.g. `"messages"`).
@@ -148,59 +176,159 @@ impl ExecContext {
     }
 }
 
+/// Stringify a captured panic payload (`&str` and `String` payloads; other
+/// types are reported as opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The captured outcome of one partition task.
+type TaskResult<U> = std::thread::Result<U>;
+
+/// Fold per-partition outcomes into results in partition order. The first
+/// panicked partition (lowest pid) wins; a missing outcome means the worker
+/// pool tore down before the task ran (process shutdown races only).
+fn assemble<U>(slots: Vec<Option<TaskResult<U>>>, ctx: &ExecContext) -> Result<Vec<U>> {
+    let mut out = Vec::with_capacity(slots.len());
+    for (pid, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(payload)) => {
+                return Err(EngineError::PartitionPanic {
+                    pid,
+                    superstep: ctx.superstep,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+            None => {
+                return Err(EngineError::Plan(format!(
+                    "worker pool shut down before partition {pid} ran"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sequential fallback: run every task on the calling thread, still
+/// capturing unwinds so a panicking UDF surfaces identically to the
+/// threaded paths.
+fn run_inline<I, U, F>(items: Vec<I>, ctx: &ExecContext, f: &F) -> Result<Vec<U>>
+where
+    F: Fn(usize, I) -> U,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for (pid, item) in items.into_iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| ctx.time_partition_task(pid, || f(pid, item)))) {
+            Ok(value) => out.push(value),
+            Err(payload) => {
+                return Err(EngineError::PartitionPanic {
+                    pid,
+                    superstep: ctx.superstep,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Threaded dispatch: the persistent worker pool (default) or fresh scoped
+/// threads (the seed strategy, kept as a benchmark baseline).
+fn run_threaded<I, U, F>(items: Vec<I>, ctx: &ExecContext, f: &F) -> Result<Vec<U>>
+where
+    I: Send,
+    U: Send,
+    F: Fn(usize, I) -> U + Sync,
+{
+    match ctx.config.dispatch {
+        DispatchMode::Pool => {
+            let pool = ctx.config.pool.get_or_spawn(ctx.config.pool_size(), &ctx.config.telemetry);
+            if let Some(hist) = &ctx.queue_hist {
+                hist.observe(pool.queued() as u64);
+            }
+            let slots: Vec<Mutex<Option<TaskResult<U>>>> =
+                items.iter().map(|_| Mutex::new(None)).collect();
+            let tasks: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = items
+                .into_iter()
+                .enumerate()
+                .map(|(pid, item)| {
+                    let slot = &slots[pid];
+                    let task = move || {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            ctx.time_partition_task(pid, || f(pid, item))
+                        }));
+                        *slot.lock() = Some(outcome);
+                    };
+                    (pid, Box::new(task) as Box<dyn FnOnce() + Send + '_>)
+                })
+                .collect();
+            pool.run(tasks);
+            assemble(slots.into_iter().map(Mutex::into_inner).collect(), ctx)
+        }
+        DispatchMode::ScopedThreads => {
+            let outcomes: Vec<TaskResult<U>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(pid, item)| {
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                ctx.time_partition_task(pid, || f(pid, item))
+                            }))
+                        })
+                    })
+                    .collect();
+                // The spawned closure cannot unwind (the task runs under
+                // `catch_unwind`), so an outer join error is the captured
+                // payload of a double panic at worst — fold it in.
+                handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
+            });
+            assemble(outcomes.into_iter().map(Some).collect(), ctx)
+        }
+    }
+}
+
 /// Run one task per partition item, in parallel when the configuration
 /// allows and `work` (a record-count hint) makes threads worthwhile.
 ///
-/// Results come back in item order regardless of scheduling.
-pub fn par_map<I, U, F>(items: Vec<I>, ctx: &ExecContext, work: usize, f: F) -> Vec<U>
+/// Results come back in item order regardless of scheduling. A panicking
+/// task never aborts the process: it surfaces as
+/// [`EngineError::PartitionPanic`] naming the partition (and superstep,
+/// inside iterations), with the sibling partitions' work discarded.
+pub fn par_map<I, U, F>(items: Vec<I>, ctx: &ExecContext, work: usize, f: F) -> Result<Vec<U>>
 where
     I: Send,
     U: Send,
     F: Fn(usize, I) -> U + Sync,
 {
     if !ctx.should_thread(items.len(), work) {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(pid, item)| ctx.time_partition_task(pid, || f(pid, item)))
-            .collect();
+        return run_inline(items, ctx, &f);
     }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .enumerate()
-            .map(|(pid, item)| scope.spawn(move || ctx.time_partition_task(pid, || f(pid, item))))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
-    })
+    run_threaded(items, ctx, &f)
 }
 
 /// Borrowing variant of [`par_map`] for operators that read their input
 /// through an `Arc` without taking ownership.
-pub fn map_partition_refs<T, U, F>(parts: &[Vec<T>], ctx: &ExecContext, f: F) -> Vec<U>
+pub fn map_partition_refs<T, U, F>(parts: &[Vec<T>], ctx: &ExecContext, f: F) -> Result<Vec<U>>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &[T]) -> U + Sync,
 {
     let total: usize = parts.iter().map(Vec::len).sum();
-    if !ctx.should_thread(parts.len(), total) {
-        return parts
-            .iter()
-            .enumerate()
-            .map(|(pid, p)| ctx.time_partition_task(pid, || f(pid, p)))
-            .collect();
+    let g = |pid: usize, part: &Vec<T>| f(pid, part.as_slice());
+    let items: Vec<&Vec<T>> = parts.iter().collect();
+    if !ctx.should_thread(items.len(), total) {
+        return run_inline(items, ctx, &g);
     }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .iter()
-            .enumerate()
-            .map(|(pid, p)| scope.spawn(move || ctx.time_partition_task(pid, || f(pid, p))))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
-    })
+    run_threaded(items, ctx, &g)
 }
 
 /// Cross-superstep cache holding the outputs of loop-invariant plan nodes.
@@ -318,13 +446,23 @@ mod tests {
         assert_eq!(shuffled, 0);
     }
 
+    /// Every dispatch configuration the executor supports: inline, pool,
+    /// and seed-style scoped threads.
+    fn dispatch_configs() -> Vec<EnvConfig> {
+        vec![
+            EnvConfig::new(4).with_threaded(false),
+            EnvConfig::new(4).with_thread_threshold(0),
+            EnvConfig::new(4).with_thread_threshold(0).with_dispatch(DispatchMode::ScopedThreads),
+        ]
+    }
+
     #[test]
-    fn par_map_keeps_order_threaded_and_inline() {
-        for threaded in [false, true] {
-            let cfg = EnvConfig::new(4).with_threaded(threaded).with_thread_threshold(0);
+    fn par_map_keeps_order_across_dispatch_modes() {
+        for cfg in dispatch_configs() {
             let ctx = ExecContext::new(cfg);
             let parts: Vec<Vec<u64>> = (0..4).map(|p| vec![p as u64; 10]).collect();
-            let sums = par_map(parts, &ctx, 40, |pid, p: Vec<u64>| (pid, p.iter().sum::<u64>()));
+            let sums =
+                par_map(parts, &ctx, 40, |pid, p: Vec<u64>| (pid, p.iter().sum::<u64>())).unwrap();
             assert_eq!(sums, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
         }
     }
@@ -333,7 +471,7 @@ mod tests {
     fn par_map_over_tuples() {
         let ctx = ExecContext::new(EnvConfig::new(2).with_thread_threshold(0));
         let items: Vec<(Vec<u64>, Vec<u64>)> = vec![(vec![1], vec![2, 3]), (vec![], vec![4])];
-        let out = par_map(items, &ctx, 4, |_, (a, b)| a.len() + b.len());
+        let out = par_map(items, &ctx, 4, |_, (a, b)| a.len() + b.len()).unwrap();
         assert_eq!(out, vec![3, 1]);
     }
 
@@ -341,8 +479,65 @@ mod tests {
     fn map_partition_refs_matches_owned_variant() {
         let ctx = ExecContext::new(EnvConfig::new(3).with_thread_threshold(0));
         let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![]];
-        let lens = map_partition_refs(&parts, &ctx, |_, p| p.len());
+        let lens = map_partition_refs(&parts, &ctx, |_, p| p.len()).unwrap();
         assert_eq!(lens, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_as_typed_error_in_every_dispatch_mode() {
+        for cfg in dispatch_configs() {
+            let ctx = ExecContext::new(cfg).at_superstep(6);
+            let parts: Vec<Vec<u64>> = (0..4).map(|p| vec![p as u64; 4]).collect();
+            let err = par_map(parts, &ctx, 16, |pid, p: Vec<u64>| {
+                assert!(pid != 2, "partition 2 exploded");
+                p.len()
+            })
+            .unwrap_err();
+            match err {
+                EngineError::PartitionPanic { pid, superstep, message } => {
+                    assert_eq!(pid, 2);
+                    assert_eq!(superstep, Some(6));
+                    assert!(message.contains("partition 2 exploded"), "{message}");
+                }
+                other => panic!("expected PartitionPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn map_partition_refs_captures_panics_too() {
+        let parts: Vec<Vec<u64>> = vec![vec![1], vec![2], vec![3]];
+        for cfg in dispatch_configs() {
+            let ctx = ExecContext::new(cfg);
+            let err = map_partition_refs(&parts, &ctx, |pid, p: &[u64]| match pid {
+                1 => panic!("boom in refs"),
+                _ => p.len(),
+            })
+            .unwrap_err();
+            match err {
+                EngineError::PartitionPanic { pid, superstep, message } => {
+                    assert_eq!(pid, 1);
+                    assert_eq!(superstep, None);
+                    assert!(message.contains("boom in refs"));
+                }
+                other => panic!("expected PartitionPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_dispatch_reuses_the_environment_pool() {
+        let cfg = EnvConfig::new(3).with_thread_threshold(0);
+        let ctx = ExecContext::new(cfg.clone());
+        let parts: Vec<Vec<u64>> = vec![vec![1; 8], vec![2; 8], vec![3; 8]];
+        for _ in 0..3 {
+            let out = map_partition_refs(&parts, &ctx, |_, p| p.len()).unwrap();
+            assert_eq!(out, vec![8, 8, 8]);
+        }
+        let pool = cfg.pool.get().expect("pool must have spawned");
+        assert_eq!(pool.size(), 3);
+        let ran: u64 = pool.worker_stats().iter().map(|&(_, n)| n).sum();
+        assert_eq!(ran, 9, "three dispatches of three partitions each");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::dataset::{Data, Partitions};
 use crate::error::Result;
 use crate::hash::FxHashMap;
@@ -73,6 +76,103 @@ impl FailureSource for DeterministicFailures {
             parts.dedup();
             parts
         })
+    }
+}
+
+/// A seeded MTBF-style random failure model.
+///
+/// Gaps between consecutive failures are geometrically distributed with the
+/// configured mean (in supersteps) — the discrete analogue of the
+/// memoryless mean-time-between-failures processes used to model cluster
+/// node churn. Each firing kills between one and `max_partitions` distinct
+/// partitions, chosen uniformly.
+///
+/// The model is fully deterministic given its seed: the same seed, workload
+/// and parallelism replay the exact same failure schedule, so experiments
+/// that sweep recovery strategies under "random" failures stay comparable
+/// run-to-run (and the journal's byte-identical-replay guarantee holds).
+#[derive(Debug, Clone)]
+pub struct MtbfFailures {
+    rng: StdRng,
+    /// Mean supersteps between failures (`>= 1`).
+    mean: f64,
+    max_partitions: usize,
+    min_superstep: u32,
+    /// The next superstep at which a failure strikes.
+    next_failure_at: u64,
+}
+
+impl MtbfFailures {
+    /// A failure model with the given mean superstep gap between failures,
+    /// killing one partition per firing. The first gap is sampled from the
+    /// same geometric distribution as every later one.
+    ///
+    /// # Panics
+    /// Panics if `mean_supersteps < 1.0` (the engine polls once per
+    /// superstep, so failures cannot arrive faster than that).
+    pub fn new(mean_supersteps: f64, seed: u64) -> Self {
+        assert!(mean_supersteps >= 1.0, "mean time between failures must be at least 1 superstep");
+        let mut source = MtbfFailures {
+            rng: StdRng::seed_from_u64(seed),
+            mean: mean_supersteps,
+            max_partitions: 1,
+            min_superstep: 0,
+            next_failure_at: 0,
+        };
+        source.next_failure_at = source.sample_gap();
+        source
+    }
+
+    /// Let each firing destroy up to `max` distinct partitions (at least
+    /// one; the count is drawn uniformly from `1..=max`).
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn with_max_partitions(mut self, max: usize) -> Self {
+        assert!(max >= 1, "a failure must destroy at least one partition");
+        self.max_partitions = max;
+        self
+    }
+
+    /// Suppress failures before the given superstep (failures scheduled
+    /// earlier are pushed to `min_superstep`).
+    pub fn with_min_superstep(mut self, min_superstep: u32) -> Self {
+        self.min_superstep = min_superstep;
+        self
+    }
+
+    /// Sample a geometric inter-arrival gap with mean `self.mean` via
+    /// inversion: `ceil(ln(u) / ln(1 - 1/mean))`, `u` uniform in `(0, 1]`.
+    fn sample_gap(&mut self) -> u64 {
+        let p = 1.0 / self.mean;
+        if p >= 1.0 {
+            return 1;
+        }
+        // `gen::<f64>()` is uniform in [0, 1); flip it to (0, 1] so the
+        // logarithm stays finite.
+        let u = 1.0 - self.rng.gen::<f64>();
+        let gap = (u.ln() / (1.0 - p).ln()).ceil();
+        gap.max(1.0) as u64
+    }
+}
+
+impl FailureSource for MtbfFailures {
+    fn poll(&mut self, superstep: u32, parallelism: usize) -> Option<Vec<PartitionId>> {
+        if superstep < self.min_superstep || u64::from(superstep) < self.next_failure_at {
+            return None;
+        }
+        self.next_failure_at = u64::from(superstep) + self.sample_gap();
+        let count = self.rng.gen_range(1..=self.max_partitions.min(parallelism));
+        // Partial Fisher-Yates: the first `count` slots end up holding a
+        // uniform sample of distinct partitions.
+        let mut partitions: Vec<PartitionId> = (0..parallelism).collect();
+        for i in 0..count {
+            let j = self.rng.gen_range(i..parallelism);
+            partitions.swap(i, j);
+        }
+        partitions.truncate(count);
+        partitions.sort_unstable();
+        Some(partitions)
     }
 }
 
@@ -283,6 +383,53 @@ mod tests {
     fn out_of_range_partitions_are_dropped() {
         let mut src = DeterministicFailures::new().fail_at(0, &[0, 7, 2, 2]);
         assert_eq!(src.poll(0, 4), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn mtbf_same_seed_replays_the_same_schedule() {
+        let schedule = |seed: u64| -> Vec<(u32, Vec<PartitionId>)> {
+            let mut src = MtbfFailures::new(3.0, seed).with_max_partitions(2);
+            (0..200u32).filter_map(|s| src.poll(s, 4).map(|p| (s, p))).collect()
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "same seed must replay the same failures");
+        assert!(!a.is_empty(), "mean 3 over 200 supersteps should fire");
+        assert_ne!(a, schedule(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn mtbf_mean_gap_is_approximately_the_configured_mean() {
+        let mut src = MtbfFailures::new(5.0, 42);
+        let firings: Vec<u32> = (0..5000u32).filter(|&s| src.poll(s, 4).is_some()).collect();
+        let mean_gap = 5000.0 / firings.len() as f64;
+        assert!(
+            (3.5..=6.5).contains(&mean_gap),
+            "observed mean gap {mean_gap:.2} should be near the configured 5.0"
+        );
+    }
+
+    #[test]
+    fn mtbf_respects_partition_bounds_and_min_superstep() {
+        let mut src = MtbfFailures::new(2.0, 11).with_max_partitions(3).with_min_superstep(10);
+        for s in 0..10u32 {
+            assert_eq!(src.poll(s, 4), None, "no failures before min_superstep");
+        }
+        let mut fired = false;
+        for s in 10..500u32 {
+            if let Some(pids) = src.poll(s, 4) {
+                fired = true;
+                assert!(!pids.is_empty() && pids.len() <= 3);
+                assert!(pids.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+                assert!(pids.iter().all(|&p| p < 4), "partitions in range");
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 superstep")]
+    fn mtbf_rejects_sub_superstep_mean() {
+        let _ = MtbfFailures::new(0.5, 0);
     }
 
     #[test]

@@ -38,10 +38,20 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            // Mix the tail length into the zero-padded final word: plain
+            // padding would make e.g. `[1]` and `[1, 0]` collide, which in
+            // turn made every `Vec<u8>` key differing only in trailing
+            // zeroes land in the same partition. The length occupies the
+            // high byte, which the `< 8`-byte tail never reaches.
             let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.add(u64::from_le_bytes(buf));
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add(u64::from_le_bytes(buf) ^ ((tail.len() as u64) << 56));
         }
     }
 
@@ -117,11 +127,34 @@ mod tests {
 
     #[test]
     fn byte_stream_matches_chunked_words() {
+        // Full 8-byte chunks hash exactly like the corresponding words; the
+        // sub-word tail additionally mixes in its length (high byte).
         let mut a = FxHasher::default();
         a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
         let mut b = FxHasher::default();
         b.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
-        b.write_u64(9);
+        b.write_u64(9 ^ (1u64 << 56));
         assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn trailing_zero_bytes_do_not_collide() {
+        // Regression: zero-padding the final chunk without mixing in its
+        // length made these all hash identically.
+        let hash_bytes = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(hash_bytes(&[1]), hash_bytes(&[1, 0]));
+        assert_ne!(hash_bytes(&[1, 0]), hash_bytes(&[1, 0, 0]));
+        assert_ne!(hash_bytes(&[]), hash_bytes(&[0]));
+        assert_ne!(
+            hash_bytes(&[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_bytes(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 0])
+        );
+        // Distinct `Vec<u8>` keys differing only in trailing zeroes must
+        // spread across partitions.
+        assert_ne!(fx_hash(&vec![7u8]), fx_hash(&vec![7u8, 0]));
     }
 }

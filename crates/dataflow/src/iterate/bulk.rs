@@ -279,7 +279,7 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
 
             // 1. Execute the loop body over the current state.
             let step_timer = telemetry.timer(SpanKind::Superstep, Some(superstep), Some(iteration));
-            let step_ctx = ExecContext::new(ctx.config.clone());
+            let step_ctx = ExecContext::new(ctx.config.clone()).at_superstep(superstep);
             // The convergence probe compares against the pre-superstep
             // state, which the injection slot is about to consume.
             let probe_prev: Option<Partitions<T>> =
@@ -291,7 +291,7 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
             if let Some((term_id, _)) = &self.termination {
                 targets.push(*term_id);
             }
-            let outputs = {
+            let body_result = {
                 let mut inner = self.body.inner.borrow_mut();
                 exec::execute_cached(
                     &mut inner.graph,
@@ -299,7 +299,102 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                     &step_ctx,
                     &volatile,
                     &mut invariant_cache,
-                )?
+                )
+            };
+            let outputs = match body_result {
+                Ok(outputs) => outputs,
+                Err(EngineError::PartitionPanic { pid, .. }) => {
+                    // A UDF panicked mid-superstep: the step's outputs never
+                    // materialised, so recover the pre-superstep state from
+                    // the injection slot (which still holds it), treat the
+                    // panicking partition as failed, and redo the logical
+                    // iteration. Partial counters and shuffle bookkeeping of
+                    // the aborted step are discarded — no SuperstepCompleted
+                    // entry exists for it.
+                    let duration = compute_timer.finish();
+                    let _ = step_ctx.drain();
+                    let _ = step_ctx.take_shuffle_time();
+                    let mut recovered: Partitions<T> = self
+                        .state_slot
+                        .get()
+                        .ok_or_else(|| {
+                            EngineError::Iteration(
+                                "pre-superstep state lost after partition panic".into(),
+                            )
+                        })?
+                        .take("BulkIteration(panic recovery)")?;
+                    let lost = vec![pid];
+                    let lost_records = recovered.clear_partition(pid) as u64;
+                    telemetry.emit(|| JournalEvent::PartitionPanicked {
+                        superstep,
+                        iteration,
+                        pid,
+                    });
+                    telemetry.emit(|| JournalEvent::FailureInjected {
+                        superstep,
+                        iteration,
+                        lost_partitions: lost.clone(),
+                        lost_records,
+                    });
+                    let recovery_timer =
+                        telemetry.timer(SpanKind::Recovery, Some(superstep), Some(iteration));
+                    let action = self.handler.on_failure(iteration, &lost, &mut recovered)?;
+                    // Unlike an injected failure (which destroys the step's
+                    // *output*), a panic leaves no output at all, so the
+                    // surviving logical iteration is the one that must be
+                    // redone: compensation and ignore re-run `iteration`
+                    // itself, a restored checkpoint resumes after its own
+                    // iteration, restart goes back to zero.
+                    let next_iteration;
+                    let recovery = match action {
+                        BulkRecoveryAction::Compensated => {
+                            next_iteration = iteration;
+                            RecoveryKind::Compensated
+                        }
+                        BulkRecoveryAction::Restored {
+                            iteration: restored,
+                            state: restored_state,
+                        } => {
+                            recovered = restored_state;
+                            next_iteration = restored + 1;
+                            RecoveryKind::RolledBack { to_iteration: restored }
+                        }
+                        BulkRecoveryAction::Restart => {
+                            recovered = initial.clone();
+                            next_iteration = 0;
+                            RecoveryKind::Restarted
+                        }
+                        BulkRecoveryAction::Ignore => {
+                            next_iteration = iteration;
+                            RecoveryKind::Ignored
+                        }
+                    };
+                    let recovery_duration = recovery_timer.finish();
+                    telemetry.emit(|| JournalEvent::from_recovery(&recovery, iteration));
+                    let mut istats = IterationStats {
+                        superstep,
+                        iteration,
+                        duration,
+                        records_shuffled: 0,
+                        failure: Some(FailureRecord {
+                            lost_partitions: lost,
+                            lost_records,
+                            recovery,
+                            recovery_duration,
+                        }),
+                        ..Default::default()
+                    };
+                    if let Some(observer) = &mut self.observer {
+                        observer(iteration, &recovered, &mut istats);
+                    }
+                    run.iterations.push(istats);
+                    let _ = step_timer.finish();
+                    superstep += 1;
+                    state = recovered;
+                    iteration = next_iteration;
+                    continue;
+                }
+                Err(other) => return Err(other),
             };
             let mut next: Partitions<T> = outputs[0].clone().take("BulkIteration(next)")?;
             let duration = compute_timer.finish();

@@ -353,12 +353,12 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
 
             // 1. Execute the loop body over solution view + workset.
             let step_timer = telemetry.timer(SpanKind::Superstep, Some(superstep), Some(iteration));
-            let step_ctx = ExecContext::new(ctx.config.clone());
+            let step_ctx = ExecContext::new(ctx.config.clone()).at_superstep(superstep);
             self.solution_slot.fill(Erased::new(materialize_solution(&solution)));
             self.workset_slot.fill(Erased::new(workset));
             let compute_timer =
                 telemetry.timer(SpanKind::Compute, Some(superstep), Some(iteration));
-            let outputs = {
+            let body_result = {
                 let mut inner = self.body.inner.borrow_mut();
                 exec::execute_cached(
                     &mut inner.graph,
@@ -366,7 +366,109 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                     &step_ctx,
                     &volatile,
                     &mut invariant_cache,
-                )?
+                )
+            };
+            let outputs = match body_result {
+                Ok(outputs) => outputs,
+                Err(EngineError::PartitionPanic { pid, .. }) => {
+                    // A UDF panicked mid-superstep: neither the delta nor the
+                    // next workset materialised, and the solution sets have
+                    // not been touched yet (upserts happen after the body).
+                    // Recover the pre-superstep workset from the injection
+                    // slot, treat the panicking partition as a failed worker
+                    // (losing its solution and workset partitions), and redo
+                    // the logical iteration. Partial counters of the aborted
+                    // step are discarded — no SuperstepCompleted entry exists
+                    // for it.
+                    let duration = compute_timer.finish();
+                    let _ = step_ctx.drain();
+                    let _ = step_ctx.take_shuffle_time();
+                    let mut recovered: Partitions<W> = self
+                        .workset_slot
+                        .get()
+                        .ok_or_else(|| {
+                            EngineError::Iteration(
+                                "pre-superstep workset lost after partition panic".into(),
+                            )
+                        })?
+                        .take("DeltaIteration(panic recovery)")?;
+                    let lost = vec![pid];
+                    let mut lost_records = solution[pid].len() as u64;
+                    solution[pid] = FxHashMap::default();
+                    lost_records += recovered.clear_partition(pid) as u64;
+                    telemetry.emit(|| JournalEvent::PartitionPanicked {
+                        superstep,
+                        iteration,
+                        pid,
+                    });
+                    telemetry.emit(|| JournalEvent::FailureInjected {
+                        superstep,
+                        iteration,
+                        lost_partitions: lost.clone(),
+                        lost_records,
+                    });
+                    let recovery_timer =
+                        telemetry.timer(SpanKind::Recovery, Some(superstep), Some(iteration));
+                    let action =
+                        self.handler.on_failure(iteration, &lost, &mut solution, &mut recovered)?;
+                    // A panic leaves no superstep output, so compensation and
+                    // ignore re-run the current logical iteration instead of
+                    // advancing past it (injected failures destroy the
+                    // *output* and continue at `iteration + 1`).
+                    let next_iteration;
+                    let recovery = match action {
+                        DeltaRecoveryAction::Compensated => {
+                            next_iteration = iteration;
+                            RecoveryKind::Compensated
+                        }
+                        DeltaRecoveryAction::Restored {
+                            iteration: restored,
+                            solution: restored_solution,
+                            workset: restored_workset,
+                        } => {
+                            solution = restored_solution;
+                            recovered = restored_workset;
+                            next_iteration = restored + 1;
+                            RecoveryKind::RolledBack { to_iteration: restored }
+                        }
+                        DeltaRecoveryAction::Restart => {
+                            solution = initial_sets.clone();
+                            recovered = initial_workset.clone();
+                            next_iteration = 0;
+                            RecoveryKind::Restarted
+                        }
+                        DeltaRecoveryAction::Ignore => {
+                            next_iteration = iteration;
+                            RecoveryKind::Ignored
+                        }
+                    };
+                    let recovery_duration = recovery_timer.finish();
+                    telemetry.emit(|| JournalEvent::from_recovery(&recovery, iteration));
+                    let mut istats = IterationStats {
+                        superstep,
+                        iteration,
+                        duration,
+                        records_shuffled: 0,
+                        workset_size: Some(recovered.total_len() as u64),
+                        failure: Some(FailureRecord {
+                            lost_partitions: lost,
+                            lost_records,
+                            recovery,
+                            recovery_duration,
+                        }),
+                        ..Default::default()
+                    };
+                    if let Some(observer) = &mut self.observer {
+                        observer(iteration, &solution, &recovered, &mut istats);
+                    }
+                    run.iterations.push(istats);
+                    let _ = step_timer.finish();
+                    superstep += 1;
+                    workset = recovered;
+                    iteration = next_iteration;
+                    continue;
+                }
+                Err(other) => return Err(other),
             };
             let delta: Partitions<(K, V)> = outputs[0].clone().take("DeltaIteration(delta)")?;
             let mut next_workset: Partitions<W> =

@@ -61,17 +61,19 @@ pub mod iterate;
 pub mod operators;
 pub mod partition;
 pub mod plan;
+pub mod pool;
 pub mod stats;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::api::{DataSet, Environment};
+    pub use crate::config::DispatchMode;
     pub use crate::config::EnvConfig;
     pub use crate::dataset::{Data, Partitions};
     pub use crate::error::{EngineError, Result};
     pub use crate::ft::{
         BulkFaultHandler, BulkRecoveryAction, DeltaFaultHandler, DeltaRecoveryAction,
-        DeterministicFailures, FailureSource, NoFailures, RestartHandler,
+        DeterministicFailures, FailureSource, MtbfFailures, NoFailures, RestartHandler,
     };
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::iterate::{BulkIteration, ConvergenceMeasure, DeltaIteration, StatsHandle};

@@ -45,7 +45,7 @@ where
                 fold(&mut acc, r);
             }
             acc
-        });
+        })?;
         // The per-partition partials travel to a single coordinator.
         ctx.add_shuffled(partials.len() as u64 - 1);
         let mut iter = partials.into_iter();

@@ -73,7 +73,7 @@ where
                 }
             }
             out
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -147,7 +147,7 @@ where
                 out.extend(f(key, ls, rs));
             }
             out
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -194,7 +194,7 @@ where
                 }
             }
             out
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -238,7 +238,7 @@ where
             ctx,
             main.total_len(),
             |_, records| records.iter().map(|t| f(t, side_ref)).collect::<Vec<U>>(),
-        );
+        )?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 

@@ -33,7 +33,7 @@ where
         let f = &*self.f;
         let out = map_partition_refs(input.as_parts(), ctx, |_, records| {
             records.iter().map(f).collect::<Vec<U>>()
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -65,7 +65,7 @@ where
         let f = &*self.f;
         let out = map_partition_refs(input.as_parts(), ctx, |_, records| {
             records.iter().filter(|r| f(r)).cloned().collect::<Vec<T>>()
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -98,7 +98,7 @@ where
         let f = &*self.f;
         let out = map_partition_refs(input.as_parts(), ctx, |_, records| {
             records.iter().flat_map(f).collect::<Vec<U>>()
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -130,7 +130,7 @@ where
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let input = inputs[0].downcast::<T>("MapPartition")?;
         let f = &*self.f;
-        let out = map_partition_refs(input.as_parts(), ctx, |pid, records| f(pid, records));
+        let out = map_partition_refs(input.as_parts(), ctx, |pid, records| f(pid, records))?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 

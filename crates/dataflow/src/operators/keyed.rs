@@ -64,7 +64,7 @@ where
                 crate::hash::fx_hash(&key_of(a)).cmp(&crate::hash::fx_hash(&key_of(b)))
             });
             values
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 
@@ -108,7 +108,7 @@ where
                 }
             }
             kept
-        });
+        })?;
         Ok(Erased::new(Partitions::from_parts(out)))
     }
 

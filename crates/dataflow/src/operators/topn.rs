@@ -40,7 +40,7 @@ where
             local.sort_by(|a, b| key_of(b).partial_cmp(&key_of(a)).expect("comparable keys"));
             local.truncate(n);
             local
-        });
+        })?;
         // Phase 2: the partials travel to one coordinator and merge.
         let travelling: u64 =
             partials.iter().enumerate().skip(1).map(|(_, p)| p.len() as u64).sum();

@@ -6,15 +6,65 @@
 use std::collections::BTreeMap;
 
 use dataflow::codec::{decode_exact, encode_to_vec};
-use dataflow::config::EnvConfig;
+use dataflow::config::{DispatchMode, EnvConfig};
 use dataflow::partition::{hash_partition, shuffle_by_key};
 use dataflow::prelude::*;
+use dataflow::stats::RunStats;
 use proptest::prelude::*;
 
 fn env(parallelism: usize, threaded: bool) -> Environment {
     Environment::with_config(
         EnvConfig::new(parallelism).with_threaded(threaded).with_thread_threshold(0),
     )
+}
+
+/// The three execution configurations that must be observationally
+/// equivalent: inline, the persistent worker pool, and per-invocation
+/// scoped threads (threshold 0 forces dispatch on the threaded ones).
+fn dispatch_envs(parallelism: usize) -> Vec<Environment> {
+    vec![
+        env(parallelism, false),
+        Environment::with_config(
+            EnvConfig::new(parallelism).with_thread_threshold(0).with_dispatch(DispatchMode::Pool),
+        ),
+        Environment::with_config(
+            EnvConfig::new(parallelism)
+                .with_thread_threshold(0)
+                .with_dispatch(DispatchMode::ScopedThreads),
+        ),
+    ]
+}
+
+/// One superstep of the fingerprint: (superstep, iteration,
+/// records_shuffled, workset_size, sorted counters).
+type StepFingerprint = (u32, u32, u64, Option<u64>, Vec<(String, u64)>);
+
+/// The deterministic projection of `RunStats`: everything except wall-clock
+/// durations, which legitimately differ between dispatch modes.
+#[derive(Debug, PartialEq, Eq)]
+struct StatsFingerprint {
+    supersteps: u32,
+    logical_iterations: u32,
+    converged: bool,
+    per_step: Vec<StepFingerprint>,
+}
+
+fn fingerprint(stats: &RunStats) -> StatsFingerprint {
+    StatsFingerprint {
+        supersteps: stats.supersteps(),
+        logical_iterations: stats.logical_iterations(),
+        converged: stats.converged,
+        per_step: stats
+            .iterations
+            .iter()
+            .map(|i| {
+                let mut counters: Vec<(String, u64)> =
+                    i.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                counters.sort();
+                (i.superstep, i.iteration, i.records_shuffled, i.workset_size, counters)
+            })
+            .collect(),
+    }
 }
 
 proptest! {
@@ -220,6 +270,71 @@ proptest! {
             out
         };
         prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bulk_iteration_agrees_across_dispatch_modes(
+        records in proptest::collection::vec(1u64..32, 1..64),
+        parallelism in 1usize..5,
+    ) {
+        // Countdown-to-zero with a termination criterion: results AND the
+        // deterministic RunStats projection must match between inline, pool
+        // and scoped-thread execution.
+        let runs: Vec<(Vec<u64>, StatsFingerprint)> = dispatch_envs(parallelism)
+            .into_iter()
+            .map(|environment| {
+                let initial = environment.from_vec(records.clone());
+                let it = BulkIteration::new(&initial, 64);
+                let state = it.state();
+                let next = state.measured("live").map("dec", |n: &u64| n.saturating_sub(1));
+                let moving = next.filter("pos", |n| *n > 0);
+                let (result, stats) = it.close_with_termination(next, moving);
+                let mut out = result.collect().unwrap();
+                out.sort_unstable();
+                (out, fingerprint(&stats.take().unwrap()))
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1], "inline vs pool");
+        prop_assert_eq!(&runs[0], &runs[2], "inline vs scoped threads");
+    }
+
+    #[test]
+    fn delta_iteration_agrees_across_dispatch_modes(
+        edges in proptest::collection::vec((0u64..16, 0u64..16), 0..40),
+        parallelism in 1usize..5,
+    ) {
+        let runs: Vec<(Vec<(u64, u64)>, StatsFingerprint)> = dispatch_envs(parallelism)
+            .into_iter()
+            .map(|environment| {
+                let initial: Vec<(u64, u64)> = (0..16).map(|v| (v, v)).collect();
+                let solution = environment.from_keyed_vec(initial.clone(), |r| r.0);
+                let workset = environment.from_keyed_vec(initial, |r| r.0);
+                let mut sym: Vec<(u64, u64)> = Vec::new();
+                for &(u, v) in &edges {
+                    sym.push((u, v));
+                    sym.push((v, u));
+                }
+                let edges_ds = environment.from_keyed_vec(sym, |e| e.0);
+                let mut it = DeltaIteration::new(&solution, &workset, 200);
+                let edges_in = it.import(&edges_ds);
+                let candidates = it
+                    .workset()
+                    .join("n", &edges_in, |w: &(u64, u64)| w.0, |e| e.0, |w, e| (e.1, w.1))
+                    .measured("messages")
+                    .reduce_by_key("min", |c| c.0, |a, b| if a.1 <= b.1 { a } else { b });
+                let updates = candidates
+                    .join("u", &it.solution(), |c| c.0, |s: &(u64, u64)| s.0, |c, s| {
+                        if c.1 < s.1 { Some((c.0, c.1)) } else { None }
+                    })
+                    .flat_map("flat", |u: &Option<(u64, u64)>| u.iter().copied().collect());
+                let (result, stats) = it.close(updates.clone(), updates);
+                let mut labels = result.collect().unwrap();
+                labels.sort_unstable();
+                (labels, fingerprint(&stats.take().unwrap()))
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1], "inline vs pool");
+        prop_assert_eq!(&runs[0], &runs[2], "inline vs scoped threads");
     }
 
     #[test]

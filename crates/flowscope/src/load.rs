@@ -121,6 +121,11 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
             iteration: u32_field(v, "iteration")?,
             bytes: u64_field(v, "bytes")?,
         },
+        "PartitionPanicked" => JournalEvent::PartitionPanicked {
+            superstep: u32_field(v, "superstep")?,
+            iteration: u32_field(v, "iteration")?,
+            pid: u64_field(v, "pid")? as usize,
+        },
         "FailureInjected" => JournalEvent::FailureInjected {
             superstep: u32_field(v, "superstep")?,
             iteration: u32_field(v, "iteration")?,
@@ -316,6 +321,7 @@ mod tests {
         "\"records_shuffled\":5,\"workset_size\":3}\n",
         "{\"event\":\"ConvergenceSample\",\"superstep\":0,\"iteration\":0,\"changed\":4,",
         "\"changed_per_partition\":[1,3],\"delta_norm\":2.5,\"workset_per_partition\":[2,1]}\n",
+        "{\"event\":\"PartitionPanicked\",\"superstep\":0,\"iteration\":0,\"pid\":1}\n",
         "{\"event\":\"FailureInjected\",\"superstep\":0,\"iteration\":0,",
         "\"lost_partitions\":[1],\"lost_records\":2}\n",
         "{\"event\":\"CompensationInvoked\",\"name\":\"Fix\",\"iteration\":0}\n",

@@ -153,6 +153,20 @@ pub enum JournalEvent {
         /// Serialized size of the checkpoint.
         bytes: u64,
     },
+    /// A partition task panicked mid-superstep. The executor caught the
+    /// unwind and the engine converts the panic into a partition failure
+    /// (the matching [`JournalEvent::FailureInjected`] entry follows), so a
+    /// buggy UDF degrades into the same recovery path as simulated node
+    /// churn instead of aborting the process.
+    PartitionPanicked {
+        /// Superstep whose body panicked (its state was discarded; no
+        /// [`JournalEvent::SuperstepCompleted`] entry exists for it).
+        superstep: u32,
+        /// Logical iteration that was being computed.
+        iteration: u32,
+        /// Partition whose task panicked.
+        pid: PartitionId,
+    },
     /// A failure was injected, destroying partition state.
     FailureInjected {
         /// Superstep during which the failure struck.
@@ -222,6 +236,7 @@ impl JournalEvent {
             JournalEvent::SuperstepCompleted { .. } => "SuperstepCompleted",
             JournalEvent::ConvergenceSample { .. } => "ConvergenceSample",
             JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            JournalEvent::PartitionPanicked { .. } => "PartitionPanicked",
             JournalEvent::FailureInjected { .. } => "FailureInjected",
             JournalEvent::CompensationApplied { .. } => "CompensationApplied",
             JournalEvent::CompensationInvoked { .. } => "CompensationInvoked",
@@ -295,6 +310,11 @@ impl JournalEvent {
             JournalEvent::CheckpointWritten { iteration, bytes } => {
                 obj.u64("iteration", u64::from(*iteration)).u64("bytes", *bytes).finish()
             }
+            JournalEvent::PartitionPanicked { superstep, iteration, pid } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("iteration", u64::from(*iteration))
+                .u64("pid", *pid as u64)
+                .finish(),
             JournalEvent::FailureInjected {
                 superstep,
                 iteration,
@@ -444,6 +464,7 @@ mod tests {
             JournalEvent::CheckpointRestored { iteration: 1 },
             JournalEvent::DiffChainReplayed { base_iteration: 0, diffs: 3 },
             JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
+            JournalEvent::PartitionPanicked { superstep: 2, iteration: 1, pid: 3 },
             JournalEvent::ConvergenceSample {
                 superstep: 0,
                 iteration: 0,

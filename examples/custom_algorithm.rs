@@ -8,8 +8,14 @@
 //! give the lost vertices an equal share of the missing heat.
 //!
 //! ```text
-//! cargo run --release --example custom_algorithm [--journal <path>]
+//! cargo run --release --example custom_algorithm [--journal <path>] [--mtbf <supersteps>]
 //! ```
+//!
+//! By default a single failure strikes partition 0 at superstep 4. With
+//! `--mtbf <supersteps>` the deterministic scenario is replaced by the
+//! engine's seeded [`MtbfFailures`] model: failures arrive randomly with
+//! the given mean gap, yet the schedule is reproducible run-to-run (fixed
+//! seed), so the conservation invariant below is still checkable.
 
 use dataflow::partition::hash_partition;
 use dataflow::prelude::*;
@@ -22,6 +28,11 @@ type Heat = (u64, f64);
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let capture = JournalCapture::take_from(&mut args).expect("--journal needs a value");
+    let mtbf: Option<f64> = args.iter().position(|a| a == "--mtbf").map(|i| {
+        let mean = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--mtbf needs a number");
+        args.drain(i..=i + 1);
+        mean
+    });
 
     let graph = graphs::generators::grid(8, 8);
     let n = graph.num_vertices();
@@ -85,7 +96,12 @@ fn main() {
         handler = handler.with_telemetry(capture.handle());
     }
     iteration.set_fault_handler(handler);
-    iteration.set_failure_source(FailureScenario::none().fail_at(4, &[0]).to_source());
+    match mtbf {
+        Some(mean) => {
+            iteration.set_failure_source(MtbfFailures::new(mean, 0xd1f_f05e).with_min_superstep(1))
+        }
+        None => iteration.set_failure_source(FailureScenario::none().fail_at(4, &[0]).to_source()),
+    }
     iteration.set_observer(|_iter, state: &Partitions<Heat>, stats| {
         let total: f64 = state.iter_records().map(|&(_, h)| h).sum();
         stats.gauges.insert("total_heat".into(), total);
@@ -97,7 +113,13 @@ fn main() {
     heat.sort_by_key(|h| h.0);
     let stats = stats.take().expect("stats recorded");
 
-    println!("heat diffusion over an 8x8 grid, failure at superstep 4, compensated\n");
+    match mtbf {
+        Some(mean) => println!(
+            "heat diffusion over an 8x8 grid, MTBF failures (mean gap {mean} supersteps), \
+             compensated\n"
+        ),
+        None => println!("heat diffusion over an 8x8 grid, failure at superstep 4, compensated\n"),
+    }
     println!("supersteps: {} (fixed)  failures: {}", stats.supersteps(), stats.failures().count());
     for (superstep, total) in stats.gauge_series("total_heat").iter().enumerate() {
         assert!((total - 1.0).abs() < 1e-9, "heat leaked at superstep {superstep}");
