@@ -1,0 +1,19 @@
+//! Standalone worker binary for the cluster crate's own integration tests
+//! (`env!("CARGO_BIN_EXE_cluster-worker")`); production runs use the
+//! `optirec worker` subcommand, which calls the same [`cluster::worker::run`].
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let listen = args
+        .iter()
+        .position(|a| a == "--listen")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    if let Err(e) = cluster::worker::run(&listen) {
+        eprintln!("cluster-worker: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,827 @@
+//! The coordinator: drives the existing bulk-iteration machinery while the
+//! per-superstep compute happens in separate worker OS processes.
+//!
+//! Architecture (see DESIGN.md, "Cluster architecture"):
+//!
+//! * The coordinator owns the dataflow plan, the iteration driver, the
+//!   telemetry sink, and — crucially for recovery — the authoritative copy
+//!   of the iteration state and the per-partition message inboxes.
+//! * Workers own the loop-invariant adjacency for their partitions and
+//!   execute [`crate::program::ClusterProgram::step`]. State and messages
+//!   flow through `RunStep`/`StepDone` frames every superstep, so the
+//!   network path is exercised (and measured) for real.
+//! * Failure is detected at the network level: a dead worker surfaces as a
+//!   connection reset / EOF / read timeout on the control connection, or as
+//!   a heartbeat timeout on the dedicated heartbeat connection. Either
+//!   detection converts into [`EngineError::WorkerLost`], which the bulk
+//!   driver maps onto the exact same failure/recovery path as an in-process
+//!   partition panic — the installed optimistic handler compensates the
+//!   lost partitions and the superstep is redone.
+//! * Replacement: the slot of a lost worker is cleared immediately; at the
+//!   next superstep the coordinator re-spawns the process, reconnects with
+//!   exponential backoff, re-ships the program and adjacency (partition
+//!   redistribution), and emits [`JournalEvent::WorkerRejoined`].
+
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use dataflow::api::Environment;
+use dataflow::config::{DispatchMode, EnvConfig};
+use dataflow::dataset::{Erased, Partitions};
+use dataflow::error::{EngineError, Result};
+use dataflow::exec::ExecContext;
+use dataflow::iterate::{BulkIteration, ConvergenceMeasure};
+use dataflow::partition::PartitionId;
+use dataflow::plan::DynOp;
+use dataflow::stats::RunStats;
+use graphs::Graph;
+use recovery::compensation::Named;
+use recovery::OptimisticBulkHandler;
+use telemetry::metrics::{Counter, Histogram};
+use telemetry::{JournalEvent, SinkHandle};
+
+use crate::program::{lookup, partition_rows, ClusterProgram};
+use crate::protocol::{read_frame, write_frame, AdjRows, Message, Msg, Record};
+use crate::worker::LISTENING_MARKER;
+
+/// Deterministic failure injection: SIGKILL `worker` just before its frames
+/// for chronological superstep `superstep` are sent, so the loss is always
+/// detected mid-superstep by the coordinator's network I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Chronological superstep at which to kill.
+    pub superstep: u32,
+    /// Index of the worker process to kill.
+    pub worker: usize,
+}
+
+/// Configuration of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker processes (`1 ..= parallelism`).
+    pub workers: usize,
+    /// Number of partitions; partition `p` lives on worker `p % workers`.
+    pub parallelism: usize,
+    /// Logical iteration cap handed to the bulk driver.
+    pub max_iterations: u32,
+    /// Command line used to spawn one worker process. Defaults to
+    /// `[current_exe, "worker"]` — the coordinator and worker are the same
+    /// binary, which is what lets named programs replace closure shipping.
+    pub worker_cmd: Vec<String>,
+    /// Optional deterministic SIGKILL injection.
+    pub kill: Option<KillPlan>,
+    /// Delay between heartbeat probes.
+    pub heartbeat_interval: Duration,
+    /// Read timeout on the heartbeat connection; exceeding it marks the
+    /// worker dead.
+    pub heartbeat_timeout: Duration,
+    /// Maximum TCP connect attempts per (re)connect.
+    pub connect_attempts: u32,
+    /// Initial reconnect delay; doubled after every failed attempt.
+    pub connect_backoff: Duration,
+    /// Read timeout on the control connection while waiting for `StepDone`
+    /// (the backstop when a worker wedges without dropping the connection).
+    pub step_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Configuration with production-ish timing defaults.
+    pub fn new(workers: usize, parallelism: usize, max_iterations: u32) -> Self {
+        ClusterConfig {
+            workers,
+            parallelism,
+            max_iterations,
+            worker_cmd: default_worker_cmd(),
+            kill: None,
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_secs(3),
+            connect_attempts: 10,
+            connect_backoff: Duration::from_millis(25),
+            step_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The default worker command: re-invoke the current executable with the
+/// `worker` subcommand (both `optirec` and the test binary's companion
+/// `cluster-worker` understand it via [`crate::worker::run`]).
+pub fn default_worker_cmd() -> Vec<String> {
+    let exe = std::env::current_exe()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|_| "optirec".to_string());
+    vec![exe, "worker".to_string()]
+}
+
+/// The result of a cluster (or single-process baseline) run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Final state, sorted by vertex id: `(vertex, value-bits)`.
+    pub values: Vec<Record>,
+    /// The bulk driver's run statistics (supersteps, failures, recoveries).
+    pub stats: RunStats,
+}
+
+/// One partition's input to a superstep.
+struct StepJob {
+    pid: usize,
+    state: Vec<Record>,
+    inbound: Vec<Msg>,
+}
+
+/// One partition's output from a superstep.
+struct StepResult {
+    pid: usize,
+    state: Vec<Record>,
+    outbound: Vec<Msg>,
+    changed: u64,
+}
+
+/// Where a superstep's partition work actually runs: in-process (the
+/// baseline) or on worker processes over TCP. Inbox bookkeeping, message
+/// routing, and sort-for-determinism live *above* this trait, so both
+/// backends execute bit-identical supersteps in failure-free runs.
+trait StepBackend {
+    fn run_step(
+        &mut self,
+        superstep: u32,
+        step: u64,
+        jobs: Vec<StepJob>,
+    ) -> Result<Vec<StepResult>>;
+}
+
+/// In-process execution of the same named program — the single-process
+/// baseline that cluster results are diffed against.
+struct LocalBackend {
+    program: Arc<dyn ClusterProgram>,
+    adjacency: Arc<Vec<AdjRows>>,
+    n: u64,
+}
+
+impl StepBackend for LocalBackend {
+    fn run_step(
+        &mut self,
+        _superstep: u32,
+        step: u64,
+        jobs: Vec<StepJob>,
+    ) -> Result<Vec<StepResult>> {
+        Ok(jobs
+            .into_iter()
+            .map(|job| {
+                let out = self.program.step(
+                    step,
+                    &job.state,
+                    &job.inbound,
+                    &self.adjacency[job.pid],
+                    self.n,
+                );
+                StepResult {
+                    pid: job.pid,
+                    state: out.state,
+                    outbound: out.outbound,
+                    changed: out.changed,
+                }
+            })
+            .collect())
+    }
+}
+
+/// A live worker process: child handle, control connection, and the
+/// heartbeat monitor flagging it dead on probe timeout.
+struct WorkerHandle {
+    child: Child,
+    stream: TcpStream,
+    dead: Arc<AtomicBool>,
+    hb_stop: Arc<AtomicBool>,
+    hb_thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Hard-stop the process and reap it; joins the heartbeat thread.
+    fn destroy(mut self) {
+        self.hb_stop.store(true, Ordering::SeqCst);
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(thread) = self.hb_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+struct WorkerSlot {
+    handle: Option<WorkerHandle>,
+}
+
+/// Multi-process execution over TCP frames.
+struct ClusterBackend {
+    cfg: ClusterConfig,
+    program_name: String,
+    n: u64,
+    adjacency: Arc<Vec<AdjRows>>,
+    slots: Vec<WorkerSlot>,
+    telemetry: SinkHandle,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    heartbeat_rtt: Arc<Histogram>,
+    kill: Option<KillPlan>,
+}
+
+impl ClusterBackend {
+    fn start(
+        cfg: ClusterConfig,
+        program_name: &str,
+        n: u64,
+        adjacency: Arc<Vec<AdjRows>>,
+        telemetry: SinkHandle,
+    ) -> Result<Self> {
+        let metrics = telemetry.metrics();
+        let mut backend = ClusterBackend {
+            slots: (0..cfg.workers).map(|_| WorkerSlot { handle: None }).collect(),
+            kill: cfg.kill,
+            bytes_in: metrics.counter("net/bytes_in"),
+            bytes_out: metrics.counter("net/bytes_out"),
+            reconnects: metrics.counter("net/reconnects"),
+            heartbeat_rtt: metrics.histogram("net/heartbeat_rtt_ns"),
+            cfg,
+            program_name: program_name.to_string(),
+            n,
+            adjacency,
+            telemetry,
+        };
+        for worker in 0..backend.cfg.workers {
+            let (handle, _attempts) = backend.spawn_and_load(worker)?;
+            backend.slots[worker].handle = Some(handle);
+        }
+        Ok(backend)
+    }
+
+    /// Partitions owned by `worker`.
+    fn pids_of(&self, worker: usize) -> Vec<usize> {
+        (0..self.cfg.parallelism).filter(|pid| pid % self.cfg.workers == worker).collect()
+    }
+
+    /// Spawn a worker process, wait for its port announcement, connect
+    /// (control + heartbeat) with exponential backoff, and ship the program
+    /// and this worker's adjacency. Returns the handle and the number of
+    /// connect attempts the control connection needed.
+    fn spawn_and_load(&mut self, worker: usize) -> Result<(WorkerHandle, u32)> {
+        let cmd = &self.cfg.worker_cmd;
+        let mut child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(EngineError::Io)?;
+
+        let setup = (|| -> io::Result<(TcpStream, TcpStream, u32)> {
+            let stdout = child.stdout.take().ok_or_else(|| io::Error::other("no stdout pipe"))?;
+            let mut lines = BufReader::new(stdout);
+            let port = loop {
+                let mut line = String::new();
+                if lines.read_line(&mut line)? == 0 {
+                    return Err(io::Error::other("worker exited before announcing its port"));
+                }
+                if let Some(rest) = line.trim().strip_prefix(LISTENING_MARKER) {
+                    break rest.trim().parse::<u16>().map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad port announcement: {e}"),
+                        )
+                    })?;
+                }
+            };
+            let addr = format!("127.0.0.1:{port}");
+            let (mut stream, attempts) = connect_with_backoff(&addr, &self.cfg)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(self.cfg.step_timeout))?;
+            write_frame(
+                &mut stream,
+                &Message::Hello { worker: worker as u64 },
+                Some(&self.bytes_out),
+            )?;
+            expect_welcome(&mut stream, &self.bytes_in)?;
+            let adjacency = self
+                .pids_of(worker)
+                .into_iter()
+                .map(|pid| (pid as u64, self.adjacency[pid].clone()))
+                .collect();
+            write_frame(
+                &mut stream,
+                &Message::LoadProgram { program: self.program_name.clone(), n: self.n, adjacency },
+                Some(&self.bytes_out),
+            )?;
+            expect_welcome(&mut stream, &self.bytes_in)?;
+            let (hb_stream, _) = connect_with_backoff(&addr, &self.cfg)?;
+            hb_stream.set_read_timeout(Some(self.cfg.heartbeat_timeout))?;
+            Ok((stream, hb_stream, attempts))
+        })();
+
+        let (stream, hb_stream, attempts) = match setup {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(EngineError::Io(io::Error::other(format!(
+                    "failed to bring up worker {worker}: {e}"
+                ))));
+            }
+        };
+
+        let dead = Arc::new(AtomicBool::new(false));
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let hb_thread = {
+            let dead = dead.clone();
+            let stop = hb_stop.clone();
+            let interval = self.cfg.heartbeat_interval;
+            let rtt = self.heartbeat_rtt.clone();
+            let bytes_out = self.bytes_out.clone();
+            let bytes_in = self.bytes_in.clone();
+            thread::spawn(move || {
+                heartbeat_loop(hb_stream, stop, dead, interval, rtt, bytes_out, bytes_in)
+            })
+        };
+        Ok((WorkerHandle { child, stream, dead, hb_stop, hb_thread: Some(hb_thread) }, attempts))
+    }
+
+    /// Bring every slot to a live worker: newly detected deaths become
+    /// [`EngineError::WorkerLost`] (handled by the driver), cleared slots
+    /// are re-spawned and announced via [`JournalEvent::WorkerRejoined`].
+    fn ensure_workers(&mut self, superstep: u32) -> Result<()> {
+        for worker in 0..self.slots.len() {
+            let flagged_dead =
+                self.slots[worker].handle.as_ref().is_some_and(|h| h.dead.load(Ordering::SeqCst));
+            if flagged_dead {
+                return Err(self.fail(worker, superstep, "heartbeat timed out".to_string()));
+            }
+            if self.slots[worker].handle.is_none() {
+                let (handle, attempts) = self.spawn_and_load(worker)?;
+                self.slots[worker].handle = Some(handle);
+                self.reconnects.inc();
+                self.telemetry.emit(|| JournalEvent::WorkerRejoined {
+                    superstep,
+                    worker,
+                    reconnect_attempts: attempts,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear the worker's slot down and build the error the driver's
+    /// recovery arm consumes.
+    fn fail(&mut self, worker: usize, superstep: u32, message: String) -> EngineError {
+        if let Some(handle) = self.slots[worker].handle.take() {
+            handle.destroy();
+        }
+        EngineError::WorkerLost {
+            worker,
+            pids: self.pids_of(worker),
+            superstep: Some(superstep),
+            message,
+        }
+    }
+
+    /// SIGKILL a worker's process outright, leaving the stale handle in the
+    /// slot: the loss must be *discovered* through network I/O, exactly like
+    /// an unplanned crash.
+    fn kill_worker(&mut self, worker: usize) {
+        if let Some(handle) = self.slots[worker].handle.as_mut() {
+            handle.hb_stop.store(true, Ordering::SeqCst);
+            let _ = handle.child.kill();
+            let _ = handle.child.wait();
+        }
+    }
+}
+
+impl StepBackend for ClusterBackend {
+    fn run_step(
+        &mut self,
+        superstep: u32,
+        step: u64,
+        jobs: Vec<StepJob>,
+    ) -> Result<Vec<StepResult>> {
+        self.ensure_workers(superstep)?;
+        if let Some(kill) = self.kill.filter(|k| k.superstep == superstep) {
+            self.kill = None;
+            self.kill_worker(kill.worker.min(self.slots.len() - 1));
+        }
+
+        let workers = self.slots.len();
+        let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
+
+        // Send phase: every partition's frame goes out before any reply is
+        // awaited, so workers compute their partitions concurrently.
+        for job in jobs {
+            let worker = job.pid % workers;
+            let msg = Message::RunStep {
+                pid: job.pid as u64,
+                superstep,
+                step,
+                state: job.state,
+                inbound: job.inbound,
+            };
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
+                return Err(self.fail(worker, superstep, format!("sending RunStep failed: {e}")));
+            }
+        }
+
+        // Receive phase. Replies on one connection arrive in send order;
+        // frames tagged with an older superstep are leftovers of a superstep
+        // that failed after this worker had already answered — skip them.
+        let mut results = Vec::with_capacity(order.len());
+        for pid in order {
+            let worker = pid % workers;
+            loop {
+                let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+                match read_frame(&mut handle.stream, Some(&self.bytes_in)) {
+                    Ok(Message::StepDone {
+                        pid: rpid,
+                        superstep: rss,
+                        state,
+                        outbound,
+                        changed,
+                    }) => {
+                        if rss < superstep {
+                            continue;
+                        }
+                        if rss == superstep && rpid == pid as u64 {
+                            results.push(StepResult { pid, state, outbound, changed });
+                            break;
+                        }
+                        return Err(self.fail(
+                            worker,
+                            superstep,
+                            format!("protocol violation: StepDone for pid {rpid} superstep {rss}"),
+                        ));
+                    }
+                    Ok(other) => {
+                        return Err(self.fail(
+                            worker,
+                            superstep,
+                            format!("protocol violation: expected StepDone, got {other:?}"),
+                        ));
+                    }
+                    Err(e) => {
+                        return Err(self.fail(
+                            worker,
+                            superstep,
+                            format!("reading StepDone failed: {e}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+}
+
+impl Drop for ClusterBackend {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(mut handle) = slot.handle.take() {
+                let _ = write_frame(&mut handle.stream, &Message::Shutdown, None);
+                handle.destroy();
+            }
+        }
+    }
+}
+
+fn expect_welcome(stream: &mut TcpStream, bytes_in: &Counter) -> io::Result<()> {
+    match read_frame(stream, Some(bytes_in))? {
+        Message::Welcome => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Welcome, got {other:?}"),
+        )),
+    }
+}
+
+fn connect_with_backoff(addr: &str, cfg: &ClusterConfig) -> io::Result<(TcpStream, u32)> {
+    let mut delay = cfg.connect_backoff;
+    let mut last = io::Error::other("no connect attempts configured");
+    for attempt in 1..=cfg.connect_attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok((stream, attempt)),
+            Err(e) => last = e,
+        }
+        thread::sleep(delay);
+        delay = (delay * 2).min(Duration::from_secs(2));
+    }
+    Err(last)
+}
+
+fn heartbeat_loop(
+    mut stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    dead: Arc<AtomicBool>,
+    interval: Duration,
+    rtt: Arc<Histogram>,
+    bytes_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+) {
+    let mut nonce = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        nonce += 1;
+        let started = Instant::now();
+        if write_frame(&mut stream, &Message::Heartbeat { nonce }, Some(&bytes_out)).is_err() {
+            break;
+        }
+        match read_frame(&mut stream, Some(&bytes_in)) {
+            Ok(Message::HeartbeatAck { nonce: ack }) if ack == nonce => {
+                rtt.observe(started.elapsed().as_nanos() as u64);
+            }
+            _ => break,
+        }
+        thread::sleep(interval);
+    }
+    // A probe failure during normal operation flags the worker; during
+    // coordinator-initiated teardown (stop already set) it is expected.
+    if !stop.load(Ordering::SeqCst) {
+        dead.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The distributed-superstep operator injected into the iteration body.
+///
+/// Owns the per-partition message inboxes with snapshot/commit semantics:
+/// inboxes are only replaced when a superstep *commits*, so the re-run after
+/// a failed attempt re-reads the exact same inbound messages.
+struct ClusterStepOp {
+    backend: Box<dyn StepBackend>,
+    inboxes: Vec<Vec<Msg>>,
+    steps_committed: u64,
+    changed: Arc<AtomicU64>,
+}
+
+impl DynOp for ClusterStepOp {
+    fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
+        let superstep = ctx.superstep().unwrap_or(0);
+        let state: Partitions<Record> = inputs[0].clone().take("ClusterStep(state)")?;
+        let parallelism = self.inboxes.len();
+
+        let jobs: Vec<StepJob> = state
+            .iter()
+            .map(|(pid, records)| {
+                let mut inbound = self.inboxes[pid].clone();
+                // Sorting fixes the fold order of floating-point sums, making
+                // every superstep bitwise deterministic regardless of which
+                // worker answered first.
+                inbound.sort_unstable();
+                StepJob { pid, state: records.to_vec(), inbound }
+            })
+            .collect();
+
+        let results = self.backend.run_step(superstep, self.steps_committed, jobs)?;
+
+        // Commit: new state, rebuilt inboxes, published convergence count.
+        let mut parts: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); parallelism];
+        let mut changed_total = 0u64;
+        let mut shuffled = 0u64;
+        for result in results {
+            changed_total += result.changed;
+            shuffled += result.outbound.len() as u64;
+            for msg in result.outbound {
+                inboxes[(msg.1 as usize) % parallelism].push(msg);
+            }
+            parts[result.pid] = result.state;
+        }
+        self.inboxes = inboxes;
+        self.steps_committed += 1;
+        self.changed.store(changed_total, Ordering::SeqCst);
+        ctx.add_shuffled(shuffled);
+        Ok(Erased::new(Partitions::from_parts(parts)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "ClusterStep"
+    }
+}
+
+/// Termination probe: empty once the step operator saw zero changed records,
+/// feeding the bulk driver's standard empty-termination-set convention.
+struct ChangedProbeOp {
+    changed: Arc<AtomicU64>,
+    parallelism: usize,
+}
+
+impl DynOp for ChangedProbeOp {
+    fn execute(&mut self, _inputs: &[Erased], _ctx: &ExecContext) -> Result<Erased> {
+        let mut parts = Partitions::<u8>::empty(self.parallelism);
+        if self.changed.load(Ordering::SeqCst) > 0 {
+            parts.partition_mut(0).push(1);
+        }
+        Ok(Erased::new(parts))
+    }
+
+    fn kind(&self) -> &'static str {
+        "ClusterChangedProbe"
+    }
+}
+
+/// Run `program_name` on a cluster of worker processes.
+pub fn run_cluster(
+    program_name: &str,
+    graph: &Graph,
+    cfg: ClusterConfig,
+    telemetry: SinkHandle,
+) -> Result<ClusterRun> {
+    if cfg.workers == 0 || cfg.workers > cfg.parallelism {
+        return Err(EngineError::Plan(format!(
+            "cluster needs 1..=parallelism workers, got {} workers for {} partitions",
+            cfg.workers, cfg.parallelism
+        )));
+    }
+    let program = resolve(program_name)?;
+    let n = graph.num_vertices() as u64;
+    let adjacency = Arc::new(partition_rows(graph, cfg.parallelism));
+    let parallelism = cfg.parallelism;
+    let max_iterations = cfg.max_iterations;
+    let backend =
+        ClusterBackend::start(cfg, program_name, n, adjacency.clone(), telemetry.clone())?;
+    run_with_backend(
+        program,
+        Box::new(backend),
+        adjacency,
+        n,
+        parallelism,
+        max_iterations,
+        DispatchMode::Cluster,
+        telemetry,
+    )
+}
+
+/// Run the *same* named program single-process: the baseline a cluster run
+/// is diffed against. Failure-free local and cluster runs are bitwise
+/// identical because both route through the same step assembly.
+pub fn run_local(
+    program_name: &str,
+    graph: &Graph,
+    parallelism: usize,
+    max_iterations: u32,
+    telemetry: SinkHandle,
+) -> Result<ClusterRun> {
+    let program = resolve(program_name)?;
+    let n = graph.num_vertices() as u64;
+    let adjacency = Arc::new(partition_rows(graph, parallelism));
+    let backend = LocalBackend { program: program.clone(), adjacency: adjacency.clone(), n };
+    run_with_backend(
+        program,
+        Box::new(backend),
+        adjacency,
+        n,
+        parallelism,
+        max_iterations,
+        DispatchMode::Pool,
+        telemetry,
+    )
+}
+
+fn resolve(program_name: &str) -> Result<Arc<dyn ClusterProgram>> {
+    lookup(program_name).ok_or_else(|| {
+        EngineError::Plan(format!(
+            "unknown cluster program `{program_name}` (known: {})",
+            crate::program::program_names().join(", ")
+        ))
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with_backend(
+    program: Arc<dyn ClusterProgram>,
+    backend: Box<dyn StepBackend>,
+    adjacency: Arc<Vec<AdjRows>>,
+    n: u64,
+    parallelism: usize,
+    max_iterations: u32,
+    dispatch: DispatchMode,
+    telemetry: SinkHandle,
+) -> Result<ClusterRun> {
+    let config =
+        EnvConfig::new(parallelism).with_dispatch(dispatch).with_telemetry(telemetry.clone());
+    let env = Environment::with_config(config);
+    let initial_parts = Partitions::from_parts(
+        adjacency.iter().map(|rows| program.init_partition(rows, n)).collect(),
+    );
+    let initial = env.from_partitions(initial_parts);
+
+    let mut iteration = BulkIteration::new(&initial, max_iterations);
+    {
+        // Optimistic recovery: the program's compensation function rebuilds
+        // each lost partition from the (loop-invariant) adjacency.
+        let program = program.clone();
+        let adjacency = adjacency.clone();
+        let compensation = Named::new(
+            format!("{}-compensation", program.name()),
+            move |state: &mut Partitions<Record>, lost: &[PartitionId], _iteration: u32| {
+                for &pid in lost {
+                    *state.partition_mut(pid) = program.compensate_partition(&adjacency[pid], n);
+                }
+            },
+        );
+        iteration
+            .set_fault_handler(OptimisticBulkHandler::new(compensation).with_telemetry(telemetry));
+    }
+    iteration.set_convergence_probe(|prev: &Partitions<Record>, next: &Partitions<Record>| {
+        let changed_per_partition = prev
+            .as_parts()
+            .iter()
+            .zip(next.as_parts())
+            .map(|(before, after)| {
+                if before.len() != after.len() {
+                    after.len() as u64
+                } else {
+                    before.iter().zip(after).filter(|(b, a)| b != a).count() as u64
+                }
+            })
+            .collect();
+        ConvergenceMeasure { changed_per_partition, delta_norm: None }
+    });
+
+    let changed = Arc::new(AtomicU64::new(0));
+    let state = iteration.state();
+    let body = iteration.body_environment();
+    let step = body.custom_node::<Record>(
+        "cluster-step",
+        vec![state.node_id()],
+        Box::new(ClusterStepOp {
+            backend,
+            inboxes: vec![Vec::new(); parallelism],
+            steps_committed: 0,
+            changed: changed.clone(),
+        }),
+    );
+    let probe = body.custom_node::<u8>(
+        "changed-probe",
+        vec![step.node_id()],
+        Box::new(ChangedProbeOp { changed, parallelism }),
+    );
+
+    let (result, stats) = iteration.close_with_termination(step, probe);
+    let mut values = result.collect()?;
+    values.sort_unstable_by_key(|record| record.0);
+    let stats = stats
+        .take()
+        .ok_or_else(|| EngineError::Iteration("cluster run produced no statistics".into()))?;
+    Ok(ClusterRun { values, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::GraphBuilder;
+
+    #[test]
+    fn local_cc_matches_the_exact_reference() {
+        let graph = graphs::generators::demo_components();
+        let run = run_local("cc", &graph, 4, 50, SinkHandle::disabled()).unwrap();
+        let labels: Vec<u64> = run.values.iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, graphs::exact_components(&graph));
+        assert!(run.stats.converged);
+    }
+
+    #[test]
+    fn local_pagerank_matches_the_exact_reference() {
+        let mut b = GraphBuilder::directed(5);
+        b.add_edge(0, 1).add_edge(0, 3).add_edge(1, 2).add_edge(2, 0);
+        b.add_edge(3, 0).add_edge(3, 1).add_edge(4, 3);
+        let graph = b.build();
+        let run = run_local("pagerank", &graph, 2, 300, SinkHandle::disabled()).unwrap();
+        let exact = graphs::exact_pagerank(&graph, graphs::PageRankParams::default());
+        for (&(v, bits), reference) in run.values.iter().zip(&exact) {
+            let rank = f64::from_bits(bits);
+            assert!((rank - reference).abs() < 1e-6, "vertex {v}: {rank} vs {reference}");
+        }
+        assert!(run.stats.converged);
+    }
+
+    #[test]
+    fn local_runs_are_bitwise_deterministic() {
+        let graph = graphs::generators::erdos_renyi(60, 0.1, 7);
+        let a = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
+        let b = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
+        assert_eq!(a.values, b.values, "identical runs must produce identical bits");
+    }
+
+    #[test]
+    fn unknown_program_is_a_plan_error() {
+        let graph = GraphBuilder::undirected(2).build();
+        let err = run_local("nope", &graph, 1, 5, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("unknown cluster program"), "{err}");
+        assert!(err.to_string().contains("cc, pagerank"), "{err}");
+    }
+
+    #[test]
+    fn cluster_config_validates_worker_count() {
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg = ClusterConfig::new(8, 4, 10);
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("1..=parallelism"), "{err}");
+    }
+}

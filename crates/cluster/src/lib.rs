@@ -1,0 +1,41 @@
+//! Multi-process distributed execution with network-level optimistic
+//! recovery.
+//!
+//! Everything else in this repository simulates a cluster inside one
+//! process: partitions model workers, and "failures" clear a partition's
+//! records. This crate makes the failure model *real*: iteration supersteps
+//! execute in separate `optirec worker` OS processes that exchange
+//! length-prefixed TCP frames with a coordinator, failure injection is
+//! `SIGKILL` of a live worker process, and loss is detected the way a real
+//! engine detects it — connection reset, EOF, read timeout, or heartbeat
+//! timeout. Detection converts into
+//! [`dataflow::error::EngineError::WorkerLost`], which flows through the
+//! *unchanged* bulk-iteration recovery machinery: the installed
+//! [`recovery::OptimisticBulkHandler`] compensates the lost partitions and
+//! the superstep is redone, while the coordinator re-spawns the worker and
+//! re-ships its partitions in the background.
+//!
+//! Layout:
+//!
+//! * [`protocol`] — the frame format and [`protocol::Message`] enum, built
+//!   on the engine's existing [`dataflow::codec::Codec`] trait.
+//! * [`program`] — named [`program::ClusterProgram`]s ("cc", "pagerank")
+//!   compiled into both binaries, since closures cannot cross processes.
+//! * [`worker`] — the worker process: partition execution behind an accept
+//!   loop.
+//! * [`coordinator`] — worker lifecycle (spawn / heartbeat / kill /
+//!   respawn-with-backoff), the distributed superstep operator, and the
+//!   [`coordinator::run_cluster`] / [`coordinator::run_local`] entry points.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod program;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{
+    default_worker_cmd, run_cluster, run_local, ClusterConfig, ClusterRun, KillPlan,
+};
+pub use program::{lookup, program_names, ClusterProgram, StepOutput};
+pub use protocol::{Message, Msg, Record};

@@ -1,0 +1,301 @@
+//! The coordinator↔worker wire protocol.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload length
+//! followed by the payload, which is a [`Codec`]-encoded [`Message`] (a `u8`
+//! tag plus the variant's fields). The same [`Codec`] trait serialises
+//! checkpoints, so the cluster layer adds no second serialisation scheme.
+//!
+//! Frame I/O optionally feeds the `net/bytes_in` / `net/bytes_out` counters
+//! of the coordinator's metric registry — the length prefix is included, so
+//! the counters reflect actual bytes on the wire.
+
+use std::io::{self, Read, Write};
+
+use dataflow::codec::{decode_exact, encode_to_vec, Codec};
+use dataflow::error::{EngineError, Result};
+use telemetry::metrics::Counter;
+
+/// One record of distributed iteration state: `(vertex, value-bits)`.
+///
+/// The value is always carried as raw `u64` bits — Connected Components
+/// stores a label directly, PageRank stores `f64::to_bits` of the rank — so
+/// state crosses the wire without any float/int schema distinction and
+/// byte-for-byte identical to the in-process representation.
+pub type Record = (u64, u64);
+
+/// One message exchanged between vertices: `(src, dst, value-bits)`.
+pub type Msg = (u64, u64, u64);
+
+/// Adjacency rows shipped to a worker for one partition: `(vertex, targets)`.
+pub type AdjRows = Vec<(u64, Vec<u64>)>;
+
+/// Upper bound on a single frame's payload; a length prefix beyond this is
+/// treated as stream corruption rather than an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// A protocol message. Tags are part of the wire format — append new
+/// variants, never renumber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Coordinator → worker: first frame on the control connection.
+    Hello {
+        /// Coordinator-side index of the worker being greeted.
+        worker: u64,
+    },
+    /// Worker → coordinator: generic acknowledgement (`Hello`, `LoadProgram`).
+    Welcome,
+    /// Coordinator → worker: install a named [`crate::program::ClusterProgram`]
+    /// together with the loop-invariant adjacency of the partitions this
+    /// worker owns. Re-sent in full when a replacement worker rejoins —
+    /// this is the partition redistribution step of recovery.
+    LoadProgram {
+        /// Registry name of the program (`"cc"`, `"pagerank"`).
+        program: String,
+        /// Total number of vertices across all partitions.
+        n: u64,
+        /// Adjacency rows per owned partition: `(pid, rows)`.
+        adjacency: Vec<(u64, AdjRows)>,
+    },
+    /// Coordinator → worker: run one partition's share of a superstep.
+    RunStep {
+        /// Partition to step.
+        pid: u64,
+        /// Chronological superstep (strictly increasing across retries; used
+        /// to discard stale replies after a failed superstep).
+        superstep: u32,
+        /// Logical step index: the number of *committed* supersteps so far.
+        /// Programs use it to special-case the first step; unlike the
+        /// chronological superstep it does not advance on failed attempts.
+        step: u64,
+        /// The partition's current state.
+        state: Vec<Record>,
+        /// Inbound messages for this partition, sorted by `(src, dst, bits)`.
+        inbound: Vec<Msg>,
+    },
+    /// Worker → coordinator: the result of one [`Message::RunStep`].
+    StepDone {
+        /// Partition that was stepped.
+        pid: u64,
+        /// Echo of the request's chronological superstep.
+        superstep: u32,
+        /// The partition's new state, same vertex order as the request.
+        state: Vec<Record>,
+        /// Messages produced for the *next* superstep (any destination).
+        outbound: Vec<Msg>,
+        /// Records considered changed by the program's convergence test.
+        changed: u64,
+    },
+    /// Coordinator → worker: liveness probe (dedicated connection).
+    Heartbeat {
+        /// Echo token matching probes to acks.
+        nonce: u64,
+    },
+    /// Worker → coordinator: reply to [`Message::Heartbeat`].
+    HeartbeatAck {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+}
+
+impl Codec for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello { worker } => {
+                out.push(0);
+                worker.encode(out);
+            }
+            Message::Welcome => out.push(1),
+            Message::LoadProgram { program, n, adjacency } => {
+                out.push(2);
+                program.encode(out);
+                n.encode(out);
+                adjacency.encode(out);
+            }
+            Message::RunStep { pid, superstep, step, state, inbound } => {
+                out.push(3);
+                pid.encode(out);
+                superstep.encode(out);
+                step.encode(out);
+                state.encode(out);
+                inbound.encode(out);
+            }
+            Message::StepDone { pid, superstep, state, outbound, changed } => {
+                out.push(4);
+                pid.encode(out);
+                superstep.encode(out);
+                state.encode(out);
+                outbound.encode(out);
+                changed.encode(out);
+            }
+            Message::Heartbeat { nonce } => {
+                out.push(5);
+                nonce.encode(out);
+            }
+            Message::HeartbeatAck { nonce } => {
+                out.push(6);
+                nonce.encode(out);
+            }
+            Message::Shutdown => out.push(7),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let tag = u8::decode(input)?;
+        Ok(match tag {
+            0 => Message::Hello { worker: u64::decode(input)? },
+            1 => Message::Welcome,
+            2 => Message::LoadProgram {
+                program: String::decode(input)?,
+                n: u64::decode(input)?,
+                adjacency: Vec::decode(input)?,
+            },
+            3 => Message::RunStep {
+                pid: u64::decode(input)?,
+                superstep: u32::decode(input)?,
+                step: u64::decode(input)?,
+                state: Vec::decode(input)?,
+                inbound: Vec::decode(input)?,
+            },
+            4 => Message::StepDone {
+                pid: u64::decode(input)?,
+                superstep: u32::decode(input)?,
+                state: Vec::decode(input)?,
+                outbound: Vec::decode(input)?,
+                changed: u64::decode(input)?,
+            },
+            5 => Message::Heartbeat { nonce: u64::decode(input)? },
+            6 => Message::HeartbeatAck { nonce: u64::decode(input)? },
+            7 => Message::Shutdown,
+            other => {
+                return Err(EngineError::Codec(format!("unknown cluster message tag {other}")))
+            }
+        })
+    }
+}
+
+/// Write `msg` as one frame, flush, and count the bytes into `bytes_out`.
+pub fn write_frame(
+    w: &mut impl Write,
+    msg: &Message,
+    bytes_out: Option<&Counter>,
+) -> io::Result<()> {
+    let payload = encode_to_vec(msg);
+    let len = u32::try_from(payload.len()).ok().filter(|&len| len <= MAX_FRAME_BYTES).ok_or_else(
+        || {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
+            )
+        },
+    )?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    if let Some(counter) = bytes_out {
+        counter.add(4 + payload.len() as u64);
+    }
+    Ok(())
+}
+
+/// Read one frame, counting the bytes into `bytes_in`. Decode failures and
+/// oversized length prefixes surface as [`io::ErrorKind::InvalidData`]; a
+/// clean EOF before the length prefix surfaces as
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read, bytes_in: Option<&Counter>) -> io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds MAX_FRAME_BYTES (corrupt stream?)"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if let Some(counter) = bytes_in {
+        counter.add(4 + u64::from(len));
+    }
+    decode_exact::<Message>(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg, None).unwrap();
+        let decoded = read_frame(&mut buf.as_slice(), None).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Message::Hello { worker: 3 });
+        round_trip(Message::Welcome);
+        round_trip(Message::LoadProgram {
+            program: "cc".into(),
+            n: 10,
+            adjacency: vec![(0, vec![(0, vec![1, 2]), (2, vec![0])]), (1, vec![(1, vec![0])])],
+        });
+        round_trip(Message::RunStep {
+            pid: 1,
+            superstep: 4,
+            step: 3,
+            state: vec![(1, 1), (3, 0)],
+            inbound: vec![(0, 1, 0), (2, 3, 7)],
+        });
+        round_trip(Message::StepDone {
+            pid: 1,
+            superstep: 4,
+            state: vec![(1, 0)],
+            outbound: vec![(1, 0, 0)],
+            changed: 1,
+        });
+        round_trip(Message::Heartbeat { nonce: 42 });
+        round_trip(Message::HeartbeatAck { nonce: 42 });
+        round_trip(Message::Shutdown);
+    }
+
+    #[test]
+    fn byte_counters_include_the_length_prefix() {
+        let counter = Counter::default();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Welcome, Some(&counter)).unwrap();
+        assert_eq!(counter.get(), buf.len() as u64);
+        let read_counter = Counter::default();
+        read_frame(&mut buf.as_slice(), Some(&read_counter)).unwrap();
+        assert_eq!(read_counter.get(), buf.len() as u64);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bad = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 8]);
+        let err = read_frame(&mut bad.as_slice(), None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_reports_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Hello { worker: 1 }, None).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_frame(&mut buf.as_slice(), None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unknown_tag_is_a_decode_error() {
+        let payload = vec![99u8];
+        let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        let err = read_frame(&mut buf.as_slice(), None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown cluster message tag"), "{err}");
+    }
+}

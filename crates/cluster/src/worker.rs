@@ -1,0 +1,222 @@
+//! The worker process: owns partition state execution for its share of the
+//! graph and speaks the frame protocol over loopback TCP.
+//!
+//! A worker binds an ephemeral (or explicitly requested) port, announces it
+//! on stdout as `OPTIREC_WORKER_LISTENING <port>` — the coordinator reads
+//! that line from the child's pipe — and then serves connections forever.
+//! Each connection gets its own thread over one shared `WorkerState`, so
+//! heartbeat probes (which never touch the state) are answered even while a
+//! superstep is being computed on the control connection.
+//!
+//! Workers are deliberately crash-only: `Shutdown` exits the process, and
+//! every other termination path is an abrupt connection loss that the
+//! coordinator converts into a
+//! [`dataflow::error::EngineError::WorkerLost`].
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::program::{lookup, ClusterProgram};
+use crate::protocol::{read_frame, write_frame, AdjRows, Message};
+
+/// Marker line a worker prints to stdout once its listener is bound; the
+/// rest of the line is the decimal port number.
+pub const LISTENING_MARKER: &str = "OPTIREC_WORKER_LISTENING";
+
+/// Program + adjacency installed by `LoadProgram`, shared across connections.
+#[derive(Default)]
+struct WorkerState {
+    program: Option<Arc<dyn ClusterProgram>>,
+    n: u64,
+    adjacency: HashMap<u64, Arc<AdjRows>>,
+}
+
+/// Run a worker: bind `listen` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port), announce the port on stdout, and serve connections until the
+/// process is told to [`Message::Shutdown`] or killed.
+pub fn run(listen: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(listen)?;
+    let port = listener.local_addr()?.port();
+    println!("{LISTENING_MARKER} {port}");
+    io::stdout().flush()?;
+
+    let shared = Arc::new(Mutex::new(WorkerState::default()));
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        thread::spawn(move || {
+            // Connection teardown is the coordinator's problem: a worker
+            // neither logs nor propagates per-connection errors.
+            let _ = serve(stream, shared);
+        });
+    }
+    Ok(())
+}
+
+fn serve(mut stream: TcpStream, shared: Arc<Mutex<WorkerState>>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let msg = match read_frame(&mut stream, None) {
+            Ok(msg) => msg,
+            // Peer hung up between frames: a normal connection end.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::Hello { .. } => write_frame(&mut stream, &Message::Welcome, None)?,
+            Message::LoadProgram { program, n, adjacency } => {
+                let resolved = lookup(&program).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown cluster program `{program}`"),
+                    )
+                })?;
+                let mut state = shared.lock();
+                state.program = Some(resolved);
+                state.n = n;
+                // A rejoining replacement receives its full partition set
+                // again; stale assignments from before a redistribution are
+                // dropped rather than merged.
+                state.adjacency.clear();
+                for (pid, rows) in adjacency {
+                    state.adjacency.insert(pid, Arc::new(rows));
+                }
+                drop(state);
+                write_frame(&mut stream, &Message::Welcome, None)?;
+            }
+            Message::RunStep { pid, superstep, step, state, inbound } => {
+                let (program, rows, n) = {
+                    let shared = shared.lock();
+                    let program = shared.program.clone().ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "RunStep before LoadProgram")
+                    })?;
+                    let rows = shared.adjacency.get(&pid).cloned().ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("RunStep for partition {pid} not owned by this worker"),
+                        )
+                    })?;
+                    (program, rows, shared.n)
+                };
+                let out = program.step(step, &state, &inbound, &rows, n);
+                write_frame(
+                    &mut stream,
+                    &Message::StepDone {
+                        pid,
+                        superstep,
+                        state: out.state,
+                        outbound: out.outbound,
+                        changed: out.changed,
+                    },
+                    None,
+                )?;
+            }
+            Message::Heartbeat { nonce } => {
+                write_frame(&mut stream, &Message::HeartbeatAck { nonce }, None)?
+            }
+            Message::Shutdown => std::process::exit(0),
+            unexpected @ (Message::Welcome
+            | Message::StepDone { .. }
+            | Message::HeartbeatAck { .. }) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("coordinator sent a worker-only message: {unexpected:?}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serve a single in-process worker on an ephemeral port (tests only —
+    /// production workers are separate OS processes).
+    fn spawn_local_worker() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let shared = Arc::new(Mutex::new(WorkerState::default()));
+            for stream in listener.incoming().flatten() {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let _ = serve(stream, shared);
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn worker_loads_a_program_and_steps_a_partition() {
+        let addr = spawn_local_worker();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write_frame(&mut conn, &Message::Hello { worker: 0 }, None).unwrap();
+        assert_eq!(read_frame(&mut conn, None).unwrap(), Message::Welcome);
+
+        // Partition 0 of a 2-vertex path graph, single partition.
+        write_frame(
+            &mut conn,
+            &Message::LoadProgram {
+                program: "cc".into(),
+                n: 2,
+                adjacency: vec![(0, vec![(0, vec![1]), (1, vec![0])])],
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(read_frame(&mut conn, None).unwrap(), Message::Welcome);
+
+        write_frame(
+            &mut conn,
+            &Message::RunStep {
+                pid: 0,
+                superstep: 1,
+                step: 1,
+                state: vec![(0, 0), (1, 1)],
+                inbound: vec![(0, 1, 0)],
+            },
+            None,
+        )
+        .unwrap();
+        match read_frame(&mut conn, None).unwrap() {
+            Message::StepDone { pid, superstep, state, changed, .. } => {
+                assert_eq!((pid, superstep), (0, 1));
+                assert_eq!(state, vec![(0, 0), (1, 0)], "label 0 propagates to vertex 1");
+                assert_eq!(changed, 1);
+            }
+            other => panic!("expected StepDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeats_are_answered_on_a_separate_connection() {
+        let addr = spawn_local_worker();
+        let mut hb = TcpStream::connect(addr).unwrap();
+        for nonce in [1u64, 7, 99] {
+            write_frame(&mut hb, &Message::Heartbeat { nonce }, None).unwrap();
+            assert_eq!(read_frame(&mut hb, None).unwrap(), Message::HeartbeatAck { nonce });
+        }
+    }
+
+    #[test]
+    fn step_before_load_is_rejected_with_a_connection_drop() {
+        let addr = spawn_local_worker();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut conn,
+            &Message::RunStep { pid: 0, superstep: 0, step: 0, state: vec![], inbound: vec![] },
+            None,
+        )
+        .unwrap();
+        // The handler thread errors out and closes the connection.
+        let err = read_frame(&mut conn, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,144 @@
+//! Multi-process integration tests: real worker processes on loopback TCP,
+//! real `SIGKILL` failure injection, recovery validated against the
+//! single-process baseline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cluster::{run_cluster, run_local, ClusterConfig, KillPlan};
+use graphs::GraphBuilder;
+use telemetry::{MemorySink, SinkHandle};
+
+/// Cluster configuration pointed at this crate's test worker binary, with
+/// timings tightened for test latency.
+fn test_config(workers: usize, parallelism: usize, max_iterations: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(workers, parallelism, max_iterations);
+    cfg.worker_cmd = vec![env!("CARGO_BIN_EXE_cluster-worker").to_string()];
+    cfg.heartbeat_interval = Duration::from_millis(20);
+    cfg.heartbeat_timeout = Duration::from_millis(500);
+    cfg.step_timeout = Duration::from_secs(10);
+    cfg
+}
+
+fn cc_graph() -> graphs::Graph {
+    // Three components over 24 vertices, so every one of 4 partitions holds
+    // vertices of several components.
+    let mut b = GraphBuilder::undirected(24);
+    for v in 0..7 {
+        b.add_edge(v, v + 1);
+    }
+    for v in 8..15 {
+        b.add_edge(v, v + 1);
+    }
+    for v in 16..23 {
+        b.add_edge(v, v + 1);
+    }
+    b.build()
+}
+
+fn pagerank_graph() -> graphs::Graph {
+    // Strongly connected (a ring with chords): no dangling mass, non-trivial
+    // rank distribution.
+    let mut b = GraphBuilder::directed(20);
+    for v in 0..20u64 {
+        b.add_edge(v, (v + 1) % 20);
+    }
+    for v in (0..20u64).step_by(3) {
+        b.add_edge(v, (v + 7) % 20);
+    }
+    b.build()
+}
+
+#[test]
+fn failure_free_cluster_cc_is_bitwise_identical_to_local() {
+    let graph = cc_graph();
+    let local = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    let cluster = run_cluster("cc", &graph, test_config(2, 4, 60), SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, local.values);
+    assert_eq!(cluster.stats.supersteps(), local.stats.supersteps());
+    assert!(cluster.stats.converged);
+    let labels: Vec<u64> = cluster.values.iter().map(|&(_, l)| l).collect();
+    assert_eq!(labels, graphs::exact_components(&graph));
+}
+
+#[test]
+fn failure_free_cluster_pagerank_is_bitwise_identical_to_local() {
+    let graph = pagerank_graph();
+    let local = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
+    let cluster =
+        run_cluster("pagerank", &graph, test_config(2, 4, 300), SinkHandle::disabled()).unwrap();
+    // Both backends fold the same sorted message lists in the same order:
+    // equality holds down to the bit pattern, not just within a tolerance.
+    assert_eq!(cluster.values, local.values);
+    assert!(cluster.stats.converged);
+}
+
+#[test]
+fn sigkilled_worker_mid_iteration_recovers_via_compensation() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let mut cfg = test_config(2, 4, 60);
+    cfg.kill = Some(KillPlan { superstep: 2, worker: 1 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    // Compensation (not restart) recovered the run, and it still converged
+    // to exactly the same result as the failure-free single-process run.
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values);
+    assert!(cluster.stats.converged);
+    assert!(
+        cluster.stats.supersteps() > baseline.stats.supersteps(),
+        "the failed superstep must be redone"
+    );
+    let failures: Vec<_> = cluster.stats.failures().collect();
+    assert_eq!(failures.len(), 1, "exactly one injected failure");
+    assert_eq!(failures[0].1.lost_partitions, vec![1, 3], "worker 1 owned partitions 1 and 3");
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "journal:\n{journal}");
+    assert!(journal.contains("\"lost_partitions\":[1,3]"), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"WorkerRejoined\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"CompensationInvoked\""), "journal:\n{journal}");
+}
+
+#[test]
+fn sigkilled_pagerank_still_matches_the_failure_free_fixed_point() {
+    let graph = pagerank_graph();
+    let mut cfg = test_config(2, 4, 300);
+    cfg.kill = Some(KillPlan { superstep: 3, worker: 0 });
+    let cluster = run_cluster("pagerank", &graph, cfg, SinkHandle::disabled()).unwrap();
+    let baseline = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
+
+    // After a failure the trajectories differ, but both terminate within
+    // EPSILON (1e-9) of the unique fixed point, so ranks agree to far better
+    // than 1e-6.
+    assert!(cluster.stats.converged);
+    for (&(v, a), &(_, b)) in cluster.values.iter().zip(&baseline.values) {
+        let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+        assert!((a - b).abs() < 1e-6, "vertex {v}: {a} vs baseline {b}");
+    }
+    let total: f64 = cluster.values.iter().map(|&(_, bits)| f64::from_bits(bits)).sum();
+    assert!((total - 1.0).abs() < 1e-6, "compensation must preserve total rank mass, got {total}");
+}
+
+#[test]
+fn network_metrics_are_recorded() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink);
+
+    let mut cfg = test_config(2, 4, 60);
+    cfg.kill = Some(KillPlan { superstep: 1, worker: 0 });
+    run_cluster("cc", &graph, cfg, telemetry.clone()).unwrap();
+
+    let metrics = telemetry.metrics();
+    assert!(metrics.counter("net/bytes_out").get() > 0, "frames were sent");
+    assert!(metrics.counter("net/bytes_in").get() > 0, "frames were received");
+    assert_eq!(metrics.counter("net/reconnects").get(), 1, "one worker rejoined");
+    assert!(
+        metrics.histogram("net/heartbeat_rtt_ns").count() > 0,
+        "heartbeat round-trips were measured"
+    );
+}

@@ -100,6 +100,22 @@ impl Environment {
         DataSet { env: self.clone(), id, _type: PhantomData }
     }
 
+    /// Append a hand-written [`DynOp`] to the plan and get a typed handle
+    /// onto it. This is the escape hatch for execution backends that cannot
+    /// be expressed as closures over records — e.g. the `cluster` crate's
+    /// distributed-superstep operator, which owns TCP connections to worker
+    /// processes. `inputs` are the plan nodes whose outputs the operator
+    /// receives (pass the ids of iteration state slots to consume them);
+    /// the caller promises the operator produces `Partitions<T>`.
+    pub fn custom_node<T: Data>(
+        &self,
+        name: impl Into<String>,
+        inputs: Vec<NodeId>,
+        op: Box<dyn DynOp>,
+    ) -> DataSet<T> {
+        self.add_node(name, inputs, op)
+    }
+
     /// Execute the plan up to `ds` and return its records (partition order).
     pub fn collect<T: Data>(&self, ds: &DataSet<T>) -> Result<Vec<T>> {
         Ok(self.collect_partitions(ds)?.into_vec())

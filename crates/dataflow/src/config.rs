@@ -15,6 +15,14 @@ pub enum DispatchMode {
     /// engine's dispatch strategy, kept as the comparison baseline for the
     /// `worker_pool_guard` benchmark and as a debugging fallback.
     ScopedThreads,
+    /// Multi-process cluster execution: iteration state lives in separate
+    /// `optirec worker` OS processes that exchange shuffle frames over TCP
+    /// (see the `cluster` crate). Generic closure operators still run on the
+    /// coordinator's worker pool — closures cannot cross process boundaries
+    /// — so this mode dispatches local partition work exactly like
+    /// [`DispatchMode::Pool`]; the distributed step itself is driven by a
+    /// cluster-aware operator injected into the iteration body.
+    Cluster,
 }
 
 /// Configuration of an [`crate::api::Environment`].

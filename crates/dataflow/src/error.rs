@@ -39,6 +39,23 @@ pub enum EngineError {
         /// else is reported as opaque).
         message: String,
     },
+    /// A cluster worker process died mid-superstep (connection reset or
+    /// heartbeat timeout).
+    ///
+    /// Raised by distributed execution backends; iteration drivers convert
+    /// it into a [`crate::stats::FailureRecord`] covering every partition
+    /// the dead worker owned, so a killed process flows through the same
+    /// recovery machinery as an injected failure or a caught panic.
+    WorkerLost {
+        /// Index of the worker process that died.
+        worker: usize,
+        /// Partitions the dead worker owned; their state is lost.
+        pids: Vec<usize>,
+        /// Chronological superstep the worker died in, when known.
+        superstep: Option<u32>,
+        /// Transport-level detail (connection reset, heartbeat timeout, ...).
+        message: String,
+    },
     /// Checkpoint (de)serialisation failed.
     Codec(String),
     /// Underlying I/O failure (disk-backed checkpoint stores).
@@ -59,6 +76,13 @@ impl fmt::Display for EngineError {
                     write!(f, "partition {pid} panicked during superstep {s}: {message}")
                 }
                 None => write!(f, "partition {pid} panicked: {message}"),
+            },
+            EngineError::WorkerLost { worker, pids, superstep, message } => match superstep {
+                Some(s) => write!(
+                    f,
+                    "worker {worker} (partitions {pids:?}) lost during superstep {s}: {message}"
+                ),
+                None => write!(f, "worker {worker} (partitions {pids:?}) lost: {message}"),
             },
             EngineError::Codec(msg) => write!(f, "codec error: {msg}"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
@@ -103,6 +127,27 @@ mod tests {
         assert_eq!(e.to_string(), "partition 3 panicked during superstep 7: divide by zero");
         let e = EngineError::PartitionPanic { pid: 1, superstep: None, message: "boom".into() };
         assert_eq!(e.to_string(), "partition 1 panicked: boom");
+    }
+
+    #[test]
+    fn worker_lost_names_worker_and_partitions() {
+        let e = EngineError::WorkerLost {
+            worker: 1,
+            pids: vec![2, 3],
+            superstep: Some(5),
+            message: "connection reset".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker 1 (partitions [2, 3]) lost during superstep 5: connection reset"
+        );
+        let e = EngineError::WorkerLost {
+            worker: 0,
+            pids: vec![0],
+            superstep: None,
+            message: "heartbeat timeout".into(),
+        };
+        assert_eq!(e.to_string(), "worker 0 (partitions [0]) lost: heartbeat timeout");
     }
 
     #[test]

@@ -61,8 +61,8 @@ impl ExecContext {
         });
         let queue_hist = (config.telemetry.enabled()
             && config.threaded
-            && config.dispatch == DispatchMode::Pool)
-            .then(|| config.telemetry.metrics().histogram("pool/queue_depth"));
+            && matches!(config.dispatch, DispatchMode::Pool | DispatchMode::Cluster))
+        .then(|| config.telemetry.metrics().histogram("pool/queue_depth"));
         ExecContext {
             config,
             counters: Mutex::new(BTreeMap::new()),
@@ -248,7 +248,11 @@ where
     F: Fn(usize, I) -> U + Sync,
 {
     match ctx.config.dispatch {
-        DispatchMode::Pool => {
+        // Cluster mode distributes the iteration *step* through a dedicated
+        // operator; generic closure operators cannot cross process
+        // boundaries, so their partition work runs on the coordinator's
+        // local pool exactly like `Pool` dispatch.
+        DispatchMode::Pool | DispatchMode::Cluster => {
             let pool = ctx.config.pool.get_or_spawn(ctx.config.pool_size(), &ctx.config.telemetry);
             if let Some(hist) = &ctx.queue_hist {
                 hist.observe(pool.queued() as u64);

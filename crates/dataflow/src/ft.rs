@@ -409,6 +409,45 @@ mod tests {
     }
 
     #[test]
+    fn mtbf_schedules_are_distinct_across_seeds() {
+        let schedule = |seed: u64| -> Vec<(u32, Vec<PartitionId>)> {
+            let mut src = MtbfFailures::new(4.0, seed).with_max_partitions(2);
+            (0..300u32).filter_map(|s| src.poll(s, 8).map(|p| (s, p))).collect()
+        };
+        // Every pair of seeds in a small window must produce a different
+        // schedule — a weak seeding scheme (e.g. truncating the seed) would
+        // collapse neighbours onto the same stream.
+        let schedules: Vec<_> = (0..16u64).map(schedule).collect();
+        for i in 0..schedules.len() {
+            for j in (i + 1)..schedules.len() {
+                assert_ne!(
+                    schedules[i], schedules[j],
+                    "seeds {i} and {j} produced identical failure schedules"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mtbf_inter_arrival_gaps_average_to_the_configured_mean() {
+        // Measure the actual gaps between consecutive firings (not just the
+        // firing count): with mean 6 over 30k supersteps the sample mean of
+        // a geometric distribution lands within ~10% of the target.
+        let mean = 6.0;
+        let mut src = MtbfFailures::new(mean, 1234);
+        let firings: Vec<u32> = (0..30_000u32).filter(|&s| src.poll(s, 4).is_some()).collect();
+        assert!(firings.len() > 1_000, "expected thousands of firings, got {}", firings.len());
+        let gaps: Vec<u64> =
+            firings.windows(2).map(|w| u64::from(w[1]) - u64::from(w[0])).collect();
+        let sample_mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.10,
+            "observed inter-arrival mean {sample_mean:.3} strays over 10% from {mean}"
+        );
+        assert!(gaps.iter().all(|&g| g >= 1), "gaps are at least one superstep");
+    }
+
+    #[test]
     fn mtbf_respects_partition_bounds_and_min_superstep() {
         let mut src = MtbfFailures::new(2.0, 11).with_max_partitions(3).with_min_superstep(10);
         for s in 0..10u32 {

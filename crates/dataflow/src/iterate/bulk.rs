@@ -303,13 +303,16 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
             };
             let outputs = match body_result {
                 Ok(outputs) => outputs,
-                Err(EngineError::PartitionPanic { pid, .. }) => {
-                    // A UDF panicked mid-superstep: the step's outputs never
-                    // materialised, so recover the pre-superstep state from
-                    // the injection slot (which still holds it), treat the
-                    // panicking partition as failed, and redo the logical
-                    // iteration. Partial counters and shuffle bookkeeping of
-                    // the aborted step are discarded — no SuperstepCompleted
+                Err(
+                    failure @ (EngineError::PartitionPanic { .. } | EngineError::WorkerLost { .. }),
+                ) => {
+                    // A UDF panicked — or a cluster worker process died —
+                    // mid-superstep: the step's outputs never materialised,
+                    // so recover the pre-superstep state from the injection
+                    // slot (which still holds it), treat the affected
+                    // partitions as failed, and redo the logical iteration.
+                    // Partial counters and shuffle bookkeeping of the
+                    // aborted step are discarded — no SuperstepCompleted
                     // entry exists for it.
                     let duration = compute_timer.finish();
                     let _ = step_ctx.drain();
@@ -323,13 +326,35 @@ impl<T: Data> DynOp for IterateBulkOp<T> {
                             )
                         })?
                         .take("BulkIteration(panic recovery)")?;
-                    let lost = vec![pid];
-                    let lost_records = recovered.clear_partition(pid) as u64;
-                    telemetry.emit(|| JournalEvent::PartitionPanicked {
-                        superstep,
-                        iteration,
-                        pid,
-                    });
+                    let lost: Vec<usize> = match &failure {
+                        EngineError::PartitionPanic { pid, .. } => vec![*pid],
+                        EngineError::WorkerLost { pids, .. } => pids.clone(),
+                        _ => unreachable!("arm matches only panic/worker-loss"),
+                    };
+                    let mut lost_records = 0u64;
+                    for &pid in &lost {
+                        lost_records += recovered.clear_partition(pid) as u64;
+                    }
+                    match &failure {
+                        EngineError::PartitionPanic { pid, .. } => {
+                            let pid = *pid;
+                            telemetry.emit(|| JournalEvent::PartitionPanicked {
+                                superstep,
+                                iteration,
+                                pid,
+                            });
+                        }
+                        EngineError::WorkerLost { worker, .. } => {
+                            let worker = *worker;
+                            telemetry.emit(|| JournalEvent::WorkerLost {
+                                superstep,
+                                iteration,
+                                worker,
+                                lost_partitions: lost.clone(),
+                            });
+                        }
+                        _ => unreachable!("arm matches only panic/worker-loss"),
+                    }
                     telemetry.emit(|| JournalEvent::FailureInjected {
                         superstep,
                         iteration,

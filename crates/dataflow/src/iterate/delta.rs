@@ -370,16 +370,19 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
             };
             let outputs = match body_result {
                 Ok(outputs) => outputs,
-                Err(EngineError::PartitionPanic { pid, .. }) => {
-                    // A UDF panicked mid-superstep: neither the delta nor the
-                    // next workset materialised, and the solution sets have
-                    // not been touched yet (upserts happen after the body).
-                    // Recover the pre-superstep workset from the injection
-                    // slot, treat the panicking partition as a failed worker
-                    // (losing its solution and workset partitions), and redo
-                    // the logical iteration. Partial counters of the aborted
-                    // step are discarded — no SuperstepCompleted entry exists
-                    // for it.
+                Err(
+                    failure @ (EngineError::PartitionPanic { .. } | EngineError::WorkerLost { .. }),
+                ) => {
+                    // A UDF panicked — or a cluster worker process died —
+                    // mid-superstep: neither the delta nor the next workset
+                    // materialised, and the solution sets have not been
+                    // touched yet (upserts happen after the body). Recover
+                    // the pre-superstep workset from the injection slot,
+                    // treat the affected partitions as failed workers
+                    // (losing their solution and workset partitions), and
+                    // redo the logical iteration. Partial counters of the
+                    // aborted step are discarded — no SuperstepCompleted
+                    // entry exists for it.
                     let duration = compute_timer.finish();
                     let _ = step_ctx.drain();
                     let _ = step_ctx.take_shuffle_time();
@@ -392,15 +395,37 @@ impl<K: SolutionKey, V: Data, W: Data> DynOp for IterateDeltaOp<K, V, W> {
                             )
                         })?
                         .take("DeltaIteration(panic recovery)")?;
-                    let lost = vec![pid];
-                    let mut lost_records = solution[pid].len() as u64;
-                    solution[pid] = FxHashMap::default();
-                    lost_records += recovered.clear_partition(pid) as u64;
-                    telemetry.emit(|| JournalEvent::PartitionPanicked {
-                        superstep,
-                        iteration,
-                        pid,
-                    });
+                    let lost: Vec<usize> = match &failure {
+                        EngineError::PartitionPanic { pid, .. } => vec![*pid],
+                        EngineError::WorkerLost { pids, .. } => pids.clone(),
+                        _ => unreachable!("arm matches only panic/worker-loss"),
+                    };
+                    let mut lost_records = 0u64;
+                    for &pid in &lost {
+                        lost_records += solution[pid].len() as u64;
+                        solution[pid] = FxHashMap::default();
+                        lost_records += recovered.clear_partition(pid) as u64;
+                    }
+                    match &failure {
+                        EngineError::PartitionPanic { pid, .. } => {
+                            let pid = *pid;
+                            telemetry.emit(|| JournalEvent::PartitionPanicked {
+                                superstep,
+                                iteration,
+                                pid,
+                            });
+                        }
+                        EngineError::WorkerLost { worker, .. } => {
+                            let worker = *worker;
+                            telemetry.emit(|| JournalEvent::WorkerLost {
+                                superstep,
+                                iteration,
+                                worker,
+                                lost_partitions: lost.clone(),
+                            });
+                        }
+                        _ => unreachable!("arm matches only panic/worker-loss"),
+                    }
                     telemetry.emit(|| JournalEvent::FailureInjected {
                         superstep,
                         iteration,

@@ -34,6 +34,8 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use telemetry::metrics::PartitionedHistogram;
 use telemetry::SinkHandle;
 
@@ -62,10 +64,11 @@ struct WorkerShared {
 
 struct Worker {
     /// `None` after shutdown has begun; dropping the sender is what tells
-    /// the worker loop to exit.
-    sender: Option<Sender<Job>>,
+    /// the worker loop to exit. Behind a mutex so [`WorkerPool::shutdown`]
+    /// can tear down through a shared reference, idempotently.
+    sender: Mutex<Option<Sender<Job>>>,
     shared: Arc<WorkerShared>,
-    handle: Option<JoinHandle<()>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// A fixed-size pool of long-lived worker threads executing partition tasks.
@@ -122,7 +125,11 @@ impl WorkerPool {
                     .name(format!("dataflow-worker-{wid}"))
                     .spawn(move || worker_loop(receiver, worker_shared, wid, hist))
                     .expect("failed to spawn pool worker");
-                Worker { sender: Some(sender), shared, handle: Some(handle) }
+                Worker {
+                    sender: Mutex::new(Some(sender)),
+                    shared,
+                    handle: Mutex::new(Some(handle)),
+                }
             })
             .collect();
         WorkerPool { workers, task_hist }
@@ -178,7 +185,11 @@ impl WorkerPool {
             let worker = &self.workers[affinity % size];
             worker.shared.queued.fetch_add(1, Ordering::Relaxed);
             let job = Job { task, done: done_tx.clone() };
-            match worker.sender.as_ref() {
+            // Clone the sender out of the lock instead of sending under it:
+            // a `Sender` clone is two atomic bumps, and holding the lock
+            // across `send` would serialise dispatch against shutdown.
+            let sender = worker.sender.lock().clone();
+            match sender {
                 Some(sender) => match sender.send(job) {
                     Ok(()) => dispatched += 1,
                     // The worker is gone (shutdown race): run the task on
@@ -211,20 +222,31 @@ impl WorkerPool {
     pub fn task_histogram(&self) -> Option<&Arc<PartitionedHistogram>> {
         self.task_hist.as_ref()
     }
+
+    /// Tear the pool down: close every task queue and join the worker
+    /// threads. Idempotent — a second call (or the eventual `Drop`) finds
+    /// the senders and handles already taken and does nothing, so a
+    /// coordinator can shut down a local pool and a cluster backend in
+    /// either order without double-join panics. Tasks dispatched after
+    /// shutdown fall back to inline execution in [`WorkerPool::run`].
+    pub fn shutdown(&self) {
+        // Close every queue first so all workers wind down concurrently...
+        for worker in &self.workers {
+            worker.sender.lock().take();
+        }
+        // ...then join them.
+        for worker in &self.workers {
+            let handle = worker.handle.lock().take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Close every queue first so all workers wind down concurrently...
-        for worker in &mut self.workers {
-            worker.sender.take();
-        }
-        // ...then join them.
-        for worker in &mut self.workers {
-            if let Some(handle) = worker.handle.take() {
-                let _ = handle.join();
-            }
-        }
+        self.shutdown();
     }
 }
 
@@ -257,6 +279,16 @@ impl PoolHandle {
     /// The pool, if one has been spawned.
     pub fn get(&self) -> Option<&WorkerPool> {
         self.inner.get()
+    }
+
+    /// Shut the shared pool down now, without waiting for the last handle
+    /// to drop. Idempotent and double-drop safe: repeated calls — and the
+    /// pool's own `Drop` afterwards — are no-ops, and clones of this handle
+    /// keep working (their dispatches fall back to inline execution).
+    pub fn shutdown(&self) {
+        if let Some(pool) = self.inner.get() {
+            pool.shutdown();
+        }
     }
 }
 
@@ -387,12 +419,60 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_is_idempotent_and_degrades_to_inline_execution() {
+        let pool = pool(2);
+        pool.shutdown();
+        pool.shutdown(); // second call must be a no-op, not a double-join
+                         // Dispatch after shutdown still runs every task (inline).
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = (0..4)
+            .map(|pid| {
+                let counter = &counter;
+                let task = move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                };
+                (pid, Box::new(task) as Box<dyn FnOnce() + Send + '_>)
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        drop(pool); // Drop after explicit shutdown must also be a no-op.
+    }
+
+    #[test]
+    fn handle_shutdown_is_safe_in_any_order() {
+        // Unspawned handle: shutdown is a no-op.
+        let idle = PoolHandle::new();
+        idle.shutdown();
+        // Spawned handle: explicit shutdown twice, then drop both clones in
+        // either order — the coordinator tears down a local pool and a
+        // cluster backend without caring which goes first.
+        let handle = PoolHandle::new();
+        let clone = handle.clone();
+        let _ = handle.get_or_spawn(2, &SinkHandle::disabled());
+        handle.shutdown();
+        clone.shutdown();
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = (0..2)
+            .map(|pid| {
+                let counter = &counter;
+                let task = move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                };
+                (pid, Box::new(task) as Box<dyn FnOnce() + Send + '_>)
+            })
+            .collect();
+        clone.get().unwrap().run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        drop(handle);
+        drop(clone);
+    }
+
+    #[test]
     fn queue_depth_settles_back_to_zero() {
         let pool = pool(2);
         let tasks: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = (0..6)
-            .map(|pid| {
-                (pid, Box::new(std::thread::yield_now) as Box<dyn FnOnce() + Send + '_>)
-            })
+            .map(|pid| (pid, Box::new(std::thread::yield_now) as Box<dyn FnOnce() + Send + '_>))
             .collect();
         pool.run(tasks);
         assert_eq!(pool.queued(), 0);

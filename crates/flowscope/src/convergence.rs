@@ -255,6 +255,11 @@ pub fn write_convergence_html(model: &RunModel, path: &Path) -> std::io::Result<
         model.rows.len(),
         if model.converged { "converged" } else { "not converged" },
     );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     std::fs::write(path, html)
 }
 
@@ -315,6 +320,20 @@ mod tests {
         }
         let text = render_convergence(&model);
         assert!(text.contains("no ConvergenceSample events"), "{text}");
+    }
+
+    #[test]
+    fn exports_create_missing_parent_directories() {
+        let model = sample_model();
+        let dir = std::env::temp_dir().join("flowscope_convergence_parents_test");
+        std::fs::remove_dir_all(&dir).ok();
+        // Both exports point into a directory that does not exist yet; a
+        // bare `fs::write` would fail with NotFound here.
+        write_convergence_csv(&model, &dir.join("deep/curves.csv")).unwrap();
+        write_convergence_html(&model, &dir.join("deeper/curves.html")).unwrap();
+        assert!(dir.join("deep/curves.csv").exists());
+        assert!(dir.join("deeper/curves.html").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

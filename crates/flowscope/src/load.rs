@@ -126,6 +126,20 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
             iteration: u32_field(v, "iteration")?,
             pid: u64_field(v, "pid")? as usize,
         },
+        "WorkerLost" => JournalEvent::WorkerLost {
+            superstep: u32_field(v, "superstep")?,
+            iteration: u32_field(v, "iteration")?,
+            worker: u64_field(v, "worker")? as usize,
+            lost_partitions: u64_array_field(v, "lost_partitions")?
+                .into_iter()
+                .map(|p| p as usize)
+                .collect(),
+        },
+        "WorkerRejoined" => JournalEvent::WorkerRejoined {
+            superstep: u32_field(v, "superstep")?,
+            worker: u64_field(v, "worker")? as usize,
+            reconnect_attempts: u32_field(v, "reconnect_attempts")?,
+        },
         "FailureInjected" => JournalEvent::FailureInjected {
             superstep: u32_field(v, "superstep")?,
             iteration: u32_field(v, "iteration")?,
@@ -322,10 +336,13 @@ mod tests {
         "{\"event\":\"ConvergenceSample\",\"superstep\":0,\"iteration\":0,\"changed\":4,",
         "\"changed_per_partition\":[1,3],\"delta_norm\":2.5,\"workset_per_partition\":[2,1]}\n",
         "{\"event\":\"PartitionPanicked\",\"superstep\":0,\"iteration\":0,\"pid\":1}\n",
+        "{\"event\":\"WorkerLost\",\"superstep\":0,\"iteration\":0,",
+        "\"worker\":1,\"lost_partitions\":[1,3]}\n",
         "{\"event\":\"FailureInjected\",\"superstep\":0,\"iteration\":0,",
         "\"lost_partitions\":[1],\"lost_records\":2}\n",
         "{\"event\":\"CompensationInvoked\",\"name\":\"Fix\",\"iteration\":0}\n",
         "{\"event\":\"CompensationApplied\",\"iteration\":0}\n",
+        "{\"event\":\"WorkerRejoined\",\"superstep\":1,\"worker\":1,\"reconnect_attempts\":2}\n",
         "{\"event\":\"RunCompleted\",\"supersteps\":1,\"iterations\":1,\"converged\":true}\n",
     );
 

@@ -53,6 +53,41 @@ pub struct FailureMark {
     pub lost_records: u64,
 }
 
+/// A worker-process transport event (multi-process cluster runs only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// A worker process died (SIGKILL, crash, or heartbeat timeout); the
+    /// partitions it owned were lost.
+    Lost {
+        /// Index of the dead worker process.
+        worker: usize,
+        /// Partitions it owned.
+        lost_partitions: Vec<PartitionId>,
+    },
+    /// A replacement worker process reconnected and took the lost
+    /// partitions back.
+    Rejoined {
+        /// Index of the rejoined worker process.
+        worker: usize,
+        /// Connection attempts the backoff loop needed.
+        reconnect_attempts: u32,
+    },
+}
+
+impl WorkerEvent {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        match self {
+            WorkerEvent::Lost { worker, lost_partitions } => {
+                format!("worker {worker} LOST p{lost_partitions:?}")
+            }
+            WorkerEvent::Rejoined { worker, reconnect_attempts } => {
+                format!("worker {worker} rejoined ({reconnect_attempts} attempts)")
+            }
+        }
+    }
+}
+
 /// Everything the journal says about one chronological superstep.
 #[derive(Debug, Clone, Default)]
 pub struct SuperstepRow {
@@ -70,6 +105,9 @@ pub struct SuperstepRow {
     pub failure: Option<FailureMark>,
     /// Recovery actions that ran before the next superstep.
     pub recovery: Vec<RecoveryAction>,
+    /// Worker processes lost or rejoined before the next superstep
+    /// completed (cluster runs only).
+    pub worker_events: Vec<WorkerEvent>,
     /// Bytes checkpointed after this superstep (0 = no checkpoint).
     pub checkpoint_bytes: Option<u64>,
 }
@@ -146,6 +184,22 @@ impl RunModel {
                 JournalEvent::CheckpointWritten { bytes, .. } => {
                     if let Some(row) = model.rows.last_mut() {
                         row.checkpoint_bytes = Some(*bytes);
+                    }
+                }
+                JournalEvent::WorkerLost { worker, lost_partitions, .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.worker_events.push(WorkerEvent::Lost {
+                            worker: *worker,
+                            lost_partitions: lost_partitions.clone(),
+                        });
+                    }
+                }
+                JournalEvent::WorkerRejoined { worker, reconnect_attempts, .. } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.worker_events.push(WorkerEvent::Rejoined {
+                            worker: *worker,
+                            reconnect_attempts: *reconnect_attempts,
+                        });
                     }
                 }
                 JournalEvent::FailureInjected { lost_partitions, lost_records, .. } => {
@@ -312,6 +366,40 @@ mod tests {
         let model = RunModel::from_events(&events);
         assert_eq!(model.rollback_supersteps(), vec![1]);
         assert_eq!(model.redundant_supersteps(), 1);
+    }
+
+    #[test]
+    fn worker_events_attach_to_the_interrupted_superstep() {
+        let events = vec![
+            step(0, 0),
+            JournalEvent::WorkerLost {
+                superstep: 1,
+                iteration: 1,
+                worker: 1,
+                lost_partitions: vec![1, 3],
+            },
+            JournalEvent::FailureInjected {
+                superstep: 1,
+                iteration: 1,
+                lost_partitions: vec![1, 3],
+                lost_records: 6,
+            },
+            JournalEvent::CompensationApplied { iteration: 1 },
+            JournalEvent::WorkerRejoined { superstep: 2, worker: 1, reconnect_attempts: 3 },
+            step(1, 1),
+            JournalEvent::RunCompleted { supersteps: 2, iterations: 2, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(
+            model.rows[0].worker_events,
+            vec![
+                WorkerEvent::Lost { worker: 1, lost_partitions: vec![1, 3] },
+                WorkerEvent::Rejoined { worker: 1, reconnect_attempts: 3 },
+            ]
+        );
+        assert!(model.rows[1].worker_events.is_empty());
+        assert_eq!(model.rows[0].worker_events[0].label(), "worker 1 LOST p[1, 3]");
+        assert_eq!(model.rows[0].worker_events[1].label(), "worker 1 rejoined (3 attempts)");
     }
 
     #[test]

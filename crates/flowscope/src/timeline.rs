@@ -73,6 +73,9 @@ fn annotations(row: &SuperstepRow) -> String {
     for action in &row.recovery {
         notes.push(action.label());
     }
+    for event in &row.worker_events {
+        notes.push(event.label());
+    }
     if let Some(bytes) = row.checkpoint_bytes {
         notes.push(format!("ckpt {bytes}B"));
     }
@@ -162,7 +165,7 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{FailureMark, RecoveryAction};
+    use crate::model::{FailureMark, RecoveryAction, WorkerEvent};
 
     fn model_with_failure() -> RunModel {
         let mut model = RunModel { parallelism: 2, converged: true, ..Default::default() };
@@ -178,6 +181,10 @@ mod tests {
             records_shuffled: 20,
             failure: Some(FailureMark { lost_partitions: vec![1], lost_records: 9 }),
             recovery: vec![RecoveryAction::Compensation { name: Some("Fix".into()) }],
+            worker_events: vec![
+                WorkerEvent::Lost { worker: 1, lost_partitions: vec![1] },
+                WorkerEvent::Rejoined { worker: 1, reconnect_attempts: 2 },
+            ],
             ..Default::default()
         });
         model
@@ -189,6 +196,8 @@ mod tests {
         assert!(text.contains("work proxy"), "{text}");
         assert!(text.contains("FAIL p[1] (-9 records)"), "{text}");
         assert!(text.contains("compensate[Fix]"), "{text}");
+        assert!(text.contains("worker 1 LOST p[1]"), "{text}");
+        assert!(text.contains("worker 1 rejoined (2 attempts)"), "{text}");
         // Superstep 0 shuffled twice as much: its bar is the longest.
         let bar_len = |line: &str| line.chars().filter(|&c| c == COMPUTE).count();
         let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('s')).collect();

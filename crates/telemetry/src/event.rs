@@ -167,6 +167,37 @@ pub enum JournalEvent {
         /// Partition whose task panicked.
         pid: PartitionId,
     },
+    /// A cluster worker process died mid-superstep (connection reset,
+    /// heartbeat timeout, or a deliberate SIGKILL from a failure scenario).
+    /// The coordinator converts the loss into a partition failure — the
+    /// matching [`JournalEvent::FailureInjected`] entry follows — so network
+    /// failures flow through the same recovery handlers as simulated ones.
+    WorkerLost {
+        /// Superstep during which the worker died (its partial output was
+        /// discarded; no [`JournalEvent::SuperstepCompleted`] entry exists
+        /// for it).
+        superstep: u32,
+        /// Logical iteration that was being computed.
+        iteration: u32,
+        /// Index of the worker process that died.
+        worker: usize,
+        /// Partitions the dead worker owned; their state was lost.
+        lost_partitions: Vec<PartitionId>,
+    },
+    /// A previously lost cluster worker was re-spawned and reconnected; its
+    /// partitions were redistributed back to it.
+    WorkerRejoined {
+        /// Chronological superstep at which the replacement came back. A
+        /// rejoin is a transport-level event: the cluster backend that emits
+        /// it has no view of the driver's logical-iteration bookkeeping, so —
+        /// unlike [`JournalEvent::WorkerLost`] — there is no `iteration`
+        /// field.
+        superstep: u32,
+        /// Index of the worker process that rejoined.
+        worker: usize,
+        /// Connection attempts the exponential-backoff reconnect needed.
+        reconnect_attempts: u32,
+    },
     /// A failure was injected, destroying partition state.
     FailureInjected {
         /// Superstep during which the failure struck.
@@ -237,6 +268,8 @@ impl JournalEvent {
             JournalEvent::ConvergenceSample { .. } => "ConvergenceSample",
             JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
             JournalEvent::PartitionPanicked { .. } => "PartitionPanicked",
+            JournalEvent::WorkerLost { .. } => "WorkerLost",
+            JournalEvent::WorkerRejoined { .. } => "WorkerRejoined",
             JournalEvent::FailureInjected { .. } => "FailureInjected",
             JournalEvent::CompensationApplied { .. } => "CompensationApplied",
             JournalEvent::CompensationInvoked { .. } => "CompensationInvoked",
@@ -314,6 +347,17 @@ impl JournalEvent {
                 .u64("superstep", u64::from(*superstep))
                 .u64("iteration", u64::from(*iteration))
                 .u64("pid", *pid as u64)
+                .finish(),
+            JournalEvent::WorkerLost { superstep, iteration, worker, lost_partitions } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("iteration", u64::from(*iteration))
+                .u64("worker", *worker as u64)
+                .u64_array("lost_partitions", lost_partitions.iter().map(|&p| p as u64))
+                .finish(),
+            JournalEvent::WorkerRejoined { superstep, worker, reconnect_attempts } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("worker", *worker as u64)
+                .u64("reconnect_attempts", u64::from(*reconnect_attempts))
                 .finish(),
             JournalEvent::FailureInjected {
                 superstep,
@@ -424,6 +468,28 @@ mod tests {
     }
 
     #[test]
+    fn worker_events_serialize_stably() {
+        let lost = JournalEvent::WorkerLost {
+            superstep: 4,
+            iteration: 3,
+            worker: 1,
+            lost_partitions: vec![2, 3],
+        };
+        assert_eq!(
+            lost.to_json(),
+            "{\"event\":\"WorkerLost\",\"superstep\":4,\"iteration\":3,\
+             \"worker\":1,\"lost_partitions\":[2,3]}"
+        );
+        let rejoined =
+            JournalEvent::WorkerRejoined { superstep: 5, worker: 1, reconnect_attempts: 2 };
+        assert_eq!(
+            rejoined.to_json(),
+            "{\"event\":\"WorkerRejoined\",\"superstep\":5,\
+             \"worker\":1,\"reconnect_attempts\":2}"
+        );
+    }
+
+    #[test]
     fn norms_compare_by_bit_pattern() {
         assert_eq!(Norm(0.5), Norm(0.5));
         assert_ne!(Norm(0.0), Norm(-0.0));
@@ -465,6 +531,13 @@ mod tests {
             JournalEvent::DiffChainReplayed { base_iteration: 0, diffs: 3 },
             JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
             JournalEvent::PartitionPanicked { superstep: 2, iteration: 1, pid: 3 },
+            JournalEvent::WorkerLost {
+                superstep: 2,
+                iteration: 1,
+                worker: 1,
+                lost_partitions: vec![2, 3],
+            },
+            JournalEvent::WorkerRejoined { superstep: 3, worker: 1, reconnect_attempts: 2 },
             JournalEvent::ConvergenceSample {
                 superstep: 0,
                 iteration: 0,

@@ -95,6 +95,6 @@ fn main() {
     println!("result correct: {:?}", result.correct);
 
     if let Some(capture) = capture {
-        capture.finish().expect("write telemetry");
+        capture.finish_or_exit();
     }
 }

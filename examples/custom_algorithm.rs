@@ -133,6 +133,6 @@ fn main() {
     println!("coldest vertex: {} ({:.5})", coldest.0, coldest.1);
 
     if let Some(capture) = capture {
-        capture.finish().expect("write telemetry");
+        capture.finish_or_exit();
     }
 }

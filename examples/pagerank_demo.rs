@@ -113,6 +113,6 @@ fn main() {
     );
 
     if let Some(capture) = capture {
-        capture.finish().expect("write telemetry");
+        capture.finish_or_exit();
     }
 }

@@ -44,6 +44,6 @@ fn main() {
     println!("{}", run_summary(&result.stats));
 
     if let Some(capture) = capture {
-        capture.finish().expect("write telemetry");
+        capture.finish_or_exit();
     }
 }

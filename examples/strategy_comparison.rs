@@ -79,7 +79,7 @@ fn main() {
             r.correct.map_or("-".into(), |c| c.to_string()),
         ]);
         if let Some(capture) = capture {
-            capture.finish().expect("write telemetry");
+            capture.finish_or_exit();
         }
     }
     for strategy in strategies() {

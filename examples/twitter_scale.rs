@@ -85,7 +85,7 @@ fn main() {
     );
 
     if let Some(capture) = cc_capture {
-        capture.finish().expect("write cc telemetry");
+        capture.finish_or_exit();
     }
 
     println!("== PageRank (bulk iteration) ==");
@@ -126,6 +126,6 @@ fn main() {
     );
 
     if let Some(capture) = pr_capture {
-        capture.finish().expect("write pagerank telemetry");
+        capture.finish_or_exit();
     }
 }

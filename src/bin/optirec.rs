@@ -16,6 +16,20 @@ fn main() {
         print!("{}", cli::usage());
         return;
     }
+    if args[0] == "worker" {
+        let listen = match cli::parse_worker(&args[1..]) {
+            Ok(listen) => listen,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = cluster::worker::run(&listen) {
+            eprintln!("error: worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args[0] == "inspect" {
         let command = match cli::parse_inspect(&args[1..]) {
             Ok(command) => command,
@@ -125,6 +139,9 @@ fn run(invocation: &Invocation) -> Result<(), String> {
         };
         print!("{text}");
         return Ok(());
+    }
+    if let Some(workers) = invocation.cluster {
+        return run_on_cluster(invocation, workers);
     }
 
     let mut ft = cli::ft_config(invocation);
@@ -265,6 +282,73 @@ fn run(invocation: &Invocation) -> Result<(), String> {
             "inspect it with: optirec inspect convergence --journal {}",
             paths.journal.display()
         );
+    }
+    Ok(())
+}
+
+/// The `--cluster` path: real worker processes over loopback TCP. Failure
+/// injection here is a SIGKILL of a live process (`--kill`), and recovery is
+/// always optimistic compensation — the coordinator detects the loss at the
+/// network level and the re-spawned worker rejoins mid-run.
+fn run_on_cluster(invocation: &Invocation, workers: usize) -> Result<(), String> {
+    let program = match invocation.algorithm {
+        Algorithm::ConnectedComponents => "cc",
+        Algorithm::PageRank => "pagerank",
+        other => return Err(format!("--cluster supports cc and pagerank, not {other:?}")),
+    };
+    let graph = invocation.graph.build(invocation.algorithm)?;
+    let mut cfg =
+        cluster::ClusterConfig::new(workers, invocation.parallelism, invocation.max_iterations);
+    if let Some((superstep, worker)) = invocation.kill {
+        cfg.kill = Some(cluster::KillPlan { superstep, worker });
+    }
+
+    let capture = invocation.journal.as_ref().map(|path| {
+        let sink = Arc::new(telemetry::MemorySink::new());
+        let handle = telemetry::SinkHandle::new(sink.clone());
+        (sink, handle, path.clone())
+    });
+    let telemetry = match &capture {
+        Some((_, handle, _)) => handle.clone(),
+        None => telemetry::SinkHandle::disabled(),
+    };
+    println!(
+        "running {:?} on {:?} with {workers} worker processes (parallelism {})",
+        invocation.algorithm, invocation.graph, invocation.parallelism
+    );
+    if let Some((superstep, worker)) = invocation.kill {
+        println!("will SIGKILL worker {worker} during superstep {superstep}");
+    }
+
+    let run = cluster::run_cluster(program, &graph, cfg, telemetry).map_err(|e| e.to_string())?;
+    match invocation.algorithm {
+        Algorithm::ConnectedComponents => {
+            let mut labels: Vec<u64> = run.values.iter().map(|&(_, label)| label).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            println!("components: {}", labels.len());
+        }
+        Algorithm::PageRank => {
+            let sum: f64 = run.values.iter().map(|&(_, bits)| f64::from_bits(bits)).sum();
+            println!("rank sum: {sum:.9}");
+        }
+        _ => unreachable!("rejected above"),
+    }
+
+    println!("\nper-iteration statistics:");
+    print!("{}", run_stats_table(&run.stats));
+    println!("{}", run_summary(&run.stats));
+
+    if let Some((sink, handle, path)) = &capture {
+        let paths = flowscope::save_run(sink, handle.metrics(), path)
+            .map_err(|e| format!("cannot write telemetry to {}: {e}", path.display()))?;
+        println!(
+            "telemetry written: {} (spans: {}, report: {})",
+            paths.journal.display(),
+            paths.spans.display(),
+            paths.report.display()
+        );
+        println!("inspect it with: optirec inspect timeline --journal {}", paths.journal.display());
     }
     Ok(())
 }

@@ -127,6 +127,13 @@ pub struct Invocation {
     /// Capture telemetry and write the journal (plus spans and report
     /// sidecars) to this path.
     pub journal: Option<PathBuf>,
+    /// Run on `N` real worker processes (`optirec worker`) instead of the
+    /// in-process simulated cluster. Only cc and pagerank are compiled into
+    /// the worker binary.
+    pub cluster: Option<usize>,
+    /// With `--cluster`: SIGKILL worker `W` while superstep `S` is in
+    /// flight, as `(S, W)`.
+    pub kill: Option<(u32, usize)>,
 }
 
 /// Parse a strategy spec: `optimistic`, `restart`, `ignore`,
@@ -174,6 +181,17 @@ pub fn parse_failure(raw: &str) -> Result<(u32, Vec<usize>), String> {
     Ok((superstep, partitions))
 }
 
+/// Parse a SIGKILL plan for `--kill`: `SUPERSTEP:WORKER`.
+pub fn parse_kill(raw: &str) -> Result<(u32, usize), String> {
+    let (superstep, worker) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("kill spec must be SUPERSTEP:WORKER — got {raw:?}"))?;
+    let superstep =
+        superstep.parse().map_err(|_| format!("invalid kill superstep {superstep:?}"))?;
+    let worker = worker.parse().map_err(|_| format!("invalid kill worker {worker:?}"))?;
+    Ok((superstep, worker))
+}
+
 /// Valid flags of the run subcommand, listed in unknown-flag errors.
 pub const RUN_FLAGS: &[&str] = &[
     "--graph",
@@ -183,6 +201,8 @@ pub const RUN_FLAGS: &[&str] = &[
     "--max-iterations",
     "--explain",
     "--journal",
+    "--cluster",
+    "--kill",
 ];
 
 /// Usage text.
@@ -192,6 +212,7 @@ pub fn usage() -> &'static str {
 USAGE:
     optirec <ALGORITHM> [OPTIONS]
     optirec inspect <timeline|profile|convergence|diff> [OPTIONS]
+    optirec worker [--listen ADDR]
 
 ALGORITHMS:
     cc | pagerank | sssp | reachability | kmeans | jacobi | als
@@ -205,13 +226,23 @@ OPTIONS:
     --explain             print the dataflow plan instead of running
     --journal <PATH>      capture telemetry: write the event journal there,
                           plus spans and report sidecars (inspect reads them)
+    --cluster <N>         run on N real worker processes over loopback TCP
+                          (cc and pagerank only; spawns `optirec worker`)
+    --kill <S:W>          with --cluster: SIGKILL worker W while superstep S
+                          is in flight; recovery is optimistic compensation
 
 EXAMPLES:
     optirec cc --fail 3:1 --fail 5:0,2
     optirec pagerank --graph twitter:50000 --strategy checkpoint:2 --parallelism 8
     optirec cc --journal results/cc_journal.jsonl
+    optirec cc --cluster 2 --kill 2:1 --journal results/cluster_journal.jsonl
     optirec inspect convergence --journal results/cc_journal.jsonl
     optirec inspect diff --baseline results/base_journal.jsonl --journal results/cc_journal.jsonl
+
+The `worker` subcommand starts a cluster worker process: it binds ADDR
+(default 127.0.0.1:0), prints `OPTIREC_WORKER_LISTENING <port>`, and serves
+coordinator connections until killed. `--cluster` spawns its own workers;
+start workers manually only to watch the two-terminal demo from README.md.
 "
 }
 
@@ -393,6 +424,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         max_iterations: 200,
         explain_only: false,
         journal: None,
+        cluster: None,
+        kill: None,
     };
     while let Some(flag) = iter.next() {
         let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
@@ -413,10 +446,50 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--explain" => invocation.explain_only = true,
             "--journal" => invocation.journal = Some(PathBuf::from(value()?)),
+            "--cluster" => {
+                let workers: usize =
+                    value()?.parse().map_err(|_| "invalid worker count".to_string())?;
+                if workers == 0 {
+                    return Err("--cluster needs at least one worker".into());
+                }
+                invocation.cluster = Some(workers);
+            }
+            "--kill" => invocation.kill = Some(parse_kill(&value()?)?),
             other => return Err(format!("{}\n\n{}", unknown_flag(other, RUN_FLAGS), usage())),
         }
     }
+    if invocation.kill.is_some() && invocation.cluster.is_none() {
+        return Err("--kill needs --cluster: it SIGKILLs a real worker process".into());
+    }
+    if invocation.cluster.is_some() {
+        if invocation.strategy != Strategy::Optimistic {
+            return Err(
+                "--cluster always recovers via optimistic compensation; drop --strategy".into()
+            );
+        }
+        if !invocation.scenario.is_failure_free() {
+            return Err(
+                "--fail simulates partition loss in-process; use --kill S:W with --cluster".into(),
+            );
+        }
+    }
     Ok(invocation)
+}
+
+/// Parse the arguments following `worker`; returns the listen address.
+pub fn parse_worker(args: &[String]) -> Result<String, String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--listen" => {
+                listen =
+                    iter.next().ok_or_else(|| "flag --listen needs a value".to_string())?.clone();
+            }
+            other => return Err(unknown_flag(other, &["--listen"])),
+        }
+    }
+    Ok(listen)
 }
 
 /// Assemble the fault-tolerance config of an invocation.
@@ -597,6 +670,34 @@ mod tests {
         let err = parse_inspect(&args(&["diff", "--baseline", "a", "--journal", "b", "--x", "1"]))
             .unwrap_err();
         assert!(err.contains("--recovery-pct"), "{err}");
+    }
+
+    #[test]
+    fn cluster_flags_parse_and_cross_validate() {
+        let invocation = parse_args(&args(&["cc", "--cluster", "2", "--kill", "3:1"])).unwrap();
+        assert_eq!(invocation.cluster, Some(2));
+        assert_eq!(invocation.kill, Some((3, 1)));
+
+        // --kill without --cluster, zero workers, and combinations that the
+        // multi-process backend cannot honor are rejected with guidance.
+        assert!(parse_args(&args(&["cc", "--kill", "3:1"])).is_err());
+        assert!(parse_args(&args(&["cc", "--cluster", "0"])).is_err());
+        assert!(parse_args(&args(&["cc", "--cluster", "x"])).is_err());
+        let err =
+            parse_args(&args(&["cc", "--cluster", "2", "--strategy", "restart"])).unwrap_err();
+        assert!(err.contains("optimistic"), "{err}");
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--fail", "1:0"])).unwrap_err();
+        assert!(err.contains("--kill"), "{err}");
+        assert!(parse_kill("2").is_err());
+        assert!(parse_kill("a:1").is_err());
+    }
+
+    #[test]
+    fn worker_args_parse() {
+        assert_eq!(parse_worker(&[]).unwrap(), "127.0.0.1:0");
+        assert_eq!(parse_worker(&args(&["--listen", "0.0.0.0:7000"])).unwrap(), "0.0.0.0:7000");
+        assert!(parse_worker(&args(&["--listen"])).is_err());
+        assert!(parse_worker(&args(&["--port", "7000"])).is_err());
     }
 
     #[test]

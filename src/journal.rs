@@ -80,6 +80,17 @@ impl JournalCapture {
         );
         Ok(paths)
     }
+
+    /// [`finish`](Self::finish) for example binaries: an unwritable journal
+    /// destination becomes a clear CLI error naming the path, not a panic
+    /// with a backtrace.
+    pub fn finish_or_exit(self) {
+        let path = self.path.clone();
+        if let Err(e) = self.finish() {
+            eprintln!("error: cannot write telemetry to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,134 @@
+//! End-to-end cluster recovery through the `optirec` binary: the coordinator
+//! spawns `optirec worker` processes, SIGKILLs one mid-iteration, and the
+//! run recovers via optimistic compensation to exactly the failure-free
+//! result. The CLI path additionally writes a journal whose worker events
+//! `optirec inspect timeline` renders.
+
+use std::process::Command;
+use std::time::Duration;
+
+use cluster::{run_cluster, run_local, ClusterConfig, KillPlan};
+use graphs::GraphBuilder;
+use telemetry::SinkHandle;
+
+fn optirec() -> &'static str {
+    env!("CARGO_BIN_EXE_optirec")
+}
+
+/// Cluster configuration whose workers are `optirec worker` subprocesses.
+fn optirec_config(workers: usize, parallelism: usize, max_iterations: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(workers, parallelism, max_iterations);
+    cfg.worker_cmd = vec![optirec().to_string(), "worker".to_string()];
+    cfg.heartbeat_interval = Duration::from_millis(20);
+    cfg.heartbeat_timeout = Duration::from_millis(500);
+    cfg
+}
+
+fn cc_graph() -> graphs::Graph {
+    let mut b = GraphBuilder::undirected(24);
+    for start in [0u64, 8, 16] {
+        for v in start..start + 7 {
+            b.add_edge(v, v + 1);
+        }
+    }
+    b.build()
+}
+
+fn pagerank_graph() -> graphs::Graph {
+    let mut b = GraphBuilder::directed(20);
+    for v in 0..20u64 {
+        b.add_edge(v, (v + 1) % 20);
+    }
+    for v in (0..20u64).step_by(3) {
+        b.add_edge(v, (v + 7) % 20);
+    }
+    b.build()
+}
+
+#[test]
+fn optirec_worker_subcommand_recovers_a_sigkilled_cc_run() {
+    let graph = cc_graph();
+    let mut cfg = optirec_config(2, 4, 60);
+    cfg.kill = Some(KillPlan { superstep: 2, worker: 1 });
+    let cluster = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap();
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values, "compensation must reach the exact baseline");
+    assert!(cluster.stats.converged);
+    assert_eq!(cluster.stats.failures().count(), 1);
+}
+
+#[test]
+fn optirec_worker_subcommand_recovers_a_sigkilled_pagerank_run() {
+    let graph = pagerank_graph();
+    let mut cfg = optirec_config(2, 4, 300);
+    cfg.kill = Some(KillPlan { superstep: 3, worker: 0 });
+    let cluster = run_cluster("pagerank", &graph, cfg, SinkHandle::disabled()).unwrap();
+    let baseline = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
+    assert!(cluster.stats.converged);
+    for (&(v, a), &(_, b)) in cluster.values.iter().zip(&baseline.values) {
+        let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+        assert!((a - b).abs() < 1e-6, "vertex {v}: {a} vs baseline {b}");
+    }
+}
+
+#[test]
+fn cli_cluster_run_journals_worker_events_and_timeline_renders_them() {
+    let dir = std::env::temp_dir().join(format!("optirec_cluster_cli_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let journal = dir.join("cc_journal.jsonl");
+
+    let output = Command::new(optirec())
+        .args([
+            "cc",
+            "--cluster",
+            "2",
+            "--kill",
+            "2:1",
+            "--parallelism",
+            "4",
+            "--max-iterations",
+            "60",
+            "--journal",
+        ])
+        .arg(&journal)
+        .output()
+        .expect("spawn optirec");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("worker processes"), "{stdout}");
+    assert!(stdout.contains("components: 3"), "{stdout}");
+
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    assert!(text.contains("\"event\":\"WorkerLost\""), "{text}");
+    assert!(text.contains("\"event\":\"WorkerRejoined\""), "{text}");
+    assert!(text.contains("\"event\":\"CompensationInvoked\""), "{text}");
+
+    let inspect = Command::new(optirec())
+        .args(["inspect", "timeline", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("spawn optirec inspect");
+    let timeline = String::from_utf8_lossy(&inspect.stdout);
+    assert!(inspect.status.success(), "{timeline}");
+    assert!(timeline.contains("worker 1 LOST p[1, 3]"), "{timeline}");
+    assert!(timeline.contains("worker 1 rejoined"), "{timeline}");
+    assert!(timeline.contains("compensate["), "{timeline}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_cluster_misuse_with_guidance() {
+    // --kill without --cluster must fail fast, before any process spawns.
+    let output = Command::new(optirec()).args(["cc", "--kill", "2:1"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--cluster"), "{stderr}");
+
+    // Algorithms not compiled into the worker binary are named in the error.
+    let output = Command::new(optirec()).args(["kmeans", "--cluster", "2"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cc and pagerank"), "{stderr}");
+}
