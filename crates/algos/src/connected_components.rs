@@ -18,6 +18,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use dataflow::api::Environment;
@@ -53,6 +54,11 @@ pub struct CcConfig {
     /// Record a full `(vertex, label)` snapshot after every superstep —
     /// the data behind the GUI's per-iteration colouring (Figure 3).
     pub capture_history: bool,
+    /// Panic exactly once inside the delta body at this chronological
+    /// superstep — the serving engine's UDF-failure injector. The unwind is
+    /// caught by the executor and converted into a partition failure handled
+    /// by the configured recovery strategy.
+    pub panic_at: Option<u32>,
 }
 
 impl Default for CcConfig {
@@ -63,8 +69,21 @@ impl Default for CcConfig {
             ft: FtConfig::default(),
             track_truth: true,
             capture_history: false,
+            panic_at: None,
         }
     }
+}
+
+/// Warm-start state for an incremental CC run: the previous fixpoint labels
+/// (with mutation-affected vertices already reset) as the initial solution
+/// set, and only the affected vertices as the initial workset — the delta
+/// driver then propagates from those seeds instead of from every vertex.
+#[derive(Debug, Clone, Default)]
+pub struct CcSeed {
+    /// Initial `(vertex, label)` solution entries — one per vertex.
+    pub solution: Vec<Label>,
+    /// Initial workset records: the vertices whose labels must propagate.
+    pub workset: Vec<Label>,
 }
 
 /// Result of a Connected Components run.
@@ -176,9 +195,28 @@ pub struct BuiltCc {
 /// Build the CC dataflow inside `env` without executing it. Exposed so
 /// callers can inspect or `explain()` the plan (Figure 1a).
 pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<BuiltCc> {
-    let initial: Vec<Label> = graph.vertices().map(|v| (v, v)).collect();
-    let solution = env.from_keyed_vec(initial.clone(), |r| r.0);
-    let workset = env.from_keyed_vec(initial, |r| r.0);
+    build_seeded(env, graph, config, None)
+}
+
+/// [`build`] with an optional warm start: a cold run initialises both the
+/// solution set and the workset to `(v, v)` for every vertex; a seeded run
+/// starts from the previous fixpoint and propagates only from the seeds —
+/// the serving engine's incremental re-convergence.
+pub fn build_seeded(
+    env: &Environment,
+    graph: &Graph,
+    config: &CcConfig,
+    seed: Option<&CcSeed>,
+) -> Result<BuiltCc> {
+    let (initial, seeds): (Vec<Label>, Vec<Label>) = match seed {
+        Some(seed) => (seed.solution.clone(), seed.workset.clone()),
+        None => {
+            let initial: Vec<Label> = graph.vertices().map(|v| (v, v)).collect();
+            (initial.clone(), initial)
+        }
+    };
+    let solution = env.from_keyed_vec(initial, |r| r.0);
+    let workset = env.from_keyed_vec(seeds, |r| r.0);
     let edges: Vec<(VertexId, VertexId)> = graph.directed_edges().collect();
     let edges_ds = env.from_keyed_vec(edges, |e| e.0);
 
@@ -198,9 +236,16 @@ pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<Buil
     let history: Option<Rc<RefCell<Vec<Vec<Label>>>>> =
         if config.capture_history { Some(Rc::new(RefCell::new(Vec::new()))) } else { None };
     let history_sink = history.clone();
-    if truth.is_some() || history_sink.is_some() {
+    // The panic injector needs to know which superstep the body is
+    // executing; the observer publishes it after each completed superstep.
+    let superstep_cell = config.panic_at.map(|_| Arc::new(AtomicU32::new(0)));
+    let observer_cell = superstep_cell.clone();
+    if truth.is_some() || history_sink.is_some() || observer_cell.is_some() {
         iteration.set_observer(
-            move |_iter, solution: &SolutionSets<VertexId, VertexId>, _ws, stats| {
+            move |iter, solution: &SolutionSets<VertexId, VertexId>, _ws, stats| {
+                if let Some(cell) = &observer_cell {
+                    cell.store(iter + 1, Ordering::SeqCst);
+                }
                 if let Some(truth) = &truth {
                     let mut converged = 0u64;
                     let mut distinct: FxHashSet<VertexId> = FxHashSet::default();
@@ -226,9 +271,21 @@ pub fn build(env: &Environment, graph: &Graph, config: &CcConfig) -> Result<Buil
     }
 
     let edges_in = iteration.import(&edges_ds);
+    let workset_in = iteration.workset();
+    let workset_in = match (config.panic_at, superstep_cell) {
+        (Some(target), Some(cell)) => {
+            let fired = Arc::new(AtomicBool::new(false));
+            workset_in.map("panic-inject", move |&w: &Label| {
+                if cell.load(Ordering::SeqCst) == target && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("injected UDF panic at superstep {target}");
+                }
+                w
+            })
+        }
+        _ => workset_in,
+    };
     // Updated vertices send their label to every neighbour...
-    let candidates = iteration
-        .workset()
+    let candidates = workset_in
         .join("label-to-neighbors", &edges_in, |w: &Label| w.0, |e| e.0, |w, e| (e.1, w.1))
         .measured(common::MESSAGES)
         // ...each vertex keeps the smallest incoming candidate...
@@ -477,6 +534,60 @@ mod tests {
         for name in ["label-to-neighbors", "candidate-label", "label-update", "FixComponents"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn seeded_runs_reconverge_in_fewer_supersteps() {
+        // Two disjoint 16-vertex paths; the "mutation" inserts the bridging
+        // edge (15, 16). A cold run over the mutated graph propagates label
+        // 0 across all 32 vertices; the seeded run starts from the two old
+        // fixpoints and only re-labels the second path.
+        let mut b = graphs::GraphBuilder::undirected(0);
+        for v in 0..15u64 {
+            b.add_edge(v, v + 1);
+        }
+        for v in 16..31u64 {
+            b.add_edge(v, v + 1);
+        }
+        b.add_edge(15, 16);
+        let mutated = b.build();
+        let config = CcConfig::default();
+        let cold = run(&mutated, &config).unwrap();
+        assert_eq!(cold.correct, Some(true));
+
+        // Fixpoint before the mutation: label 0 on 0..=15, label 16 on the
+        // second path. Only the bridge endpoints need to propagate.
+        let solution: Vec<Label> = (0..32).map(|v| (v, if v <= 15 { 0 } else { 16 })).collect();
+        let seed = CcSeed { solution, workset: vec![(15, 0), (16, 16)] };
+        let env = common::environment(config.parallelism, &config.ft);
+        let built = build_seeded(&env, &mutated, &config, Some(&seed)).unwrap();
+        let mut labels = built.result.collect().unwrap();
+        labels.sort_unstable();
+        assert_eq!(labels, cold.labels, "warm start must reach the cold fixpoint");
+        let stats = built.stats.take().unwrap();
+        assert!(stats.converged);
+        assert!(
+            stats.supersteps() < cold.stats.supersteps(),
+            "seeded: {} supersteps, cold: {}",
+            stats.supersteps(),
+            cold.stats.supersteps()
+        );
+    }
+
+    #[test]
+    fn panic_at_injects_one_compensated_failure() {
+        let graph = generators::path(24);
+        let config = CcConfig {
+            ft: FtConfig::optimistic(FailureScenario::none()),
+            panic_at: Some(3),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert_eq!(result.correct, Some(true));
+        assert!(result.stats.converged);
+        let failures: Vec<_> = result.stats.failures().collect();
+        assert_eq!(failures.len(), 1, "the injected panic must surface as one failure");
+        assert_eq!(failures[0].1.recovery, dataflow::stats::RecoveryKind::Compensated);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use dataflow::api::Environment;
@@ -56,6 +57,11 @@ pub struct PrConfig {
     /// Record a full `(vertex, rank)` snapshot after every superstep —
     /// the data behind the GUI's vertex sizing (Figure 5).
     pub capture_history: bool,
+    /// Panic exactly once inside the rank-propagation body at this
+    /// chronological superstep — the serving engine's UDF-failure injector.
+    /// The unwind is caught by the executor and converted into a partition
+    /// failure handled by the configured recovery strategy.
+    pub panic_at: Option<u32>,
 }
 
 impl Default for PrConfig {
@@ -69,6 +75,7 @@ impl Default for PrConfig {
             track_truth: true,
             truth_tolerance: 0.01,
             capture_history: false,
+            panic_at: None,
         }
     }
 }
@@ -177,10 +184,39 @@ pub struct BuiltPr {
 /// Build the PageRank dataflow inside `env` without executing it. Exposed so
 /// callers can `explain()` the plan (Figure 1b).
 pub fn build(env: &Environment, graph: &Graph, config: &PrConfig) -> Result<BuiltPr> {
+    build_warm(env, graph, config, None)
+}
+
+/// [`build`] with an optional warm start: instead of the uniform `1/n`
+/// distribution, the power iteration starts from the given ranks (one entry
+/// per vertex, summing to one) — the serving engine hands in the previous
+/// epoch's fixpoint, renormalised over the mutated vertex set, which
+/// converges in far fewer supersteps than a cold start after a small
+/// mutation batch.
+pub fn build_warm(
+    env: &Environment,
+    graph: &Graph,
+    config: &PrConfig,
+    warm: Option<&[Rank]>,
+) -> Result<BuiltPr> {
     let n = graph.num_vertices();
     assert!(n > 0, "pagerank needs at least one vertex");
     let uniform = 1.0 / n as f64;
-    let initial: Vec<Rank> = graph.vertices().map(|v| (v, uniform)).collect();
+    let initial: Vec<Rank> = match warm {
+        Some(ranks) => {
+            assert_eq!(ranks.len(), n, "warm start must cover every vertex");
+            ranks.to_vec()
+        }
+        None => graph.vertices().map(|v| (v, uniform)).collect(),
+    };
+    // The observer's L1-between-estimates gauge diffs against the actual
+    // starting distribution, warm or cold.
+    let mut initial_dist = vec![uniform; n];
+    if let Some(ranks) = warm {
+        for &(v, r) in ranks {
+            initial_dist[v as usize] = r;
+        }
+    }
     let ranks0 = env.from_keyed_vec(initial, |r| r.0);
     let links: Vec<(VertexId, Vec<VertexId>)> = graph.adjacency_rows();
     let links_ds = env.from_keyed_vec(links, |l| l.0);
@@ -206,8 +242,15 @@ pub fn build(env: &Environment, graph: &Graph, config: &PrConfig) -> Result<Buil
     let history: Option<Rc<RefCell<Vec<Vec<Rank>>>>> =
         if config.capture_history { Some(Rc::new(RefCell::new(Vec::new()))) } else { None };
     let history_sink = history.clone();
-    let mut previous: Vec<f64> = vec![uniform; n];
-    iteration.set_observer(move |_iter, state: &Partitions<Rank>, stats| {
+    // The panic injector needs to know which superstep the body is
+    // executing; the observer publishes it after each completed superstep.
+    let superstep_cell = config.panic_at.map(|_| Arc::new(AtomicU32::new(0)));
+    let observer_cell = superstep_cell.clone();
+    let mut previous: Vec<f64> = initial_dist;
+    iteration.set_observer(move |iter, state: &Partitions<Rank>, stats| {
+        if let Some(cell) = &observer_cell {
+            cell.store(iter + 1, Ordering::SeqCst);
+        }
         let mut current = vec![0.0f64; n];
         for &(v, r) in state.iter_records() {
             current[v as usize] = r;
@@ -234,9 +277,21 @@ pub fn build(env: &Environment, graph: &Graph, config: &PrConfig) -> Result<Buil
 
     let links_in = iteration.import(&links_ds);
     let ranks = iteration.state();
+    let ranks_in = match (config.panic_at, superstep_cell) {
+        (Some(target), Some(cell)) => {
+            let fired = Arc::new(AtomicBool::new(false));
+            ranks.map("panic-inject", move |&r: &Rank| {
+                if cell.load(Ordering::SeqCst) == target && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("injected UDF panic at superstep {target}");
+                }
+                r
+            })
+        }
+        _ => ranks.clone(),
+    };
 
     // Each vertex pairs its rank with its out-links...
-    let with_links = ranks.join(
+    let with_links = ranks_in.join(
         "find-neighbors",
         &links_in,
         |r: &Rank| r.0,
@@ -466,6 +521,48 @@ mod tests {
         for m in result.stats.counter_series(common::MESSAGES) {
             assert_eq!(m, expected);
         }
+    }
+
+    #[test]
+    fn warm_start_reconverges_in_fewer_supersteps_to_the_same_ranks() {
+        let graph = generators::preferential_attachment(200, 2, 3);
+        let config = PrConfig { track_truth: false, ..Default::default() };
+        let cold = run(&graph, &config).unwrap();
+        assert!(cold.stats.converged);
+
+        // Restart from the cold fixpoint: the warm run must terminate almost
+        // immediately and stay at the fixpoint.
+        let env = common::environment(config.parallelism, &config.ft);
+        let built = build_warm(&env, &graph, &config, Some(&cold.ranks)).unwrap();
+        let mut ranks = built.result.collect().unwrap();
+        ranks.sort_by_key(|r| r.0);
+        let stats = built.stats.take().unwrap();
+        assert!(stats.converged);
+        assert!(
+            stats.supersteps() < cold.stats.supersteps(),
+            "warm: {} supersteps, cold: {}",
+            stats.supersteps(),
+            cold.stats.supersteps()
+        );
+        for (&(v, warm), &(_, exact)) in ranks.iter().zip(cold.ranks.iter()) {
+            assert!((warm - exact).abs() < 1e-6, "vertex {v}: {warm} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn panic_at_injects_one_compensated_failure() {
+        let graph = generators::demo_pagerank();
+        let config = PrConfig {
+            ft: FtConfig::optimistic(FailureScenario::none()),
+            panic_at: Some(4),
+            ..Default::default()
+        };
+        let result = run(&graph, &config).unwrap();
+        assert!(result.stats.converged);
+        let failures: Vec<_> = result.stats.failures().collect();
+        assert_eq!(failures.len(), 1, "the injected panic must surface as one failure");
+        assert_eq!(failures[0].1.recovery, dataflow::stats::RecoveryKind::Compensated);
+        assert!(close_to_truth(&result), "l1 {:?}", result.l1_to_exact);
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct ClusterConfig {
     /// Read timeout on the control connection while waiting for `StepDone`
     /// (the backstop when a worker wedges without dropping the connection).
     pub step_timeout: Duration,
+    /// Optional warm-start state, sorted or not: `(vertex, value-bits)`
+    /// records that replace the program's `init_partition` output. Used by
+    /// serving mode to re-converge from the previous epoch's fixpoint
+    /// instead of from scratch.
+    pub initial_state: Option<Vec<Record>>,
 }
 
 impl ClusterConfig {
@@ -103,7 +108,58 @@ impl ClusterConfig {
             connect_attempts: 10,
             connect_backoff: Duration::from_millis(25),
             step_timeout: Duration::from_secs(30),
+            initial_state: None,
         }
+    }
+
+    /// Override the delay between heartbeat probes.
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Override the heartbeat read timeout (how long a worker may stay
+    /// silent before it is declared dead). Serving mode sits idle between
+    /// mutation batches and wants this comfortably above the batch cadence.
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Override the per-superstep control read timeout.
+    pub fn with_step_timeout(mut self, timeout: Duration) -> Self {
+        self.step_timeout = timeout;
+        self
+    }
+
+    /// Apply timing overrides from the environment, following the repo's
+    /// `OPTIREC_*` convention: `OPTIREC_HEARTBEAT_INTERVAL_MS`,
+    /// `OPTIREC_HEARTBEAT_TIMEOUT_MS`, and `OPTIREC_STEP_TIMEOUT_MS`
+    /// (all integral milliseconds; unset or unparsable values keep the
+    /// current setting). Explicit CLI flags are applied after this, so
+    /// flags win over the environment.
+    pub fn with_env_timing(mut self) -> Self {
+        let ms = |name: &str| -> Option<Duration> {
+            std::env::var(name).ok()?.parse().ok().map(Duration::from_millis)
+        };
+        if let Some(interval) = ms("OPTIREC_HEARTBEAT_INTERVAL_MS") {
+            self.heartbeat_interval = interval;
+        }
+        if let Some(timeout) = ms("OPTIREC_HEARTBEAT_TIMEOUT_MS") {
+            self.heartbeat_timeout = timeout;
+        }
+        if let Some(timeout) = ms("OPTIREC_STEP_TIMEOUT_MS") {
+            self.step_timeout = timeout;
+        }
+        self
+    }
+
+    /// Warm-start the run from a previous fixpoint instead of the program's
+    /// `init_partition` output. Records are routed to partitions by
+    /// `vertex % parallelism`, matching `partition_rows`.
+    pub fn with_initial_state(mut self, state: Vec<Record>) -> Self {
+        self.initial_state = Some(state);
+        self
     }
 }
 
@@ -629,7 +685,7 @@ impl DynOp for ChangedProbeOp {
 pub fn run_cluster(
     program_name: &str,
     graph: &Graph,
-    cfg: ClusterConfig,
+    mut cfg: ClusterConfig,
     telemetry: SinkHandle,
 ) -> Result<ClusterRun> {
     if cfg.workers == 0 || cfg.workers > cfg.parallelism {
@@ -643,6 +699,7 @@ pub fn run_cluster(
     let adjacency = Arc::new(partition_rows(graph, cfg.parallelism));
     let parallelism = cfg.parallelism;
     let max_iterations = cfg.max_iterations;
+    let initial_state = cfg.initial_state.take();
     let backend =
         ClusterBackend::start(cfg, program_name, n, adjacency.clone(), telemetry.clone())?;
     run_with_backend(
@@ -654,6 +711,7 @@ pub fn run_cluster(
         max_iterations,
         DispatchMode::Cluster,
         telemetry,
+        initial_state,
     )
 }
 
@@ -666,6 +724,19 @@ pub fn run_local(
     parallelism: usize,
     max_iterations: u32,
     telemetry: SinkHandle,
+) -> Result<ClusterRun> {
+    run_local_warm(program_name, graph, parallelism, max_iterations, telemetry, None)
+}
+
+/// [`run_local`], optionally warm-started from a previous fixpoint instead
+/// of the program's `init_partition` output.
+pub fn run_local_warm(
+    program_name: &str,
+    graph: &Graph,
+    parallelism: usize,
+    max_iterations: u32,
+    telemetry: SinkHandle,
+    initial_state: Option<Vec<Record>>,
 ) -> Result<ClusterRun> {
     let program = resolve(program_name)?;
     let n = graph.num_vertices() as u64;
@@ -680,6 +751,7 @@ pub fn run_local(
         max_iterations,
         DispatchMode::Pool,
         telemetry,
+        initial_state,
     )
 }
 
@@ -702,13 +774,28 @@ fn run_with_backend(
     max_iterations: u32,
     dispatch: DispatchMode,
     telemetry: SinkHandle,
+    initial_state: Option<Vec<Record>>,
 ) -> Result<ClusterRun> {
     let config =
         EnvConfig::new(parallelism).with_dispatch(dispatch).with_telemetry(telemetry.clone());
     let env = Environment::with_config(config);
-    let initial_parts = Partitions::from_parts(
-        adjacency.iter().map(|rows| program.init_partition(rows, n)).collect(),
-    );
+    let initial_parts = match initial_state {
+        Some(state) => {
+            // Warm start: route the previous fixpoint's records to the same
+            // partitions `partition_rows` uses (`vertex % parallelism`).
+            let mut parts = vec![Vec::new(); parallelism];
+            for record in state {
+                parts[(record.0 % parallelism as u64) as usize].push(record);
+            }
+            for part in &mut parts {
+                part.sort_unstable_by_key(|record| record.0);
+            }
+            Partitions::from_parts(parts)
+        }
+        None => Partitions::from_parts(
+            adjacency.iter().map(|rows| program.init_partition(rows, n)).collect(),
+        ),
+    };
     let initial = env.from_partitions(initial_parts);
 
     let mut iteration = BulkIteration::new(&initial, max_iterations);
@@ -823,5 +910,33 @@ mod tests {
         let cfg = ClusterConfig::new(8, 4, 10);
         let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
         assert!(err.to_string().contains("1..=parallelism"), "{err}");
+    }
+
+    #[test]
+    fn timing_builders_override_the_defaults() {
+        let cfg = ClusterConfig::new(2, 4, 10)
+            .with_heartbeat_interval(Duration::from_millis(250))
+            .with_heartbeat_timeout(Duration::from_secs(20))
+            .with_step_timeout(Duration::from_secs(120));
+        assert_eq!(cfg.heartbeat_interval, Duration::from_millis(250));
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_secs(20));
+        assert_eq!(cfg.step_timeout, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn warm_started_local_run_reconverges_in_fewer_supersteps() {
+        let graph = graphs::generators::demo_components();
+        let cold = run_local("cc", &graph, 4, 50, SinkHandle::disabled()).unwrap();
+        let warm =
+            run_local_warm("cc", &graph, 4, 50, SinkHandle::disabled(), Some(cold.values.clone()))
+                .unwrap();
+        assert_eq!(warm.values, cold.values, "warm start must preserve the fixpoint");
+        assert!(warm.stats.converged);
+        assert!(
+            warm.stats.supersteps() < cold.stats.supersteps(),
+            "warm {} vs cold {}",
+            warm.stats.supersteps(),
+            cold.stats.supersteps()
+        );
     }
 }

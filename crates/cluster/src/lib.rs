@@ -35,7 +35,7 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
-    default_worker_cmd, run_cluster, run_local, ClusterConfig, ClusterRun, KillPlan,
+    default_worker_cmd, run_cluster, run_local, run_local_warm, ClusterConfig, ClusterRun, KillPlan,
 };
 pub use program::{lookup, program_names, ClusterProgram, StepOutput};
 pub use protocol::{Message, Msg, Record};

@@ -38,6 +38,11 @@ pub struct ExecContext {
     /// already queued or running on the worker pool, observed at every pool
     /// dispatch.
     queue_hist: Option<Arc<Histogram>>,
+    /// Resolved `op/<kind>_ns` histograms, keyed by the operator's static
+    /// kind string. Plan-node kinds number in the dozens at most, so a
+    /// linear scan beats re-formatting the metric name and re-hashing it in
+    /// the registry on every node execution.
+    op_hists: Mutex<Vec<(&'static str, Arc<Histogram>)>>,
     /// Chronological superstep this context executes, when driven by an
     /// iteration. Partition panics captured under this context carry it, so
     /// the resulting failure records are attributed to the right superstep.
@@ -71,6 +76,7 @@ impl ExecContext {
             task_hist,
             shuffle_hist,
             queue_hist,
+            op_hists: Mutex::new(Vec::new()),
             superstep: None,
         }
     }
@@ -165,7 +171,18 @@ impl ExecContext {
     /// partitions contribute to the superstep's shuffle time.
     fn record_node(&self, kind: &'static str, elapsed: Duration, shuffle_delta: u64) {
         let nanos = elapsed.as_nanos() as u64;
-        self.config.telemetry.metrics().histogram(&format!("op/{kind}_ns")).observe(nanos);
+        let hist = {
+            let mut cache = self.op_hists.lock();
+            match cache.iter().find(|(k, _)| *k == kind) {
+                Some((_, hist)) => Arc::clone(hist),
+                None => {
+                    let hist = self.config.telemetry.metrics().histogram(&format!("op/{kind}_ns"));
+                    cache.push((kind, Arc::clone(&hist)));
+                    hist
+                }
+            }
+        };
+        hist.observe(nanos);
         if shuffle_delta > 0 {
             self.shuffle_ns.fetch_add(nanos, Ordering::Relaxed);
         }

@@ -171,6 +171,22 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
             iterations: u32_field(v, "iterations")?,
             converged: v.get("converged").and_then(Value::as_bool).ok_or("missing converged")?,
         },
+        "MutationBatch" => JournalEvent::MutationBatch {
+            epoch: u32_field(v, "epoch")?,
+            inserts: u64_field(v, "inserts")?,
+            deletes: u64_field(v, "deletes")?,
+            seeded: u64_field(v, "seeded")?,
+        },
+        "Reconverge" => JournalEvent::Reconverge {
+            epoch: u32_field(v, "epoch")?,
+            supersteps: u32_field(v, "supersteps")?,
+            converged: v.get("converged").and_then(Value::as_bool).ok_or("missing converged")?,
+        },
+        "Query" => JournalEvent::Query {
+            epoch: u32_field(v, "epoch")?,
+            kind: v.get("kind").and_then(Value::as_str).ok_or("missing kind")?.to_string(),
+            results: u64_field(v, "results")?,
+        },
         _ => return Ok(None),
     };
     Ok(Some(event))
@@ -344,6 +360,9 @@ mod tests {
         "{\"event\":\"CompensationApplied\",\"iteration\":0}\n",
         "{\"event\":\"WorkerRejoined\",\"superstep\":1,\"worker\":1,\"reconnect_attempts\":2}\n",
         "{\"event\":\"RunCompleted\",\"supersteps\":1,\"iterations\":1,\"converged\":true}\n",
+        "{\"event\":\"MutationBatch\",\"epoch\":1,\"inserts\":2,\"deletes\":1,\"seeded\":4}\n",
+        "{\"event\":\"Reconverge\",\"epoch\":1,\"supersteps\":3,\"converged\":true}\n",
+        "{\"event\":\"Query\",\"epoch\":1,\"kind\":\"point\",\"results\":1}\n",
     );
 
     #[test]

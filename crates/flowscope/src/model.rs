@@ -88,6 +88,59 @@ impl WorkerEvent {
     }
 }
 
+/// A serving-engine epoch event (mutation batches, re-convergence
+/// summaries, queries) attached to the superstep after which it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A batch of live graph mutations was applied, opening a new epoch.
+    MutationBatch {
+        /// Serving epoch the batch opens.
+        epoch: u32,
+        /// Edge insertions in the batch.
+        inserts: u64,
+        /// Edge deletions in the batch.
+        deletes: u64,
+        /// Vertices seeded into the incremental re-convergence.
+        seeded: u64,
+    },
+    /// An epoch's incremental re-convergence finished.
+    Reconverge {
+        /// Serving epoch that re-converged.
+        epoch: u32,
+        /// Supersteps the incremental run needed.
+        supersteps: u32,
+        /// Whether the run converged.
+        converged: bool,
+    },
+    /// A query was answered from the maintained solution set.
+    Query {
+        /// Serving epoch whose solution answered the query.
+        epoch: u32,
+        /// Query kind (`point` or `top`).
+        kind: String,
+        /// Result rows returned.
+        results: u64,
+    },
+}
+
+impl ServeEvent {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        match self {
+            ServeEvent::MutationBatch { epoch, inserts, deletes, seeded } => {
+                format!("epoch {epoch}: +{inserts}/-{deletes} edges, {seeded} seeded")
+            }
+            ServeEvent::Reconverge { epoch, supersteps, converged } => {
+                let status = if *converged { "converged" } else { "capped" };
+                format!("epoch {epoch} reconverged in {supersteps} supersteps ({status})")
+            }
+            ServeEvent::Query { epoch, kind, results } => {
+                format!("epoch {epoch} query[{kind}] -> {results}")
+            }
+        }
+    }
+}
+
 /// Everything the journal says about one chronological superstep.
 #[derive(Debug, Clone, Default)]
 pub struct SuperstepRow {
@@ -108,6 +161,10 @@ pub struct SuperstepRow {
     /// Worker processes lost or rejoined before the next superstep
     /// completed (cluster runs only).
     pub worker_events: Vec<WorkerEvent>,
+    /// Serving-engine epoch events (mutation batches, re-convergence
+    /// summaries, queries) that happened after this superstep (serve runs
+    /// only).
+    pub serve_events: Vec<ServeEvent>,
     /// Bytes checkpointed after this superstep (0 = no checkpoint).
     pub checkpoint_bytes: Option<u64>,
 }
@@ -139,6 +196,11 @@ pub struct RunModel {
     pub converged: bool,
     /// Highest logical iteration reached plus one.
     pub logical_iterations: u32,
+    /// Highest serving epoch seen (0 for plain batch journals). A serve
+    /// journal concatenates one `RunStarted`..`RunCompleted` sequence per
+    /// epoch; rows keep journal order, with epoch boundaries marked by
+    /// [`ServeEvent::MutationBatch`] entries on the preceding row.
+    pub epochs: u32,
 }
 
 impl RunModel {
@@ -252,6 +314,36 @@ impl RunModel {
                 JournalEvent::RunCompleted { iterations, converged, .. } => {
                     model.converged = *converged;
                     model.logical_iterations = *iterations;
+                }
+                JournalEvent::MutationBatch { epoch, inserts, deletes, seeded } => {
+                    model.epochs = model.epochs.max(*epoch);
+                    if let Some(row) = model.rows.last_mut() {
+                        row.serve_events.push(ServeEvent::MutationBatch {
+                            epoch: *epoch,
+                            inserts: *inserts,
+                            deletes: *deletes,
+                            seeded: *seeded,
+                        });
+                    }
+                }
+                JournalEvent::Reconverge { epoch, supersteps, converged } => {
+                    model.epochs = model.epochs.max(*epoch);
+                    if let Some(row) = model.rows.last_mut() {
+                        row.serve_events.push(ServeEvent::Reconverge {
+                            epoch: *epoch,
+                            supersteps: *supersteps,
+                            converged: *converged,
+                        });
+                    }
+                }
+                JournalEvent::Query { epoch, kind, results } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.serve_events.push(ServeEvent::Query {
+                            epoch: *epoch,
+                            kind: kind.clone(),
+                            results: *results,
+                        });
+                    }
                 }
                 // CheckpointRestored / DiffChainReplayed are mechanics of a
                 // rollback already represented by RolledBack.
@@ -400,6 +492,49 @@ mod tests {
         assert!(model.rows[1].worker_events.is_empty());
         assert_eq!(model.rows[0].worker_events[0].label(), "worker 1 LOST p[1, 3]");
         assert_eq!(model.rows[0].worker_events[1].label(), "worker 1 rejoined (3 attempts)");
+    }
+
+    #[test]
+    fn serve_epoch_events_attach_in_journal_order() {
+        let events = vec![
+            JournalEvent::RunStarted {
+                mode: IterationMode::Delta,
+                parallelism: 2,
+                max_iterations: 50,
+            },
+            step(0, 0),
+            JournalEvent::RunCompleted { supersteps: 1, iterations: 1, converged: true },
+            JournalEvent::Query { epoch: 0, kind: "point".into(), results: 1 },
+            JournalEvent::MutationBatch { epoch: 1, inserts: 2, deletes: 0, seeded: 4 },
+            JournalEvent::RunStarted {
+                mode: IterationMode::Delta,
+                parallelism: 2,
+                max_iterations: 50,
+            },
+            step(0, 0),
+            JournalEvent::RunCompleted { supersteps: 1, iterations: 1, converged: true },
+            JournalEvent::Reconverge { epoch: 1, supersteps: 1, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(model.epochs, 1);
+        assert_eq!(model.rows.len(), 2);
+        assert_eq!(
+            model.rows[0].serve_events,
+            vec![
+                ServeEvent::Query { epoch: 0, kind: "point".into(), results: 1 },
+                ServeEvent::MutationBatch { epoch: 1, inserts: 2, deletes: 0, seeded: 4 },
+            ]
+        );
+        assert_eq!(
+            model.rows[1].serve_events,
+            vec![ServeEvent::Reconverge { epoch: 1, supersteps: 1, converged: true }]
+        );
+        assert_eq!(model.rows[0].serve_events[1].label(), "epoch 1: +2/-0 edges, 4 seeded");
+        assert_eq!(
+            model.rows[1].serve_events[0].label(),
+            "epoch 1 reconverged in 1 supersteps (converged)"
+        );
+        assert_eq!(model.rows[0].serve_events[0].label(), "epoch 0 query[point] -> 1");
     }
 
     #[test]

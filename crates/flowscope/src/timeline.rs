@@ -76,6 +76,9 @@ fn annotations(row: &SuperstepRow) -> String {
     for event in &row.worker_events {
         notes.push(event.label());
     }
+    for event in &row.serve_events {
+        notes.push(event.label());
+    }
     if let Some(bytes) = row.checkpoint_bytes {
         notes.push(format!("ckpt {bytes}B"));
     }
@@ -88,8 +91,13 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
     let timings = spans.map(timings_from_spans);
     let mut out = String::new();
     let mode = model.mode.map_or("?", |m| m.label());
+    let epochs = if model.epochs > 0 {
+        format!(", {} serve epochs", model.epochs + 1)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "timeline: {} supersteps, {} partitions, mode={mode}, {}\n",
+        "timeline: {} supersteps, {} partitions, mode={mode}, {}{epochs}\n",
         model.rows.len(),
         model.parallelism,
         if model.converged { "converged" } else { "not converged" },
@@ -202,6 +210,34 @@ mod tests {
         let bar_len = |line: &str| line.chars().filter(|&c| c == COMPUTE).count();
         let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('s')).collect();
         assert!(bar_len(lines[0]) > bar_len(lines[1]), "{text}");
+    }
+
+    #[test]
+    fn serve_epoch_markers_render_inline() {
+        use crate::model::ServeEvent;
+        let mut model = model_with_failure();
+        model.epochs = 1;
+        model.rows[0].serve_events.push(ServeEvent::MutationBatch {
+            epoch: 1,
+            inserts: 3,
+            deletes: 1,
+            seeded: 5,
+        });
+        model.rows[1].serve_events.push(ServeEvent::Reconverge {
+            epoch: 1,
+            supersteps: 2,
+            converged: true,
+        });
+        model.rows[1].serve_events.push(ServeEvent::Query {
+            epoch: 1,
+            kind: "top".into(),
+            results: 3,
+        });
+        let text = render_timeline(&model, None);
+        assert!(text.contains("2 serve epochs"), "{text}");
+        assert!(text.contains("epoch 1: +3/-1 edges, 5 seeded"), "{text}");
+        assert!(text.contains("epoch 1 reconverged in 2 supersteps (converged)"), "{text}");
+        assert!(text.contains("epoch 1 query[top] -> 3"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! The serving daemon: the line protocol served over TCP, plus the replay
+//! runner CI uses (a replay file is just a recorded client session).
+//!
+//! Concurrency model: the engine (and with it every epoch's dataflow) lives
+//! behind a mutex that only mutations and commits take; point and top-N
+//! queries read a shared [`Snapshot`] behind an `RwLock` that is swapped
+//! after every successful commit. Queries therefore keep answering from the
+//! pre-batch solution set while a commit re-converges — and keep answering
+//! while a mid-re-convergence failure is being compensated.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use telemetry::{JournalEvent, SinkHandle};
+
+use crate::engine::{PointAnswer, ServeAlgorithm, ServeEngine, Snapshot, TopEntry};
+use crate::mutation::Command;
+
+fn lock_poisoned<T>(_: T) -> String {
+    "engine lock poisoned".to_string()
+}
+
+/// Format a point answer: `label <l>` / `rank <r>` / `none`.
+fn format_point(answer: Option<PointAnswer>) -> String {
+    match answer {
+        Some(PointAnswer::Label(label)) => format!("label {label}"),
+        Some(PointAnswer::Rank(rank)) => format!("rank {rank:.9}"),
+        None => "none".to_string(),
+    }
+}
+
+/// Format a top-N answer: `top id:score ...` (CC scores are component
+/// sizes, printed as integers).
+fn format_top(algorithm: ServeAlgorithm, entries: &[TopEntry]) -> String {
+    let mut out = String::from("top");
+    for entry in entries {
+        match algorithm {
+            ServeAlgorithm::ConnectedComponents => {
+                out.push_str(&format!(" {}:{}", entry.id, entry.score as u64));
+            }
+            ServeAlgorithm::PageRank => {
+                out.push_str(&format!(" {}:{:.6}", entry.id, entry.score));
+            }
+        }
+    }
+    out
+}
+
+fn format_commit(report: &crate::engine::EpochReport) -> String {
+    format!(
+        "epoch {} supersteps {} seeded {} converged {}",
+        report.epoch, report.supersteps, report.seeded, report.converged
+    )
+}
+
+/// Apply one command directly to the engine — the replay path, where
+/// everything is sequential. Returns the response line and whether the
+/// session ends.
+pub fn apply_command(engine: &mut ServeEngine, command: &Command) -> (String, bool) {
+    match command {
+        Command::Insert(u, v) => {
+            let changed = engine.stage_insert(*u, *v);
+            (format!("ok {}", if changed { "staged" } else { "noop" }), false)
+        }
+        Command::Delete(u, v) => {
+            let changed = engine.stage_delete(*u, *v);
+            (format!("ok {}", if changed { "staged" } else { "noop" }), false)
+        }
+        Command::Commit => match engine.commit() {
+            Ok(report) => (format!("ok {}", format_commit(&report)), false),
+            Err(message) => (format!("err {message}"), false),
+        },
+        Command::Get(v) => (format!("ok {}", format_point(engine.point(*v))), false),
+        Command::Top(n) => {
+            let algorithm = engine_algorithm(engine);
+            (format!("ok {}", format_top(algorithm, &engine.top(*n))), false)
+        }
+        Command::Quit => ("ok bye".to_string(), true),
+    }
+}
+
+fn engine_algorithm(engine: &ServeEngine) -> ServeAlgorithm {
+    match engine.snapshot().solution {
+        crate::engine::Solution::Components(_) => ServeAlgorithm::ConnectedComponents,
+        crate::engine::Solution::Ranks(_) => ServeAlgorithm::PageRank,
+    }
+}
+
+/// Run a recorded session against the engine, returning one response per
+/// command. Stops at `quit`.
+pub fn replay(engine: &mut ServeEngine, commands: &[Command]) -> Vec<String> {
+    let mut responses = Vec::new();
+    for command in commands {
+        let (response, quit) = apply_command(engine, command);
+        responses.push(response);
+        if quit {
+            break;
+        }
+    }
+    responses
+}
+
+/// Shared state between the accept loop and connection handlers.
+struct Shared {
+    engine: Mutex<ServeEngine>,
+    snapshot: RwLock<Snapshot>,
+    algorithm: ServeAlgorithm,
+    telemetry: SinkHandle,
+}
+
+/// A running daemon. Dropping the handle does NOT stop it; call
+/// [`DaemonHandle::stop`].
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// connection handlers finish on their own.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serve the line protocol over TCP. The engine must already be
+/// bootstrapped; each connection is handled on its own thread.
+pub fn spawn(engine: ServeEngine, listen: &str) -> std::io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(listen)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let algorithm = engine_algorithm(&engine);
+    let shared = Arc::new(Shared {
+        snapshot: RwLock::new(engine.snapshot()),
+        telemetry: engine.telemetry().clone(),
+        algorithm,
+        engine: Mutex::new(engine),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = shutdown.clone();
+    let accept_thread = std::thread::spawn(move || {
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &shared);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(DaemonHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let epoch = shared.snapshot.read().map(|s| s.epoch).unwrap_or(0);
+    let name = match shared.algorithm {
+        ServeAlgorithm::ConnectedComponents => "cc",
+        ServeAlgorithm::PageRank => "pagerank",
+    };
+    writeln!(writer, "hello {name} epoch {epoch}")?;
+    for line in reader.lines() {
+        let line = line?;
+        let response = match crate::mutation::parse_line(&line) {
+            Ok(Some(command)) => {
+                let (response, quit) = dispatch(&command, shared);
+                writeln!(writer, "{response}")?;
+                if quit {
+                    return Ok(());
+                }
+                continue;
+            }
+            Ok(None) => continue,
+            Err(message) => format!("err {message}"),
+        };
+        writeln!(writer, "{response}")?;
+    }
+    Ok(())
+}
+
+/// Route one command: queries read the shared snapshot (concurrent, never
+/// blocked by a committing batch), mutations and commits take the engine
+/// lock, and a successful commit publishes the new snapshot.
+fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
+    match command {
+        Command::Get(v) => {
+            let Ok(snapshot) = shared.snapshot.read() else {
+                return ("err snapshot lock poisoned".to_string(), false);
+            };
+            let answer = snapshot.point(*v);
+            shared.telemetry.emit(|| JournalEvent::Query {
+                epoch: snapshot.epoch,
+                kind: "point".to_string(),
+                results: answer.is_some() as u64,
+            });
+            (format!("ok {}", format_point(answer)), false)
+        }
+        Command::Top(n) => {
+            let Ok(snapshot) = shared.snapshot.read() else {
+                return ("err snapshot lock poisoned".to_string(), false);
+            };
+            let entries = snapshot.top(*n);
+            shared.telemetry.emit(|| JournalEvent::Query {
+                epoch: snapshot.epoch,
+                kind: "top".to_string(),
+                results: entries.len() as u64,
+            });
+            (format!("ok {}", format_top(shared.algorithm, &entries)), false)
+        }
+        Command::Insert(_, _) | Command::Delete(_, _) | Command::Commit => {
+            let result = shared.engine.lock().map_err(lock_poisoned).map(|mut engine| {
+                let response = match command {
+                    Command::Insert(u, v) => {
+                        let changed = engine.stage_insert(*u, *v);
+                        format!("ok {}", if changed { "staged" } else { "noop" })
+                    }
+                    Command::Delete(u, v) => {
+                        let changed = engine.stage_delete(*u, *v);
+                        format!("ok {}", if changed { "staged" } else { "noop" })
+                    }
+                    Command::Commit => match engine.commit() {
+                        Ok(report) => {
+                            if let Ok(mut snapshot) = shared.snapshot.write() {
+                                *snapshot = engine.snapshot();
+                            }
+                            format!("ok {}", format_commit(&report))
+                        }
+                        Err(message) => format!("err {message}"),
+                    },
+                    _ => unreachable!("query commands handled above"),
+                };
+                response
+            });
+            match result {
+                Ok(response) => (response, false),
+                Err(message) => (format!("err {message}"), false),
+            }
+        }
+        Command::Quit => ("ok bye".to_string(), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::mutation::parse_line;
+
+    fn bootstrap_cc() -> ServeEngine {
+        let graph = graphs::generators::path(12);
+        ServeEngine::bootstrap(ServeConfig::default(), &graph).unwrap().0
+    }
+
+    #[test]
+    fn replay_runs_a_full_session() {
+        let mut engine = bootstrap_cc();
+        let commands: Vec<Command> = ["get 3", "- 5 6", "commit", "get 9", "top 2", "quit"]
+            .iter()
+            .map(|l| parse_line(l).unwrap().unwrap())
+            .collect();
+        let responses = replay(&mut engine, &commands);
+        assert_eq!(responses.len(), 6);
+        assert_eq!(responses[0], "ok label 0");
+        assert_eq!(responses[1], "ok staged");
+        assert!(responses[2].starts_with("ok epoch 1 supersteps "), "{}", responses[2]);
+        assert_eq!(responses[3], "ok label 6", "split half takes its own minimum");
+        assert_eq!(responses[4], "ok top 0:6 6:6");
+        assert_eq!(responses[5], "ok bye");
+    }
+
+    #[test]
+    fn tcp_daemon_serves_mutations_and_concurrent_queries() {
+        let engine = bootstrap_cc();
+        let daemon = spawn(engine, "127.0.0.1:0").unwrap();
+        let addr = daemon.addr();
+
+        let session = |lines: &[&str]| -> Vec<String> {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut greeting = String::new();
+            reader.read_line(&mut greeting).unwrap();
+            assert!(greeting.starts_with("hello cc epoch "), "{greeting}");
+            let mut responses = Vec::new();
+            for line in lines {
+                writeln!(writer, "{line}").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                responses.push(response.trim_end().to_string());
+            }
+            responses
+        };
+
+        // One client stages and commits; another queries concurrently.
+        let mutator = session(&["- 5 6", "commit", "quit"]);
+        assert_eq!(mutator[0], "ok staged");
+        assert!(mutator[1].starts_with("ok epoch 1"), "{}", mutator[1]);
+
+        let reader_responses = session(&["get 9", "top 2", "nonsense", "quit"]);
+        assert_eq!(reader_responses[0], "ok label 6");
+        assert_eq!(reader_responses[1], "ok top 0:6 6:6");
+        assert!(reader_responses[2].starts_with("err "), "{}", reader_responses[2]);
+        assert_eq!(reader_responses[3], "ok bye");
+
+        daemon.stop();
+    }
+}

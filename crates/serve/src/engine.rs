@@ -1,0 +1,710 @@
+//! The serving engine: epoch lifecycle, workset seeding, and
+//! between-convergence recovery.
+//!
+//! An engine converges once at bootstrap (epoch 0), then alternates between
+//! accepting staged edge mutations and `commit`s. Each commit opens a new
+//! epoch: the graph is rebuilt from the live edge set and the iteration is
+//! re-run *incrementally* — Connected Components seeds the delta driver's
+//! workset from the mutated vertices (with delete-touched components reset
+//! to their initial labels, mirroring `FixComponents`), PageRank warm-starts
+//! the power iteration from the previous fixpoint renormalised over the new
+//! vertex set. Both re-converge in far fewer supersteps than a cold run.
+//!
+//! Failures between convergences reuse the batch machinery unchanged: the
+//! UDF-panic, deterministic-loss, and MTBF injectors run inside the epoch's
+//! dataflow and are compensated by the optimistic handler; the cluster
+//! SIGKILL injector runs the epoch on real worker processes warm-started
+//! from the previous fixpoint. The pre-batch solution set is only replaced
+//! once the epoch's run succeeds, so a failed commit never corrupts what
+//! queries see.
+
+use std::collections::BTreeSet;
+
+use algos::common::FtConfig;
+use algos::connected_components::{self as cc, CcConfig, CcSeed, Label};
+use algos::pagerank::{self as pr, PrConfig, Rank};
+use cluster::{ClusterConfig, KillPlan};
+use dataflow::stats::RunStats;
+use graphs::{Graph, VertexId};
+use recovery::scenario::FailureScenario;
+use telemetry::{JournalEvent, SinkHandle};
+
+use crate::live_graph::LiveGraph;
+
+/// Which iterative algorithm the engine maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeAlgorithm {
+    /// Incremental Connected Components over an undirected live graph.
+    ConnectedComponents,
+    /// Incremental PageRank over a directed live graph.
+    PageRank,
+}
+
+/// Failure injected into one specific epoch's (re-)convergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochInjection {
+    /// The epoch to fail: 0 is the bootstrap convergence, `k > 0` the
+    /// re-convergence of the `k`-th commit.
+    pub epoch: u32,
+    /// How the epoch fails.
+    pub kind: InjectionKind,
+}
+
+/// The existing failure injectors, lifted to the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionKind {
+    /// Panic once inside the iteration body at this chronological
+    /// superstep of the epoch's run (caught by the executor, converted to a
+    /// partition failure, compensated).
+    Panic {
+        /// Chronological superstep within the epoch's run.
+        superstep: u32,
+    },
+    /// Deterministically destroy partitions at a superstep of the epoch.
+    Fail {
+        /// Chronological superstep within the epoch's run.
+        superstep: u32,
+        /// Partitions to destroy.
+        partitions: Vec<usize>,
+    },
+    /// Seeded MTBF-style random failures throughout the epoch's run.
+    Mtbf {
+        /// Per-superstep failure probability.
+        probability: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Run the epoch on real worker processes and SIGKILL one of them
+    /// mid-run; the coordinator detects the loss at the network level and
+    /// compensates, warm-started state and all.
+    ClusterKill {
+        /// Number of worker processes.
+        workers: usize,
+        /// Chronological superstep at which to kill.
+        superstep: u32,
+        /// Index of the worker to kill.
+        worker: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The maintained algorithm.
+    pub algorithm: ServeAlgorithm,
+    /// Partitions per epoch run.
+    pub parallelism: usize,
+    /// Superstep cap per epoch run.
+    pub max_iterations: u32,
+    /// PageRank termination threshold (ignored by CC).
+    pub epsilon: f64,
+    /// Journal sink shared by the engine and every epoch's dataflow.
+    pub telemetry: SinkHandle,
+    /// Optional failure injection into one epoch.
+    pub inject: Option<EpochInjection>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            algorithm: ServeAlgorithm::ConnectedComponents,
+            parallelism: 4,
+            max_iterations: 200,
+            epsilon: 1e-9,
+            telemetry: SinkHandle::disabled(),
+            inject: None,
+        }
+    }
+}
+
+/// The maintained solution set, sorted by vertex id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Solution {
+    /// `(vertex, component label)` per vertex.
+    Components(Vec<Label>),
+    /// `(vertex, rank)` per vertex.
+    Ranks(Vec<Rank>),
+}
+
+/// A point-query answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointAnswer {
+    /// The vertex's component label (CC).
+    Label(VertexId),
+    /// The vertex's rank (PageRank).
+    Rank(f64),
+}
+
+/// One top-N entry: for CC `(component label, size)`, for PageRank
+/// `(vertex, rank)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopEntry {
+    /// Component label (CC) or vertex id (PageRank).
+    pub id: VertexId,
+    /// Component size (CC) or rank (PageRank).
+    pub score: f64,
+}
+
+/// An immutable view of the maintained solution, cheap to clone out of the
+/// engine and query concurrently while the next batch re-converges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The epoch this solution belongs to.
+    pub epoch: u32,
+    /// The solution set.
+    pub solution: Solution,
+}
+
+impl Snapshot {
+    /// Point query: the vertex's label/rank, `None` for unknown vertices.
+    pub fn point(&self, v: VertexId) -> Option<PointAnswer> {
+        match &self.solution {
+            Solution::Components(labels) => labels
+                .binary_search_by_key(&v, |r| r.0)
+                .ok()
+                .map(|i| PointAnswer::Label(labels[i].1)),
+            Solution::Ranks(ranks) => {
+                ranks.binary_search_by_key(&v, |r| r.0).ok().map(|i| PointAnswer::Rank(ranks[i].1))
+            }
+        }
+    }
+
+    /// Top-N query: the `n` largest components (size desc, label asc) or the
+    /// `n` highest-ranked vertices (rank desc, vertex asc).
+    pub fn top(&self, n: usize) -> Vec<TopEntry> {
+        match &self.solution {
+            Solution::Components(labels) => {
+                let mut sizes: std::collections::BTreeMap<VertexId, u64> =
+                    std::collections::BTreeMap::new();
+                for &(_, label) in labels {
+                    *sizes.entry(label).or_insert(0) += 1;
+                }
+                let mut entries: Vec<(VertexId, u64)> = sizes.into_iter().collect();
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                entries
+                    .into_iter()
+                    .take(n)
+                    .map(|(id, size)| TopEntry { id, score: size as f64 })
+                    .collect()
+            }
+            Solution::Ranks(ranks) => {
+                let mut entries: Vec<Rank> = ranks.clone();
+                entries.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("ranks are finite").then(a.0.cmp(&b.0))
+                });
+                entries.into_iter().take(n).map(|(id, score)| TopEntry { id, score }).collect()
+            }
+        }
+    }
+}
+
+/// What one committed epoch did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// The epoch that was opened (bootstrap reports epoch 0).
+    pub epoch: u32,
+    /// Effective edge inserts in the batch.
+    pub inserts: u64,
+    /// Effective edge deletes in the batch.
+    pub deletes: u64,
+    /// Vertices seeded into the workset / warm start.
+    pub seeded: u64,
+    /// Supersteps the (re-)convergence took.
+    pub supersteps: u32,
+    /// Whether the run converged below the cap.
+    pub converged: bool,
+}
+
+/// The serving engine. See the module docs for the epoch lifecycle.
+pub struct ServeEngine {
+    config: ServeConfig,
+    live: LiveGraph,
+    epoch: u32,
+    solution: Solution,
+    staged_inserts: Vec<(VertexId, VertexId)>,
+    staged_deletes: Vec<(VertexId, VertexId)>,
+}
+
+impl ServeEngine {
+    /// Bootstrap: converge cold over the initial graph (epoch 0). CC
+    /// expects an undirected graph, PageRank a directed one — same contract
+    /// as the batch runners.
+    pub fn bootstrap(config: ServeConfig, graph: &Graph) -> Result<(Self, EpochReport), String> {
+        let live = LiveGraph::from_graph(graph);
+        let mut engine = ServeEngine {
+            config,
+            live,
+            epoch: 0,
+            solution: Solution::Components(Vec::new()),
+            staged_inserts: Vec::new(),
+            staged_deletes: Vec::new(),
+        };
+        let (solution, stats) = engine.converge(graph, None)?;
+        engine.solution = solution;
+        let report = EpochReport {
+            epoch: 0,
+            inserts: 0,
+            deletes: 0,
+            seeded: graph.num_vertices() as u64,
+            supersteps: stats.supersteps(),
+            converged: stats.converged,
+        };
+        engine.config.telemetry.emit(|| JournalEvent::Reconverge {
+            epoch: 0,
+            supersteps: report.supersteps,
+            converged: report.converged,
+        });
+        Ok((engine, report))
+    }
+
+    /// The engine's journal sink.
+    pub fn telemetry(&self) -> &SinkHandle {
+        &self.config.telemetry
+    }
+
+    /// The current epoch (0 until the first commit).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Number of staged (uncommitted) mutations.
+    pub fn staged(&self) -> usize {
+        self.staged_inserts.len() + self.staged_deletes.len()
+    }
+
+    /// An immutable view of the maintained solution.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { epoch: self.epoch, solution: self.solution.clone() }
+    }
+
+    /// Stage an edge insert. Returns `false` (and stages nothing) when the
+    /// edge is already present.
+    pub fn stage_insert(&mut self, u: VertexId, v: VertexId) -> bool {
+        let changed = self.live.insert(u, v);
+        if changed {
+            self.staged_inserts.push(self.canonical(u, v));
+        }
+        changed
+    }
+
+    /// Stage an edge delete. Returns `false` (and stages nothing) when the
+    /// edge is not present.
+    pub fn stage_delete(&mut self, u: VertexId, v: VertexId) -> bool {
+        let changed = self.live.remove(u, v);
+        if changed {
+            self.staged_deletes.push(self.canonical(u, v));
+        }
+        changed
+    }
+
+    fn canonical(&self, u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+        if self.live.is_directed() || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Point query against the maintained solution (journalled).
+    pub fn point(&self, v: VertexId) -> Option<PointAnswer> {
+        let answer = self.snapshot().point(v);
+        self.config.telemetry.emit(|| JournalEvent::Query {
+            epoch: self.epoch,
+            kind: "point".to_string(),
+            results: answer.is_some() as u64,
+        });
+        answer
+    }
+
+    /// Top-N query against the maintained solution (journalled).
+    pub fn top(&self, n: usize) -> Vec<TopEntry> {
+        let entries = self.snapshot().top(n);
+        self.config.telemetry.emit(|| JournalEvent::Query {
+            epoch: self.epoch,
+            kind: "top".to_string(),
+            results: entries.len() as u64,
+        });
+        entries
+    }
+
+    /// Apply the staged batch: open a new epoch, rebuild the graph, and
+    /// incrementally re-converge from the previous fixpoint. The previous
+    /// solution set is replaced only when the run succeeds.
+    pub fn commit(&mut self) -> Result<EpochReport, String> {
+        let epoch = self.epoch + 1;
+        let inserts = std::mem::take(&mut self.staged_inserts);
+        let deletes = std::mem::take(&mut self.staged_deletes);
+        let graph = self.live.build();
+        let (seed, seeded) = self.seed_for(&graph, &inserts, &deletes);
+        self.config.telemetry.emit(|| JournalEvent::MutationBatch {
+            epoch,
+            inserts: inserts.len() as u64,
+            deletes: deletes.len() as u64,
+            seeded,
+        });
+
+        let report = if inserts.is_empty() && deletes.is_empty() {
+            // Nothing changed: the previous fixpoint is still the fixpoint.
+            EpochReport { epoch, inserts: 0, deletes: 0, seeded: 0, supersteps: 0, converged: true }
+        } else {
+            let (solution, stats) = self.converge_at(&graph, Some(&seed), epoch)?;
+            self.solution = solution;
+            EpochReport {
+                epoch,
+                inserts: inserts.len() as u64,
+                deletes: deletes.len() as u64,
+                seeded,
+                supersteps: stats.supersteps(),
+                converged: stats.converged,
+            }
+        };
+        self.epoch = epoch;
+        self.config.telemetry.emit(|| JournalEvent::Reconverge {
+            epoch,
+            supersteps: report.supersteps,
+            converged: report.converged,
+        });
+        Ok(report)
+    }
+
+    /// Compute the incremental seed for the next epoch over `graph`.
+    ///
+    /// CC mirrors `FixComponents` between convergences: every vertex of a
+    /// component touched by a delete is reset to its initial `(v, v)` label,
+    /// and the workset is seeded with the reset vertices, their surviving
+    /// neighbours (which hold correct labels but stopped propagating), and
+    /// the endpoints of inserted edges. PageRank renormalises the previous
+    /// fixpoint over the new vertex set.
+    fn seed_for(
+        &self,
+        graph: &Graph,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) -> (EpochSeed, u64) {
+        let n = graph.num_vertices();
+        match &self.solution {
+            Solution::Components(prev) => {
+                // Previous labels, extended with (v, v) for new vertices.
+                let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+                for &(v, label) in prev {
+                    labels[v as usize] = label;
+                }
+                let affected: BTreeSet<VertexId> = deletes
+                    .iter()
+                    .flat_map(|&(u, v)| [labels[u as usize], labels[v as usize]])
+                    .collect();
+                let reset: Vec<VertexId> = (0..n as VertexId)
+                    .filter(|&v| affected.contains(&labels[v as usize]))
+                    .collect();
+                for &v in &reset {
+                    labels[v as usize] = v;
+                }
+                let mut seeds: BTreeSet<VertexId> = reset.iter().copied().collect();
+                for &v in &reset {
+                    seeds.extend(graph.neighbors(v).iter().copied());
+                }
+                for &(u, v) in inserts {
+                    seeds.insert(u);
+                    seeds.insert(v);
+                }
+                let workset: Vec<Label> = seeds.iter().map(|&v| (v, labels[v as usize])).collect();
+                let solution: Vec<Label> =
+                    (0..n as VertexId).map(|v| (v, labels[v as usize])).collect();
+                let seeded = workset.len() as u64;
+                (EpochSeed::Cc(CcSeed { solution, workset }), seeded)
+            }
+            Solution::Ranks(prev) => {
+                let uniform = 1.0 / n as f64;
+                let mut dist = vec![uniform; n];
+                for &(v, r) in prev {
+                    dist[v as usize] = r;
+                }
+                let sum: f64 = dist.iter().sum();
+                for r in &mut dist {
+                    *r /= sum;
+                }
+                let warm: Vec<Rank> = (0..n as VertexId).map(|v| (v, dist[v as usize])).collect();
+                // Informational: mutated endpoints plus freshly named
+                // vertices — the state the warm start actually perturbs.
+                let mut touched: BTreeSet<VertexId> =
+                    inserts.iter().chain(deletes).flat_map(|&(u, v)| [u, v]).collect();
+                touched.extend(prev.len() as VertexId..n as VertexId);
+                (EpochSeed::Pr(warm), touched.len() as u64)
+            }
+        }
+    }
+
+    fn converge(
+        &self,
+        graph: &Graph,
+        seed: Option<&EpochSeed>,
+    ) -> Result<(Solution, RunStats), String> {
+        self.converge_at(graph, seed, 0)
+    }
+
+    /// Run one epoch's (re-)convergence, applying the configured failure
+    /// injection when `epoch` matches.
+    fn converge_at(
+        &self,
+        graph: &Graph,
+        seed: Option<&EpochSeed>,
+        epoch: u32,
+    ) -> Result<(Solution, RunStats), String> {
+        let inject = self.config.inject.as_ref().filter(|i| i.epoch == epoch).map(|i| &i.kind);
+        let mut scenario = FailureScenario::none();
+        let mut panic_at = None;
+        let mut cluster_kill = None;
+        match inject {
+            Some(InjectionKind::Panic { superstep }) => panic_at = Some(*superstep),
+            Some(InjectionKind::Fail { superstep, partitions }) => {
+                scenario = scenario.fail_at(*superstep, partitions);
+            }
+            Some(InjectionKind::Mtbf { probability, seed }) => {
+                scenario = scenario.random(*probability, 1, 1, *seed);
+            }
+            Some(InjectionKind::ClusterKill { workers, superstep, worker }) => {
+                cluster_kill =
+                    Some((*workers, KillPlan { superstep: *superstep, worker: *worker }));
+            }
+            None => {}
+        }
+        if let Some((workers, kill)) = cluster_kill {
+            return self.converge_on_cluster(graph, seed, workers, kill);
+        }
+
+        let ft =
+            FtConfig { scenario, telemetry: self.config.telemetry.clone(), ..Default::default() };
+        match self.config.algorithm {
+            ServeAlgorithm::ConnectedComponents => {
+                let config = CcConfig {
+                    parallelism: self.config.parallelism,
+                    max_iterations: self.config.max_iterations,
+                    ft,
+                    track_truth: false,
+                    capture_history: false,
+                    panic_at,
+                };
+                let cc_seed = match seed {
+                    Some(EpochSeed::Cc(s)) => Some(s),
+                    Some(EpochSeed::Pr(_)) => unreachable!("CC engine builds CC seeds"),
+                    None => None,
+                };
+                let env = algos::common::environment(config.parallelism, &config.ft);
+                let built =
+                    cc::build_seeded(&env, graph, &config, cc_seed).map_err(|e| e.to_string())?;
+                let mut labels = built.result.collect().map_err(|e| e.to_string())?;
+                labels.sort_unstable();
+                let stats = built.stats.take().ok_or("cc run produced no statistics")?;
+                Ok((Solution::Components(labels), stats))
+            }
+            ServeAlgorithm::PageRank => {
+                let config = PrConfig {
+                    parallelism: self.config.parallelism,
+                    max_iterations: self.config.max_iterations,
+                    epsilon: self.config.epsilon,
+                    ft,
+                    track_truth: false,
+                    capture_history: false,
+                    panic_at,
+                    ..Default::default()
+                };
+                let warm = match seed {
+                    Some(EpochSeed::Pr(w)) => Some(w.as_slice()),
+                    Some(EpochSeed::Cc(_)) => unreachable!("PR engine builds PR seeds"),
+                    None => None,
+                };
+                let env = algos::common::environment(config.parallelism, &config.ft);
+                let built =
+                    pr::build_warm(&env, graph, &config, warm).map_err(|e| e.to_string())?;
+                let mut ranks = built.result.collect().map_err(|e| e.to_string())?;
+                ranks.sort_by_key(|r| r.0);
+                let stats = built.stats.take().ok_or("pagerank run produced no statistics")?;
+                Ok((Solution::Ranks(ranks), stats))
+            }
+        }
+    }
+
+    /// The cluster SIGKILL injector: run the epoch on real worker processes,
+    /// warm-started from the seed, and let the coordinator's network-level
+    /// detection plus the optimistic handler absorb the kill.
+    fn converge_on_cluster(
+        &self,
+        graph: &Graph,
+        seed: Option<&EpochSeed>,
+        workers: usize,
+        kill: KillPlan,
+    ) -> Result<(Solution, RunStats), String> {
+        let mut cfg =
+            ClusterConfig::new(workers, self.config.parallelism, self.config.max_iterations)
+                .with_env_timing();
+        cfg.kill = Some(kill);
+        let program = match self.config.algorithm {
+            ServeAlgorithm::ConnectedComponents => "cc",
+            ServeAlgorithm::PageRank => "pagerank",
+        };
+        if let Some(seed) = seed {
+            let records: Vec<(u64, u64)> = match seed {
+                EpochSeed::Cc(s) => s.solution.iter().map(|&(v, l)| (v, l)).collect(),
+                EpochSeed::Pr(warm) => warm.iter().map(|&(v, r)| (v, r.to_bits())).collect(),
+            };
+            cfg = cfg.with_initial_state(records);
+        }
+        let run = cluster::run_cluster(program, graph, cfg, self.config.telemetry.clone())
+            .map_err(|e| e.to_string())?;
+        let solution = match self.config.algorithm {
+            ServeAlgorithm::ConnectedComponents => {
+                Solution::Components(run.values.iter().map(|&(v, bits)| (v, bits)).collect())
+            }
+            ServeAlgorithm::PageRank => Solution::Ranks(
+                run.values.iter().map(|&(v, bits)| (v, f64::from_bits(bits))).collect(),
+            ),
+        };
+        Ok((solution, run.stats))
+    }
+}
+
+/// The per-epoch warm-start payload.
+enum EpochSeed {
+    Cc(CcSeed),
+    Pr(Vec<Rank>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::GraphBuilder;
+
+    fn cc_engine(graph: &Graph) -> (ServeEngine, EpochReport) {
+        ServeEngine::bootstrap(ServeConfig::default(), graph).unwrap()
+    }
+
+    fn labels_of(engine: &ServeEngine) -> Vec<Label> {
+        match &engine.snapshot().solution {
+            Solution::Components(labels) => labels.clone(),
+            other => panic!("expected components, got {other:?}"),
+        }
+    }
+
+    fn cold_cc(graph: &Graph) -> Vec<Label> {
+        let config = CcConfig { track_truth: false, ..Default::default() };
+        cc::run(graph, &config).unwrap().labels
+    }
+
+    #[test]
+    fn bootstrap_converges_and_serves_queries() {
+        let graph = graphs::generators::demo_components();
+        let (engine, report) = cc_engine(&graph);
+        assert!(report.converged);
+        assert!(report.supersteps > 0);
+        assert_eq!(labels_of(&engine), cold_cc(&graph));
+        assert!(engine.point(0).is_some());
+        assert!(engine.point(10_000).is_none());
+        let top = engine.top(2);
+        assert!(!top.is_empty());
+        assert!(top[0].score >= top[top.len() - 1].score);
+    }
+
+    #[test]
+    fn insert_commit_matches_full_recomputation() {
+        // Two 8-vertex paths; an insert bridges them.
+        let mut b = GraphBuilder::undirected(16);
+        for v in 0..7u64 {
+            b.add_edge(v, v + 1);
+            b.add_edge(8 + v, 8 + v + 1);
+        }
+        let graph = b.build();
+        let (mut engine, _) = cc_engine(&graph);
+        assert!(engine.stage_insert(7, 8));
+        assert!(!engine.stage_insert(7, 8), "duplicate insert is a no-op");
+        let report = engine.commit().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.inserts, 1);
+        assert!(report.converged);
+
+        let mut expected = GraphBuilder::undirected(16);
+        for v in 0..7u64 {
+            expected.add_edge(v, v + 1);
+            expected.add_edge(8 + v, 8 + v + 1);
+        }
+        expected.add_edge(7, 8);
+        assert_eq!(labels_of(&engine), cold_cc(&expected.build()));
+    }
+
+    #[test]
+    fn delete_commit_resets_the_split_component() {
+        let graph = graphs::generators::path(12);
+        let (mut engine, _) = cc_engine(&graph);
+        assert!(engine.stage_delete(5, 6));
+        assert!(!engine.stage_delete(5, 6), "double delete is a no-op");
+        let report = engine.commit().unwrap();
+        assert!(report.converged);
+        // The split halves get their own minima: 0 and 6.
+        let labels = labels_of(&engine);
+        assert_eq!(labels[3].1, 0);
+        assert_eq!(labels[9].1, 6);
+        let mut expected = GraphBuilder::undirected(12);
+        for v in 0..11u64 {
+            if v != 5 {
+                expected.add_edge(v, v + 1);
+            }
+        }
+        assert_eq!(labels, cold_cc(&expected.build()));
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let graph = graphs::generators::demo_components();
+        let (mut engine, _) = cc_engine(&graph);
+        let before = labels_of(&engine);
+        let report = engine.commit().unwrap();
+        assert_eq!(report.supersteps, 0);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(labels_of(&engine), before);
+    }
+
+    #[test]
+    fn pagerank_commit_matches_full_recomputation() {
+        let graph = graphs::generators::demo_pagerank();
+        let config = ServeConfig { algorithm: ServeAlgorithm::PageRank, ..Default::default() };
+        let (mut engine, report) = ServeEngine::bootstrap(config, &graph).unwrap();
+        assert!(report.converged);
+        assert!(engine.stage_insert(4, 2));
+        let report = engine.commit().unwrap();
+        assert!(report.converged);
+        assert!(report.supersteps > 0);
+
+        let mut live = LiveGraph::from_graph(&graph);
+        live.insert(4, 2);
+        let pr_config = PrConfig { track_truth: false, epsilon: 1e-9, ..Default::default() };
+        let cold = pr::run(&live.build(), &pr_config).unwrap();
+        match &engine.snapshot().solution {
+            Solution::Ranks(ranks) => {
+                assert_eq!(ranks.len(), cold.ranks.len());
+                for (&(v, warm), &(_, exact)) in ranks.iter().zip(&cold.ranks) {
+                    assert!((warm - exact).abs() < 1e-6, "vertex {v}: {warm} vs {exact}");
+                }
+            }
+            other => panic!("expected ranks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_between_convergences_keeps_the_fixpoint() {
+        let graph = graphs::generators::path(24);
+        let config = ServeConfig {
+            inject: Some(EpochInjection { epoch: 1, kind: InjectionKind::Panic { superstep: 2 } }),
+            ..Default::default()
+        };
+        let (mut engine, _) = ServeEngine::bootstrap(config, &graph).unwrap();
+        assert!(engine.stage_delete(11, 12));
+        let report = engine.commit().unwrap();
+        assert!(report.converged);
+        let mut expected = GraphBuilder::undirected(24);
+        for v in 0..23u64 {
+            if v != 11 {
+                expected.add_edge(v, v + 1);
+            }
+        }
+        assert_eq!(labels_of(&engine), cold_cc(&expected.build()));
+    }
+}

@@ -1,0 +1,138 @@
+//! The live edge set behind the serving engine: a mutable view of the graph
+//! that stages inserts/deletes and rebuilds an immutable [`Graph`] per
+//! epoch.
+//!
+//! Iteration state is what the engine maintains incrementally; the graph
+//! itself is rebuilt from the edge set on every commit — an `O(E log E)`
+//! sort inside [`graphs::GraphBuilder`], cheap next to even one superstep
+//! over the same edges. The vertex set only ever grows: a vertex whose last
+//! edge is deleted stays in the graph as an isolate, so solution-set entries
+//! are never silently dropped.
+
+use std::collections::BTreeSet;
+
+use graphs::{Graph, GraphBuilder, VertexId};
+
+/// A mutable edge set that rebuilds [`Graph`]s.
+#[derive(Debug, Clone)]
+pub struct LiveGraph {
+    directed: bool,
+    num_vertices: usize,
+    /// Canonical edges: as given for directed graphs, `(min, max)` for
+    /// undirected ones. Self-loops are kept (the builder handles them).
+    edges: BTreeSet<(VertexId, VertexId)>,
+}
+
+impl LiveGraph {
+    /// Start from an existing graph's edge set.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let directed = graph.is_directed();
+        let mut live =
+            LiveGraph { directed, num_vertices: graph.num_vertices(), edges: BTreeSet::new() };
+        for (u, v) in graph.directed_edges() {
+            live.edges.insert(live.canonical(u, v));
+        }
+        live
+    }
+
+    fn canonical(&self, u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+        if self.directed || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Whether rebuilt graphs are directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Current number of vertices (monotonically growing).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Current number of canonical edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the edge is present (undirected edges match either
+    /// direction).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains(&self.canonical(u, v))
+    }
+
+    /// Insert an edge, growing the vertex set to cover both endpoints.
+    /// Returns `false` when the edge was already present (the vertex set
+    /// still grows — naming a vertex brings it into existence).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.num_vertices = self.num_vertices.max(u.max(v) as usize + 1);
+        let edge = self.canonical(u, v);
+        self.edges.insert(edge)
+    }
+
+    /// Delete an edge. Returns `false` when it was not present; the vertex
+    /// set never shrinks.
+    pub fn remove(&mut self, u: VertexId, v: VertexId) -> bool {
+        let edge = self.canonical(u, v);
+        self.edges.remove(&edge)
+    }
+
+    /// Rebuild the immutable graph for the current edge set.
+    pub fn build(&self) -> Graph {
+        let mut builder = if self.directed {
+            GraphBuilder::directed(self.num_vertices)
+        } else {
+            GraphBuilder::undirected(self.num_vertices)
+        };
+        builder.ensure_vertices(self.num_vertices);
+        for &(u, v) in &self.edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_an_undirected_graph() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+        let graph = b.build();
+        let live = LiveGraph::from_graph(&graph);
+        assert_eq!(live.num_edges(), 3);
+        let rebuilt = live.build();
+        assert_eq!(rebuilt.num_vertices(), graph.num_vertices());
+        assert_eq!(rebuilt.num_edges(), graph.num_edges());
+        assert!(rebuilt.has_edge(1, 0), "undirected edges keep both directions");
+    }
+
+    #[test]
+    fn inserts_grow_the_vertex_set_and_deletes_do_not_shrink_it() {
+        let mut live = LiveGraph::from_graph(&GraphBuilder::undirected(2).build());
+        assert!(live.insert(0, 5));
+        assert_eq!(live.num_vertices(), 6);
+        assert!(!live.insert(5, 0), "same undirected edge, other direction");
+        assert!(live.remove(0, 5));
+        assert!(!live.remove(0, 5), "double delete is a no-op");
+        assert_eq!(live.num_vertices(), 6, "vertex 5 survives as an isolate");
+        assert_eq!(live.build().num_vertices(), 6);
+    }
+
+    #[test]
+    fn directed_edges_keep_their_direction() {
+        let mut live = LiveGraph::from_graph(&GraphBuilder::directed(3).build());
+        assert!(live.insert(2, 1));
+        assert!(live.has_edge(2, 1));
+        assert!(!live.has_edge(1, 2));
+        assert!(live.insert(1, 2), "reverse direction is a distinct edge");
+        let graph = live.build();
+        assert!(graph.has_edge(2, 1));
+        assert!(graph.has_edge(1, 2));
+    }
+}

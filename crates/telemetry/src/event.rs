@@ -257,6 +257,41 @@ pub enum JournalEvent {
         /// Whether the termination criterion was met (vs. hitting the cap).
         converged: bool,
     },
+    /// A serving engine applied a batch of live graph mutations (epoch
+    /// boundary). The incremental re-convergence for the batch follows as a
+    /// regular `RunStarted`..`RunCompleted` sequence, closed by the matching
+    /// [`JournalEvent::Reconverge`] summary.
+    MutationBatch {
+        /// Serving epoch the batch opens (epoch 0 is the bootstrap
+        /// convergence; the first mutation batch opens epoch 1).
+        epoch: u32,
+        /// Edge insertions in the batch.
+        inserts: u64,
+        /// Edge deletions in the batch.
+        deletes: u64,
+        /// Vertices seeded into the delta driver's workset (or reset for a
+        /// warm bulk restart) instead of recomputing from scratch.
+        seeded: u64,
+    },
+    /// A serving epoch's incremental re-convergence finished.
+    Reconverge {
+        /// Serving epoch that re-converged.
+        epoch: u32,
+        /// Supersteps the incremental run needed.
+        supersteps: u32,
+        /// Whether the run converged (vs. hitting the iteration cap).
+        converged: bool,
+    },
+    /// The serving engine answered a query against the maintained solution
+    /// set between update batches.
+    Query {
+        /// Serving epoch whose published solution answered the query.
+        epoch: u32,
+        /// Query kind: `"point"` or `"top"`.
+        kind: String,
+        /// Result rows returned (0 or 1 for point lookups).
+        results: u64,
+    },
 }
 
 impl JournalEvent {
@@ -279,6 +314,9 @@ impl JournalEvent {
             JournalEvent::Restarted => "Restarted",
             JournalEvent::FailureIgnored { .. } => "FailureIgnored",
             JournalEvent::RunCompleted { .. } => "RunCompleted",
+            JournalEvent::MutationBatch { .. } => "MutationBatch",
+            JournalEvent::Reconverge { .. } => "Reconverge",
+            JournalEvent::Query { .. } => "Query",
         }
     }
 
@@ -394,6 +432,22 @@ impl JournalEvent {
                 .u64("supersteps", u64::from(*supersteps))
                 .u64("iterations", u64::from(*iterations))
                 .bool("converged", *converged)
+                .finish(),
+            JournalEvent::MutationBatch { epoch, inserts, deletes, seeded } => obj
+                .u64("epoch", u64::from(*epoch))
+                .u64("inserts", *inserts)
+                .u64("deletes", *deletes)
+                .u64("seeded", *seeded)
+                .finish(),
+            JournalEvent::Reconverge { epoch, supersteps, converged } => obj
+                .u64("epoch", u64::from(*epoch))
+                .u64("supersteps", u64::from(*supersteps))
+                .bool("converged", *converged)
+                .finish(),
+            JournalEvent::Query { epoch, kind, results } => obj
+                .u64("epoch", u64::from(*epoch))
+                .str("kind", kind)
+                .u64("results", *results)
                 .finish(),
         }
     }
@@ -547,9 +601,32 @@ mod tests {
                 workset_per_partition: None,
             },
             JournalEvent::Restarted,
+            JournalEvent::MutationBatch { epoch: 1, inserts: 2, deletes: 1, seeded: 4 },
+            JournalEvent::Reconverge { epoch: 1, supersteps: 3, converged: true },
+            JournalEvent::Query { epoch: 1, kind: "point".into(), results: 1 },
         ];
         for e in &events {
             assert!(e.to_json().starts_with(&format!("{{\"event\":\"{}\"", e.kind())));
         }
+    }
+
+    #[test]
+    fn serve_events_serialize_stably() {
+        let batch = JournalEvent::MutationBatch { epoch: 2, inserts: 3, deletes: 1, seeded: 7 };
+        assert_eq!(
+            batch.to_json(),
+            "{\"event\":\"MutationBatch\",\"epoch\":2,\"inserts\":3,\
+             \"deletes\":1,\"seeded\":7}"
+        );
+        let reconverge = JournalEvent::Reconverge { epoch: 2, supersteps: 4, converged: true };
+        assert_eq!(
+            reconverge.to_json(),
+            "{\"event\":\"Reconverge\",\"epoch\":2,\"supersteps\":4,\"converged\":true}"
+        );
+        let query = JournalEvent::Query { epoch: 2, kind: "top".into(), results: 5 };
+        assert_eq!(
+            query.to_json(),
+            "{\"event\":\"Query\",\"epoch\":2,\"kind\":\"top\",\"results\":5}"
+        );
     }
 }

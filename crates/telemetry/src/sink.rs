@@ -5,6 +5,16 @@
 //! checks [`SinkHandle::enabled`] first — with the no-op sink that is a
 //! single non-atomic bool read, and event payloads are built lazily via
 //! [`SinkHandle::emit`], so disabled telemetry costs near nothing.
+//!
+//! Enabled telemetry batches journal writes: the handle accumulates the
+//! high-frequency per-superstep events (`SuperstepCompleted`,
+//! `ConvergenceSample`) in a buffer shared by all clones and hands them to
+//! the sink in one [`TelemetrySink::event_batch`] call — one sink lock and
+//! zero per-event clones instead of one of each per superstep. Rare events
+//! (failures, recovery decisions, run lifecycle) flush the buffer
+//! immediately, so a run that aborts mid-iteration still leaves every
+//! decision-relevant event visible in the sink without an explicit
+//! [`SinkHandle::flush`].
 
 use std::fmt;
 use std::fs::File;
@@ -31,6 +41,15 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Receive one journal event.
     fn event(&self, event: &JournalEvent);
+
+    /// Receive a batch of journal events, draining `events`. Sinks that can
+    /// ingest a whole batch under one lock (or one write) should override
+    /// this; the default forwards to [`TelemetrySink::event`] one by one.
+    fn event_batch(&self, events: &mut Vec<JournalEvent>) {
+        for event in events.drain(..) {
+            self.event(&event);
+        }
+    }
 
     /// Receive one finished span.
     fn span(&self, span: &SpanRecord);
@@ -98,6 +117,10 @@ impl TelemetrySink for MemorySink {
         lock(&self.events).push(event.clone());
     }
 
+    fn event_batch(&self, events: &mut Vec<JournalEvent>) {
+        lock(&self.events).append(events);
+    }
+
     fn span(&self, span: &SpanRecord) {
         lock(&self.spans).push(span.clone());
     }
@@ -138,6 +161,14 @@ impl TelemetrySink for JsonlSink {
         let _ = writer.write_all(b"\n");
     }
 
+    fn event_batch(&self, events: &mut Vec<JournalEvent>) {
+        let mut writer = lock(&self.writer);
+        for event in events.drain(..) {
+            let _ = writer.write_all(event.to_json().as_bytes());
+            let _ = writer.write_all(b"\n");
+        }
+    }
+
     fn span(&self, _: &SpanRecord) {}
 }
 
@@ -147,13 +178,34 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Buffered per-superstep events before a forced hand-off to the sink.
+const EVENT_BATCH_CAPACITY: usize = 32;
+
+/// Whether an event may sit in the handle's batch buffer. Only the two
+/// high-frequency per-superstep events qualify; everything rarer (failures,
+/// recovery, run lifecycle, serve epochs) flushes the buffer immediately so
+/// the sink's view is current whenever anything noteworthy happens.
+fn batchable(event: &JournalEvent) -> bool {
+    matches!(
+        event,
+        JournalEvent::SuperstepCompleted { .. } | JournalEvent::ConvergenceSample { .. }
+    )
+}
+
 /// The handle the engine and strategies carry: a shared sink plus a shared
-/// metric registry. Cloning is two `Arc` bumps; the default is the no-op
+/// metric registry. Cloning is three `Arc` bumps; the default is the no-op
 /// sink with a fresh (unused) registry.
+///
+/// All clones of a handle share one event buffer, so emission order is
+/// preserved across the engine, the recovery strategies, and the cluster
+/// backend. The buffer drains into the sink when a non-batchable event
+/// arrives, when it reaches capacity, on [`SinkHandle::flush`], and when the
+/// last clone drops.
 #[derive(Clone)]
 pub struct SinkHandle {
     sink: Arc<dyn TelemetrySink>,
     enabled: bool,
+    buffer: Arc<Mutex<Vec<JournalEvent>>>,
     metrics: Arc<MetricRegistry>,
 }
 
@@ -161,7 +213,12 @@ impl SinkHandle {
     /// Handle around an existing sink.
     pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
         let enabled = sink.enabled();
-        SinkHandle { sink, enabled, metrics: Arc::new(MetricRegistry::new()) }
+        SinkHandle {
+            sink,
+            enabled,
+            buffer: Arc::new(Mutex::new(Vec::new())),
+            metrics: Arc::new(MetricRegistry::new()),
+        }
     }
 
     /// The disabled default handle.
@@ -175,10 +232,30 @@ impl SinkHandle {
     }
 
     /// Emit an event, constructing it lazily so disabled telemetry pays for
-    /// neither the payload allocation nor the sink call.
+    /// neither the payload allocation nor the sink call. Per-superstep
+    /// events are buffered and handed to the sink in batches; everything
+    /// else drains the buffer immediately (in order).
     pub fn emit(&self, event: impl FnOnce() -> JournalEvent) {
+        if !self.enabled {
+            return;
+        }
+        let event = event();
+        let flush_now = !batchable(&event);
+        let mut buffer = lock(&self.buffer);
+        buffer.push(event);
+        if flush_now || buffer.len() >= EVENT_BATCH_CAPACITY {
+            self.sink.event_batch(&mut buffer);
+        }
+    }
+
+    /// Hand any buffered events to the sink now. Needed only when reading
+    /// the sink outside a run (runs flush on every non-superstep event).
+    pub fn flush(&self) {
         if self.enabled {
-            self.sink.event(&event());
+            let mut buffer = lock(&self.buffer);
+            if !buffer.is_empty() {
+                self.sink.event_batch(&mut buffer);
+            }
         }
     }
 
@@ -205,6 +282,17 @@ impl SinkHandle {
     /// The shared metric registry.
     pub fn metrics(&self) -> &Arc<MetricRegistry> {
         &self.metrics
+    }
+}
+
+impl Drop for SinkHandle {
+    fn drop(&mut self) {
+        // Last clone out flushes whatever the run left buffered, so sinks
+        // read after a handle's lifetime (bench reports, journal files) see
+        // every event without an explicit flush call.
+        if self.enabled && Arc::strong_count(&self.buffer) == 1 {
+            self.flush();
+        }
     }
 }
 
@@ -262,6 +350,69 @@ mod tests {
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents, "{\"event\":\"Restarted\"}\n");
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn step(superstep: u32) -> JournalEvent {
+        JournalEvent::SuperstepCompleted {
+            superstep,
+            iteration: superstep,
+            records_shuffled: 1,
+            workset_size: None,
+        }
+    }
+
+    #[test]
+    fn superstep_events_batch_until_a_flush_point() {
+        let sink = Arc::new(MemorySink::new());
+        let handle = SinkHandle::new(sink.clone());
+        handle.emit(|| step(0));
+        assert!(sink.events().is_empty(), "per-superstep events are buffered");
+        handle.emit(|| JournalEvent::Restarted);
+        let drained = sink.events();
+        assert_eq!(drained.len(), 2, "a rare event drains the buffer with it");
+        assert_eq!(drained[0].kind(), "SuperstepCompleted");
+        assert_eq!(drained[1].kind(), "Restarted");
+        handle.emit(|| step(1));
+        handle.flush();
+        assert_eq!(sink.events().len(), 3);
+        handle.flush();
+        assert_eq!(sink.events().len(), 3, "an empty buffer flushes to nothing");
+    }
+
+    #[test]
+    fn a_full_buffer_drains_on_its_own() {
+        let sink = Arc::new(MemorySink::new());
+        let handle = SinkHandle::new(sink.clone());
+        for s in 0..EVENT_BATCH_CAPACITY as u32 {
+            handle.emit(|| step(s));
+        }
+        assert_eq!(sink.events().len(), EVENT_BATCH_CAPACITY);
+    }
+
+    #[test]
+    fn clones_share_one_buffer_and_the_last_drop_flushes_it() {
+        let sink = Arc::new(MemorySink::new());
+        {
+            let handle = SinkHandle::new(sink.clone());
+            let clone = handle.clone();
+            handle.emit(|| step(0));
+            clone.emit(|| step(1));
+            drop(handle);
+            assert!(sink.events().is_empty(), "a surviving clone keeps the buffer");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2, "the last clone flushes on drop");
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| match e {
+                    JournalEvent::SuperstepCompleted { superstep, .. } => *superstep,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+            vec![0, 1],
+            "clone emissions interleave through the shared buffer in order"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use optimistic_recovery::cli::{self, Algorithm, InspectCommand, Invocation};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+    if args.is_empty() || (args[0] != "serve" && args.iter().any(|a| a == "--help" || a == "-h")) {
         print!("{}", cli::usage());
         return;
     }
@@ -26,6 +26,24 @@ fn main() {
         };
         if let Err(e) = cluster::worker::run(&listen) {
             eprintln!("error: worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args[0] == "serve" {
+        if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", cli::serve_usage());
+            return;
+        }
+        let invocation = match cli::parse_serve(&args[1..]) {
+            Ok(invocation) => invocation,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(message) = run_serve(&invocation) {
+            eprintln!("error: {message}");
             std::process::exit(1);
         }
         return;
@@ -286,6 +304,90 @@ fn run(invocation: &Invocation) -> Result<(), String> {
     Ok(())
 }
 
+/// The `serve` subcommand: bootstrap the incremental serving engine, replay
+/// a mutation file, and/or serve the line protocol over TCP. The journal
+/// (when requested) spans the bootstrap convergence and every epoch.
+fn run_serve(invocation: &cli::ServeInvocation) -> Result<(), String> {
+    let algorithm = match invocation.algorithm {
+        Algorithm::ConnectedComponents => serve::ServeAlgorithm::ConnectedComponents,
+        Algorithm::PageRank => serve::ServeAlgorithm::PageRank,
+        other => return Err(format!("serve supports cc and pagerank, not {other:?}")),
+    };
+    let graph = invocation.graph.build(invocation.algorithm)?;
+    let capture = invocation.journal.as_ref().map(|path| {
+        let sink = Arc::new(telemetry::MemorySink::new());
+        let handle = telemetry::SinkHandle::new(sink.clone());
+        (sink, handle, path.clone())
+    });
+    let telemetry = match &capture {
+        Some((_, handle, _)) => handle.clone(),
+        None => telemetry::SinkHandle::disabled(),
+    };
+    let config = serve::ServeConfig {
+        algorithm,
+        parallelism: invocation.parallelism,
+        max_iterations: invocation.max_iterations,
+        telemetry,
+        inject: invocation.inject.clone(),
+        ..Default::default()
+    };
+    println!(
+        "serve {:?} on {:?} (parallelism {})",
+        invocation.algorithm, invocation.graph, invocation.parallelism
+    );
+    if let Some(inject) = &invocation.inject {
+        println!("will inject {:?} into epoch {}", inject.kind, inject.epoch);
+    }
+    let (mut engine, report) = serve::ServeEngine::bootstrap(config, &graph)?;
+    println!(
+        "bootstrap: converged over {} vertices in {} supersteps",
+        graph.num_vertices(),
+        report.supersteps
+    );
+
+    if let Some(path) = &invocation.replay {
+        let commands = serve::load_replay(path)?;
+        println!("replaying {} commands from {}", commands.len(), path.display());
+        for command in &commands {
+            let (response, quit) = serve::apply_command(&mut engine, command);
+            println!("> {}", command.to_line());
+            println!("{response}");
+            if quit {
+                break;
+            }
+        }
+    }
+
+    if let Some(listen) = &invocation.listen {
+        let daemon = serve::spawn(engine, listen).map_err(|e| e.to_string())?;
+        println!("serving on {} (line protocol; `quit` ends a session)", daemon.addr());
+        match invocation.serve_seconds {
+            Some(seconds) => {
+                std::thread::sleep(std::time::Duration::from_secs(seconds));
+                daemon.stop();
+                println!("serve window of {seconds}s elapsed, shutting down");
+            }
+            None => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+        }
+    }
+
+    if let Some((sink, handle, path)) = &capture {
+        handle.flush();
+        let paths = flowscope::save_run(sink, handle.metrics(), path)
+            .map_err(|e| format!("cannot write telemetry to {}: {e}", path.display()))?;
+        println!(
+            "telemetry written: {} (spans: {}, report: {})",
+            paths.journal.display(),
+            paths.spans.display(),
+            paths.report.display()
+        );
+        println!("inspect it with: optirec inspect timeline --journal {}", paths.journal.display());
+    }
+    Ok(())
+}
+
 /// The `--cluster` path: real worker processes over loopback TCP. Failure
 /// injection here is a SIGKILL of a live process (`--kill`), and recovery is
 /// always optimistic compensation — the coordinator detects the loss at the
@@ -297,11 +399,7 @@ fn run_on_cluster(invocation: &Invocation, workers: usize) -> Result<(), String>
         other => return Err(format!("--cluster supports cc and pagerank, not {other:?}")),
     };
     let graph = invocation.graph.build(invocation.algorithm)?;
-    let mut cfg =
-        cluster::ClusterConfig::new(workers, invocation.parallelism, invocation.max_iterations);
-    if let Some((superstep, worker)) = invocation.kill {
-        cfg.kill = Some(cluster::KillPlan { superstep, worker });
-    }
+    let cfg = cli::cluster_config(invocation, workers);
 
     let capture = invocation.journal.as_ref().map(|path| {
         let sink = Arc::new(telemetry::MemorySink::new());

@@ -134,6 +134,13 @@ pub struct Invocation {
     /// With `--cluster`: SIGKILL worker `W` while superstep `S` is in
     /// flight, as `(S, W)`.
     pub kill: Option<(u32, usize)>,
+    /// With `--cluster`: heartbeat probe interval in milliseconds.
+    pub heartbeat_interval_ms: Option<u64>,
+    /// With `--cluster`: heartbeat read timeout in milliseconds — how long a
+    /// worker may stay silent before it is declared dead.
+    pub heartbeat_timeout_ms: Option<u64>,
+    /// With `--cluster`: per-superstep control read timeout in milliseconds.
+    pub step_timeout_ms: Option<u64>,
 }
 
 /// Parse a strategy spec: `optimistic`, `restart`, `ignore`,
@@ -203,6 +210,9 @@ pub const RUN_FLAGS: &[&str] = &[
     "--journal",
     "--cluster",
     "--kill",
+    "--heartbeat-interval-ms",
+    "--heartbeat-timeout-ms",
+    "--step-timeout-ms",
 ];
 
 /// Usage text.
@@ -211,6 +221,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
     optirec <ALGORITHM> [OPTIONS]
+    optirec serve <cc|pagerank> [OPTIONS]      (see `optirec serve --help`)
     optirec inspect <timeline|profile|convergence|diff> [OPTIONS]
     optirec worker [--listen ADDR]
 
@@ -230,6 +241,12 @@ OPTIONS:
                           (cc and pagerank only; spawns `optirec worker`)
     --kill <S:W>          with --cluster: SIGKILL worker W while superstep S
                           is in flight; recovery is optimistic compensation
+    --heartbeat-interval-ms <MS>  with --cluster: delay between heartbeat
+                          probes   [100; env OPTIREC_HEARTBEAT_INTERVAL_MS]
+    --heartbeat-timeout-ms <MS>   with --cluster: silence before a worker is
+                          declared dead   [3000; env OPTIREC_HEARTBEAT_TIMEOUT_MS]
+    --step-timeout-ms <MS>        with --cluster: per-superstep control read
+                          timeout   [30000; env OPTIREC_STEP_TIMEOUT_MS]
 
 EXAMPLES:
     optirec cc --fail 3:1 --fail 5:0,2
@@ -426,6 +443,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         journal: None,
         cluster: None,
         kill: None,
+        heartbeat_interval_ms: None,
+        heartbeat_timeout_ms: None,
+        step_timeout_ms: None,
     };
     while let Some(flag) = iter.next() {
         let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
@@ -455,11 +475,30 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 invocation.cluster = Some(workers);
             }
             "--kill" => invocation.kill = Some(parse_kill(&value()?)?),
+            "--heartbeat-interval-ms" => {
+                invocation.heartbeat_interval_ms =
+                    Some(value()?.parse().map_err(|_| "invalid heartbeat interval".to_string())?);
+            }
+            "--heartbeat-timeout-ms" => {
+                invocation.heartbeat_timeout_ms =
+                    Some(value()?.parse().map_err(|_| "invalid heartbeat timeout".to_string())?);
+            }
+            "--step-timeout-ms" => {
+                invocation.step_timeout_ms =
+                    Some(value()?.parse().map_err(|_| "invalid step timeout".to_string())?);
+            }
             other => return Err(format!("{}\n\n{}", unknown_flag(other, RUN_FLAGS), usage())),
         }
     }
     if invocation.kill.is_some() && invocation.cluster.is_none() {
         return Err("--kill needs --cluster: it SIGKILLs a real worker process".into());
+    }
+    if invocation.cluster.is_none()
+        && (invocation.heartbeat_interval_ms.is_some()
+            || invocation.heartbeat_timeout_ms.is_some()
+            || invocation.step_timeout_ms.is_some())
+    {
+        return Err("heartbeat/step timeouts only apply to --cluster runs".into());
     }
     if invocation.cluster.is_some() {
         if invocation.strategy != Strategy::Optimistic {
@@ -472,6 +511,174 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 "--fail simulates partition loss in-process; use --kill S:W with --cluster".into(),
             );
         }
+    }
+    Ok(invocation)
+}
+
+/// One `optirec serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeInvocation {
+    /// The maintained algorithm (cc or pagerank).
+    pub algorithm: Algorithm,
+    /// The initial graph.
+    pub graph: GraphSpec,
+    /// Partitions per epoch run.
+    pub parallelism: usize,
+    /// Superstep cap per epoch run.
+    pub max_iterations: u32,
+    /// Replay this mutation file against the engine after bootstrap.
+    pub replay: Option<PathBuf>,
+    /// Serve the line protocol over TCP on this address after the replay.
+    pub listen: Option<String>,
+    /// With `--listen`: stop after this many seconds (forever otherwise).
+    pub serve_seconds: Option<u64>,
+    /// Capture telemetry and write the journal (plus sidecars) there on
+    /// exit.
+    pub journal: Option<PathBuf>,
+    /// Failure injection into one epoch's (re-)convergence.
+    pub inject: Option<serve::EpochInjection>,
+}
+
+/// Usage text of the `serve` subcommand.
+pub fn serve_usage() -> &'static str {
+    "optirec serve — incremental serving engine with live graph mutations
+
+USAGE:
+    optirec serve <cc|pagerank> [OPTIONS]
+
+OPTIONS:
+    --graph <SPEC>        demo | twitter:N | grid:WxH | path:N | file:PATH   [demo]
+    --parallelism <N>     partitions per epoch run   [4]
+    --max-iterations <N>  superstep cap per epoch run   [200]
+    --replay <PATH>       replay a mutation file after the bootstrap
+                          convergence (the line protocol, one command per line)
+    --listen <ADDR>       serve the line protocol over TCP (e.g. 127.0.0.1:7878;
+                          port 0 picks a free port)
+    --serve-seconds <N>   with --listen: stop after N seconds   [forever]
+    --journal <PATH>      capture telemetry across all epochs; written on exit
+    --inject <SPEC>       fail one epoch's (re-)convergence:
+                            panic:E:S          UDF panic at superstep S of epoch E
+                            fail:E:S:P1,P2     destroy partitions at superstep S
+                            mtbf:E:PROB:SEED   seeded random failures all epoch
+                            kill:E:S:W:N       run epoch E on N worker processes,
+                                               SIGKILL worker W at superstep S
+
+LINE PROTOCOL (TCP and replay files):
+    + u v    stage an edge insert        get v    point query
+    - u v    stage an edge delete        top n    largest components / top ranks
+    commit   apply the batch: incremental re-convergence
+    quit     end the session
+
+EXAMPLES:
+    optirec serve cc --graph path:64 --replay mutations.txt --journal results/serve_journal.jsonl
+    optirec serve cc --listen 127.0.0.1:7878
+    optirec serve pagerank --replay m.txt --inject panic:1:2
+"
+}
+
+/// Parse an injection spec (see [`serve_usage`]).
+pub fn parse_inject(raw: &str) -> Result<serve::EpochInjection, String> {
+    let bad = || format!("invalid inject spec {raw:?}; see `optirec serve --help`");
+    let mut parts = raw.split(':');
+    let kind = parts.next().ok_or_else(bad)?;
+    let fields: Vec<&str> = parts.collect();
+    let num = |s: &str| -> Result<u64, String> { s.parse().map_err(|_| bad()) };
+    let (epoch, kind) = match (kind, fields.as_slice()) {
+        ("panic", [epoch, superstep]) => {
+            (num(epoch)?, serve::InjectionKind::Panic { superstep: num(superstep)? as u32 })
+        }
+        ("fail", [epoch, superstep, partitions]) => {
+            let partitions: Result<Vec<usize>, String> =
+                partitions.split(',').map(|p| num(p).map(|v| v as usize)).collect();
+            (
+                num(epoch)?,
+                serve::InjectionKind::Fail {
+                    superstep: num(superstep)? as u32,
+                    partitions: partitions?,
+                },
+            )
+        }
+        ("mtbf", [epoch, probability, seed]) => {
+            let probability: f64 = probability.parse().map_err(|_| bad())?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(bad());
+            }
+            (num(epoch)?, serve::InjectionKind::Mtbf { probability, seed: num(seed)? })
+        }
+        ("kill", [epoch, superstep, worker, workers]) => (
+            num(epoch)?,
+            serve::InjectionKind::ClusterKill {
+                workers: num(workers)? as usize,
+                superstep: num(superstep)? as u32,
+                worker: num(worker)? as usize,
+            },
+        ),
+        _ => return Err(bad()),
+    };
+    Ok(serve::EpochInjection { epoch: epoch as u32, kind })
+}
+
+/// Valid flags of the serve subcommand.
+pub const SERVE_FLAGS: &[&str] = &[
+    "--graph",
+    "--parallelism",
+    "--max-iterations",
+    "--replay",
+    "--listen",
+    "--serve-seconds",
+    "--journal",
+    "--inject",
+];
+
+/// Parse the arguments following `serve`.
+pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, String> {
+    let mut iter = args.iter();
+    let algorithm = Algorithm::parse(
+        iter.next().ok_or_else(|| format!("missing serve algorithm\n\n{}", serve_usage()))?,
+    )?;
+    if !matches!(algorithm, Algorithm::ConnectedComponents | Algorithm::PageRank) {
+        return Err(format!("serve supports cc and pagerank, not {algorithm:?}"));
+    }
+    let mut invocation = ServeInvocation {
+        algorithm,
+        graph: GraphSpec::Demo,
+        parallelism: 4,
+        max_iterations: 200,
+        replay: None,
+        listen: None,
+        serve_seconds: None,
+        journal: None,
+        inject: None,
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
+        match flag.as_str() {
+            "--graph" => invocation.graph = GraphSpec::parse(&value()?)?,
+            "--parallelism" => {
+                invocation.parallelism =
+                    value()?.parse().map_err(|_| "invalid parallelism".to_string())?;
+            }
+            "--max-iterations" => {
+                invocation.max_iterations =
+                    value()?.parse().map_err(|_| "invalid iteration cap".to_string())?;
+            }
+            "--replay" => invocation.replay = Some(PathBuf::from(value()?)),
+            "--listen" => invocation.listen = Some(value()?),
+            "--serve-seconds" => {
+                invocation.serve_seconds =
+                    Some(value()?.parse().map_err(|_| "invalid serve duration".to_string())?);
+            }
+            "--journal" => invocation.journal = Some(PathBuf::from(value()?)),
+            "--inject" => invocation.inject = Some(parse_inject(&value()?)?),
+            other => {
+                return Err(format!("{}\n\n{}", unknown_flag(other, SERVE_FLAGS), serve_usage()))
+            }
+        }
+    }
+    if invocation.replay.is_none() && invocation.listen.is_none() {
+        return Err("serve needs --replay and/or --listen (otherwise it converges once and exits \
+                    with nothing to do)"
+            .into());
     }
     Ok(invocation)
 }
@@ -490,6 +697,28 @@ pub fn parse_worker(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(listen)
+}
+
+/// Assemble the cluster config of an invocation: defaults, then `OPTIREC_*`
+/// environment overrides, then explicit flags (flags win).
+pub fn cluster_config(invocation: &Invocation, workers: usize) -> cluster::ClusterConfig {
+    use std::time::Duration;
+    let mut cfg =
+        cluster::ClusterConfig::new(workers, invocation.parallelism, invocation.max_iterations)
+            .with_env_timing();
+    if let Some(ms) = invocation.heartbeat_interval_ms {
+        cfg = cfg.with_heartbeat_interval(Duration::from_millis(ms));
+    }
+    if let Some(ms) = invocation.heartbeat_timeout_ms {
+        cfg = cfg.with_heartbeat_timeout(Duration::from_millis(ms));
+    }
+    if let Some(ms) = invocation.step_timeout_ms {
+        cfg = cfg.with_step_timeout(Duration::from_millis(ms));
+    }
+    if let Some((superstep, worker)) = invocation.kill {
+        cfg.kill = Some(cluster::KillPlan { superstep, worker });
+    }
+    cfg
 }
 
 /// Assemble the fault-tolerance config of an invocation.
@@ -673,6 +902,34 @@ mod tests {
     }
 
     #[test]
+    fn timing_flags_parse_and_reach_the_cluster_config() {
+        use std::time::Duration;
+        let invocation = parse_args(&args(&[
+            "cc",
+            "--cluster",
+            "2",
+            "--heartbeat-interval-ms",
+            "250",
+            "--heartbeat-timeout-ms",
+            "20000",
+            "--step-timeout-ms",
+            "120000",
+        ]))
+        .unwrap();
+        let cfg = cluster_config(&invocation, 2);
+        assert_eq!(cfg.heartbeat_interval, Duration::from_millis(250));
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_secs(20));
+        assert_eq!(cfg.step_timeout, Duration::from_secs(120));
+
+        // Only meaningful on cluster runs.
+        let err = parse_args(&args(&["cc", "--step-timeout-ms", "5000"])).unwrap_err();
+        assert!(err.contains("--cluster"), "{err}");
+        assert!(
+            parse_args(&args(&["cc", "--cluster", "2", "--heartbeat-timeout-ms", "x"])).is_err()
+        );
+    }
+
+    #[test]
     fn cluster_flags_parse_and_cross_validate() {
         let invocation = parse_args(&args(&["cc", "--cluster", "2", "--kill", "3:1"])).unwrap();
         assert_eq!(invocation.cluster, Some(2));
@@ -690,6 +947,71 @@ mod tests {
         assert!(err.contains("--kill"), "{err}");
         assert!(parse_kill("2").is_err());
         assert!(parse_kill("a:1").is_err());
+    }
+
+    #[test]
+    fn serve_invocations_parse() {
+        let invocation = parse_serve(&args(&[
+            "cc",
+            "--graph",
+            "path:64",
+            "--replay",
+            "m.txt",
+            "--journal",
+            "j.jsonl",
+            "--inject",
+            "panic:1:2",
+        ]))
+        .unwrap();
+        assert_eq!(invocation.algorithm, Algorithm::ConnectedComponents);
+        assert_eq!(invocation.graph, GraphSpec::Path(64));
+        assert_eq!(invocation.replay, Some(PathBuf::from("m.txt")));
+        assert_eq!(
+            invocation.inject,
+            Some(serve::EpochInjection {
+                epoch: 1,
+                kind: serve::InjectionKind::Panic { superstep: 2 }
+            })
+        );
+
+        let invocation =
+            parse_serve(&args(&["pagerank", "--listen", "127.0.0.1:0", "--serve-seconds", "5"]))
+                .unwrap();
+        assert_eq!(invocation.listen, Some("127.0.0.1:0".to_string()));
+        assert_eq!(invocation.serve_seconds, Some(5));
+
+        // Needs something to do, cc/pagerank only, and flags must be known.
+        assert!(parse_serve(&args(&["cc"])).unwrap_err().contains("--replay"));
+        assert!(parse_serve(&args(&["sssp", "--listen", "x"])).is_err());
+        assert!(parse_serve(&args(&["cc", "--listen", "x", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn inject_specs_parse() {
+        assert_eq!(
+            parse_inject("fail:2:3:0,1").unwrap(),
+            serve::EpochInjection {
+                epoch: 2,
+                kind: serve::InjectionKind::Fail { superstep: 3, partitions: vec![0, 1] }
+            }
+        );
+        assert_eq!(
+            parse_inject("mtbf:1:0.5:42").unwrap(),
+            serve::EpochInjection {
+                epoch: 1,
+                kind: serve::InjectionKind::Mtbf { probability: 0.5, seed: 42 }
+            }
+        );
+        assert_eq!(
+            parse_inject("kill:1:2:0:2").unwrap(),
+            serve::EpochInjection {
+                epoch: 1,
+                kind: serve::InjectionKind::ClusterKill { workers: 2, superstep: 2, worker: 0 }
+            }
+        );
+        assert!(parse_inject("panic:1").is_err());
+        assert!(parse_inject("mtbf:1:2.0:42").is_err(), "probability must be in [0, 1]");
+        assert!(parse_inject("frob:1:2").is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl JournalCapture {
 
     /// Write the journal and its sidecars, printing where they went.
     pub fn finish(self) -> std::io::Result<CapturePaths> {
+        self.handle.flush();
         let paths = flowscope::save_run(&self.sink, self.handle.metrics(), &self.path)?;
         println!(
             "\ntelemetry written: {} (spans: {}, report: {})",

@@ -1,0 +1,288 @@
+//! Integration tests for the incremental serving engine.
+//!
+//! Covers the PR's acceptance criteria: a mutation batch re-converges in
+//! strictly fewer supersteps than a cold run over the same mutated graph
+//! (asserted via `ConvergenceSample` counts in the journal), random
+//! insert/delete batches match a full recomputation (bitwise for CC, 1e-6
+//! for PageRank), and a failure injected between two convergences recovers
+//! to the failure-free fixpoint while queries keep seeing only pre- or
+//! post-batch values — never intermediate state.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use graphs::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use serve::{
+    spawn, EpochInjection, InjectionKind, LiveGraph, PointAnswer, ServeAlgorithm, ServeConfig,
+    ServeEngine, Solution,
+};
+use telemetry::{JournalEvent, MemorySink, SinkHandle};
+
+fn journalled_config() -> (ServeConfig, Arc<MemorySink>, SinkHandle) {
+    let sink = Arc::new(MemorySink::new());
+    let handle = SinkHandle::new(sink.clone());
+    let config = ServeConfig { telemetry: handle.clone(), ..Default::default() };
+    (config, sink, handle)
+}
+
+fn convergence_samples(events: &[JournalEvent]) -> usize {
+    events.iter().filter(|e| matches!(e, JournalEvent::ConvergenceSample { .. })).count()
+}
+
+/// Two 32-vertex paths: deleting an edge splits one, an insert bridges them.
+fn two_paths() -> Graph {
+    let mut b = GraphBuilder::undirected(64);
+    for v in 0..31u64 {
+        b.add_edge(v, v + 1);
+    }
+    for v in 32..63u64 {
+        b.add_edge(v, v + 1);
+    }
+    b.build()
+}
+
+#[test]
+fn mutation_batch_reconverges_in_strictly_fewer_supersteps_than_a_cold_run() {
+    let graph = two_paths();
+    let (config, sink, handle) = journalled_config();
+    let (mut engine, _) = ServeEngine::bootstrap(config, &graph).unwrap();
+    // A local batch: split the first path and add a chord to one half. The
+    // re-convergence only has to fix the 32 reset vertices; a cold run must
+    // also re-propagate along the untouched 32-vertex path.
+    engine.stage_delete(15, 16);
+    engine.stage_insert(20, 24);
+    let report = engine.commit().unwrap();
+    assert!(report.converged);
+    handle.flush();
+
+    // Samples after the MutationBatch marker = the incremental run's
+    // supersteps; they must agree with the epoch report.
+    let events = sink.events();
+    let batch_at = events
+        .iter()
+        .rposition(|e| matches!(e, JournalEvent::MutationBatch { .. }))
+        .expect("commit journals a MutationBatch");
+    let incremental = convergence_samples(&events[batch_at..]);
+    assert_eq!(incremental as u32, report.supersteps);
+
+    // Cold run over the same mutated graph, with its own journal.
+    let mut mirror = LiveGraph::from_graph(&graph);
+    assert!(mirror.remove(15, 16));
+    assert!(mirror.insert(20, 24));
+    let (cold_config, cold_sink, cold_handle) = journalled_config();
+    let (cold_engine, cold_report) = ServeEngine::bootstrap(cold_config, &mirror.build()).unwrap();
+    cold_handle.flush();
+    let cold = convergence_samples(&cold_sink.events());
+    assert_eq!(cold as u32, cold_report.supersteps);
+
+    assert!(incremental < cold, "incremental run took {incremental} supersteps, cold run {cold}");
+    assert_eq!(
+        engine.snapshot().solution,
+        cold_engine.snapshot().solution,
+        "the shortcut must not change the fixpoint"
+    );
+}
+
+#[test]
+fn injected_failures_between_convergences_recover_the_failure_free_fixpoint() {
+    let graph = two_paths();
+    let (clean_engine, _) = ServeEngine::bootstrap(ServeConfig::default(), &graph).unwrap();
+    let mut clean = clean_engine;
+    clean.stage_delete(15, 16);
+    clean.stage_insert(40, 0);
+    clean.commit().unwrap();
+    let expected = clean.snapshot().solution;
+
+    let kinds = [
+        InjectionKind::Panic { superstep: 2 },
+        InjectionKind::Fail { superstep: 1, partitions: vec![0, 2] },
+        InjectionKind::Mtbf { probability: 0.3, seed: 11 },
+    ];
+    for kind in kinds {
+        let (config, sink, handle) = journalled_config();
+        let config =
+            ServeConfig { inject: Some(EpochInjection { epoch: 1, kind: kind.clone() }), ..config };
+        let (mut engine, _) = ServeEngine::bootstrap(config, &graph).unwrap();
+        engine.stage_delete(15, 16);
+        engine.stage_insert(40, 0);
+        let report = engine.commit().unwrap();
+        assert!(report.converged, "{kind:?} must still converge");
+        assert_eq!(
+            engine.snapshot().solution,
+            expected,
+            "{kind:?} must recover the failure-free fixpoint"
+        );
+        handle.flush();
+        let injected =
+            sink.events().iter().any(|e| matches!(e, JournalEvent::FailureInjected { .. }));
+        assert!(injected, "{kind:?} must actually fire inside the epoch");
+    }
+}
+
+/// While a failure-hit commit re-converges, concurrent TCP queries must only
+/// ever observe the pre-batch or post-batch label — never intermediate state
+/// of the compensated re-run. Vertex 20 moves from component 0 (pre-split)
+/// to component 16 (post-split), and intermediate supersteps of the reset
+/// component hold other labels, so any leak would be visible.
+#[test]
+fn queries_concurrent_with_a_failing_commit_only_see_committed_solutions() {
+    let graph = two_paths();
+    let config = ServeConfig {
+        inject: Some(EpochInjection {
+            epoch: 1,
+            kind: InjectionKind::Mtbf { probability: 0.3, seed: 11 },
+        }),
+        ..Default::default()
+    };
+    let (engine, _) = ServeEngine::bootstrap(config, &graph).unwrap();
+    let pre = engine.point(20);
+    assert_eq!(pre, Some(PointAnswer::Label(0)));
+
+    let daemon = spawn(engine, "127.0.0.1:0").unwrap();
+    let addr = daemon.addr();
+    let connect = move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        (stream, reader)
+    };
+
+    // Reader thread: hammer `get 20` until the post-batch label appears.
+    let reader_thread = std::thread::spawn(move || {
+        let (mut stream, mut reader) = connect();
+        let mut observed = Vec::new();
+        for _ in 0..20_000 {
+            writeln!(stream, "get 20").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end().to_string();
+            let done = response == "ok label 16";
+            observed.push(response);
+            if done {
+                break;
+            }
+        }
+        observed
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut responses = BufReader::new(stream);
+    let mut line = String::new();
+    responses.read_line(&mut line).unwrap(); // greeting
+    for command in ["- 15 16", "+ 40 0", "commit"] {
+        writeln!(writer, "{command}").unwrap();
+        line.clear();
+        responses.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ok "), "{command}: {line}");
+    }
+
+    let observed = reader_thread.join().unwrap();
+    assert!(!observed.is_empty());
+    for response in &observed {
+        assert!(
+            response == "ok label 0" || response == "ok label 16",
+            "query observed uncommitted state: {response}"
+        );
+    }
+    assert_eq!(
+        observed.last().map(String::as_str),
+        Some("ok label 16"),
+        "the post-batch solution must eventually be served"
+    );
+    daemon.stop();
+}
+
+/// Arbitrary base graph plus a few batches of random edge mutations.
+fn arb_graph(max_vertices: u64, directed: bool) -> impl Strategy<Value = Graph> {
+    (3..max_vertices).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 1..(3 * n as usize)).prop_map(move |edges| {
+            let mut builder = if directed {
+                GraphBuilder::directed(n as usize)
+            } else {
+                GraphBuilder::undirected(n as usize)
+            };
+            for (u, v) in edges {
+                if u != v {
+                    builder.add_edge(u, v);
+                }
+            }
+            builder.build()
+        })
+    })
+}
+
+/// Batches of `(is_insert, u, v)` mutations over the same vertex range.
+fn arb_batches(max_vertices: u64) -> impl Strategy<Value = Vec<Vec<(bool, u64, u64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0..max_vertices, 0..max_vertices), 1..6),
+        1..4,
+    )
+}
+
+/// Run the batches through the engine while mirroring them on a plain
+/// [`LiveGraph`], then bootstrap cold over the final graph for comparison.
+fn run_batches(
+    algorithm: ServeAlgorithm,
+    graph: &Graph,
+    batches: &[Vec<(bool, u64, u64)>],
+) -> (Solution, Solution) {
+    let config = ServeConfig { algorithm, ..Default::default() };
+    let (mut engine, _) = ServeEngine::bootstrap(config.clone(), graph).unwrap();
+    let mut mirror = LiveGraph::from_graph(graph);
+    for batch in batches {
+        for &(insert, u, v) in batch {
+            if u == v {
+                continue;
+            }
+            if insert {
+                engine.stage_insert(u, v);
+                mirror.insert(u, v);
+            } else {
+                engine.stage_delete(u, v);
+                mirror.remove(u, v);
+            }
+        }
+        let report = engine.commit().unwrap();
+        assert!(report.converged);
+    }
+    let (cold, _) = ServeEngine::bootstrap(config, &mirror.build()).unwrap();
+    (engine.snapshot().solution, cold.snapshot().solution)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cc_incremental_batches_match_full_recomputation_bitwise(
+        graph in arb_graph(24, false),
+        batches in arb_batches(24),
+    ) {
+        let (incremental, cold) = run_batches(
+            ServeAlgorithm::ConnectedComponents, &graph, &batches,
+        );
+        prop_assert_eq!(incremental, cold);
+    }
+
+    #[test]
+    fn pagerank_incremental_batches_match_full_recomputation(
+        graph in arb_graph(14, true),
+        batches in arb_batches(14),
+    ) {
+        let (incremental, cold) =
+            run_batches(ServeAlgorithm::PageRank, &graph, &batches);
+        match (incremental, cold) {
+            (Solution::Ranks(warm), Solution::Ranks(exact)) => {
+                prop_assert_eq!(warm.len(), exact.len());
+                for (&(v, w), &(u, e)) in warm.iter().zip(&exact) {
+                    prop_assert_eq!(v, u);
+                    prop_assert!((w - e).abs() < 1e-6, "vertex {}: {} vs {}", v, w, e);
+                }
+            }
+            _ => prop_assert!(false, "both engines maintain rank solutions"),
+        }
+    }
+}
