@@ -11,7 +11,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -112,6 +112,23 @@ struct Shared {
     telemetry: SinkHandle,
 }
 
+impl Shared {
+    /// Read the published snapshot, recovering from poisoning: a reader
+    /// that panicked mid-query cannot have left the snapshot itself
+    /// inconsistent (readers never write), and `publish` overwrites the
+    /// whole value, so the stored snapshot is always a committed solution.
+    fn read_snapshot(&self) -> RwLockReadGuard<'_, Snapshot> {
+        self.snapshot.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publish a freshly committed snapshot, recovering from poisoning —
+    /// skipping the publish would silently pin every connection to the
+    /// previous epoch's answers even though the engine committed.
+    fn publish(&self, snapshot: Snapshot) {
+        *self.snapshot.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+    }
+}
+
 /// A running daemon. Dropping the handle does NOT stop it; call
 /// [`DaemonHandle::stop`].
 pub struct DaemonHandle {
@@ -173,7 +190,7 @@ pub fn spawn(engine: ServeEngine, listen: &str) -> std::io::Result<DaemonHandle>
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
-    let epoch = shared.snapshot.read().map(|s| s.epoch).unwrap_or(0);
+    let epoch = shared.read_snapshot().epoch;
     let name = match shared.algorithm {
         ServeAlgorithm::ConnectedComponents => "cc",
         ServeAlgorithm::PageRank => "pagerank",
@@ -204,9 +221,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
     match command {
         Command::Get(v) => {
-            let Ok(snapshot) = shared.snapshot.read() else {
-                return ("err snapshot lock poisoned".to_string(), false);
-            };
+            let snapshot = shared.read_snapshot();
             let answer = snapshot.point(*v);
             shared.telemetry.emit(|| JournalEvent::Query {
                 epoch: snapshot.epoch,
@@ -216,9 +231,7 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
             (format!("ok {}", format_point(answer)), false)
         }
         Command::Top(n) => {
-            let Ok(snapshot) = shared.snapshot.read() else {
-                return ("err snapshot lock poisoned".to_string(), false);
-            };
+            let snapshot = shared.read_snapshot();
             let entries = snapshot.top(*n);
             shared.telemetry.emit(|| JournalEvent::Query {
                 epoch: snapshot.epoch,
@@ -240,9 +253,7 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
                     }
                     Command::Commit => match engine.commit() {
                         Ok(report) => {
-                            if let Ok(mut snapshot) = shared.snapshot.write() {
-                                *snapshot = engine.snapshot();
-                            }
+                            shared.publish(engine.snapshot());
                             format!("ok {}", format_commit(&report))
                         }
                         Err(message) => format!("err {message}"),

@@ -15,8 +15,9 @@
 //! dataflow and are compensated by the optimistic handler; the cluster
 //! SIGKILL injector runs the epoch on real worker processes warm-started
 //! from the previous fixpoint. The pre-batch solution set is only replaced
-//! once the epoch's run succeeds, so a failed commit never corrupts what
-//! queries see.
+//! once the epoch's run succeeds — a failed commit leaves the batch staged
+//! and the epoch unopened so the commit can simply be retried, and never
+//! corrupts what queries see.
 
 use std::collections::BTreeSet;
 
@@ -330,20 +331,28 @@ impl ServeEngine {
     /// Apply the staged batch: open a new epoch, rebuild the graph, and
     /// incrementally re-converge from the previous fixpoint. The previous
     /// solution set is replaced only when the run succeeds.
+    ///
+    /// On a convergence error the engine is left exactly as it was before
+    /// the call — the batch stays staged and the epoch is not advanced —
+    /// so a retried `commit` re-processes the whole batch (whose edges the
+    /// live graph already holds) instead of silently serving the stale
+    /// pre-batch fixpoint over a mutated graph. The failed attempt leaves
+    /// a `MutationBatch` event with no matching `Reconverge` in the
+    /// journal; the retry re-journals the batch under the same epoch.
     pub fn commit(&mut self) -> Result<EpochReport, String> {
         let epoch = self.epoch + 1;
-        let inserts = std::mem::take(&mut self.staged_inserts);
-        let deletes = std::mem::take(&mut self.staged_deletes);
         let graph = self.live.build();
-        let (seed, seeded) = self.seed_for(&graph, &inserts, &deletes);
+        let (seed, seeded) = self.seed_for(&graph, &self.staged_inserts, &self.staged_deletes);
+        let inserts = self.staged_inserts.len() as u64;
+        let deletes = self.staged_deletes.len() as u64;
         self.config.telemetry.emit(|| JournalEvent::MutationBatch {
             epoch,
-            inserts: inserts.len() as u64,
-            deletes: deletes.len() as u64,
+            inserts,
+            deletes,
             seeded,
         });
 
-        let report = if inserts.is_empty() && deletes.is_empty() {
+        let report = if inserts == 0 && deletes == 0 {
             // Nothing changed: the previous fixpoint is still the fixpoint.
             EpochReport { epoch, inserts: 0, deletes: 0, seeded: 0, supersteps: 0, converged: true }
         } else {
@@ -351,13 +360,15 @@ impl ServeEngine {
             self.solution = solution;
             EpochReport {
                 epoch,
-                inserts: inserts.len() as u64,
-                deletes: deletes.len() as u64,
+                inserts,
+                deletes,
                 seeded,
                 supersteps: stats.supersteps(),
                 converged: stats.converged,
             }
         };
+        self.staged_inserts.clear();
+        self.staged_deletes.clear();
         self.epoch = epoch;
         self.config.telemetry.emit(|| JournalEvent::Reconverge {
             epoch,
@@ -686,6 +697,57 @@ mod tests {
             }
             other => panic!("expected ranks, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn failed_commit_keeps_the_batch_staged_and_the_epoch_closed() {
+        use std::sync::Arc;
+        use telemetry::MemorySink;
+
+        let graph = graphs::generators::path(12);
+        let sink = Arc::new(MemorySink::new());
+        let config = ServeConfig {
+            telemetry: SinkHandle::new(sink.clone()),
+            // A cluster run with zero workers is rejected by the
+            // coordinator's plan validation — a deterministic convergence
+            // error without touching any process machinery.
+            inject: Some(EpochInjection {
+                epoch: 1,
+                kind: InjectionKind::ClusterKill { workers: 0, superstep: 0, worker: 0 },
+            }),
+            ..Default::default()
+        };
+        let (mut engine, _) = ServeEngine::bootstrap(config, &graph).unwrap();
+        let before = labels_of(&engine);
+        assert!(engine.stage_delete(5, 6));
+        engine.commit().unwrap_err();
+
+        // The engine is exactly as it was before the commit: batch still
+        // staged, epoch still 0, pre-batch fixpoint still served, and no
+        // Reconverge journalled for the failed epoch.
+        assert_eq!(engine.staged(), 1);
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(labels_of(&engine), before);
+        engine.config.telemetry.flush();
+        let failed_epoch_reconverged =
+            sink.events().iter().any(|e| matches!(e, JournalEvent::Reconverge { epoch: 1, .. }));
+        assert!(!failed_epoch_reconverged, "a failed epoch must not journal a Reconverge");
+
+        // A retried commit (failure cause gone) re-processes the whole
+        // batch and reaches the same fixpoint as a full recomputation.
+        engine.config.inject = None;
+        let report = engine.commit().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.deletes, 1);
+        assert!(report.converged);
+        assert_eq!(engine.staged(), 0);
+        let mut expected = GraphBuilder::undirected(12);
+        for v in 0..11u64 {
+            if v != 5 {
+                expected.add_edge(v, v + 1);
+            }
+        }
+        assert_eq!(labels_of(&engine), cold_cc(&expected.build()));
     }
 
     #[test]

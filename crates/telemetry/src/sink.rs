@@ -192,6 +192,30 @@ fn batchable(event: &JournalEvent) -> bool {
     )
 }
 
+/// The event buffer shared by every clone of a [`SinkHandle`], with the
+/// final flush in its `Drop`: the destructor runs exactly once, when the
+/// true last clone releases the `Arc`, no matter how many clones race their
+/// drops across threads.
+struct EventBuffer {
+    sink: Arc<dyn TelemetrySink>,
+    enabled: bool,
+    events: Mutex<Vec<JournalEvent>>,
+}
+
+impl Drop for EventBuffer {
+    fn drop(&mut self) {
+        // Last handle out flushes whatever the run left buffered, so sinks
+        // read after a handle's lifetime (bench reports, journal files) see
+        // every event without an explicit flush call.
+        if self.enabled {
+            let events = self.events.get_mut().unwrap_or_else(PoisonError::into_inner);
+            if !events.is_empty() {
+                self.sink.event_batch(events);
+            }
+        }
+    }
+}
+
 /// The handle the engine and strategies carry: a shared sink plus a shared
 /// metric registry. Cloning is three `Arc` bumps; the default is the no-op
 /// sink with a fresh (unused) registry.
@@ -200,12 +224,12 @@ fn batchable(event: &JournalEvent) -> bool {
 /// preserved across the engine, the recovery strategies, and the cluster
 /// backend. The buffer drains into the sink when a non-batchable event
 /// arrives, when it reaches capacity, on [`SinkHandle::flush`], and when the
-/// last clone drops.
+/// last clone drops (via [`EventBuffer`]'s destructor).
 #[derive(Clone)]
 pub struct SinkHandle {
     sink: Arc<dyn TelemetrySink>,
     enabled: bool,
-    buffer: Arc<Mutex<Vec<JournalEvent>>>,
+    buffer: Arc<EventBuffer>,
     metrics: Arc<MetricRegistry>,
 }
 
@@ -213,12 +237,9 @@ impl SinkHandle {
     /// Handle around an existing sink.
     pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
         let enabled = sink.enabled();
-        SinkHandle {
-            sink,
-            enabled,
-            buffer: Arc::new(Mutex::new(Vec::new())),
-            metrics: Arc::new(MetricRegistry::new()),
-        }
+        let buffer =
+            Arc::new(EventBuffer { sink: sink.clone(), enabled, events: Mutex::new(Vec::new()) });
+        SinkHandle { sink, enabled, buffer, metrics: Arc::new(MetricRegistry::new()) }
     }
 
     /// The disabled default handle.
@@ -241,7 +262,7 @@ impl SinkHandle {
         }
         let event = event();
         let flush_now = !batchable(&event);
-        let mut buffer = lock(&self.buffer);
+        let mut buffer = lock(&self.buffer.events);
         buffer.push(event);
         if flush_now || buffer.len() >= EVENT_BATCH_CAPACITY {
             self.sink.event_batch(&mut buffer);
@@ -252,7 +273,7 @@ impl SinkHandle {
     /// the sink outside a run (runs flush on every non-superstep event).
     pub fn flush(&self) {
         if self.enabled {
-            let mut buffer = lock(&self.buffer);
+            let mut buffer = lock(&self.buffer.events);
             if !buffer.is_empty() {
                 self.sink.event_batch(&mut buffer);
             }
@@ -282,17 +303,6 @@ impl SinkHandle {
     /// The shared metric registry.
     pub fn metrics(&self) -> &Arc<MetricRegistry> {
         &self.metrics
-    }
-}
-
-impl Drop for SinkHandle {
-    fn drop(&mut self) {
-        // Last clone out flushes whatever the run left buffered, so sinks
-        // read after a handle's lifetime (bench reports, journal files) see
-        // every event without an explicit flush call.
-        if self.enabled && Arc::strong_count(&self.buffer) == 1 {
-            self.flush();
-        }
     }
 }
 
@@ -413,6 +423,27 @@ mod tests {
             vec![0, 1],
             "clone emissions interleave through the shared buffer in order"
         );
+    }
+
+    #[test]
+    fn concurrent_last_drops_flush_exactly_once() {
+        for _ in 0..64 {
+            let sink = Arc::new(MemorySink::new());
+            let handle = SinkHandle::new(sink.clone());
+            let clone = handle.clone();
+            handle.emit(|| step(0));
+            clone.emit(|| step(1));
+            let threads =
+                [std::thread::spawn(move || drop(handle)), std::thread::spawn(move || drop(clone))];
+            for thread in threads {
+                thread.join().unwrap();
+            }
+            assert_eq!(
+                sink.events().len(),
+                2,
+                "whichever clone drops last must flush the buffer, once"
+            );
+        }
     }
 
     #[test]

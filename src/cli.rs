@@ -556,6 +556,8 @@ OPTIONS:
                           port 0 picks a free port)
     --serve-seconds <N>   with --listen: stop after N seconds   [forever]
     --journal <PATH>      capture telemetry across all epochs; written on exit
+                          (with --listen this requires --serve-seconds, since
+                          an unbounded run never exits)
     --inject <SPEC>       fail one epoch's (re-)convergence:
                             panic:E:S          UDF panic at superstep S of epoch E
                             fail:E:S:P1,P2     destroy partitions at superstep S
@@ -678,6 +680,15 @@ pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, String> {
     if invocation.replay.is_none() && invocation.listen.is_none() {
         return Err("serve needs --replay and/or --listen (otherwise it converges once and exits \
                     with nothing to do)"
+            .into());
+    }
+    if invocation.journal.is_some()
+        && invocation.listen.is_some()
+        && invocation.serve_seconds.is_none()
+    {
+        return Err("--journal is written on exit, which an unbounded --listen run never reaches \
+                    (killing the daemon would discard the captured telemetry); add \
+                    --serve-seconds <N> to bound the run"
             .into());
     }
     Ok(invocation)
@@ -984,6 +995,24 @@ mod tests {
         assert!(parse_serve(&args(&["cc"])).unwrap_err().contains("--replay"));
         assert!(parse_serve(&args(&["sssp", "--listen", "x"])).is_err());
         assert!(parse_serve(&args(&["cc", "--listen", "x", "--wat", "1"])).is_err());
+
+        // A journal needs a run that exits: unbounded --listen never does.
+        let err = parse_serve(&args(&["cc", "--listen", "x", "--journal", "j.jsonl"])).unwrap_err();
+        assert!(err.contains("--serve-seconds"), "{err}");
+        assert!(parse_serve(&args(&[
+            "cc",
+            "--listen",
+            "x",
+            "--journal",
+            "j.jsonl",
+            "--serve-seconds",
+            "5",
+        ]))
+        .is_ok());
+        assert!(
+            parse_serve(&args(&["cc", "--replay", "m.txt", "--journal", "j.jsonl"])).is_ok(),
+            "a replay run always exits, so it may journal without a time bound"
+        );
     }
 
     #[test]
