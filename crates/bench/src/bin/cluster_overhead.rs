@@ -28,10 +28,12 @@ use std::time::{Duration, Instant};
 use telemetry::json::Obj;
 use telemetry::SinkHandle;
 
-/// Maximum tolerated cluster/local slowdown. See the module docs for why
-/// this is two orders of magnitude: on a seconds-scale workload the cluster
-/// arm is dominated by process spawn and frame shipping, not compute.
-const THRESHOLD: f64 = 200.0;
+/// Maximum tolerated cluster/local slowdown. The bound started life at
+/// 200x when the cluster backend was new; measured ratios have stayed in
+/// the single digits across machines, so it is ratcheted down to 30x —
+/// still far above spawn+TCP overhead, still well below any quadratic
+/// serialization or reconnect-loop pathology.
+const THRESHOLD: f64 = 30.0;
 /// Runs per arm; the fastest is kept.
 const REPS: usize = 3;
 const WORKERS: usize = 2;

@@ -42,11 +42,13 @@ use dataflow::stats::RunStats;
 use graphs::Graph;
 use recovery::compensation::Named;
 use recovery::OptimisticBulkHandler;
-use telemetry::metrics::{Counter, Histogram};
+use telemetry::metrics::{Counter, Histogram, PartitionedHistogram};
 use telemetry::{JournalEvent, SinkHandle};
 
 use crate::program::{lookup, partition_rows, ClusterProgram};
-use crate::protocol::{read_frame, write_frame, AdjRows, Message, Msg, Record};
+use crate::protocol::{
+    read_frame, write_frame, AdjRows, Message, Msg, Record, SpanRow, SPAN_PHASE_COMPUTE,
+};
 use crate::worker::LISTENING_MARKER;
 
 /// Deterministic failure injection: SIGKILL `worker` just before its frames
@@ -272,6 +274,15 @@ struct WorkerSlot {
     handle: Option<WorkerHandle>,
 }
 
+/// Detection facts about a worker loss, held until the replacement rejoins
+/// and the matching [`JournalEvent::RecoveryCost`] entry can be emitted
+/// with the respawn side of the bill filled in.
+struct PendingRecovery {
+    worker: usize,
+    detection: &'static str,
+    detect_ns: u64,
+}
+
 /// Multi-process execution over TCP frames.
 struct ClusterBackend {
     cfg: ClusterConfig,
@@ -284,7 +295,17 @@ struct ClusterBackend {
     bytes_out: Arc<Counter>,
     reconnects: Arc<Counter>,
     heartbeat_rtt: Arc<Histogram>,
+    worker_compute: Arc<PartitionedHistogram>,
+    worker_shuffle: Arc<PartitionedHistogram>,
+    detect_latency: Arc<Histogram>,
+    respawn_latency: Arc<Histogram>,
+    reshipped_bytes: Arc<Counter>,
     kill: Option<KillPlan>,
+    /// When the current superstep's frames started going out — the baseline
+    /// for failure-detection latency.
+    step_started: Option<Instant>,
+    /// Losses detected but not yet re-billed against a respawn.
+    pending_recovery: Vec<PendingRecovery>,
 }
 
 impl ClusterBackend {
@@ -303,6 +324,13 @@ impl ClusterBackend {
             bytes_out: metrics.counter("net/bytes_out"),
             reconnects: metrics.counter("net/reconnects"),
             heartbeat_rtt: metrics.histogram("net/heartbeat_rtt_ns"),
+            worker_compute: metrics.partitioned_histogram("worker_compute_ns", cfg.workers),
+            worker_shuffle: metrics.partitioned_histogram("worker_shuffle_ns", cfg.workers),
+            detect_latency: metrics.histogram("recovery/detect_ns"),
+            respawn_latency: metrics.histogram("recovery/respawn_ns"),
+            reshipped_bytes: metrics.counter("recovery/reshipped_bytes"),
+            step_started: None,
+            pending_recovery: Vec::new(),
             cfg,
             program_name: program_name.to_string(),
             n,
@@ -406,7 +434,9 @@ impl ClusterBackend {
 
     /// Bring every slot to a live worker: newly detected deaths become
     /// [`EngineError::WorkerLost`] (handled by the driver), cleared slots
-    /// are re-spawned and announced via [`JournalEvent::WorkerRejoined`].
+    /// are re-spawned and announced via [`JournalEvent::WorkerRejoined`]
+    /// plus a [`JournalEvent::RecoveryCost`] bill pairing the loss's
+    /// detection latency with the respawn time and re-shipped bytes.
     fn ensure_workers(&mut self, superstep: u32) -> Result<()> {
         for worker in 0..self.slots.len() {
             let flagged_dead =
@@ -415,30 +445,95 @@ impl ClusterBackend {
                 return Err(self.fail(worker, superstep, "heartbeat timed out".to_string()));
             }
             if self.slots[worker].handle.is_none() {
+                let bytes_before = self.bytes_out.get();
+                let respawn_started = Instant::now();
                 let (handle, attempts) = self.spawn_and_load(worker)?;
+                let respawn_ns = respawn_started.elapsed().as_nanos() as u64;
+                let reshipped = self.bytes_out.get().saturating_sub(bytes_before);
                 self.slots[worker].handle = Some(handle);
                 self.reconnects.inc();
+                self.respawn_latency.observe(respawn_ns);
+                self.reshipped_bytes.add(reshipped);
                 self.telemetry.emit(|| JournalEvent::WorkerRejoined {
                     superstep,
                     worker,
                     reconnect_attempts: attempts,
+                });
+                let (detection, detect_ns) =
+                    match self.pending_recovery.iter().position(|p| p.worker == worker) {
+                        Some(i) => {
+                            let pending = self.pending_recovery.remove(i);
+                            (pending.detection, pending.detect_ns)
+                        }
+                        // A slot can be empty without a recorded loss only on
+                        // paths that never got to fail() — bill it as unknown
+                        // rather than dropping the respawn cost.
+                        None => ("unknown", 0),
+                    };
+                self.telemetry.emit(|| JournalEvent::RecoveryCost {
+                    superstep,
+                    worker,
+                    detection: detection.to_string(),
+                    detect_ns,
+                    respawn_ns,
+                    reshipped_bytes: reshipped,
                 });
             }
         }
         Ok(())
     }
 
-    /// Tear the worker's slot down and build the error the driver's
-    /// recovery arm consumes.
+    /// Tear the worker's slot down, record the loss's detection facts for
+    /// the eventual [`JournalEvent::RecoveryCost`] bill, and build the
+    /// error the driver's recovery arm consumes.
     fn fail(&mut self, worker: usize, superstep: u32, message: String) -> EngineError {
         if let Some(handle) = self.slots[worker].handle.take() {
             handle.destroy();
+        }
+        let detection = if message.starts_with("heartbeat") { "heartbeat" } else { "read_error" };
+        let detect_ns =
+            self.step_started.map(|started| started.elapsed().as_nanos() as u64).unwrap_or(0);
+        self.detect_latency.observe(detect_ns);
+        // One bill per worker per outage: a worker that fails again before
+        // rejoining keeps its first (earliest) detection record.
+        if !self.pending_recovery.iter().any(|p| p.worker == worker) {
+            self.pending_recovery.push(PendingRecovery { worker, detection, detect_ns });
         }
         EngineError::WorkerLost {
             worker,
             pids: self.pids_of(worker),
             superstep: Some(superstep),
             message,
+        }
+    }
+
+    /// Merge one committed superstep's worker telemetry into the journal in
+    /// causal `(superstep, worker, seq)` order — the arrival interleaving
+    /// across connections is nondeterministic, the sorted order is not — and
+    /// feed the per-worker compute/shuffle histograms.
+    fn merge_telemetry(&mut self, superstep: u32, mut frames: Vec<(usize, u64, Vec<SpanRow>)>) {
+        if frames.is_empty() || !self.telemetry.enabled() {
+            return;
+        }
+        frames.sort_unstable_by_key(|&(worker, seq, _)| (worker, seq));
+        for (worker, seq, spans) in frames {
+            for (pid, phase, records, duration_ns) in spans {
+                let (label, histogram) = if phase == SPAN_PHASE_COMPUTE {
+                    ("compute", &self.worker_compute)
+                } else {
+                    ("shuffle", &self.worker_shuffle)
+                };
+                histogram.observe(worker, duration_ns);
+                self.telemetry.emit(|| JournalEvent::WorkerSpan {
+                    superstep,
+                    worker,
+                    seq,
+                    pid: pid as usize,
+                    span: label.to_string(),
+                    records,
+                    duration_ns,
+                });
+            }
         }
     }
 
@@ -469,6 +564,7 @@ impl StepBackend for ClusterBackend {
 
         let workers = self.slots.len();
         let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
+        self.step_started = Some(Instant::now());
 
         // Send phase: every partition's frame goes out before any reply is
         // awaited, so workers compute their partitions concurrently.
@@ -490,7 +586,13 @@ impl StepBackend for ClusterBackend {
         // Receive phase. Replies on one connection arrive in send order;
         // frames tagged with an older superstep are leftovers of a superstep
         // that failed after this worker had already answered — skip them.
+        // Workers write each telemetry frame *before* its StepDone, so by
+        // the time every StepDone is in, so is every telemetry frame for
+        // this superstep — `pending_spans` is complete without an extra
+        // drain round. Frames of a superstep that fails are dropped with
+        // the local stash, keeping the journal free of half-superstep data.
         let mut results = Vec::with_capacity(order.len());
+        let mut pending_spans: Vec<(usize, u64, Vec<SpanRow>)> = Vec::new();
         for pid in order {
             let worker = pid % workers;
             loop {
@@ -516,6 +618,13 @@ impl StepBackend for ClusterBackend {
                             format!("protocol violation: StepDone for pid {rpid} superstep {rss}"),
                         ));
                     }
+                    Ok(Message::TelemetryFrame { superstep: rss, seq, spans, .. }) => {
+                        // Attribution by connection (the slot index), not by
+                        // the frame's self-reported worker id.
+                        if rss == superstep {
+                            pending_spans.push((worker, seq, spans));
+                        }
+                    }
                     Ok(other) => {
                         return Err(self.fail(
                             worker,
@@ -533,6 +642,7 @@ impl StepBackend for ClusterBackend {
                 }
             }
         }
+        self.merge_telemetry(superstep, pending_spans);
         Ok(results)
     }
 }

@@ -29,6 +29,16 @@ pub type Msg = (u64, u64, u64);
 /// Adjacency rows shipped to a worker for one partition: `(vertex, targets)`.
 pub type AdjRows = Vec<(u64, Vec<u64>)>;
 
+/// One timed phase inside a [`Message::TelemetryFrame`]:
+/// `(pid, phase, records, duration_ns)`, where `phase` is
+/// [`SPAN_PHASE_COMPUTE`] or [`SPAN_PHASE_SHUFFLE`].
+pub type SpanRow = (u64, u64, u64, u64);
+
+/// [`SpanRow`] phase code for the program's step function.
+pub const SPAN_PHASE_COMPUTE: u64 = 0;
+/// [`SpanRow`] phase code for encoding the reply frame for the wire.
+pub const SPAN_PHASE_SHUFFLE: u64 = 1;
+
 /// Upper bound on a single frame's payload; a length prefix beyond this is
 /// treated as stream corruption rather than an allocation request.
 pub const MAX_FRAME_BYTES: u32 = 1 << 30;
@@ -97,6 +107,25 @@ pub enum Message {
     },
     /// Coordinator → worker: exit cleanly.
     Shutdown,
+    /// Worker → coordinator: the worker-side telemetry batch for one
+    /// [`Message::RunStep`], written on the control connection immediately
+    /// *before* the matching [`Message::StepDone`] — so once the
+    /// coordinator has collected every `StepDone` of a superstep, TCP
+    /// ordering guarantees it has already seen every telemetry frame, and
+    /// the frames can be merged into the journal in causal
+    /// `(superstep, worker, seq)` order with no extra drain round.
+    TelemetryFrame {
+        /// The worker's coordinator-side index (from [`Message::Hello`]).
+        worker: u64,
+        /// Echo of the request's chronological superstep; stale frames from
+        /// a failed superstep are discarded like stale `StepDone`s.
+        superstep: u32,
+        /// Emission sequence within this `(worker, superstep)`, restarting
+        /// at zero each superstep — the deterministic merge key.
+        seq: u64,
+        /// Timed phases, in worker-local execution order.
+        spans: Vec<SpanRow>,
+    },
 }
 
 impl Codec for Message {
@@ -138,6 +167,13 @@ impl Codec for Message {
                 nonce.encode(out);
             }
             Message::Shutdown => out.push(7),
+            Message::TelemetryFrame { worker, superstep, seq, spans } => {
+                out.push(8);
+                worker.encode(out);
+                superstep.encode(out);
+                seq.encode(out);
+                spans.encode(out);
+            }
         }
     }
 
@@ -168,6 +204,12 @@ impl Codec for Message {
             5 => Message::Heartbeat { nonce: u64::decode(input)? },
             6 => Message::HeartbeatAck { nonce: u64::decode(input)? },
             7 => Message::Shutdown,
+            8 => Message::TelemetryFrame {
+                worker: u64::decode(input)?,
+                superstep: u32::decode(input)?,
+                seq: u64::decode(input)?,
+                spans: Vec::decode(input)?,
+            },
             other => {
                 return Err(EngineError::Codec(format!("unknown cluster message tag {other}")))
             }
@@ -182,6 +224,17 @@ pub fn write_frame(
     bytes_out: Option<&Counter>,
 ) -> io::Result<()> {
     let payload = encode_to_vec(msg);
+    write_encoded_frame(w, &payload, bytes_out)
+}
+
+/// Write an already-encoded message payload as one frame. Split out of
+/// [`write_frame`] so the worker can time encoding (the telemetry
+/// "shuffle" phase) separately from the socket write.
+pub fn write_encoded_frame(
+    w: &mut impl Write,
+    payload: &[u8],
+    bytes_out: Option<&Counter>,
+) -> io::Result<()> {
     let len = u32::try_from(payload.len()).ok().filter(|&len| len <= MAX_FRAME_BYTES).ok_or_else(
         || {
             io::Error::new(
@@ -191,7 +244,7 @@ pub fn write_frame(
         },
     )?;
     w.write_all(&len.to_le_bytes())?;
-    w.write_all(&payload)?;
+    w.write_all(payload)?;
     w.flush()?;
     if let Some(counter) = bytes_out {
         counter.add(4 + payload.len() as u64);
@@ -259,6 +312,12 @@ mod tests {
         round_trip(Message::Heartbeat { nonce: 42 });
         round_trip(Message::HeartbeatAck { nonce: 42 });
         round_trip(Message::Shutdown);
+        round_trip(Message::TelemetryFrame {
+            worker: 1,
+            superstep: 4,
+            seq: 2,
+            spans: vec![(1, SPAN_PHASE_COMPUTE, 12, 1_500), (1, SPAN_PHASE_SHUFFLE, 12, 900)],
+        });
     }
 
     #[test]

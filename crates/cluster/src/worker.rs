@@ -12,21 +12,54 @@
 //! every other termination path is an abrupt connection loss that the
 //! coordinator converts into a
 //! [`dataflow::error::EngineError::WorkerLost`].
+//!
+//! Workers are also self-reporting: every step is timed locally (compute =
+//! the program's step function, shuffle = encoding the reply for the wire)
+//! and shipped to the coordinator as a [`Message::TelemetryFrame`] written
+//! immediately before the matching [`Message::StepDone`], and lifecycle
+//! events go to stderr as structured `optirec-worker worker=<id> …` lines
+//! so a kill-storm is debuggable from the process logs alone.
 
 use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
+use dataflow::codec::encode_to_vec;
 use parking_lot::Mutex;
 
 use crate::program::{lookup, ClusterProgram};
-use crate::protocol::{read_frame, write_frame, AdjRows, Message};
+use crate::protocol::{
+    read_frame, write_encoded_frame, write_frame, AdjRows, Message, SPAN_PHASE_COMPUTE,
+    SPAN_PHASE_SHUFFLE,
+};
 
 /// Marker line a worker prints to stdout once its listener is bound; the
 /// rest of the line is the decimal port number.
 pub const LISTENING_MARKER: &str = "OPTIREC_WORKER_LISTENING";
+
+/// Structured worker-side stderr log line: `optirec-worker worker=<id>
+/// [superstep=<s>] event=<event> [detail…]`. The worker id is learned from
+/// the control connection's `Hello`; lines logged before it arrives say
+/// `worker=?`.
+fn wlog(worker: Option<u64>, superstep: Option<u32>, event: &str, detail: &str) {
+    let mut line = String::from("optirec-worker worker=");
+    match worker {
+        Some(id) => line.push_str(&id.to_string()),
+        None => line.push('?'),
+    }
+    if let Some(s) = superstep {
+        line.push_str(&format!(" superstep={s}"));
+    }
+    line.push_str(&format!(" event={event}"));
+    if !detail.is_empty() {
+        line.push(' ');
+        line.push_str(detail);
+    }
+    eprintln!("{line}");
+}
 
 /// Program + adjacency installed by `LoadProgram`, shared across connections.
 #[derive(Default)]
@@ -60,76 +93,128 @@ pub fn run(listen: &str) -> io::Result<()> {
 
 fn serve(mut stream: TcpStream, shared: Arc<Mutex<WorkerState>>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    loop {
-        let msg = match read_frame(&mut stream, None) {
-            Ok(msg) => msg,
-            // Peer hung up between frames: a normal connection end.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
-        };
-        match msg {
-            Message::Hello { .. } => write_frame(&mut stream, &Message::Welcome, None)?,
-            Message::LoadProgram { program, n, adjacency } => {
-                let resolved = lookup(&program).ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unknown cluster program `{program}`"),
-                    )
-                })?;
-                let mut state = shared.lock();
-                state.program = Some(resolved);
-                state.n = n;
-                // A rejoining replacement receives its full partition set
-                // again; stale assignments from before a redistribution are
-                // dropped rather than merged.
-                state.adjacency.clear();
-                for (pid, rows) in adjacency {
-                    state.adjacency.insert(pid, Arc::new(rows));
+    // Telemetry coordinates are per control connection: the coordinator
+    // sends every RunStep of a superstep down one connection in pid order,
+    // so a connection-local (superstep, seq) pair is a deterministic merge
+    // key even though the process serves several connections.
+    let mut worker: Option<u64> = None;
+    let mut telemetry_superstep: u32 = 0;
+    let mut seq: u64 = 0;
+    let result = (|| -> io::Result<()> {
+        loop {
+            let msg = match read_frame(&mut stream, None) {
+                Ok(msg) => msg,
+                // Peer hung up between frames: a normal connection end.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            match msg {
+                Message::Hello { worker: id } => {
+                    worker = Some(id);
+                    wlog(worker, None, "hello", "");
+                    write_frame(&mut stream, &Message::Welcome, None)?
                 }
-                drop(state);
-                write_frame(&mut stream, &Message::Welcome, None)?;
-            }
-            Message::RunStep { pid, superstep, step, state, inbound } => {
-                let (program, rows, n) = {
-                    let shared = shared.lock();
-                    let program = shared.program.clone().ok_or_else(|| {
-                        io::Error::new(io::ErrorKind::InvalidData, "RunStep before LoadProgram")
-                    })?;
-                    let rows = shared.adjacency.get(&pid).cloned().ok_or_else(|| {
+                Message::LoadProgram { program, n, adjacency } => {
+                    let resolved = lookup(&program).ok_or_else(|| {
                         io::Error::new(
                             io::ErrorKind::InvalidData,
-                            format!("RunStep for partition {pid} not owned by this worker"),
+                            format!("unknown cluster program `{program}`"),
                         )
                     })?;
-                    (program, rows, shared.n)
-                };
-                let out = program.step(step, &state, &inbound, &rows, n);
-                write_frame(
-                    &mut stream,
-                    &Message::StepDone {
+                    wlog(
+                        worker,
+                        None,
+                        "load_program",
+                        &format!("program={program} partitions={} n={n}", adjacency.len()),
+                    );
+                    let mut state = shared.lock();
+                    state.program = Some(resolved);
+                    state.n = n;
+                    // A rejoining replacement receives its full partition set
+                    // again; stale assignments from before a redistribution are
+                    // dropped rather than merged.
+                    state.adjacency.clear();
+                    for (pid, rows) in adjacency {
+                        state.adjacency.insert(pid, Arc::new(rows));
+                    }
+                    drop(state);
+                    write_frame(&mut stream, &Message::Welcome, None)?;
+                }
+                Message::RunStep { pid, superstep, step, state, inbound } => {
+                    let (program, rows, n) = {
+                        let shared = shared.lock();
+                        let program = shared.program.clone().ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "RunStep before LoadProgram")
+                        })?;
+                        let rows = shared.adjacency.get(&pid).cloned().ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("RunStep for partition {pid} not owned by this worker"),
+                            )
+                        })?;
+                        (program, rows, shared.n)
+                    };
+                    if superstep != telemetry_superstep {
+                        telemetry_superstep = superstep;
+                        seq = 0;
+                        wlog(worker, Some(superstep), "run_step", &format!("first_pid={pid}"));
+                    }
+                    let compute_start = Instant::now();
+                    let out = program.step(step, &state, &inbound, &rows, n);
+                    let compute_ns = compute_start.elapsed().as_nanos() as u64;
+                    let records = (out.state.len() + out.outbound.len()) as u64;
+                    let reply = Message::StepDone {
                         pid,
                         superstep,
                         state: out.state,
                         outbound: out.outbound,
                         changed: out.changed,
-                    },
-                    None,
-                )?;
-            }
-            Message::Heartbeat { nonce } => {
-                write_frame(&mut stream, &Message::HeartbeatAck { nonce }, None)?
-            }
-            Message::Shutdown => std::process::exit(0),
-            unexpected @ (Message::Welcome
-            | Message::StepDone { .. }
-            | Message::HeartbeatAck { .. }) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("coordinator sent a worker-only message: {unexpected:?}"),
-                ));
+                    };
+                    let shuffle_start = Instant::now();
+                    let payload = encode_to_vec(&reply);
+                    let shuffle_ns = shuffle_start.elapsed().as_nanos() as u64;
+                    // Telemetry first, then the pre-encoded reply: TCP
+                    // ordering makes the frame visible to the coordinator no
+                    // later than the StepDone it describes.
+                    write_frame(
+                        &mut stream,
+                        &Message::TelemetryFrame {
+                            worker: worker.unwrap_or(0),
+                            superstep,
+                            seq,
+                            spans: vec![
+                                (pid, SPAN_PHASE_COMPUTE, records, compute_ns),
+                                (pid, SPAN_PHASE_SHUFFLE, records, shuffle_ns),
+                            ],
+                        },
+                        None,
+                    )?;
+                    seq += 1;
+                    write_encoded_frame(&mut stream, &payload, None)?;
+                }
+                Message::Heartbeat { nonce } => {
+                    write_frame(&mut stream, &Message::HeartbeatAck { nonce }, None)?
+                }
+                Message::Shutdown => {
+                    wlog(worker, None, "shutdown", "");
+                    std::process::exit(0)
+                }
+                unexpected @ (Message::Welcome
+                | Message::StepDone { .. }
+                | Message::HeartbeatAck { .. }
+                | Message::TelemetryFrame { .. }) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("coordinator sent a worker-only message: {unexpected:?}"),
+                    ));
+                }
             }
         }
+    })();
+    if let Err(e) = &result {
+        wlog(worker, None, "connection_error", &format!("error={e}"));
     }
+    result
 }
 
 #[cfg(test)]
@@ -185,6 +270,16 @@ mod tests {
             None,
         )
         .unwrap();
+        // The telemetry frame precedes the reply it describes.
+        match read_frame(&mut conn, None).unwrap() {
+            Message::TelemetryFrame { worker, superstep, seq, spans } => {
+                assert_eq!((worker, superstep, seq), (0, 1, 0));
+                let phases: Vec<u64> = spans.iter().map(|&(_, phase, _, _)| phase).collect();
+                assert_eq!(phases, vec![SPAN_PHASE_COMPUTE, SPAN_PHASE_SHUFFLE]);
+                assert!(spans.iter().all(|&(pid, _, records, _)| pid == 0 && records > 0));
+            }
+            other => panic!("expected TelemetryFrame, got {other:?}"),
+        }
         match read_frame(&mut conn, None).unwrap() {
             Message::StepDone { pid, superstep, state, changed, .. } => {
                 assert_eq!((pid, superstep), (0, 1));

@@ -28,6 +28,15 @@ pub struct RunFacts {
     pub wall_ns: Option<u64>,
     /// Wall-clock inside recovery handlers, when a report exists.
     pub recovery_ns: Option<u64>,
+    /// Worker outages billed in the journal (cluster runs; one
+    /// `RecoveryCost` event each).
+    pub worker_outages: u64,
+    /// Summed dispatch-to-detection latency across outages.
+    pub detect_ns: u64,
+    /// Summed respawn + reload wall time across outages.
+    pub respawn_ns: u64,
+    /// Summed bytes re-shipped to replacement workers.
+    pub reshipped_bytes: u64,
     /// Raw journal event JSON lines, for divergence pinpointing.
     pub event_lines: Vec<String>,
 }
@@ -36,6 +45,7 @@ impl RunFacts {
     /// Facts from a loaded journal.
     pub fn from_journal(journal: &Journal) -> RunFacts {
         let model = RunModel::from_events(&journal.events);
+        let costs: Vec<_> = model.rows.iter().flat_map(|row| row.recovery_costs.iter()).collect();
         RunFacts {
             supersteps: model.rows.len() as u32,
             logical_iterations: model.logical_iterations,
@@ -44,6 +54,10 @@ impl RunFacts {
             redundant_supersteps: model.redundant_supersteps(),
             wall_ns: None,
             recovery_ns: None,
+            worker_outages: costs.len() as u64,
+            detect_ns: costs.iter().map(|c| c.detect_ns).sum(),
+            respawn_ns: costs.iter().map(|c| c.respawn_ns).sum(),
+            reshipped_bytes: costs.iter().map(|c| c.reshipped_bytes).sum(),
             event_lines: journal.events.iter().map(|e| e.to_json()).collect(),
         }
     }
@@ -210,6 +224,39 @@ pub fn diff_runs(baseline: &RunFacts, current: &RunFacts, options: &DiffOptions)
         );
     }
 
+    // Recovery-cost accounting rows (cluster journals). Worker-side clocks
+    // and respawn timing are inherently noisy, so these inform rather than
+    // gate: the recovery wall-clock threshold above is the gating axis.
+    if baseline.worker_outages != 0 || current.worker_outages != 0 {
+        report.push(
+            Severity::Info,
+            format!("worker outages: {} -> {}", baseline.worker_outages, current.worker_outages),
+        );
+        report.push(
+            Severity::Info,
+            format!(
+                "detection latency: {} -> {}",
+                crate::timeline::format_ns(baseline.detect_ns),
+                crate::timeline::format_ns(current.detect_ns)
+            ),
+        );
+        report.push(
+            Severity::Info,
+            format!(
+                "respawn wall-clock: {} -> {}",
+                crate::timeline::format_ns(baseline.respawn_ns),
+                crate::timeline::format_ns(current.respawn_ns)
+            ),
+        );
+        report.push(
+            Severity::Info,
+            format!(
+                "re-shipped bytes: {}B -> {}B",
+                baseline.reshipped_bytes, current.reshipped_bytes
+            ),
+        );
+    }
+
     // Pinpoint the first journal divergence, when both sides have events.
     if !baseline.event_lines.is_empty() && !current.event_lines.is_empty() {
         let first_diff = baseline
@@ -325,6 +372,26 @@ mod tests {
         let report = diff_runs(&a, &b, &DiffOptions::default());
         let text = render_diff(&report);
         assert!(text.contains("diverge at event 2"), "{text}");
+    }
+
+    #[test]
+    fn recovery_cost_rows_inform_but_do_not_gate() {
+        let mut baseline = facts(8, 8);
+        baseline.worker_outages = 1;
+        baseline.detect_ns = 1_000_000;
+        baseline.respawn_ns = 3_000_000;
+        baseline.reshipped_bytes = 1024;
+        let mut current = facts(8, 8);
+        current.worker_outages = 1;
+        current.detect_ns = 9_000_000; // 9x noisier detection must not gate
+        current.respawn_ns = 3_500_000;
+        current.reshipped_bytes = 1024;
+        let report = diff_runs(&baseline, &current, &DiffOptions::default());
+        assert!(!report.has_regressions(), "{report:?}");
+        let text = render_diff(&report);
+        assert!(text.contains("worker outages: 1 -> 1"), "{text}");
+        assert!(text.contains("detection latency: 1.0ms -> 9.0ms"), "{text}");
+        assert!(text.contains("re-shipped bytes: 1024B -> 1024B"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   and delta-norm curves with recovery overlays, plus CSV/HTML export.
 //! - [`diff`] — regression gating: compare two runs and flag
 //!   superstep-count, wall-clock, and recovery-overhead regressions.
+//! - [`recovery`] — what each failure cost: detection latency, respawn
+//!   time, re-shipped bytes, and recomputed supersteps per worker outage.
 //!
 //! Everything is file-driven (`inspect` runs long after the run finished)
 //! and serde-free: [`jsonv`] parses exactly the JSON dialect
@@ -27,6 +29,7 @@ pub mod jsonv;
 pub mod load;
 pub mod model;
 pub mod profile;
+pub mod recovery;
 pub mod timeline;
 
 pub use capture::{capture_paths, save_run, CapturePaths};
@@ -34,5 +37,6 @@ pub use convergence::{render_convergence, write_convergence_csv, write_convergen
 pub use diff::{diff_runs, render_diff, DiffOptions, DiffReport, RunFacts};
 pub use load::{load_journal, load_report, load_spans, Journal, LoadError, ReportSummary};
 pub use model::RunModel;
-pub use profile::{build_profile, render_profile, Profile};
-pub use timeline::render_timeline;
+pub use profile::{build_profile, render_metrics_top, render_profile, Profile};
+pub use recovery::{build_recovery_report, render_recovery, RecoveryBill, RecoveryReport};
+pub use timeline::{format_ns, render_timeline};

@@ -135,10 +135,31 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
                 .map(|p| p as usize)
                 .collect(),
         },
+        "WorkerSpan" => JournalEvent::WorkerSpan {
+            superstep: u32_field(v, "superstep")?,
+            worker: u64_field(v, "worker")? as usize,
+            seq: u64_field(v, "seq")?,
+            pid: u64_field(v, "pid")? as usize,
+            span: v.get("span").and_then(Value::as_str).ok_or("missing span")?.to_string(),
+            records: u64_field(v, "records")?,
+            duration_ns: u64_field(v, "duration_ns")?,
+        },
         "WorkerRejoined" => JournalEvent::WorkerRejoined {
             superstep: u32_field(v, "superstep")?,
             worker: u64_field(v, "worker")? as usize,
             reconnect_attempts: u32_field(v, "reconnect_attempts")?,
+        },
+        "RecoveryCost" => JournalEvent::RecoveryCost {
+            superstep: u32_field(v, "superstep")?,
+            worker: u64_field(v, "worker")? as usize,
+            detection: v
+                .get("detection")
+                .and_then(Value::as_str)
+                .ok_or("missing detection")?
+                .to_string(),
+            detect_ns: u64_field(v, "detect_ns")?,
+            respawn_ns: u64_field(v, "respawn_ns")?,
+            reshipped_bytes: u64_field(v, "reshipped_bytes")?,
         },
         "FailureInjected" => JournalEvent::FailureInjected {
             superstep: u32_field(v, "superstep")?,
@@ -358,7 +379,11 @@ mod tests {
         "\"lost_partitions\":[1],\"lost_records\":2}\n",
         "{\"event\":\"CompensationInvoked\",\"name\":\"Fix\",\"iteration\":0}\n",
         "{\"event\":\"CompensationApplied\",\"iteration\":0}\n",
+        "{\"event\":\"WorkerSpan\",\"superstep\":0,\"worker\":0,\"seq\":0,\"pid\":0,",
+        "\"span\":\"compute\",\"records\":4,\"duration_ns\":1500}\n",
         "{\"event\":\"WorkerRejoined\",\"superstep\":1,\"worker\":1,\"reconnect_attempts\":2}\n",
+        "{\"event\":\"RecoveryCost\",\"superstep\":1,\"worker\":1,\"detection\":\"heartbeat\",",
+        "\"detect_ns\":500000,\"respawn_ns\":2000000,\"reshipped_bytes\":4096}\n",
         "{\"event\":\"RunCompleted\",\"supersteps\":1,\"iterations\":1,\"converged\":true}\n",
         "{\"event\":\"MutationBatch\",\"epoch\":1,\"inserts\":2,\"deletes\":1,\"seeded\":4}\n",
         "{\"event\":\"Reconverge\",\"epoch\":1,\"supersteps\":3,\"converged\":true}\n",

@@ -53,6 +53,40 @@ pub struct FailureMark {
     pub lost_records: u64,
 }
 
+/// One worker-side span merged into the coordinator journal (cluster runs
+/// only): a timed phase of one partition's step on one worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSpanMark {
+    /// Index of the worker process that reported the span.
+    pub worker: usize,
+    /// Per-(worker, superstep) frame sequence number — the deterministic
+    /// merge key, not a wall-clock order.
+    pub seq: u64,
+    /// Partition the span timed.
+    pub pid: PartitionId,
+    /// Phase label (`compute` or `shuffle`).
+    pub span: String,
+    /// Records the phase touched.
+    pub records: u64,
+    /// Wall-clock duration measured on the worker.
+    pub duration_ns: u64,
+}
+
+/// The coordinator's per-failure recovery bill (cluster runs only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryCostMark {
+    /// Worker process the bill covers.
+    pub worker: usize,
+    /// How the loss was detected (`heartbeat` or `read_error`).
+    pub detection: String,
+    /// Dispatch-to-detection latency.
+    pub detect_ns: u64,
+    /// Respawn + reload wall time.
+    pub respawn_ns: u64,
+    /// Bytes re-shipped to the replacement worker.
+    pub reshipped_bytes: u64,
+}
+
 /// A worker-process transport event (multi-process cluster runs only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkerEvent {
@@ -161,6 +195,13 @@ pub struct SuperstepRow {
     /// Worker processes lost or rejoined before the next superstep
     /// completed (cluster runs only).
     pub worker_events: Vec<WorkerEvent>,
+    /// Worker-side spans for this superstep, in merge order (cluster runs
+    /// only). These precede the row's `SuperstepCompleted` in the journal,
+    /// so they are buffered and attached when the row is created.
+    pub worker_spans: Vec<WorkerSpanMark>,
+    /// Recovery bills charged to this superstep's failures (cluster runs
+    /// only).
+    pub recovery_costs: Vec<RecoveryCostMark>,
     /// Serving-engine epoch events (mutation batches, re-convergence
     /// summaries, queries) that happened after this superstep (serve runs
     /// only).
@@ -207,6 +248,13 @@ impl RunModel {
     /// Fold a journal into per-superstep rows.
     pub fn from_events(events: &[JournalEvent]) -> RunModel {
         let mut model = RunModel::default();
+        // Worker spans are journaled *before* the `SuperstepCompleted` they
+        // describe (the coordinator merges telemetry frames while the
+        // superstep is still open), so they can't use the last-row
+        // attribution rule. Buffer them keyed by superstep and attach them
+        // when the matching row appears; spans of a superstep that never
+        // completes (a mid-step failure) are dropped with the buffer.
+        let mut pending_spans: Vec<(u32, WorkerSpanMark)> = Vec::new();
         for event in events {
             match event {
                 JournalEvent::RunStarted { mode, parallelism, .. } => {
@@ -219,11 +267,18 @@ impl RunModel {
                     records_shuffled,
                     workset_size,
                 } => {
+                    let worker_spans = pending_spans
+                        .iter()
+                        .filter(|(s, _)| s == superstep)
+                        .map(|(_, span)| span.clone())
+                        .collect();
+                    pending_spans.clear();
                     model.rows.push(SuperstepRow {
                         superstep: *superstep,
                         iteration: *iteration,
                         records_shuffled: *records_shuffled,
                         workset_size: *workset_size,
+                        worker_spans,
                         ..Default::default()
                     });
                 }
@@ -261,6 +316,45 @@ impl RunModel {
                         row.worker_events.push(WorkerEvent::Rejoined {
                             worker: *worker,
                             reconnect_attempts: *reconnect_attempts,
+                        });
+                    }
+                }
+                JournalEvent::WorkerSpan {
+                    superstep,
+                    worker,
+                    seq,
+                    pid,
+                    span,
+                    records,
+                    duration_ns,
+                } => {
+                    pending_spans.push((
+                        *superstep,
+                        WorkerSpanMark {
+                            worker: *worker,
+                            seq: *seq,
+                            pid: *pid,
+                            span: span.clone(),
+                            records: *records,
+                            duration_ns: *duration_ns,
+                        },
+                    ));
+                }
+                JournalEvent::RecoveryCost {
+                    worker,
+                    detection,
+                    detect_ns,
+                    respawn_ns,
+                    reshipped_bytes,
+                    ..
+                } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.recovery_costs.push(RecoveryCostMark {
+                            worker: *worker,
+                            detection: detection.clone(),
+                            detect_ns: *detect_ns,
+                            respawn_ns: *respawn_ns,
+                            reshipped_bytes: *reshipped_bytes,
                         });
                     }
                 }
@@ -378,6 +472,16 @@ impl RunModel {
             })
             .map(|r| r.superstep)
             .collect()
+    }
+
+    /// Distinct worker ids that reported spans, ascending (cluster runs
+    /// only — empty for single-process journals).
+    pub fn span_workers(&self) -> Vec<usize> {
+        let mut workers: Vec<usize> =
+            self.rows.iter().flat_map(|r| r.worker_spans.iter().map(|s| s.worker)).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        workers
     }
 
     /// Redundant supersteps: executed minus logical progress. Nonzero only
@@ -535,6 +639,55 @@ mod tests {
             "epoch 1 reconverged in 1 supersteps (converged)"
         );
         assert_eq!(model.rows[0].serve_events[0].label(), "epoch 0 query[point] -> 1");
+    }
+
+    fn span(superstep: u32, worker: usize, seq: u64, label: &str) -> JournalEvent {
+        JournalEvent::WorkerSpan {
+            superstep,
+            worker,
+            seq,
+            pid: worker,
+            span: label.into(),
+            records: 4,
+            duration_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn worker_spans_attach_to_the_superstep_they_describe() {
+        // Spans precede their SuperstepCompleted in the journal; spans of a
+        // superstep that never completes are dropped.
+        let events = vec![
+            span(0, 0, 0, "compute"),
+            span(0, 1, 0, "compute"),
+            step(0, 0),
+            span(1, 0, 0, "compute"),
+            span(1, 0, 1, "shuffle"),
+            step(1, 1),
+            span(9, 1, 0, "compute"), // truncated journal: superstep 9 never completed
+            JournalEvent::RecoveryCost {
+                superstep: 2,
+                worker: 1,
+                detection: "heartbeat".into(),
+                detect_ns: 500,
+                respawn_ns: 2000,
+                reshipped_bytes: 64,
+            },
+            step(2, 2),
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(model.rows[0].worker_spans.len(), 2);
+        assert_eq!(model.rows[0].worker_spans[1].worker, 1);
+        assert_eq!(
+            model.rows[1].worker_spans.iter().map(|s| s.span.as_str()).collect::<Vec<_>>(),
+            vec!["compute", "shuffle"]
+        );
+        // The superstep-9 span belongs to no completed row: dropped.
+        assert!(model.rows[2].worker_spans.is_empty());
+        assert_eq!(model.rows[1].recovery_costs.len(), 1);
+        assert_eq!(model.rows[1].recovery_costs[0].detection, "heartbeat");
+        assert_eq!(model.rows[1].recovery_costs[0].reshipped_bytes, 64);
+        assert_eq!(model.span_workers(), vec![0, 1]);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use crate::load::ReportSummary;
+use crate::timeline::format_ns;
 
 /// Time attribution for one partition.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,6 +39,10 @@ impl PartitionProfile {
 pub struct Profile {
     /// Per-partition attribution, ordered by pid.
     pub partitions: Vec<PartitionProfile>,
+    /// Per-worker attribution from the cluster's merged telemetry
+    /// (`worker_compute_ns` / `worker_shuffle_ns` tracks, `pid` = worker
+    /// id). Empty for single-process reports.
+    pub workers: Vec<PartitionProfile>,
     /// Total nanoseconds per operator kind (from `op/<kind>_ns` histograms).
     pub operators: Vec<(String, u64)>,
     /// Wall-clock totals per phase label from the report's span totals.
@@ -54,6 +59,7 @@ fn partition_track(name: &str, prefix: &str) -> Option<usize> {
 /// of the median partition total beyond which a partition is flagged.
 pub fn build_profile(report: &ReportSummary, straggler_factor: f64) -> Profile {
     let mut partitions: BTreeMap<usize, PartitionProfile> = BTreeMap::new();
+    let mut workers: BTreeMap<usize, PartitionProfile> = BTreeMap::new();
     let mut operators: BTreeMap<String, u64> = BTreeMap::new();
     for (name, stats) in &report.histograms {
         if let Some(pid) = partition_track(name, "partition_task_ns") {
@@ -65,6 +71,16 @@ pub fn build_profile(report: &ReportSummary, straggler_factor: f64) -> Profile {
             let slot = partitions
                 .entry(pid)
                 .or_insert_with(|| PartitionProfile { pid, ..Default::default() });
+            slot.shuffle_ns += stats.sum;
+        } else if let Some(worker) = partition_track(name, "worker_compute_ns") {
+            let slot = workers
+                .entry(worker)
+                .or_insert_with(|| PartitionProfile { pid: worker, ..Default::default() });
+            slot.compute_ns += stats.sum;
+        } else if let Some(worker) = partition_track(name, "worker_shuffle_ns") {
+            let slot = workers
+                .entry(worker)
+                .or_insert_with(|| PartitionProfile { pid: worker, ..Default::default() });
             slot.shuffle_ns += stats.sum;
         } else if let Some(op) = name.strip_prefix("op/").and_then(|n| n.strip_suffix("_ns")) {
             *operators.entry(op.to_string()).or_default() += stats.sum;
@@ -86,7 +102,13 @@ pub fn build_profile(report: &ReportSummary, straggler_factor: f64) -> Profile {
         report.span_totals_ns.iter().map(|(k, v)| (k.clone(), *v)).collect();
     phases.sort_by_key(|p| std::cmp::Reverse(p.1));
 
-    Profile { partitions, operators, phases, straggler_factor }
+    Profile {
+        partitions,
+        workers: workers.into_values().collect(),
+        operators,
+        phases,
+        straggler_factor,
+    }
 }
 
 fn bar(part: u64, max: u64, width: usize) -> String {
@@ -121,18 +143,34 @@ pub fn render_profile(profile: &Profile) -> String {
     let grand_total: u64 = profile.partitions.iter().map(PartitionProfile::total_ns).sum();
     for p in &profile.partitions {
         out.push_str(&format!(
-            "  p{:<3} |{:<24}| {:>6.2}%  compute {:>12}ns  shuffle {:>12}ns{}\n",
+            "  p{:<3} |{:<24}| {:>6.2}%  compute {:>9}  shuffle {:>9}{}\n",
             p.pid,
             bar(p.total_ns(), max_total, 24),
             pct(p.total_ns(), grand_total),
-            p.compute_ns,
-            p.shuffle_ns,
+            format_ns(p.compute_ns),
+            format_ns(p.shuffle_ns),
             if p.straggler {
                 format!("  STRAGGLER (>= {:.1}x median)", profile.straggler_factor)
             } else {
                 String::new()
             },
         ));
+    }
+
+    if !profile.workers.is_empty() {
+        out.push_str("\nper-worker time (worker-side clocks, cluster runs):\n");
+        let w_max = profile.workers.iter().map(PartitionProfile::total_ns).max().unwrap_or(0);
+        let w_total: u64 = profile.workers.iter().map(PartitionProfile::total_ns).sum();
+        for w in &profile.workers {
+            out.push_str(&format!(
+                "  w{:<3} |{:<24}| {:>6.2}%  compute {:>9}  shuffle {:>9}\n",
+                w.pid,
+                bar(w.total_ns(), w_max, 24),
+                pct(w.total_ns(), w_total),
+                format_ns(w.compute_ns),
+                format_ns(w.shuffle_ns),
+            ));
+        }
     }
 
     out.push_str("\nper-operator time:\n");
@@ -143,11 +181,11 @@ pub fn render_profile(profile: &Profile) -> String {
     let op_max = profile.operators.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
     for (op, ns) in &profile.operators {
         out.push_str(&format!(
-            "  {:<14} |{:<24}| {:>6.2}%  {:>12}ns\n",
+            "  {:<14} |{:<24}| {:>6.2}%  {:>9}\n",
             op,
             bar(*ns, op_max, 24),
             pct(*ns, op_total),
-            ns,
+            format_ns(*ns),
         ));
     }
 
@@ -162,9 +200,66 @@ pub fn render_profile(profile: &Profile) -> String {
         .map(|(_, ns)| *ns)
         .unwrap_or_else(|| profile.phases.iter().map(|(_, ns)| ns).sum());
     for (phase, ns) in &profile.phases {
-        out.push_str(
-            &format!("  {:<14} {:>12}ns  {:>6.2}% of run\n", phase, ns, pct(*ns, run_ns),),
-        );
+        out.push_str(&format!(
+            "  {:<14} {:>9}  {:>6.2}% of run\n",
+            phase,
+            format_ns(*ns),
+            pct(*ns, run_ns),
+        ));
+    }
+    out
+}
+
+/// Render a report's metrics snapshot as a plain-text "top"-style view:
+/// one run-summary line, then spans, counters, and histograms, with every
+/// `*_ns` value in human-readable units. This is what `optirec top --once`
+/// prints for a saved report sidecar.
+pub fn render_metrics_top(summary: &ReportSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run: {} supersteps, {} iterations, {}; failures {} \
+         (compensations {}, rollbacks {}, restarts {})\n",
+        summary.supersteps,
+        summary.logical_iterations,
+        if summary.converged { "converged" } else { "not converged" },
+        summary.failures,
+        summary.compensations,
+        summary.rollbacks,
+        summary.restarts,
+    ));
+    if !summary.span_totals_ns.is_empty() {
+        out.push_str("spans:\n");
+        for (name, ns) in &summary.span_totals_ns {
+            out.push_str(&format!("  {:<28} {:>10}\n", name, format_ns(*ns)));
+        }
+    }
+    if !summary.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &summary.counters {
+            out.push_str(&format!("  {:<28} {value:>10}\n", name));
+        }
+    }
+    if !summary.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, stats) in &summary.histograms {
+            // Nanosecond tracks (`x_ns`, `x_ns/p0`) get human units; other
+            // histograms keep raw values.
+            if name.ends_with("_ns") || name.contains("_ns/") {
+                out.push_str(&format!(
+                    "  {:<28} n={:<6} mean {:>9} p99 {:>9} max {:>9}\n",
+                    name,
+                    stats.count,
+                    format_ns(stats.mean as u64),
+                    format_ns(stats.p99),
+                    format_ns(stats.max),
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  {:<28} n={:<6} mean {:>9.1} p99 {:>9} max {:>9}\n",
+                    name, stats.count, stats.mean, stats.p99, stats.max,
+                ));
+            }
+        }
     }
     out
 }
@@ -216,6 +311,44 @@ mod tests {
         assert!(text.contains("STRAGGLER"), "{text}");
         assert!(text.contains("reduce"), "{text}");
         assert!(text.contains("% of run"), "{text}");
+        // *_ns sums render with human-readable units, not raw nanoseconds:
+        // the 1000ns run total shows as 1.0us.
+        assert!(text.contains("600ns"), "{text}");
+        assert!(text.contains("1.0us"), "{text}");
+        assert!(!text.contains("1000ns"), "{text}");
+    }
+
+    #[test]
+    fn worker_tracks_get_their_own_section_with_human_units() {
+        let mut report = report_with_skew();
+        report.histograms.insert("worker_compute_ns/p0".into(), hist(1_500_000));
+        report.histograms.insert("worker_compute_ns/p1".into(), hist(2_500_000));
+        report.histograms.insert("worker_shuffle_ns/p1".into(), hist(40_000));
+        let profile = build_profile(&report, 2.0);
+        assert_eq!(profile.workers.len(), 2);
+        assert_eq!(profile.workers[1].total_ns(), 2_540_000);
+        let text = render_profile(&profile);
+        assert!(text.contains("per-worker time"), "{text}");
+        assert!(text.contains("1.5ms"), "{text}");
+        assert!(text.contains("40.0us"), "{text}");
+        // Worker tracks must not leak into the per-partition section.
+        assert_eq!(profile.partitions.len(), 3);
+    }
+
+    #[test]
+    fn metrics_top_renders_counters_and_human_units() {
+        let mut report = report_with_skew();
+        report.supersteps = 7;
+        report.logical_iterations = 7;
+        report.converged = true;
+        report.counters.insert("recovery/reshipped_bytes".into(), 4096);
+        report.histograms.insert("recovery/detect_ns".into(), hist(2_000_000));
+        let text = render_metrics_top(&report);
+        assert!(text.contains("run: 7 supersteps, 7 iterations, converged"), "{text}");
+        assert!(text.contains("recovery/reshipped_bytes"), "{text}");
+        assert!(text.contains("4096"), "{text}");
+        assert!(text.contains("2.0ms"), "{text}");
+        assert!(!text.contains("2000000"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Recovery-cost accounting: what each failure actually cost the run.
+//!
+//! The coordinator journals one [`telemetry::JournalEvent::RecoveryCost`]
+//! per worker outage — how the loss was detected (heartbeat timeout vs a
+//! read error on the control connection), the dispatch-to-detection
+//! latency, the respawn + reload wall time, and the bytes re-shipped to
+//! the replacement worker. This module folds those bills together with the
+//! journal's failure marks into a per-failure report: each bill is charged
+//! the supersteps it forced the engine to recompute (the interrupted
+//! in-flight superstep under optimistic recovery, the whole rolled-back
+//! span under pessimistic recovery), and the report closes with run-level
+//! totals and the recovery wall-clock from the spans sidecar when one is
+//! available.
+
+use telemetry::PartitionId;
+
+use crate::load::ReportSummary;
+use crate::model::{RecoveryAction, RunModel, WorkerEvent};
+use crate::timeline::format_ns;
+
+/// The cost of one worker outage, attributed to the superstep it
+/// interrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryBill {
+    /// Superstep the outage interrupted (the last completed row).
+    pub superstep: u32,
+    /// Worker process that was lost.
+    pub worker: usize,
+    /// How the loss was detected (`heartbeat` or `read_error`).
+    pub detection: String,
+    /// Dispatch-to-detection latency.
+    pub detect_ns: u64,
+    /// Respawn + program-reload wall time.
+    pub respawn_ns: u64,
+    /// Bytes re-shipped (program + adjacency) to the replacement.
+    pub reshipped_bytes: u64,
+    /// Supersteps the failure forced the engine to recompute: the
+    /// interrupted in-flight superstep under compensation, plus the
+    /// rolled-back span under rollback.
+    pub supersteps_recomputed: u32,
+    /// Partitions the dead worker owned, when the journal recorded them.
+    pub lost_partitions: Vec<PartitionId>,
+}
+
+/// A whole run's recovery accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// One bill per worker outage, in journal order.
+    pub bills: Vec<RecoveryBill>,
+    /// Failures recorded in the journal (includes single-process injected
+    /// failures that carry no worker bill).
+    pub failures: u32,
+    /// Journal-level redundant supersteps (executed minus logical
+    /// progress) — the paper's recovery-overhead measure, as a
+    /// cross-check on the per-bill attribution.
+    pub redundant_supersteps: u32,
+    /// Wall-clock spent in the `recovery` span, when a spans sidecar or
+    /// report was available.
+    pub recovery_wall_ns: Option<u64>,
+}
+
+impl RecoveryReport {
+    /// Sum of detection latencies across bills.
+    pub fn total_detect_ns(&self) -> u64 {
+        self.bills.iter().map(|b| b.detect_ns).sum()
+    }
+
+    /// Sum of respawn wall time across bills.
+    pub fn total_respawn_ns(&self) -> u64 {
+        self.bills.iter().map(|b| b.respawn_ns).sum()
+    }
+
+    /// Sum of re-shipped bytes across bills.
+    pub fn total_reshipped_bytes(&self) -> u64 {
+        self.bills.iter().map(|b| b.reshipped_bytes).sum()
+    }
+
+    /// Sum of recomputed supersteps across bills.
+    pub fn total_recomputed(&self) -> u32 {
+        self.bills.iter().map(|b| b.supersteps_recomputed).sum()
+    }
+}
+
+/// Supersteps a failure at `row` forced the engine to recompute.
+///
+/// Under optimistic recovery the interrupted superstep is re-dispatched
+/// after compensation — one superstep of lost work per outage. Under
+/// pessimistic recovery the engine replays everything back to the
+/// checkpointed iteration.
+fn recomputed_for(row: &crate::model::SuperstepRow) -> u32 {
+    let rollback: u32 = row
+        .recovery
+        .iter()
+        .map(|action| match action {
+            RecoveryAction::Rollback { to_iteration } => {
+                row.iteration.saturating_sub(*to_iteration) + 1
+            }
+            RecoveryAction::Restart => row.iteration + 1,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    rollback.max(1)
+}
+
+/// Build the recovery report from a folded journal, plus the report
+/// sidecar (for the `recovery` span total) when available.
+pub fn build_recovery_report(model: &RunModel, report: Option<&ReportSummary>) -> RecoveryReport {
+    let mut out = RecoveryReport {
+        failures: model.failure_supersteps().len() as u32,
+        redundant_supersteps: model.redundant_supersteps(),
+        recovery_wall_ns: report.and_then(|r| r.span_totals_ns.get("recovery").copied()),
+        ..Default::default()
+    };
+    for row in &model.rows {
+        for cost in &row.recovery_costs {
+            let lost_partitions = row
+                .worker_events
+                .iter()
+                .find_map(|event| match event {
+                    WorkerEvent::Lost { worker, lost_partitions } if *worker == cost.worker => {
+                        Some(lost_partitions.clone())
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default();
+            out.bills.push(RecoveryBill {
+                superstep: row.superstep,
+                worker: cost.worker,
+                detection: cost.detection.clone(),
+                detect_ns: cost.detect_ns,
+                respawn_ns: cost.respawn_ns,
+                reshipped_bytes: cost.reshipped_bytes,
+                supersteps_recomputed: recomputed_for(row),
+                lost_partitions,
+            });
+        }
+    }
+    out
+}
+
+/// Render the recovery report as aligned text.
+pub fn render_recovery(report: &RecoveryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "recovery report: {} failure(s), {} worker outage(s)\n",
+        report.failures,
+        report.bills.len(),
+    ));
+    if report.bills.is_empty() && report.failures == 0 {
+        out.push_str("  no failures recorded; nothing to account\n");
+        return out;
+    }
+    for bill in &report.bills {
+        out.push_str(&format!(
+            "  s{:>3} w{:<2} detect[{}] {:>9}  respawn {:>9}  reshipped {:>8}B  \
+             recomputed {} superstep(s)  lost p{:?}\n",
+            bill.superstep,
+            bill.worker,
+            bill.detection,
+            format_ns(bill.detect_ns),
+            format_ns(bill.respawn_ns),
+            bill.reshipped_bytes,
+            bill.supersteps_recomputed,
+            bill.lost_partitions,
+        ));
+    }
+    if !report.bills.is_empty() {
+        out.push_str(&format!(
+            "totals: detect {}  respawn {}  reshipped {}B  recomputed {} superstep(s)\n",
+            format_ns(report.total_detect_ns()),
+            format_ns(report.total_respawn_ns()),
+            report.total_reshipped_bytes(),
+            report.total_recomputed(),
+        ));
+    }
+    out.push_str(&format!("redundant supersteps (journal): {}\n", report.redundant_supersteps));
+    if let Some(ns) = report.recovery_wall_ns {
+        out.push_str(&format!("recovery wall-clock (spans): {}\n", format_ns(ns)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FailureMark, RecoveryCostMark, SuperstepRow};
+
+    fn cluster_model() -> RunModel {
+        let mut model = RunModel { parallelism: 4, converged: true, ..Default::default() };
+        model.rows.push(SuperstepRow { superstep: 0, iteration: 0, ..Default::default() });
+        model.rows.push(SuperstepRow {
+            superstep: 1,
+            iteration: 1,
+            failure: Some(FailureMark { lost_partitions: vec![1, 3], lost_records: 9 }),
+            recovery: vec![RecoveryAction::Compensation { name: Some("Fix".into()) }],
+            worker_events: vec![
+                WorkerEvent::Lost { worker: 1, lost_partitions: vec![1, 3] },
+                WorkerEvent::Rejoined { worker: 1, reconnect_attempts: 2 },
+            ],
+            recovery_costs: vec![RecoveryCostMark {
+                worker: 1,
+                detection: "read_error".into(),
+                detect_ns: 1_500_000,
+                respawn_ns: 4_000_000,
+                reshipped_bytes: 2048,
+            }],
+            ..Default::default()
+        });
+        model.rows.push(SuperstepRow { superstep: 2, iteration: 2, ..Default::default() });
+        model.logical_iterations = 3;
+        model
+    }
+
+    #[test]
+    fn bills_attach_lost_partitions_and_charge_the_interrupted_superstep() {
+        let report = build_recovery_report(&cluster_model(), None);
+        assert_eq!(report.failures, 1);
+        assert_eq!(report.bills.len(), 1);
+        let bill = &report.bills[0];
+        assert_eq!(bill.superstep, 1);
+        assert_eq!(bill.worker, 1);
+        assert_eq!(bill.detection, "read_error");
+        assert_eq!(bill.lost_partitions, vec![1, 3]);
+        assert_eq!(bill.supersteps_recomputed, 1, "optimistic: only the in-flight superstep");
+        assert_eq!(report.total_reshipped_bytes(), 2048);
+        assert_eq!(report.redundant_supersteps, 0);
+    }
+
+    #[test]
+    fn rollback_bills_charge_the_replayed_span() {
+        let mut model = cluster_model();
+        model.rows[1].recovery = vec![RecoveryAction::Rollback { to_iteration: 0 }];
+        let report = build_recovery_report(&model, None);
+        assert_eq!(report.bills[0].supersteps_recomputed, 2, "iterations 0 and 1 replayed");
+    }
+
+    #[test]
+    fn render_shows_bills_totals_and_wall_clock() {
+        let mut summary = ReportSummary::default();
+        summary.span_totals_ns.insert("recovery".into(), 6_000_000);
+        let report = build_recovery_report(&cluster_model(), Some(&summary));
+        let text = render_recovery(&report);
+        assert!(text.contains("1 failure(s), 1 worker outage(s)"), "{text}");
+        assert!(text.contains("detect[read_error]"), "{text}");
+        assert!(text.contains("1.5ms"), "{text}");
+        assert!(text.contains("reshipped     2048B"), "{text}");
+        assert!(text.contains("recovery wall-clock (spans): 6.0ms"), "{text}");
+    }
+
+    #[test]
+    fn failure_free_runs_render_a_placeholder() {
+        let model = RunModel::default();
+        let text = render_recovery(&build_recovery_report(&model, None));
+        assert!(text.contains("no failures recorded"), "{text}");
+    }
+}

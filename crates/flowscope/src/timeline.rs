@@ -18,6 +18,7 @@ const CHECKPOINT: char = '%';
 const RECOVERY: char = '!';
 
 const MAX_BAR: usize = 48;
+const LANE_BAR: usize = 24;
 
 #[derive(Default, Clone, Copy)]
 struct StepTiming {
@@ -50,7 +51,10 @@ fn timings_from_spans(spans: &[SpanEntry]) -> BTreeMap<u32, StepTiming> {
     by_step
 }
 
-fn format_ns(ns: u64) -> String {
+/// Render a nanosecond count with a human-readable unit (`1.23s`,
+/// `4.5ms`, `6.7us`, `890ns`). Shared by the timeline, profile, and
+/// recovery views.
+pub fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -79,10 +83,38 @@ fn annotations(row: &SuperstepRow) -> String {
     for event in &row.serve_events {
         notes.push(event.label());
     }
+    for cost in &row.recovery_costs {
+        notes.push(format!(
+            "bill[w{} {}: detect {} respawn {} reship {}B]",
+            cost.worker,
+            cost.detection,
+            format_ns(cost.detect_ns),
+            format_ns(cost.respawn_ns),
+            cost.reshipped_bytes,
+        ));
+    }
     if let Some(bytes) = row.checkpoint_bytes {
         notes.push(format!("ckpt {bytes}B"));
     }
     notes.join("  ")
+}
+
+/// Per-worker aggregation of one row's spans: worker id -> (compute_ns,
+/// shuffle_ns, partitions touched), in ascending worker order.
+fn worker_lanes(row: &SuperstepRow) -> Vec<(usize, u64, u64, Vec<usize>)> {
+    let mut lanes: BTreeMap<usize, (u64, u64, Vec<usize>)> = BTreeMap::new();
+    for span in &row.worker_spans {
+        let lane = lanes.entry(span.worker).or_default();
+        match span.span.as_str() {
+            "compute" => lane.0 += span.duration_ns,
+            "shuffle" => lane.1 += span.duration_ns,
+            _ => {}
+        }
+        if !lane.2.contains(&span.pid) {
+            lane.2.push(span.pid);
+        }
+    }
+    lanes.into_iter().map(|(w, (c, s, p))| (w, c, s, p)).collect()
 }
 
 /// Render the Gantt timeline. Pass the spans sidecar when available; without
@@ -108,6 +140,18 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
                                  (# compute, ~ shuffle, % checkpoint, ! recovery)\n",
         ),
         None => out.push_str("no spans sidecar: bar = records shuffled (work proxy)\n"),
+    }
+    let lane_max = model
+        .rows
+        .iter()
+        .flat_map(|r| worker_lanes(r).into_iter().map(|(_, c, s, _)| c + s))
+        .max()
+        .unwrap_or(0);
+    if lane_max > 0 {
+        out.push_str(&format!(
+            "worker lanes: {} workers reported spans (w<id> rows, worker-side clocks)\n",
+            model.span_workers().len(),
+        ));
     }
     out.push('\n');
 
@@ -166,6 +210,29 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
             notes,
             width = MAX_BAR,
         ));
+        // Per-worker lanes under the superstep they measured, scaled
+        // against the busiest worker-superstep in the run.
+        for (worker, compute_ns, shuffle_ns, pids) in worker_lanes(row) {
+            let lane_scaled = |part: u64| -> usize {
+                if part == 0 {
+                    0
+                } else {
+                    ((part as u128 * LANE_BAR as u128 / lane_max.max(1) as u128) as usize).max(1)
+                }
+            };
+            let mut lane = String::new();
+            lane.extend(std::iter::repeat_n(COMPUTE, lane_scaled(compute_ns)));
+            lane.extend(std::iter::repeat_n(SHUFFLE, lane_scaled(shuffle_ns)));
+            out.push_str(&format!(
+                "     w{:<4} |{:<width$}| compute {} shuffle {} p{:?}\n",
+                worker,
+                lane,
+                format_ns(compute_ns),
+                format_ns(shuffle_ns),
+                pids,
+                width = LANE_BAR,
+            ));
+        }
     }
     out
 }
@@ -238,6 +305,42 @@ mod tests {
         assert!(text.contains("epoch 1: +3/-1 edges, 5 seeded"), "{text}");
         assert!(text.contains("epoch 1 reconverged in 2 supersteps (converged)"), "{text}");
         assert!(text.contains("epoch 1 query[top] -> 3"), "{text}");
+    }
+
+    #[test]
+    fn worker_lanes_render_under_their_superstep() {
+        use crate::model::{RecoveryCostMark, WorkerSpanMark};
+        let mut model = model_with_failure();
+        for (worker, pid, label, ns) in [
+            (0usize, 0usize, "compute", 40_000u64),
+            (0, 0, "shuffle", 2_000),
+            (1, 1, "compute", 80_000),
+        ] {
+            model.rows[0].worker_spans.push(WorkerSpanMark {
+                worker,
+                seq: 0,
+                pid,
+                span: label.into(),
+                records: 5,
+                duration_ns: ns,
+            });
+        }
+        model.rows[1].recovery_costs.push(RecoveryCostMark {
+            worker: 1,
+            detection: "heartbeat".into(),
+            detect_ns: 1_200_000,
+            respawn_ns: 3_000_000,
+            reshipped_bytes: 4096,
+        });
+        let text = render_timeline(&model, None);
+        assert!(text.contains("worker lanes: 2 workers reported spans"), "{text}");
+        assert!(text.contains("w0"), "{text}");
+        assert!(text.contains("compute 40.0us shuffle 2.0us p[0]"), "{text}");
+        assert!(text.contains("compute 80.0us shuffle 0ns p[1]"), "{text}");
+        assert!(
+            text.contains("bill[w1 heartbeat: detect 1.2ms respawn 3.0ms reship 4096B]"),
+            "{text}"
+        );
     }
 
     #[test]

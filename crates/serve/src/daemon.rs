@@ -57,6 +57,28 @@ fn format_commit(report: &crate::engine::EpochReport) -> String {
     )
 }
 
+fn algorithm_name(algorithm: ServeAlgorithm) -> &'static str {
+    match algorithm {
+        ServeAlgorithm::ConnectedComponents => "cc",
+        ServeAlgorithm::PageRank => "pagerank",
+    }
+}
+
+/// One-line introspection snapshot: same shape over TCP and in replays, so
+/// a recorded session stays a valid replay file.
+fn format_stats(
+    algorithm: ServeAlgorithm,
+    epoch: u32,
+    vertices: usize,
+    staged: usize,
+    queries: u64,
+) -> String {
+    format!(
+        "ok stats algo {} epoch {epoch} vertices {vertices} staged {staged} queries {queries}",
+        algorithm_name(algorithm)
+    )
+}
+
 /// Apply one command directly to the engine — the replay path, where
 /// everything is sequential. Returns the response line and whether the
 /// session ends.
@@ -74,10 +96,28 @@ pub fn apply_command(engine: &mut ServeEngine, command: &Command) -> (String, bo
             Ok(report) => (format!("ok {}", format_commit(&report)), false),
             Err(message) => (format!("err {message}"), false),
         },
-        Command::Get(v) => (format!("ok {}", format_point(engine.point(*v))), false),
+        Command::Get(v) => {
+            engine.telemetry().metrics().counter("serve/queries").inc();
+            (format!("ok {}", format_point(engine.point(*v))), false)
+        }
         Command::Top(n) => {
+            engine.telemetry().metrics().counter("serve/queries").inc();
             let algorithm = engine_algorithm(engine);
             (format!("ok {}", format_top(algorithm, &engine.top(*n))), false)
+        }
+        Command::Stats => {
+            let algorithm = engine_algorithm(engine);
+            let queries = engine.telemetry().metrics().counter("serve/queries").get();
+            (
+                format_stats(
+                    algorithm,
+                    engine.epoch(),
+                    engine.snapshot().vertices(),
+                    engine.staged(),
+                    queries,
+                ),
+                false,
+            )
         }
         Command::Quit => ("ok bye".to_string(), true),
     }
@@ -191,10 +231,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     let epoch = shared.read_snapshot().epoch;
-    let name = match shared.algorithm {
-        ServeAlgorithm::ConnectedComponents => "cc",
-        ServeAlgorithm::PageRank => "pagerank",
-    };
+    let name = algorithm_name(shared.algorithm);
     writeln!(writer, "hello {name} epoch {epoch}")?;
     for line in reader.lines() {
         let line = line?;
@@ -223,6 +260,7 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
         Command::Get(v) => {
             let snapshot = shared.read_snapshot();
             let answer = snapshot.point(*v);
+            shared.telemetry.metrics().counter("serve/queries").inc();
             shared.telemetry.emit(|| JournalEvent::Query {
                 epoch: snapshot.epoch,
                 kind: "point".to_string(),
@@ -233,6 +271,7 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
         Command::Top(n) => {
             let snapshot = shared.read_snapshot();
             let entries = snapshot.top(*n);
+            shared.telemetry.metrics().counter("serve/queries").inc();
             shared.telemetry.emit(|| JournalEvent::Query {
                 epoch: snapshot.epoch,
                 kind: "top".to_string(),
@@ -267,6 +306,25 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
                 Err(message) => (format!("err {message}"), false),
             }
         }
+        Command::Stats => {
+            // Stats reads the engine for the staged-batch size, so it
+            // queues behind an in-flight commit — the answer it returns is
+            // never mid-batch.
+            let result = shared.engine.lock().map_err(lock_poisoned).map(|engine| {
+                let queries = shared.telemetry.metrics().counter("serve/queries").get();
+                format_stats(
+                    shared.algorithm,
+                    engine.epoch(),
+                    shared.read_snapshot().vertices(),
+                    engine.staged(),
+                    queries,
+                )
+            });
+            match result {
+                Ok(response) => (response, false),
+                Err(message) => (format!("err {message}"), false),
+            }
+        }
         Command::Quit => ("ok bye".to_string(), true),
     }
 }
@@ -285,18 +343,20 @@ mod tests {
     #[test]
     fn replay_runs_a_full_session() {
         let mut engine = bootstrap_cc();
-        let commands: Vec<Command> = ["get 3", "- 5 6", "commit", "get 9", "top 2", "quit"]
-            .iter()
-            .map(|l| parse_line(l).unwrap().unwrap())
-            .collect();
+        let commands: Vec<Command> =
+            ["get 3", "- 5 6", "commit", "get 9", "top 2", "stats", "quit"]
+                .iter()
+                .map(|l| parse_line(l).unwrap().unwrap())
+                .collect();
         let responses = replay(&mut engine, &commands);
-        assert_eq!(responses.len(), 6);
+        assert_eq!(responses.len(), 7);
         assert_eq!(responses[0], "ok label 0");
         assert_eq!(responses[1], "ok staged");
         assert!(responses[2].starts_with("ok epoch 1 supersteps "), "{}", responses[2]);
         assert_eq!(responses[3], "ok label 6", "split half takes its own minimum");
         assert_eq!(responses[4], "ok top 0:6 6:6");
-        assert_eq!(responses[5], "ok bye");
+        assert_eq!(responses[5], "ok stats algo cc epoch 1 vertices 12 staged 0 queries 3");
+        assert_eq!(responses[6], "ok bye");
     }
 
     #[test]
@@ -327,11 +387,16 @@ mod tests {
         assert_eq!(mutator[0], "ok staged");
         assert!(mutator[1].starts_with("ok epoch 1"), "{}", mutator[1]);
 
-        let reader_responses = session(&["get 9", "top 2", "nonsense", "quit"]);
+        let reader_responses = session(&["get 9", "top 2", "stats", "nonsense", "quit"]);
         assert_eq!(reader_responses[0], "ok label 6");
         assert_eq!(reader_responses[1], "ok top 0:6 6:6");
-        assert!(reader_responses[2].starts_with("err "), "{}", reader_responses[2]);
-        assert_eq!(reader_responses[3], "ok bye");
+        assert!(
+            reader_responses[2].starts_with("ok stats algo cc epoch 1 vertices 12 staged 0"),
+            "{}",
+            reader_responses[2]
+        );
+        assert!(reader_responses[3].starts_with("err "), "{}", reader_responses[3]);
+        assert_eq!(reader_responses[4], "ok bye");
 
         daemon.stop();
     }

@@ -157,6 +157,14 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Vertices in the solution set.
+    pub fn vertices(&self) -> usize {
+        match &self.solution {
+            Solution::Components(labels) => labels.len(),
+            Solution::Ranks(ranks) => ranks.len(),
+        }
+    }
+
     /// Point query: the vertex's label/rank, `None` for unknown vertices.
     pub fn point(&self, v: VertexId) -> Option<PointAnswer> {
         match &self.solution {

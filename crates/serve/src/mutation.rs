@@ -9,6 +9,7 @@
 //! commit        # apply the staged batch: incremental re-convergence
 //! get 17        # point query against the maintained solution set
 //! top 5         # top-N query (largest components / highest ranks)
+//! stats         # one-line introspection snapshot (epoch, staged, queries)
 //! quit          # close the connection / end the replay
 //! ```
 //!
@@ -33,6 +34,8 @@ pub enum Command {
     Get(VertexId),
     /// Top-N query: `top n`.
     Top(usize),
+    /// Live introspection snapshot: `stats`.
+    Stats,
     /// End the session: `quit`.
     Quit,
 }
@@ -47,6 +50,7 @@ impl Command {
             Command::Commit => "commit".to_string(),
             Command::Get(v) => format!("get {v}"),
             Command::Top(n) => format!("top {n}"),
+            Command::Stats => "stats".to_string(),
             Command::Quit => "quit".to_string(),
         }
     }
@@ -78,10 +82,11 @@ pub fn parse_line(raw: &str) -> Result<Option<Command>, String> {
             }
             Command::Top(n)
         }
+        "stats" => Command::Stats,
         "quit" => Command::Quit,
         other => {
             return Err(format!(
-                "unknown command {other:?}; expected + | - | commit | get | top | quit"
+                "unknown command {other:?}; expected + | - | commit | get | top | stats | quit"
             ))
         }
     };
@@ -116,7 +121,7 @@ mod tests {
 
     #[test]
     fn commands_parse_and_roundtrip() {
-        let lines = ["+ 3 17", "- 4 9", "commit", "get 17", "top 5", "quit"];
+        let lines = ["+ 3 17", "- 4 9", "commit", "get 17", "top 5", "stats", "quit"];
         for raw in lines {
             let command = parse_line(raw).unwrap().unwrap();
             assert_eq!(command.to_line(), raw);

@@ -8,6 +8,13 @@
 //! scraping log strings. Timings live in [`crate::span`] and
 //! [`crate::metrics`] instead.
 //!
+//! The two cluster-telemetry variants — [`JournalEvent::WorkerSpan`] and
+//! [`JournalEvent::RecoveryCost`] — are the deliberate exception: measuring
+//! per-worker compute/shuffle time and per-failure recovery cost is their
+//! whole point, so they carry `*_ns` durations. Everything *around* the
+//! durations stays deterministic (ordering, worker/seq keys, byte counts),
+//! and determinism tests compare journals with `*_ns` values normalised.
+//!
 //! This module also owns the canonical [`RecoveryKind`] and
 //! [`FailureRecord`] types. The engine crate re-exports them from its
 //! `stats` module, so there is exactly one definition of "what the fault
@@ -184,6 +191,33 @@ pub enum JournalEvent {
         /// Partitions the dead worker owned; their state was lost.
         lost_partitions: Vec<PartitionId>,
     },
+    /// One timed phase of a partition step executed on a cluster worker
+    /// process, shipped to the coordinator inside a `TelemetryFrame` and
+    /// merged into the journal in causal `(superstep, worker, seq)` order.
+    ///
+    /// The `duration_ns` payload is wall-clock — the whole point of
+    /// worker-side capture is measuring where cluster time goes — so
+    /// journal-determinism comparisons normalise `*_ns` values first; every
+    /// other field replays identically.
+    WorkerSpan {
+        /// Chronological superstep the phase belongs to.
+        superstep: u32,
+        /// Index of the worker process that executed the phase.
+        worker: usize,
+        /// Emission sequence number within `(superstep, worker)` — the
+        /// causal merge key that keeps one worker's spans in their local
+        /// order.
+        seq: u64,
+        /// Partition the phase processed.
+        pid: PartitionId,
+        /// Phase name: `"compute"` (the program's step function) or
+        /// `"shuffle"` (encoding the reply frame for the wire).
+        span: String,
+        /// Records produced by the phase (state + outbound messages).
+        records: u64,
+        /// Wall-clock nanoseconds the phase took on the worker.
+        duration_ns: u64,
+    },
     /// A previously lost cluster worker was re-spawned and reconnected; its
     /// partitions were redistributed back to it.
     WorkerRejoined {
@@ -197,6 +231,31 @@ pub enum JournalEvent {
         worker: usize,
         /// Connection attempts the exponential-backoff reconnect needed.
         reconnect_attempts: u32,
+    },
+    /// Per-failure recovery-cost accounting, emitted by the cluster
+    /// coordinator right after the matching [`JournalEvent::WorkerRejoined`]
+    /// entry: how long the loss took to detect, how long the respawn took,
+    /// and how many bytes the `LoadProgram` re-ship moved.
+    ///
+    /// Like [`JournalEvent::WorkerSpan`], the `*_ns` fields are wall-clock
+    /// by design and are normalised by journal-determinism comparisons.
+    RecoveryCost {
+        /// Chronological superstep at which the replacement worker rejoined.
+        superstep: u32,
+        /// Index of the worker whose loss is being accounted.
+        worker: usize,
+        /// How the loss was detected: `"heartbeat"` (missed heartbeat
+        /// deadline) or `"read_error"` (EPIPE/ECONNRESET/EOF/timeout on the
+        /// control connection).
+        detection: String,
+        /// Nanoseconds from dispatching the superstep to noticing the loss.
+        detect_ns: u64,
+        /// Nanoseconds to spawn, reconnect, and re-ship state to the
+        /// replacement process.
+        respawn_ns: u64,
+        /// Bytes written to the replacement during respawn (dominated by the
+        /// `LoadProgram` adjacency re-ship).
+        reshipped_bytes: u64,
     },
     /// A failure was injected, destroying partition state.
     FailureInjected {
@@ -304,7 +363,9 @@ impl JournalEvent {
             JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
             JournalEvent::PartitionPanicked { .. } => "PartitionPanicked",
             JournalEvent::WorkerLost { .. } => "WorkerLost",
+            JournalEvent::WorkerSpan { .. } => "WorkerSpan",
             JournalEvent::WorkerRejoined { .. } => "WorkerRejoined",
+            JournalEvent::RecoveryCost { .. } => "RecoveryCost",
             JournalEvent::FailureInjected { .. } => "FailureInjected",
             JournalEvent::CompensationApplied { .. } => "CompensationApplied",
             JournalEvent::CompensationInvoked { .. } => "CompensationInvoked",
@@ -392,10 +453,42 @@ impl JournalEvent {
                 .u64("worker", *worker as u64)
                 .u64_array("lost_partitions", lost_partitions.iter().map(|&p| p as u64))
                 .finish(),
+            JournalEvent::WorkerSpan {
+                superstep,
+                worker,
+                seq,
+                pid,
+                span,
+                records,
+                duration_ns,
+            } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("worker", *worker as u64)
+                .u64("seq", *seq)
+                .u64("pid", *pid as u64)
+                .str("span", span)
+                .u64("records", *records)
+                .u64("duration_ns", *duration_ns)
+                .finish(),
             JournalEvent::WorkerRejoined { superstep, worker, reconnect_attempts } => obj
                 .u64("superstep", u64::from(*superstep))
                 .u64("worker", *worker as u64)
                 .u64("reconnect_attempts", u64::from(*reconnect_attempts))
+                .finish(),
+            JournalEvent::RecoveryCost {
+                superstep,
+                worker,
+                detection,
+                detect_ns,
+                respawn_ns,
+                reshipped_bytes,
+            } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("worker", *worker as u64)
+                .str("detection", detection)
+                .u64("detect_ns", *detect_ns)
+                .u64("respawn_ns", *respawn_ns)
+                .u64("reshipped_bytes", *reshipped_bytes)
                 .finish(),
             JournalEvent::FailureInjected {
                 superstep,
@@ -592,6 +685,23 @@ mod tests {
                 lost_partitions: vec![2, 3],
             },
             JournalEvent::WorkerRejoined { superstep: 3, worker: 1, reconnect_attempts: 2 },
+            JournalEvent::WorkerSpan {
+                superstep: 2,
+                worker: 1,
+                seq: 0,
+                pid: 3,
+                span: "compute".into(),
+                records: 6,
+                duration_ns: 1500,
+            },
+            JournalEvent::RecoveryCost {
+                superstep: 3,
+                worker: 1,
+                detection: "heartbeat".into(),
+                detect_ns: 500_000,
+                respawn_ns: 2_000_000,
+                reshipped_bytes: 4096,
+            },
             JournalEvent::ConvergenceSample {
                 superstep: 0,
                 iteration: 0,
@@ -608,6 +718,38 @@ mod tests {
         for e in &events {
             assert!(e.to_json().starts_with(&format!("{{\"event\":\"{}\"", e.kind())));
         }
+    }
+
+    #[test]
+    fn cluster_telemetry_events_serialize_stably() {
+        let span = JournalEvent::WorkerSpan {
+            superstep: 4,
+            worker: 1,
+            seq: 2,
+            pid: 3,
+            span: "shuffle".into(),
+            records: 12,
+            duration_ns: 900,
+        };
+        assert_eq!(
+            span.to_json(),
+            "{\"event\":\"WorkerSpan\",\"superstep\":4,\"worker\":1,\"seq\":2,\
+             \"pid\":3,\"span\":\"shuffle\",\"records\":12,\"duration_ns\":900}"
+        );
+        let cost = JournalEvent::RecoveryCost {
+            superstep: 5,
+            worker: 0,
+            detection: "read_error".into(),
+            detect_ns: 1_000,
+            respawn_ns: 2_000,
+            reshipped_bytes: 512,
+        };
+        assert_eq!(
+            cost.to_json(),
+            "{\"event\":\"RecoveryCost\",\"superstep\":5,\"worker\":0,\
+             \"detection\":\"read_error\",\"detect_ns\":1000,\"respawn_ns\":2000,\
+             \"reshipped_bytes\":512}"
+        );
     }
 
     #[test]

@@ -181,14 +181,18 @@ impl Drop for JsonlSink {
 /// Buffered per-superstep events before a forced hand-off to the sink.
 const EVENT_BATCH_CAPACITY: usize = 32;
 
-/// Whether an event may sit in the handle's batch buffer. Only the two
-/// high-frequency per-superstep events qualify; everything rarer (failures,
-/// recovery, run lifecycle, serve epochs) flushes the buffer immediately so
-/// the sink's view is current whenever anything noteworthy happens.
+/// Whether an event may sit in the handle's batch buffer. Only the
+/// high-frequency per-superstep events qualify — superstep/convergence
+/// markers plus the per-partition worker spans a cluster superstep fans out
+/// — while everything rarer (failures, recovery, run lifecycle, serve
+/// epochs) flushes the buffer immediately so the sink's view is current
+/// whenever anything noteworthy happens.
 fn batchable(event: &JournalEvent) -> bool {
     matches!(
         event,
-        JournalEvent::SuperstepCompleted { .. } | JournalEvent::ConvergenceSample { .. }
+        JournalEvent::SuperstepCompleted { .. }
+            | JournalEvent::ConvergenceSample { .. }
+            | JournalEvent::WorkerSpan { .. }
     )
 }
 
@@ -224,7 +228,7 @@ impl Drop for EventBuffer {
 /// preserved across the engine, the recovery strategies, and the cluster
 /// backend. The buffer drains into the sink when a non-batchable event
 /// arrives, when it reaches capacity, on [`SinkHandle::flush`], and when the
-/// last clone drops (via [`EventBuffer`]'s destructor).
+/// last clone drops (via the internal buffer's destructor).
 #[derive(Clone)]
 pub struct SinkHandle {
     sink: Arc<dyn TelemetrySink>,

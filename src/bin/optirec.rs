@@ -48,6 +48,20 @@ fn main() {
         }
         return;
     }
+    if args[0] == "top" {
+        let invocation = match cli::parse_top(&args[1..]) {
+            Ok(invocation) => invocation,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(message) = run_top(&invocation) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args[0] == "inspect" {
         let command = match cli::parse_inspect(&args[1..]) {
             Ok(command) => command,
@@ -127,6 +141,16 @@ fn inspect(command: &InspectCommand) -> Result<i32, String> {
             }
             Ok(0)
         }
+        InspectCommand::Recovery { journal, report } => {
+            let model = load_model(journal)?;
+            let summary = match report.clone().or_else(|| derived_report(journal)) {
+                Some(path) => Some(flowscope::load_report(&path).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            let recovery = flowscope::build_recovery_report(&model, summary.as_ref());
+            print!("{}", flowscope::render_recovery(&recovery));
+            Ok(0)
+        }
         InspectCommand::Diff { baseline, journal, baseline_report, report, options } => {
             let facts = |journal: &Path, report: &Option<PathBuf>| -> Result<_, String> {
                 let loaded = flowscope::load_journal(journal).map_err(|e| e.to_string())?;
@@ -143,6 +167,46 @@ fn inspect(command: &InspectCommand) -> Result<i32, String> {
             print!("{}", flowscope::render_diff(&diff));
             Ok(if diff.has_regressions() { 1 } else { 0 })
         }
+    }
+}
+
+/// One `stats` round-trip against a serve daemon: connect, skip the
+/// greeting, ask, and hang up politely so the daemon logs a clean close.
+fn stats_over_tcp(addr: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone stream for {addr} failed: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).map_err(|e| format!("read greeting from {addr}: {e}"))?;
+    writer.write_all(b"stats\n").map_err(|e| format!("send stats to {addr}: {e}"))?;
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| format!("read stats from {addr}: {e}"))?;
+    let _ = writer.write_all(b"quit\n");
+    if response.is_empty() {
+        return Err(format!("{addr} closed the connection before answering stats"));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+fn run_top(invocation: &cli::TopInvocation) -> Result<(), String> {
+    if let Some(report) = &invocation.report {
+        // Report snapshots are static; polling one would print the same
+        // text forever, so --report always behaves like --once.
+        let summary = flowscope::load_report(report).map_err(|e| e.to_string())?;
+        print!("{}", flowscope::render_metrics_top(&summary));
+        return Ok(());
+    }
+    let addr = invocation.connect.as_deref().expect("parse_top guarantees a source");
+    loop {
+        println!("{}", stats_over_tcp(addr)?);
+        if invocation.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(invocation.interval_ms));
     }
 }
 

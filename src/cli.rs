@@ -222,7 +222,8 @@ pub fn usage() -> &'static str {
 USAGE:
     optirec <ALGORITHM> [OPTIONS]
     optirec serve <cc|pagerank> [OPTIONS]      (see `optirec serve --help`)
-    optirec inspect <timeline|profile|convergence|diff> [OPTIONS]
+    optirec inspect <timeline|profile|convergence|recovery|diff> [OPTIONS]
+    optirec top (--report <PATH> | --connect <ADDR>) [--once] [--interval-ms <MS>]
     optirec worker [--listen ADDR]
 
 ALGORITHMS:
@@ -254,7 +255,13 @@ EXAMPLES:
     optirec cc --journal results/cc_journal.jsonl
     optirec cc --cluster 2 --kill 2:1 --journal results/cluster_journal.jsonl
     optirec inspect convergence --journal results/cc_journal.jsonl
+    optirec inspect recovery --journal results/cluster_journal.jsonl
     optirec inspect diff --baseline results/base_journal.jsonl --journal results/cc_journal.jsonl
+    optirec top --once --report results/cluster_report.json
+
+`optirec top` renders a plain-text metrics snapshot: from a saved report
+sidecar (--report), or live from a serve daemon's `stats` command
+(--connect; repeats every --interval-ms [2000] unless --once).
 
 The `worker` subcommand starts a cluster worker process: it binds ADDR
 (default 127.0.0.1:0), prints `OPTIREC_WORKER_LISTENING <port>`, and serves
@@ -271,6 +278,7 @@ USAGE:
     optirec inspect timeline    --journal <PATH> [--spans <PATH>]
     optirec inspect profile     --report <PATH> [--straggler-factor <F>]
     optirec inspect convergence --journal <PATH> [--csv <PATH>] [--html <PATH>]
+    optirec inspect recovery    --journal <PATH> [--report <PATH>]
     optirec inspect diff        --baseline <PATH> --journal <PATH>
                                 [--baseline-report <PATH>] [--report <PATH>]
                                 [--superstep-pct <P>] [--wall-pct <P>]
@@ -278,9 +286,11 @@ USAGE:
 
 Paths point at JSONL journals written with --journal (or by the figure
 binaries); spans and report sidecars are found automatically next to the
-journal when present. `diff` exits nonzero when the current run regresses
-beyond the thresholds (defaults: supersteps +0%, wall +20%, redundant
-supersteps +0, recovery wall +25%).
+journal when present. `recovery` attributes, per worker outage, the
+detection latency, respawn cost, re-shipped bytes, and recomputed
+supersteps. `diff` exits nonzero when the current run regresses beyond the
+thresholds (defaults: supersteps +0%, wall +20%, redundant supersteps +0,
+recovery wall +25%).
 "
 }
 
@@ -309,6 +319,15 @@ pub enum InspectCommand {
         csv: Option<PathBuf>,
         /// Also export an HTML page with SVG charts.
         html: Option<PathBuf>,
+    },
+    /// Per-failure recovery-cost accounting (detection latency, respawn
+    /// time, re-shipped bytes, recomputed supersteps).
+    Recovery {
+        /// Event journal to fold.
+        journal: PathBuf,
+        /// Explicit report sidecar for the recovery span total
+        /// (auto-derived from the journal otherwise).
+        report: Option<PathBuf>,
     },
     /// Compare two runs and flag regressions.
     Diff {
@@ -381,6 +400,15 @@ pub fn parse_inspect(args: &[String]) -> Result<InspectCommand, String> {
             }
             InspectCommand::Convergence { journal, csv, html }
         }
+        "recovery" => {
+            let valid = ["--journal", "--report"];
+            let journal = require(take(&mut flags, "--journal"), "--journal")?;
+            let report = take(&mut flags, "--report").map(PathBuf::from);
+            if let Some((flag, _)) = flags.first() {
+                return Err(unknown_flag(flag, &valid));
+            }
+            InspectCommand::Recovery { journal, report }
+        }
         "diff" => {
             let valid = [
                 "--baseline",
@@ -419,7 +447,7 @@ pub fn parse_inspect(args: &[String]) -> Result<InspectCommand, String> {
         other => {
             return Err(format!(
                 "unknown inspect subcommand {other:?}; expected timeline | profile | \
-                 convergence | diff\n\n{}",
+                 convergence | recovery | diff\n\n{}",
                 inspect_usage()
             ))
         }
@@ -569,6 +597,8 @@ LINE PROTOCOL (TCP and replay files):
     + u v    stage an edge insert        get v    point query
     - u v    stage an edge delete        top n    largest components / top ranks
     commit   apply the batch: incremental re-convergence
+    stats    one-line introspection snapshot (epoch, staged batch, queries);
+             `optirec top --connect ADDR` polls it for you
     quit     end the session
 
 EXAMPLES:
@@ -689,6 +719,48 @@ pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, String> {
         return Err("--journal is written on exit, which an unbounded --listen run never reaches \
                     (killing the daemon would discard the captured telemetry); add \
                     --serve-seconds <N> to bound the run"
+            .into());
+    }
+    Ok(invocation)
+}
+
+/// One `optirec top` invocation: render a plain-text metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopInvocation {
+    /// Render a saved report sidecar (one shot).
+    pub report: Option<PathBuf>,
+    /// Query a live serve daemon's `stats` command over TCP.
+    pub connect: Option<String>,
+    /// Render once and exit (otherwise `--connect` repeats forever).
+    pub once: bool,
+    /// Refresh interval for a repeating `--connect` session.
+    pub interval_ms: u64,
+}
+
+/// Valid flags of the top subcommand.
+pub const TOP_FLAGS: &[&str] = &["--report", "--connect", "--once", "--interval-ms"];
+
+/// Parse the arguments following `top`.
+pub fn parse_top(args: &[String]) -> Result<TopInvocation, String> {
+    let mut invocation =
+        TopInvocation { report: None, connect: None, once: false, interval_ms: 2000 };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
+        match flag.as_str() {
+            "--report" => invocation.report = Some(PathBuf::from(value()?)),
+            "--connect" => invocation.connect = Some(value()?),
+            "--once" => invocation.once = true,
+            "--interval-ms" => {
+                invocation.interval_ms =
+                    value()?.parse().map_err(|_| "invalid refresh interval".to_string())?;
+            }
+            other => return Err(unknown_flag(other, TOP_FLAGS)),
+        }
+    }
+    if invocation.report.is_some() == invocation.connect.is_some() {
+        return Err("top needs exactly one source: --report <PATH> (a saved sidecar) or \
+             --connect <ADDR> (a live serve daemon)"
             .into());
     }
     Ok(invocation)
@@ -895,6 +967,48 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn inspect_recovery_parses() {
+        let cmd = parse_inspect(&args(&["recovery", "--journal", "j.jsonl"])).unwrap();
+        assert_eq!(
+            cmd,
+            InspectCommand::Recovery { journal: PathBuf::from("j.jsonl"), report: None }
+        );
+        let cmd = parse_inspect(&args(&["recovery", "--journal", "j.jsonl", "--report", "r.json"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            InspectCommand::Recovery {
+                journal: PathBuf::from("j.jsonl"),
+                report: Some(PathBuf::from("r.json")),
+            }
+        );
+        assert!(parse_inspect(&args(&["recovery"])).is_err());
+        let err = parse_inspect(&args(&["recovery", "--journal", "j", "--wat", "1"])).unwrap_err();
+        assert!(err.contains("--report"), "{err}");
+    }
+
+    #[test]
+    fn top_invocations_parse_and_require_one_source() {
+        let invocation = parse_top(&args(&["--report", "r.json", "--once"])).unwrap();
+        assert_eq!(invocation.report, Some(PathBuf::from("r.json")));
+        assert!(invocation.once);
+        assert_eq!(invocation.interval_ms, 2000);
+
+        let invocation =
+            parse_top(&args(&["--connect", "127.0.0.1:7878", "--interval-ms", "500"])).unwrap();
+        assert_eq!(invocation.connect, Some("127.0.0.1:7878".to_string()));
+        assert!(!invocation.once);
+        assert_eq!(invocation.interval_ms, 500);
+
+        assert!(parse_top(&[]).is_err(), "needs a source");
+        assert!(
+            parse_top(&args(&["--report", "r.json", "--connect", "x"])).is_err(),
+            "sources are exclusive"
+        );
+        assert!(parse_top(&args(&["--wat", "1"])).is_err());
     }
 
     #[test]

@@ -118,6 +118,111 @@ fn cli_cluster_run_journals_worker_events_and_timeline_renders_them() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Zero every digit run that follows a `_ns":` key so journals from two
+/// runs can be compared byte-for-byte. Worker-side span durations and
+/// recovery clocks are the only wall-clock (hence nondeterministic)
+/// fields a journal contains; everything else must match exactly.
+fn normalize_ns(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        i += 1;
+        if out.ends_with("_ns\":") {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i > start {
+                out.push('0');
+            }
+        }
+    }
+    out
+}
+
+fn cli_cluster_run(journal: &std::path::Path, extra: &[&str]) -> std::process::Output {
+    let mut args =
+        vec!["cc", "--cluster", "2", "--parallelism", "4", "--max-iterations", "60", "--journal"];
+    args.extend_from_slice(extra);
+    let mut cmd = Command::new(optirec());
+    // `--journal` takes the path as the next arg; splice it in before extras.
+    cmd.args(&args[..8]).arg(journal).args(&args[8..]);
+    cmd.output().expect("spawn optirec")
+}
+
+#[test]
+fn failure_free_cluster_journals_are_deterministic_modulo_clocks() {
+    let dir = std::env::temp_dir().join(format!("optirec_cluster_det_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (a, b) = (dir.join("run_a.jsonl"), dir.join("run_b.jsonl"));
+
+    for journal in [&a, &b] {
+        let output = cli_cluster_run(journal, &[]);
+        assert!(output.status.success(), "stderr:\n{}", String::from_utf8_lossy(&output.stderr));
+    }
+
+    let (text_a, text_b) =
+        (std::fs::read_to_string(&a).unwrap(), std::fs::read_to_string(&b).unwrap());
+    assert!(text_a.contains("\"event\":\"WorkerSpan\""), "{text_a}");
+    assert_eq!(
+        normalize_ns(&text_a),
+        normalize_ns(&text_b),
+        "identical failure-free cluster runs must journal identically modulo clocks"
+    );
+
+    // Round-trip: both journals load cleanly and fold to the same shape.
+    for journal in [&a, &b] {
+        let loaded = flowscope::load_journal(journal).expect("journal loads");
+        assert_eq!(loaded.skipped, 0, "no unknown lines in {}", journal.display());
+        let model = flowscope::RunModel::from_events(&loaded.events);
+        assert!(model.converged);
+        assert_eq!(model.span_workers(), vec![0, 1], "both workers reported spans");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merged_journal_tags_worker_spans_and_inspect_recovery_bills_the_kill() {
+    let dir = std::env::temp_dir().join(format!("optirec_cluster_bill_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let journal = dir.join("kill_journal.jsonl");
+
+    let output = cli_cluster_run(&journal, &["--kill", "2:1"]);
+    assert!(output.status.success(), "stderr:\n{}", String::from_utf8_lossy(&output.stderr));
+
+    // Every worker's spans survive the merge, tagged with their origin.
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    for worker in 0..2 {
+        assert!(
+            text.lines().any(|line| line.starts_with("{\"event\":\"WorkerSpan\"")
+                && line.contains(&format!("\"worker\":{worker},"))),
+            "no WorkerSpan line for worker {worker} in:\n{text}"
+        );
+    }
+    assert!(text.contains("\"event\":\"RecoveryCost\""), "{text}");
+    // Wall clocks tick: detection latency and re-shipped state are nonzero.
+    assert!(!text.contains("\"detect_ns\":0,"), "{text}");
+    assert!(!text.contains("\"reshipped_bytes\":0}"), "{text}");
+
+    let inspect = Command::new(optirec())
+        .args(["inspect", "recovery", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("spawn optirec inspect recovery");
+    let report = String::from_utf8_lossy(&inspect.stdout);
+    assert!(inspect.status.success(), "{report}");
+    assert!(report.contains("1 failure(s), 1 worker outage(s)"), "{report}");
+    assert!(report.contains(" w1 "), "{report}");
+    assert!(report.contains("detect["), "{report}");
+    assert!(report.contains("recomputed 1 superstep(s)"), "{report}");
+    assert!(!report.contains("reshipped        0B"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_rejects_cluster_misuse_with_guidance() {
     // --kill without --cluster must fail fast, before any process spawns.
