@@ -10,6 +10,7 @@ use dataflow::ft::{BulkFaultHandler, DeltaFaultHandler, RestartHandler, Solution
 use dataflow::hash::FxHashMap;
 use dataflow::iterate::ConvergenceMeasure;
 use dataflow::partition::hash_partition;
+use recovery::async_snapshot::{AsyncSnapshotBulkHandler, AsyncSnapshotDeltaHandler};
 use recovery::checkpoint::{
     CheckpointBulkHandler, CheckpointDeltaHandler, CostModel, DiskStore, MemoryStore,
 };
@@ -151,6 +152,21 @@ where
                     .into(),
             ))
         }
+        Strategy::AsyncSnapshot { interval } => {
+            if ft.checkpoint_on_disk {
+                let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
+                Box::new(
+                    AsyncSnapshotBulkHandler::<T, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
+            } else {
+                let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
+                Box::new(
+                    AsyncSnapshotBulkHandler::<T, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
+            }
+        }
         Strategy::Restart => Box::new(RestartHandler),
         Strategy::Ignore => Box::new(IgnoreHandler),
     })
@@ -197,6 +213,21 @@ where
                 let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
                 Box::new(
                     IncrementalDeltaHandler::<K, V, W, _>::new(store, full_interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
+            }
+        }
+        Strategy::AsyncSnapshot { interval } => {
+            if ft.checkpoint_on_disk {
+                let store = DiskStore::temp()?.with_cost_model(ft.checkpoint_cost);
+                Box::new(
+                    AsyncSnapshotDeltaHandler::<K, V, W, _>::new(store, interval)
+                        .with_telemetry(ft.telemetry.clone()),
+                )
+            } else {
+                let store = MemoryStore::with_cost_model(ft.checkpoint_cost);
+                Box::new(
+                    AsyncSnapshotDeltaHandler::<K, V, W, _>::new(store, interval)
                         .with_telemetry(ft.telemetry.clone()),
                 )
             }
@@ -316,6 +347,20 @@ mod tests {
         assert!(h.after_superstep(1, &state).unwrap().is_none());
         assert!(matches!(
             h.on_failure(1, &[0], &mut state).unwrap(),
+            BulkRecoveryAction::Restored { iteration: 0, .. }
+        ));
+
+        // Async snapshots spread chunk writes: with 2 partitions the epoch
+        // at iteration 0 completes at iteration 1 and is the restore point.
+        let ft = FtConfig {
+            strategy: Strategy::AsyncSnapshot { interval: 4 },
+            ..FtConfig::optimistic(FailureScenario::none())
+        };
+        let mut h = bulk_handler::<u64, _>(&ft, noop_comp).unwrap();
+        assert!(h.after_superstep(0, &state).unwrap().is_some());
+        assert!(h.after_superstep(1, &state).unwrap().is_some());
+        assert!(matches!(
+            h.on_failure(2, &[0], &mut state).unwrap(),
             BulkRecoveryAction::Restored { iteration: 0, .. }
         ));
     }

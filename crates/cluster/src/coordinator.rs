@@ -62,6 +62,120 @@ pub struct KillPlan {
     pub worker: usize,
 }
 
+/// Straggler injection: the coordinator's read of `worker`'s replies is
+/// delayed by `delay` once per superstep in `from..=to`, modelling a worker
+/// whose compute is slow without being dead. Keep `delay` below the step
+/// timeout to model a straggler; push it above to model a wedged worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StragglerPlan {
+    /// First chronological superstep of the slowdown (inclusive).
+    pub from: u32,
+    /// Last chronological superstep of the slowdown (inclusive).
+    pub to: u32,
+    /// Index of the straggling worker.
+    pub worker: usize,
+    /// Extra latency injected per superstep.
+    pub delay: Duration,
+}
+
+/// Link degradation on the control connection to one worker: every frame
+/// sent in supersteps `from..=to` is delayed by `delay`, and each superstep
+/// the connection is severed with probability `drop_probability` — decided
+/// deterministically from `seed` so paired strategy runs see the *same*
+/// drops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPlan {
+    /// First chronological superstep of the degradation (inclusive).
+    pub from: u32,
+    /// Last chronological superstep of the degradation (inclusive).
+    pub to: u32,
+    /// Index of the worker whose link degrades.
+    pub worker: usize,
+    /// Extra latency injected before each frame sent to the worker.
+    pub delay: Duration,
+    /// Per-superstep probability of severing the connection (`0.0..=1.0`).
+    pub drop_probability: f64,
+    /// Seed of the deterministic drop decisions.
+    pub seed: u64,
+}
+
+impl LinkPlan {
+    fn active(&self, superstep: u32) -> bool {
+        (self.from..=self.to).contains(&superstep)
+    }
+}
+
+impl StragglerPlan {
+    fn active(&self, superstep: u32) -> bool {
+        (self.from..=self.to).contains(&superstep)
+    }
+}
+
+/// A schedule of failure-mode injections — kill storms, link degradation,
+/// stragglers — applied by the coordinator as supersteps execute. Every
+/// injection is journaled as [`JournalEvent::ChaosInjected`] so recovery
+/// reports bill the run's chaos alongside its recoveries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// SIGKILL injections; several entries with the same superstep form a
+    /// kill storm.
+    pub kills: Vec<KillPlan>,
+    /// Slow-worker injections.
+    pub stragglers: Vec<StragglerPlan>,
+    /// Delayed/lossy-link injections.
+    pub links: Vec<LinkPlan>,
+}
+
+impl ChaosPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.stragglers.is_empty() && self.links.is_empty()
+    }
+
+    /// The largest worker index any scenario targets, if any.
+    pub fn max_worker(&self) -> Option<usize> {
+        self.kills
+            .iter()
+            .map(|k| k.worker)
+            .chain(self.stragglers.iter().map(|s| s.worker))
+            .chain(self.links.iter().map(|l| l.worker))
+            .max()
+    }
+}
+
+/// SplitMix64 finalizer: the chaos plane's deterministic hash. Vendored
+/// inline (three lines) so the cluster crate needs no RNG dependency.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic coin in `[0, 1)` for one `(seed, superstep, worker)`
+/// decision point: identical across runs, independent across points.
+fn chaos_coin(seed: u64, superstep: u32, worker: usize) -> f64 {
+    let h = splitmix64(
+        seed ^ splitmix64(u64::from(superstep)) ^ splitmix64(worker as u64 ^ 0x5bd1_e995),
+    );
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How a cluster run recovers from worker loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterStrategy {
+    /// Optimistic recovery: the program's compensation function rebuilds
+    /// lost partitions (no failure-free overhead).
+    Optimistic,
+    /// Asynchronous barrier snapshots every `interval` supersteps
+    /// (Chandy–Lamport / Flink style): chunks ship to the owning workers in
+    /// the background and recovery rolls back to the last complete epoch.
+    AsyncSnapshot {
+        /// Supersteps between barrier injections.
+        interval: u32,
+    },
+}
+
 /// Configuration of a cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -75,8 +189,10 @@ pub struct ClusterConfig {
     /// `[current_exe, "worker"]` — the coordinator and worker are the same
     /// binary, which is what lets named programs replace closure shipping.
     pub worker_cmd: Vec<String>,
-    /// Optional deterministic SIGKILL injection.
-    pub kill: Option<KillPlan>,
+    /// Scheduled failure injections (kills, stragglers, link degradation).
+    pub chaos: ChaosPlan,
+    /// How the run recovers from worker loss.
+    pub strategy: ClusterStrategy,
     /// Delay between heartbeat probes.
     pub heartbeat_interval: Duration,
     /// Read timeout on the heartbeat connection; exceeding it marks the
@@ -104,7 +220,8 @@ impl ClusterConfig {
             parallelism,
             max_iterations,
             worker_cmd: default_worker_cmd(),
-            kill: None,
+            chaos: ChaosPlan::default(),
+            strategy: ClusterStrategy::Optimistic,
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_timeout: Duration::from_secs(3),
             connect_attempts: 10,
@@ -112,6 +229,19 @@ impl ClusterConfig {
             step_timeout: Duration::from_secs(30),
             initial_state: None,
         }
+    }
+
+    /// Schedule one SIGKILL injection (composes: each call appends to the
+    /// chaos plan's kill list).
+    pub fn with_kill(mut self, kill: KillPlan) -> Self {
+        self.chaos.kills.push(kill);
+        self
+    }
+
+    /// Override the recovery strategy.
+    pub fn with_strategy(mut self, strategy: ClusterStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Override the delay between heartbeat probes.
@@ -203,13 +333,23 @@ struct StepResult {
 /// baseline) or on worker processes over TCP. Inbox bookkeeping, message
 /// routing, and sort-for-determinism live *above* this trait, so both
 /// backends execute bit-identical supersteps in failure-free runs.
-trait StepBackend {
+///
+/// `Send` because the engine may dispatch the step operator onto its
+/// worker pool; the `Arc<Mutex<…>>` wrapper then crosses threads.
+trait StepBackend: Send {
     fn run_step(
         &mut self,
         superstep: u32,
         step: u64,
         jobs: Vec<StepJob>,
     ) -> Result<Vec<StepResult>>;
+
+    /// Ship one persisted async-snapshot chunk to the partition's owning
+    /// worker (the barrier marker crossing the wire). Best-effort: shipping
+    /// to a dead worker is silently skipped — the coordinator's stable
+    /// store holds the authoritative copy. Default: no-op (local baseline
+    /// has no workers to ship to).
+    fn stage_snapshot(&mut self, _epoch: u32, _pid: usize, _chunk: &[u8]) {}
 }
 
 /// In-process execution of the same named program — the single-process
@@ -300,7 +440,7 @@ struct ClusterBackend {
     detect_latency: Arc<Histogram>,
     respawn_latency: Arc<Histogram>,
     reshipped_bytes: Arc<Counter>,
-    kill: Option<KillPlan>,
+    chaos: ChaosPlan,
     /// When the current superstep's frames started going out — the baseline
     /// for failure-detection latency.
     step_started: Option<Instant>,
@@ -319,7 +459,7 @@ impl ClusterBackend {
         let metrics = telemetry.metrics();
         let mut backend = ClusterBackend {
             slots: (0..cfg.workers).map(|_| WorkerSlot { handle: None }).collect(),
-            kill: cfg.kill,
+            chaos: cfg.chaos.clone(),
             bytes_in: metrics.counter("net/bytes_in"),
             bytes_out: metrics.counter("net/bytes_out"),
             reconnects: metrics.counter("net/reconnects"),
@@ -547,6 +687,83 @@ impl ClusterBackend {
             let _ = handle.child.wait();
         }
     }
+
+    /// Apply the chaos plan's injections due at `superstep`, journaling
+    /// each. Returns per-worker `(send_delay, recv_delay)` latencies the
+    /// step loop weaves into its I/O: link delay slows every frame sent to
+    /// the worker, straggler delay stalls the first read of its replies.
+    fn inject_chaos(&mut self, superstep: u32) -> (Vec<Option<Duration>>, Vec<Option<Duration>>) {
+        let workers = self.slots.len();
+        let mut send_delay: Vec<Option<Duration>> = vec![None; workers];
+        let mut recv_delay: Vec<Option<Duration>> = vec![None; workers];
+        if self.chaos.is_empty() {
+            return (send_delay, recv_delay);
+        }
+
+        // Kills drain from the plan: each fires exactly once even though
+        // the superstep is re-attempted after the failure. Several kills on
+        // one superstep form a storm; recovery handles them one detected
+        // loss at a time.
+        let (due, rest): (Vec<KillPlan>, Vec<KillPlan>) = std::mem::take(&mut self.chaos.kills)
+            .into_iter()
+            .partition(|k| k.superstep == superstep);
+        self.chaos.kills = rest;
+        for plan in due {
+            self.kill_worker(plan.worker);
+            self.telemetry.emit(|| JournalEvent::ChaosInjected {
+                superstep,
+                worker: plan.worker,
+                kind: "kill".to_string(),
+                param: 0,
+            });
+        }
+
+        for link in self.chaos.links.clone() {
+            if !link.active(superstep) {
+                continue;
+            }
+            if !link.delay.is_zero() {
+                send_delay[link.worker] = Some(link.delay);
+                self.telemetry.emit(|| JournalEvent::ChaosInjected {
+                    superstep,
+                    worker: link.worker,
+                    kind: "link_delay".to_string(),
+                    param: link.delay.as_millis() as u64,
+                });
+            }
+            if link.drop_probability > 0.0
+                && chaos_coin(link.seed, superstep, link.worker) < link.drop_probability
+            {
+                // Sever the control connection; the step loop's next I/O on
+                // it fails and flows through the ordinary WorkerLost path —
+                // a lossy link is indistinguishable from a crash until the
+                // respawned connection proves otherwise.
+                if let Some(handle) = self.slots[link.worker].handle.as_ref() {
+                    let _ = handle.stream.shutdown(std::net::Shutdown::Both);
+                }
+                self.telemetry.emit(|| JournalEvent::ChaosInjected {
+                    superstep,
+                    worker: link.worker,
+                    kind: "link_drop".to_string(),
+                    param: 0,
+                });
+            }
+        }
+
+        for straggler in self.chaos.stragglers.clone() {
+            if !straggler.active(superstep) {
+                continue;
+            }
+            recv_delay[straggler.worker] = Some(straggler.delay);
+            self.telemetry.emit(|| JournalEvent::ChaosInjected {
+                superstep,
+                worker: straggler.worker,
+                kind: "straggler".to_string(),
+                param: straggler.delay.as_millis() as u64,
+            });
+        }
+        (send_delay, recv_delay)
+    }
 }
 
 impl StepBackend for ClusterBackend {
@@ -557,10 +774,7 @@ impl StepBackend for ClusterBackend {
         jobs: Vec<StepJob>,
     ) -> Result<Vec<StepResult>> {
         self.ensure_workers(superstep)?;
-        if let Some(kill) = self.kill.filter(|k| k.superstep == superstep) {
-            self.kill = None;
-            self.kill_worker(kill.worker.min(self.slots.len() - 1));
-        }
+        let (send_delay, mut recv_delay) = self.inject_chaos(superstep);
 
         let workers = self.slots.len();
         let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
@@ -570,6 +784,9 @@ impl StepBackend for ClusterBackend {
         // awaited, so workers compute their partitions concurrently.
         for job in jobs {
             let worker = job.pid % workers;
+            if let Some(delay) = send_delay[worker] {
+                thread::sleep(delay);
+            }
             let msg = Message::RunStep {
                 pid: job.pid as u64,
                 superstep,
@@ -595,6 +812,11 @@ impl StepBackend for ClusterBackend {
         let mut pending_spans: Vec<(usize, u64, Vec<SpanRow>)> = Vec::new();
         for pid in order {
             let worker = pid % workers;
+            // Straggler injection: the first read of this worker's replies
+            // stalls, as if its compute ran slow. One stall per superstep.
+            if let Some(delay) = recv_delay[worker].take() {
+                thread::sleep(delay);
+            }
             loop {
                 let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
                 match read_frame(&mut handle.stream, Some(&self.bytes_in)) {
@@ -644,6 +866,28 @@ impl StepBackend for ClusterBackend {
         }
         self.merge_telemetry(superstep, pending_spans);
         Ok(results)
+    }
+
+    fn stage_snapshot(&mut self, epoch: u32, pid: usize, chunk: &[u8]) {
+        let worker = pid % self.slots.len();
+        let Some(handle) = self.slots[worker].handle.as_mut() else { return };
+        let msg = Message::SnapshotBarrier { epoch, pid: pid as u64, chunk: chunk.to_vec() };
+        if write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)).is_err() {
+            // A dead link is discovered (and billed) by the step loop; the
+            // coordinator's stable store keeps the authoritative chunk.
+            return;
+        }
+        // Await the ack so epoch completion implies worker-side durability.
+        // Frames tagged with an older superstep are leftovers of a failed
+        // attempt — stage_snapshot runs between supersteps, after every
+        // current StepDone was consumed, so anything else here is stale.
+        loop {
+            match read_frame(&mut handle.stream, Some(&self.bytes_in)) {
+                Ok(Message::SnapshotAck { .. }) => return,
+                Ok(_stale) => continue,
+                Err(_) => return,
+            }
+        }
     }
 }
 
@@ -713,15 +957,23 @@ fn heartbeat_loop(
     }
 }
 
+/// The superstep context shared between the step operator and the recovery
+/// handler: a restore must rewind not just the partition state (which the
+/// driver hands back) but also the message inboxes and the logical step
+/// counter — the parts of the cut the driver does not manage.
+struct SharedStepState {
+    /// Per-partition message inboxes with snapshot/commit semantics:
+    /// inboxes are only replaced when a superstep *commits*, so the re-run
+    /// after a failed attempt re-reads the exact same inbound messages.
+    inboxes: parking_lot::Mutex<Vec<Vec<Msg>>>,
+    /// Logical step index: the number of committed supersteps.
+    steps_committed: AtomicU64,
+}
+
 /// The distributed-superstep operator injected into the iteration body.
-///
-/// Owns the per-partition message inboxes with snapshot/commit semantics:
-/// inboxes are only replaced when a superstep *commits*, so the re-run after
-/// a failed attempt re-reads the exact same inbound messages.
 struct ClusterStepOp {
-    backend: Box<dyn StepBackend>,
-    inboxes: Vec<Vec<Msg>>,
-    steps_committed: u64,
+    backend: Arc<parking_lot::Mutex<Box<dyn StepBackend>>>,
+    shared: Arc<SharedStepState>,
     changed: Arc<AtomicU64>,
 }
 
@@ -729,21 +981,25 @@ impl DynOp for ClusterStepOp {
     fn execute(&mut self, inputs: &[Erased], ctx: &ExecContext) -> Result<Erased> {
         let superstep = ctx.superstep().unwrap_or(0);
         let state: Partitions<Record> = inputs[0].clone().take("ClusterStep(state)")?;
-        let parallelism = self.inboxes.len();
 
-        let jobs: Vec<StepJob> = state
-            .iter()
-            .map(|(pid, records)| {
-                let mut inbound = self.inboxes[pid].clone();
-                // Sorting fixes the fold order of floating-point sums, making
-                // every superstep bitwise deterministic regardless of which
-                // worker answered first.
-                inbound.sort_unstable();
-                StepJob { pid, state: records.to_vec(), inbound }
-            })
-            .collect();
+        let (jobs, parallelism) = {
+            let inboxes = self.shared.inboxes.lock();
+            let jobs: Vec<StepJob> = state
+                .iter()
+                .map(|(pid, records)| {
+                    let mut inbound = inboxes[pid].clone();
+                    // Sorting fixes the fold order of floating-point sums,
+                    // making every superstep bitwise deterministic regardless
+                    // of which worker answered first.
+                    inbound.sort_unstable();
+                    StepJob { pid, state: records.to_vec(), inbound }
+                })
+                .collect();
+            (jobs, inboxes.len())
+        };
 
-        let results = self.backend.run_step(superstep, self.steps_committed, jobs)?;
+        let step = self.shared.steps_committed.load(Ordering::SeqCst);
+        let results = self.backend.lock().run_step(superstep, step, jobs)?;
 
         // Commit: new state, rebuilt inboxes, published convergence count.
         let mut parts: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
@@ -758,8 +1014,8 @@ impl DynOp for ClusterStepOp {
             }
             parts[result.pid] = result.state;
         }
-        self.inboxes = inboxes;
-        self.steps_committed += 1;
+        *self.shared.inboxes.lock() = inboxes;
+        self.shared.steps_committed.fetch_add(1, Ordering::SeqCst);
         self.changed.store(changed_total, Ordering::SeqCst);
         ctx.add_shuffled(shuffled);
         Ok(Erased::new(Partitions::from_parts(parts)))
@@ -767,6 +1023,107 @@ impl DynOp for ClusterStepOp {
 
     fn kind(&self) -> &'static str {
         "ClusterStep"
+    }
+}
+
+/// The coordinator-side channel half of an asynchronous snapshot: the
+/// inboxes (and the step counter) captured when a barrier fired, staged
+/// until the epoch completes. State after superstep `E` plus the messages
+/// produced *by* superstep `E` form the consistent cut — the superstep
+/// boundary plays the role of Chandy–Lamport's channel drain.
+#[derive(Default)]
+struct StagedChannels {
+    in_flight: Option<(u32, Vec<Vec<Msg>>, u64)>,
+    complete: Option<(u32, Vec<Vec<Msg>>, u64)>,
+}
+
+/// [`recovery::AsyncSnapshotBulkHandler`] wrapped with the cluster's extra
+/// restore obligations: on rollback the shared inboxes and step counter are
+/// rewound to the restored epoch's staged capture (or cleared on restart),
+/// and every persisted chunk is shipped to its owning worker through the
+/// backend.
+struct ClusterSnapshotHandler {
+    inner: recovery::AsyncSnapshotBulkHandler<Record, recovery::MemoryStore>,
+    shared: Arc<SharedStepState>,
+    staged: Arc<parking_lot::Mutex<StagedChannels>>,
+}
+
+impl ClusterSnapshotHandler {
+    fn new(
+        interval: u32,
+        backend: Arc<parking_lot::Mutex<Box<dyn StepBackend>>>,
+        shared: Arc<SharedStepState>,
+        telemetry: SinkHandle,
+    ) -> Self {
+        let staged: Arc<parking_lot::Mutex<StagedChannels>> = Arc::default();
+        let probe = {
+            let staged = staged.clone();
+            let shared = shared.clone();
+            Box::new(move |event: recovery::BarrierEvent<'_>| match event {
+                recovery::BarrierEvent::Started { epoch, .. } => {
+                    let inboxes = shared.inboxes.lock().clone();
+                    let step = shared.steps_committed.load(Ordering::SeqCst);
+                    staged.lock().in_flight = Some((epoch, inboxes, step));
+                }
+                recovery::BarrierEvent::ChunkPersisted { epoch, pid, chunk } => {
+                    backend.lock().stage_snapshot(epoch, pid, chunk);
+                }
+                recovery::BarrierEvent::Completed { epoch } => {
+                    let mut staged = staged.lock();
+                    if let Some(capture) = staged.in_flight.take_if(|c| c.0 == epoch) {
+                        staged.complete = Some(capture);
+                    }
+                }
+                recovery::BarrierEvent::Aborted { .. } => staged.lock().in_flight = None,
+            })
+        };
+        ClusterSnapshotHandler {
+            inner: recovery::AsyncSnapshotBulkHandler::new(recovery::MemoryStore::new(), interval)
+                .with_telemetry(telemetry)
+                .with_probe(probe),
+            shared,
+            staged,
+        }
+    }
+}
+
+impl dataflow::ft::BulkFaultHandler<Record> for ClusterSnapshotHandler {
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        state: &Partitions<Record>,
+    ) -> Result<Option<dataflow::ft::CheckpointCost>> {
+        self.inner.after_superstep(iteration, state)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        state: &mut Partitions<Record>,
+    ) -> Result<dataflow::ft::BulkRecoveryAction<Record>> {
+        let action = self.inner.on_failure(iteration, lost, state)?;
+        match &action {
+            dataflow::ft::BulkRecoveryAction::Restored { iteration: epoch, .. } => {
+                let staged = self.staged.lock();
+                let (_, inboxes, step) =
+                    staged.complete.as_ref().filter(|c| c.0 == *epoch).ok_or_else(|| {
+                        EngineError::Recovery(format!(
+                            "async snapshot epoch {epoch} has no staged channel capture"
+                        ))
+                    })?;
+                *self.shared.inboxes.lock() = inboxes.clone();
+                self.shared.steps_committed.store(*step, Ordering::SeqCst);
+            }
+            dataflow::ft::BulkRecoveryAction::Restart => {
+                for inbox in self.shared.inboxes.lock().iter_mut() {
+                    inbox.clear();
+                }
+                self.shared.steps_committed.store(0, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        Ok(action)
     }
 }
 
@@ -804,11 +1161,23 @@ pub fn run_cluster(
             cfg.workers, cfg.parallelism
         )));
     }
+    if let Some(worker) = cfg.chaos.max_worker().filter(|&w| w >= cfg.workers) {
+        return Err(EngineError::Plan(format!(
+            "chaos plan targets worker {worker}, but the cluster has workers 0..{}",
+            cfg.workers
+        )));
+    }
+    if let ClusterStrategy::AsyncSnapshot { interval: 0 } = cfg.strategy {
+        return Err(EngineError::Plan(
+            "async-snapshot needs an interval of at least 1 superstep".into(),
+        ));
+    }
     let program = resolve(program_name)?;
     let n = graph.num_vertices() as u64;
     let adjacency = Arc::new(partition_rows(graph, cfg.parallelism));
     let parallelism = cfg.parallelism;
     let max_iterations = cfg.max_iterations;
+    let strategy = cfg.strategy;
     let initial_state = cfg.initial_state.take();
     let backend =
         ClusterBackend::start(cfg, program_name, n, adjacency.clone(), telemetry.clone())?;
@@ -820,6 +1189,7 @@ pub fn run_cluster(
         parallelism,
         max_iterations,
         DispatchMode::Cluster,
+        strategy,
         telemetry,
         initial_state,
     )
@@ -860,6 +1230,7 @@ pub fn run_local_warm(
         parallelism,
         max_iterations,
         DispatchMode::Pool,
+        ClusterStrategy::Optimistic,
         telemetry,
         initial_state,
     )
@@ -883,6 +1254,7 @@ fn run_with_backend(
     parallelism: usize,
     max_iterations: u32,
     dispatch: DispatchMode,
+    strategy: ClusterStrategy,
     telemetry: SinkHandle,
     initial_state: Option<Vec<Record>>,
 ) -> Result<ClusterRun> {
@@ -908,22 +1280,42 @@ fn run_with_backend(
     };
     let initial = env.from_partitions(initial_parts);
 
+    let backend: Arc<parking_lot::Mutex<Box<dyn StepBackend>>> =
+        Arc::new(parking_lot::Mutex::new(backend));
+    let shared = Arc::new(SharedStepState {
+        inboxes: parking_lot::Mutex::new(vec![Vec::new(); parallelism]),
+        steps_committed: AtomicU64::new(0),
+    });
+
     let mut iteration = BulkIteration::new(&initial, max_iterations);
-    {
-        // Optimistic recovery: the program's compensation function rebuilds
-        // each lost partition from the (loop-invariant) adjacency.
-        let program = program.clone();
-        let adjacency = adjacency.clone();
-        let compensation = Named::new(
-            format!("{}-compensation", program.name()),
-            move |state: &mut Partitions<Record>, lost: &[PartitionId], _iteration: u32| {
-                for &pid in lost {
-                    *state.partition_mut(pid) = program.compensate_partition(&adjacency[pid], n);
-                }
-            },
-        );
-        iteration
-            .set_fault_handler(OptimisticBulkHandler::new(compensation).with_telemetry(telemetry));
+    match strategy {
+        ClusterStrategy::Optimistic => {
+            // Optimistic recovery: the program's compensation function
+            // rebuilds each lost partition from the (loop-invariant)
+            // adjacency.
+            let program = program.clone();
+            let adjacency = adjacency.clone();
+            let compensation = Named::new(
+                format!("{}-compensation", program.name()),
+                move |state: &mut Partitions<Record>, lost: &[PartitionId], _iteration: u32| {
+                    for &pid in lost {
+                        *state.partition_mut(pid) =
+                            program.compensate_partition(&adjacency[pid], n);
+                    }
+                },
+            );
+            iteration.set_fault_handler(
+                OptimisticBulkHandler::new(compensation).with_telemetry(telemetry),
+            );
+        }
+        ClusterStrategy::AsyncSnapshot { interval } => {
+            iteration.set_fault_handler(ClusterSnapshotHandler::new(
+                interval,
+                backend.clone(),
+                shared.clone(),
+                telemetry,
+            ));
+        }
     }
     iteration.set_convergence_probe(|prev: &Partitions<Record>, next: &Partitions<Record>| {
         let changed_per_partition = prev
@@ -947,12 +1339,7 @@ fn run_with_backend(
     let step = body.custom_node::<Record>(
         "cluster-step",
         vec![state.node_id()],
-        Box::new(ClusterStepOp {
-            backend,
-            inboxes: vec![Vec::new(); parallelism],
-            steps_committed: 0,
-            changed: changed.clone(),
-        }),
+        Box::new(ClusterStepOp { backend, shared, changed: changed.clone() }),
     );
     let probe = body.custom_node::<u8>(
         "changed-probe",
@@ -1031,6 +1418,79 @@ mod tests {
         assert_eq!(cfg.heartbeat_interval, Duration::from_millis(250));
         assert_eq!(cfg.heartbeat_timeout, Duration::from_secs(20));
         assert_eq!(cfg.step_timeout, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn chaos_coin_is_deterministic_in_range_and_decorrelated() {
+        for superstep in 0..16u32 {
+            for worker in 0..4usize {
+                let a = chaos_coin(42, superstep, worker);
+                let b = chaos_coin(42, superstep, worker);
+                assert_eq!(a, b, "same point must flip the same coin");
+                assert!((0.0..1.0).contains(&a), "coin {a} out of [0,1)");
+            }
+        }
+        // Different seeds, supersteps, or workers decide independently.
+        assert_ne!(chaos_coin(1, 3, 0), chaos_coin(2, 3, 0));
+        assert_ne!(chaos_coin(1, 3, 0), chaos_coin(1, 4, 0));
+        assert_ne!(chaos_coin(1, 3, 0), chaos_coin(1, 3, 1));
+        // A fair-ish spread: with p=0.5, roughly half of 256 coins land low.
+        let low = (0..256).filter(|&s| chaos_coin(7, s, 0) < 0.5).count();
+        assert!((96..=160).contains(&low), "suspicious coin distribution: {low}/256 low");
+    }
+
+    #[test]
+    fn chaos_plan_reports_emptiness_and_the_largest_targeted_worker() {
+        let mut plan = ChaosPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_worker(), None);
+
+        plan.kills.push(KillPlan { superstep: 2, worker: 1 });
+        plan.stragglers.push(StragglerPlan {
+            from: 1,
+            to: 3,
+            worker: 4,
+            delay: Duration::from_millis(5),
+        });
+        plan.links.push(LinkPlan {
+            from: 0,
+            to: 9,
+            worker: 2,
+            delay: Duration::ZERO,
+            drop_probability: 0.25,
+            seed: 11,
+        });
+        assert!(!plan.is_empty());
+        assert_eq!(plan.max_worker(), Some(4), "straggler targets the largest index");
+    }
+
+    #[test]
+    fn with_kill_composes_into_a_storm() {
+        let cfg = ClusterConfig::new(2, 4, 10)
+            .with_kill(KillPlan { superstep: 2, worker: 0 })
+            .with_kill(KillPlan { superstep: 2, worker: 1 });
+        assert_eq!(cfg.chaos.kills.len(), 2);
+        assert_eq!(cfg.strategy, ClusterStrategy::Optimistic, "default strategy");
+        let cfg = cfg.with_strategy(ClusterStrategy::AsyncSnapshot { interval: 3 });
+        assert_eq!(cfg.strategy, ClusterStrategy::AsyncSnapshot { interval: 3 });
+    }
+
+    #[test]
+    fn chaos_plans_targeting_absent_workers_are_plan_errors() {
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg = ClusterConfig::new(2, 4, 10).with_kill(KillPlan { superstep: 1, worker: 5 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("targets worker 5"), "{err}");
+        assert!(err.to_string().contains("workers 0..2"), "{err}");
+    }
+
+    #[test]
+    fn zero_interval_async_snapshots_are_plan_errors() {
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg = ClusterConfig::new(2, 4, 10)
+            .with_strategy(ClusterStrategy::AsyncSnapshot { interval: 0 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("interval"), "{err}");
     }
 
     #[test]

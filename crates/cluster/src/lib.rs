@@ -35,7 +35,8 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
-    default_worker_cmd, run_cluster, run_local, run_local_warm, ClusterConfig, ClusterRun, KillPlan,
+    default_worker_cmd, run_cluster, run_local, run_local_warm, ChaosPlan, ClusterConfig,
+    ClusterRun, ClusterStrategy, KillPlan, LinkPlan, StragglerPlan,
 };
 pub use program::{lookup, program_names, ClusterProgram, StepOutput};
 pub use protocol::{Message, Msg, Record};

@@ -126,6 +126,29 @@ pub enum Message {
         /// Timed phases, in worker-local execution order.
         spans: Vec<SpanRow>,
     },
+    /// Coordinator → worker: the asynchronous-snapshot barrier marker
+    /// carrying one partition chunk for the worker to stage locally. The
+    /// worker keeps chunks per epoch so a coordinator restart can pull the
+    /// last complete snapshot back; staging replaces any chunk previously
+    /// held for the same `(epoch, pid)`.
+    SnapshotBarrier {
+        /// The snapshot epoch (the barrier's iteration).
+        epoch: u32,
+        /// Partition the chunk captures.
+        pid: u64,
+        /// The encoded partition chunk.
+        chunk: Vec<u8>,
+    },
+    /// Worker → coordinator: acknowledges one staged [`Message::SnapshotBarrier`]
+    /// chunk, confirming durability before the epoch counts as complete.
+    SnapshotAck {
+        /// Echo of the barrier's epoch.
+        epoch: u32,
+        /// Echo of the chunk's partition.
+        pid: u64,
+        /// Bytes staged for this chunk.
+        bytes: u64,
+    },
 }
 
 impl Codec for Message {
@@ -174,6 +197,18 @@ impl Codec for Message {
                 seq.encode(out);
                 spans.encode(out);
             }
+            Message::SnapshotBarrier { epoch, pid, chunk } => {
+                out.push(9);
+                epoch.encode(out);
+                pid.encode(out);
+                chunk.encode(out);
+            }
+            Message::SnapshotAck { epoch, pid, bytes } => {
+                out.push(10);
+                epoch.encode(out);
+                pid.encode(out);
+                bytes.encode(out);
+            }
         }
     }
 
@@ -209,6 +244,16 @@ impl Codec for Message {
                 superstep: u32::decode(input)?,
                 seq: u64::decode(input)?,
                 spans: Vec::decode(input)?,
+            },
+            9 => Message::SnapshotBarrier {
+                epoch: u32::decode(input)?,
+                pid: u64::decode(input)?,
+                chunk: Vec::decode(input)?,
+            },
+            10 => Message::SnapshotAck {
+                epoch: u32::decode(input)?,
+                pid: u64::decode(input)?,
+                bytes: u64::decode(input)?,
             },
             other => {
                 return Err(EngineError::Codec(format!("unknown cluster message tag {other}")))
@@ -318,6 +363,8 @@ mod tests {
             seq: 2,
             spans: vec![(1, SPAN_PHASE_COMPUTE, 12, 1_500), (1, SPAN_PHASE_SHUFFLE, 12, 900)],
         });
+        round_trip(Message::SnapshotBarrier { epoch: 6, pid: 2, chunk: vec![1, 2, 3, 255] });
+        round_trip(Message::SnapshotAck { epoch: 6, pid: 2, bytes: 4 });
     }
 
     #[test]

@@ -67,6 +67,10 @@ struct WorkerState {
     program: Option<Arc<dyn ClusterProgram>>,
     n: u64,
     adjacency: HashMap<u64, Arc<AdjRows>>,
+    /// Asynchronous-snapshot chunks staged per epoch: `epoch → pid → chunk`.
+    /// The barrier marker ([`Message::SnapshotBarrier`]) deposits chunks
+    /// here; they are retained until a `LoadProgram` resets the worker.
+    snapshots: HashMap<u32, HashMap<u64, Vec<u8>>>,
 }
 
 /// Run a worker: bind `listen` (e.g. `"127.0.0.1:0"` for an ephemeral
@@ -134,6 +138,7 @@ fn serve(mut stream: TcpStream, shared: Arc<Mutex<WorkerState>>) -> io::Result<(
                     // again; stale assignments from before a redistribution are
                     // dropped rather than merged.
                     state.adjacency.clear();
+                    state.snapshots.clear();
                     for (pid, rows) in adjacency {
                         state.adjacency.insert(pid, Arc::new(rows));
                     }
@@ -192,6 +197,17 @@ fn serve(mut stream: TcpStream, shared: Arc<Mutex<WorkerState>>) -> io::Result<(
                     seq += 1;
                     write_encoded_frame(&mut stream, &payload, None)?;
                 }
+                Message::SnapshotBarrier { epoch, pid, chunk } => {
+                    let bytes = chunk.len() as u64;
+                    shared.lock().snapshots.entry(epoch).or_default().insert(pid, chunk);
+                    wlog(
+                        worker,
+                        None,
+                        "snapshot_chunk",
+                        &format!("epoch={epoch} pid={pid} bytes={bytes}"),
+                    );
+                    write_frame(&mut stream, &Message::SnapshotAck { epoch, pid, bytes }, None)?;
+                }
                 Message::Heartbeat { nonce } => {
                     write_frame(&mut stream, &Message::HeartbeatAck { nonce }, None)?
                 }
@@ -202,7 +218,8 @@ fn serve(mut stream: TcpStream, shared: Arc<Mutex<WorkerState>>) -> io::Result<(
                 unexpected @ (Message::Welcome
                 | Message::StepDone { .. }
                 | Message::HeartbeatAck { .. }
-                | Message::TelemetryFrame { .. }) => {
+                | Message::TelemetryFrame { .. }
+                | Message::SnapshotAck { .. }) => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("coordinator sent a worker-only message: {unexpected:?}"),
@@ -288,6 +305,33 @@ mod tests {
             }
             other => panic!("expected StepDone, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_barriers_are_staged_and_acked() {
+        let addr = spawn_local_worker();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut conn,
+            &Message::SnapshotBarrier { epoch: 4, pid: 1, chunk: vec![9, 9, 9] },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            read_frame(&mut conn, None).unwrap(),
+            Message::SnapshotAck { epoch: 4, pid: 1, bytes: 3 }
+        );
+        // Restaging the same (epoch, pid) replaces the chunk.
+        write_frame(
+            &mut conn,
+            &Message::SnapshotBarrier { epoch: 4, pid: 1, chunk: vec![7] },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            read_frame(&mut conn, None).unwrap(),
+            Message::SnapshotAck { epoch: 4, pid: 1, bytes: 1 }
+        );
     }
 
     #[test]

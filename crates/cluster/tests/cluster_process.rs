@@ -5,7 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cluster::{run_cluster, run_local, ClusterConfig, KillPlan};
+use cluster::{
+    run_cluster, run_local, ClusterConfig, ClusterStrategy, KillPlan, LinkPlan, StragglerPlan,
+};
 use graphs::GraphBuilder;
 use telemetry::{MemorySink, SinkHandle};
 
@@ -80,7 +82,7 @@ fn sigkilled_worker_mid_iteration_recovers_via_compensation() {
     let telemetry = SinkHandle::new(sink.clone());
 
     let mut cfg = test_config(2, 4, 60);
-    cfg.kill = Some(KillPlan { superstep: 2, worker: 1 });
+    cfg = cfg.with_kill(KillPlan { superstep: 2, worker: 1 });
     let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
 
     // Compensation (not restart) recovered the run, and it still converged
@@ -107,7 +109,7 @@ fn sigkilled_worker_mid_iteration_recovers_via_compensation() {
 fn sigkilled_pagerank_still_matches_the_failure_free_fixed_point() {
     let graph = pagerank_graph();
     let mut cfg = test_config(2, 4, 300);
-    cfg.kill = Some(KillPlan { superstep: 3, worker: 0 });
+    cfg = cfg.with_kill(KillPlan { superstep: 3, worker: 0 });
     let cluster = run_cluster("pagerank", &graph, cfg, SinkHandle::disabled()).unwrap();
     let baseline = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
 
@@ -124,13 +126,129 @@ fn sigkilled_pagerank_still_matches_the_failure_free_fixed_point() {
 }
 
 #[test]
+fn async_snapshot_cluster_restores_from_the_last_complete_epoch() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    // Interval 1 with 4 partitions: epoch 0's chunks persist one per
+    // superstep and complete at superstep 3. Killing during superstep 5
+    // forces a restore from epoch 0 — the only complete snapshot.
+    let cfg = test_config(2, 4, 60)
+        .with_strategy(ClusterStrategy::AsyncSnapshot { interval: 1 })
+        .with_kill(KillPlan { superstep: 5, worker: 1 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values, "rollback must reach the exact baseline");
+    assert!(cluster.stats.converged);
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"event\":\"SnapshotBarrierStarted\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"SnapshotBarrierCompleted\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"ChaosInjected\""), "journal:\n{journal}");
+    assert!(
+        journal.contains("\"event\":\"CheckpointRestored\",\"iteration\":"),
+        "a complete epoch must be the restore point, journal:\n{journal}"
+    );
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "journal:\n{journal}");
+}
+
+#[test]
+fn kill_storm_takes_out_several_workers_in_one_superstep() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let cfg = test_config(3, 6, 60)
+        .with_kill(KillPlan { superstep: 2, worker: 0 })
+        .with_kill(KillPlan { superstep: 2, worker: 2 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 6, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values);
+    assert!(cluster.stats.converged);
+
+    let journal = sink.journal_lines();
+    let chaos_kills = journal
+        .lines()
+        .filter(|l| l.contains("\"event\":\"ChaosInjected\"") && l.contains("\"kind\":\"kill\""))
+        .count();
+    assert_eq!(chaos_kills, 2, "both storm kills journaled:\n{journal}");
+    assert!(journal.contains("\"event\":\"CompensationInvoked\""), "journal:\n{journal}");
+}
+
+#[test]
+fn stragglers_and_degraded_links_only_slow_the_run_down() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let mut cfg = test_config(2, 4, 60);
+    cfg.chaos.stragglers.push(StragglerPlan {
+        from: 1,
+        to: 3,
+        worker: 1,
+        delay: Duration::from_millis(30),
+    });
+    cfg.chaos.links.push(LinkPlan {
+        from: 2,
+        to: 4,
+        worker: 0,
+        delay: Duration::from_millis(5),
+        drop_probability: 0.0,
+        seed: 7,
+    });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    // Delays never corrupt state: the run is still bitwise identical to the
+    // failure-free local baseline, with no recovery at all.
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values);
+    assert_eq!(cluster.stats.supersteps(), baseline.stats.supersteps());
+    assert!(cluster.stats.converged);
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"kind\":\"straggler\",\"param\":30"), "journal:\n{journal}");
+    assert!(journal.contains("\"kind\":\"link_delay\",\"param\":5"), "journal:\n{journal}");
+    assert!(!journal.contains("\"event\":\"WorkerLost\""), "no loss expected:\n{journal}");
+}
+
+#[test]
+fn certain_link_drops_sever_the_connection_and_recovery_compensates() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let mut cfg = test_config(2, 4, 60);
+    cfg.chaos.links.push(LinkPlan {
+        from: 2,
+        to: 2,
+        worker: 1,
+        delay: Duration::ZERO,
+        drop_probability: 1.0,
+        seed: 11,
+    });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values);
+    assert!(cluster.stats.converged);
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"kind\":\"link_drop\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "severed link is a loss:\n{journal}");
+    assert!(journal.contains("\"event\":\"CompensationInvoked\""), "journal:\n{journal}");
+}
+
+#[test]
 fn network_metrics_are_recorded() {
     let graph = cc_graph();
     let sink = Arc::new(MemorySink::new());
     let telemetry = SinkHandle::new(sink);
 
     let mut cfg = test_config(2, 4, 60);
-    cfg.kill = Some(KillPlan { superstep: 1, worker: 0 });
+    cfg = cfg.with_kill(KillPlan { superstep: 1, worker: 0 });
     run_cluster("cc", &graph, cfg, telemetry.clone()).unwrap();
 
     let metrics = telemetry.metrics();

@@ -29,6 +29,10 @@
 //! * [`checkpoint`] — the rollback baseline: interval checkpointing into a
 //!   [`checkpoint::StableStore`] (in-memory or on-disk) with a configurable
 //!   stable-storage cost model.
+//! * [`async_snapshot`] — the asynchronous-barrier-snapshot baseline
+//!   (Chandy–Lamport / Flink style): barriers capture a consistent cut
+//!   without a global pause and the stable-storage writes spread over the
+//!   following supersteps; recovery restores the last *complete* epoch.
 //! * [`incremental`] — an optimised rollback variant for delta iterations
 //!   that logs solution-set diffs between full snapshots.
 //! * [`ignore`] — the do-nothing "handler" used by the ablation study.
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_snapshot;
 pub mod checkpoint;
 pub mod compensation;
 pub mod ignore;
@@ -45,6 +50,9 @@ pub mod optimistic;
 pub mod scenario;
 pub mod strategy;
 
+pub use async_snapshot::{
+    AsyncSnapshotBulkHandler, AsyncSnapshotDeltaHandler, BarrierEvent, BarrierProbe,
+};
 pub use checkpoint::{
     CheckpointBulkHandler, CheckpointDeltaHandler, CostModel, DiskStore, MemoryStore, StableStore,
 };

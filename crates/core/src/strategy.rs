@@ -25,6 +25,15 @@ pub enum Strategy {
         /// Iterations between full snapshots.
         full_interval: u32,
     },
+    /// Asynchronous barrier snapshots (Chandy–Lamport style, the mechanism
+    /// behind Flink's checkpoints): a barrier every `interval` iterations
+    /// captures a consistent cut without a global pause — the stable-storage
+    /// writes are spread over the following supersteps while computation
+    /// keeps running. Recovery restores the last *complete* snapshot.
+    AsyncSnapshot {
+        /// Iterations between barrier injections.
+        interval: u32,
+    },
     /// Restart from scratch on failure — what lineage-based recovery
     /// degenerates to for iterative jobs (paper §2.2). Zero failure-free
     /// overhead, maximal recovery cost.
@@ -43,6 +52,7 @@ impl Strategy {
             Strategy::IncrementalCheckpoint { full_interval } => {
                 format!("incremental({full_interval})")
             }
+            Strategy::AsyncSnapshot { interval } => format!("async-snapshot({interval})"),
             Strategy::Restart => "restart".to_string(),
             Strategy::Ignore => "ignore".to_string(),
         }
@@ -55,7 +65,12 @@ impl Strategy {
 
     /// Whether the strategy adds failure-free overhead.
     pub fn has_failure_free_overhead(&self) -> bool {
-        matches!(self, Strategy::Checkpoint { .. } | Strategy::IncrementalCheckpoint { .. })
+        matches!(
+            self,
+            Strategy::Checkpoint { .. }
+                | Strategy::IncrementalCheckpoint { .. }
+                | Strategy::AsyncSnapshot { .. }
+        )
     }
 }
 
@@ -75,6 +90,7 @@ mod tests {
         assert_eq!(Strategy::Checkpoint { interval: 3 }.label(), "checkpoint(3)");
         assert_eq!(Strategy::Restart.label(), "restart");
         assert_eq!(Strategy::IncrementalCheckpoint { full_interval: 4 }.label(), "incremental(4)");
+        assert_eq!(Strategy::AsyncSnapshot { interval: 2 }.label(), "async-snapshot(2)");
         assert_eq!(Strategy::Ignore.to_string(), "ignore");
     }
 
@@ -85,6 +101,8 @@ mod tests {
         assert!(Strategy::Checkpoint { interval: 1 }.has_failure_free_overhead());
         assert!(Strategy::IncrementalCheckpoint { full_interval: 9 }.has_failure_free_overhead());
         assert!(Strategy::IncrementalCheckpoint { full_interval: 9 }.is_correct());
+        assert!(Strategy::AsyncSnapshot { interval: 2 }.has_failure_free_overhead());
+        assert!(Strategy::AsyncSnapshot { interval: 2 }.is_correct());
         assert!(!Strategy::Optimistic.has_failure_free_overhead());
         assert!(!Strategy::Restart.has_failure_free_overhead());
     }

@@ -37,6 +37,13 @@ pub struct RunFacts {
     pub respawn_ns: u64,
     /// Summed bytes re-shipped to replacement workers.
     pub reshipped_bytes: u64,
+    /// Chaos-plane injections recorded in the journal.
+    pub chaos_injections: u64,
+    /// Async-snapshot epochs that completed.
+    pub snapshot_epochs: u64,
+    /// Bytes the completed snapshot epochs persisted (the strategy's
+    /// failure-free overhead in storage terms).
+    pub snapshot_bytes: u64,
     /// Raw journal event JSON lines, for divergence pinpointing.
     pub event_lines: Vec<String>,
 }
@@ -46,6 +53,15 @@ impl RunFacts {
     pub fn from_journal(journal: &Journal) -> RunFacts {
         let model = RunModel::from_events(&journal.events);
         let costs: Vec<_> = model.rows.iter().flat_map(|row| row.recovery_costs.iter()).collect();
+        let completed: Vec<(u64, u64)> = model
+            .rows
+            .iter()
+            .flat_map(|row| row.snapshots.iter())
+            .filter_map(|s| match s {
+                crate::model::SnapshotMark::Completed { bytes, .. } => Some((1u64, *bytes)),
+                _ => None,
+            })
+            .collect();
         RunFacts {
             supersteps: model.rows.len() as u32,
             logical_iterations: model.logical_iterations,
@@ -58,6 +74,9 @@ impl RunFacts {
             detect_ns: costs.iter().map(|c| c.detect_ns).sum(),
             respawn_ns: costs.iter().map(|c| c.respawn_ns).sum(),
             reshipped_bytes: costs.iter().map(|c| c.reshipped_bytes).sum(),
+            chaos_injections: model.chaos_injections() as u64,
+            snapshot_epochs: completed.iter().map(|&(n, _)| n).sum(),
+            snapshot_bytes: completed.iter().map(|&(_, b)| b).sum(),
             event_lines: journal.events.iter().map(|e| e.to_json()).collect(),
         }
     }
@@ -257,6 +276,32 @@ pub fn diff_runs(baseline: &RunFacts, current: &RunFacts, options: &DiffOptions)
         );
     }
 
+    // Strategy scoreboard rows (chaos-plane runs). A strategy pair run
+    // under the same seeded chaos plan shows identical injections but
+    // different overhead: the async-snapshot side pays persisted bytes
+    // failure-free, the optimistic side pays recomputation after faults.
+    if baseline.chaos_injections != 0 || current.chaos_injections != 0 {
+        report.push(
+            Severity::Info,
+            format!(
+                "chaos injections: {} -> {}",
+                baseline.chaos_injections, current.chaos_injections
+            ),
+        );
+    }
+    if baseline.snapshot_epochs != 0 || current.snapshot_epochs != 0 {
+        report.push(
+            Severity::Info,
+            format!(
+                "snapshot epochs: {} -> {} ({}B -> {}B persisted)",
+                baseline.snapshot_epochs,
+                current.snapshot_epochs,
+                baseline.snapshot_bytes,
+                current.snapshot_bytes
+            ),
+        );
+    }
+
     // Pinpoint the first journal divergence, when both sides have events.
     if !baseline.event_lines.is_empty() && !current.event_lines.is_empty() {
         let first_diff = baseline
@@ -392,6 +437,23 @@ mod tests {
         assert!(text.contains("worker outages: 1 -> 1"), "{text}");
         assert!(text.contains("detection latency: 1.0ms -> 9.0ms"), "{text}");
         assert!(text.contains("re-shipped bytes: 1024B -> 1024B"), "{text}");
+    }
+
+    #[test]
+    fn strategy_scoreboard_rows_inform_but_do_not_gate() {
+        // An optimistic run vs an async-snapshot run under the same seeded
+        // chaos plan: same injections, different failure-free overhead.
+        let mut optimistic = facts(8, 8);
+        optimistic.chaos_injections = 3;
+        let mut snapshotting = facts(8, 8);
+        snapshotting.chaos_injections = 3;
+        snapshotting.snapshot_epochs = 2;
+        snapshotting.snapshot_bytes = 4096;
+        let report = diff_runs(&optimistic, &snapshotting, &DiffOptions::default());
+        assert!(!report.has_regressions(), "{report:?}");
+        let text = render_diff(&report);
+        assert!(text.contains("chaos injections: 3 -> 3"), "{text}");
+        assert!(text.contains("snapshot epochs: 0 -> 2 (0B -> 4096B persisted)"), "{text}");
     }
 
     #[test]

@@ -121,6 +121,21 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
             iteration: u32_field(v, "iteration")?,
             bytes: u64_field(v, "bytes")?,
         },
+        "SnapshotBarrierStarted" => JournalEvent::SnapshotBarrierStarted {
+            epoch: u32_field(v, "epoch")?,
+            partitions: u64_field(v, "partitions")? as usize,
+        },
+        "SnapshotBarrierCompleted" => JournalEvent::SnapshotBarrierCompleted {
+            epoch: u32_field(v, "epoch")?,
+            partitions: u64_field(v, "partitions")? as usize,
+            bytes: u64_field(v, "bytes")?,
+        },
+        "ChaosInjected" => JournalEvent::ChaosInjected {
+            superstep: u32_field(v, "superstep")?,
+            worker: u64_field(v, "worker")? as usize,
+            kind: v.get("kind").and_then(Value::as_str).ok_or("missing kind")?.to_string(),
+            param: u64_field(v, "param")?,
+        },
         "PartitionPanicked" => JournalEvent::PartitionPanicked {
             superstep: u32_field(v, "superstep")?,
             iteration: u32_field(v, "iteration")?,
@@ -372,6 +387,9 @@ mod tests {
         "\"records_shuffled\":5,\"workset_size\":3}\n",
         "{\"event\":\"ConvergenceSample\",\"superstep\":0,\"iteration\":0,\"changed\":4,",
         "\"changed_per_partition\":[1,3],\"delta_norm\":2.5,\"workset_per_partition\":[2,1]}\n",
+        "{\"event\":\"SnapshotBarrierStarted\",\"epoch\":0,\"partitions\":2}\n",
+        "{\"event\":\"SnapshotBarrierCompleted\",\"epoch\":0,\"partitions\":2,\"bytes\":96}\n",
+        "{\"event\":\"ChaosInjected\",\"superstep\":0,\"worker\":1,\"kind\":\"kill\",\"param\":0}\n",
         "{\"event\":\"PartitionPanicked\",\"superstep\":0,\"iteration\":0,\"pid\":1}\n",
         "{\"event\":\"WorkerLost\",\"superstep\":0,\"iteration\":0,",
         "\"worker\":1,\"lost_partitions\":[1,3]}\n",

@@ -87,6 +87,67 @@ pub struct RecoveryCostMark {
     pub reshipped_bytes: u64,
 }
 
+/// An asynchronous-snapshot barrier milestone (async-snapshot runs only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotMark {
+    /// A barrier was injected: the epoch's chunks were captured and began
+    /// persisting in the background.
+    Started {
+        /// Logical iteration the snapshot captures.
+        epoch: u32,
+        /// Partition chunks the barrier captured.
+        partitions: usize,
+    },
+    /// Every chunk of the epoch reached stable storage; the epoch is now
+    /// the restore point.
+    Completed {
+        /// The completed epoch.
+        epoch: u32,
+        /// Partition chunks persisted.
+        partitions: usize,
+        /// Total serialized size of the epoch.
+        bytes: u64,
+    },
+}
+
+impl SnapshotMark {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        match self {
+            SnapshotMark::Started { epoch, partitions } => {
+                format!("barrier e{epoch} started ({partitions} chunks)")
+            }
+            SnapshotMark::Completed { epoch, bytes, .. } => {
+                format!("barrier e{epoch} complete ({bytes}B)")
+            }
+        }
+    }
+}
+
+/// One chaos-plane injection (cluster runs driven with `--kill`/`--chaos`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosMark {
+    /// Chronological superstep the injection targeted.
+    pub superstep: u32,
+    /// Worker process the injection targeted.
+    pub worker: usize,
+    /// Injection kind (`kill`, `link_delay`, `link_drop`, `straggler`).
+    pub kind: String,
+    /// Kind-specific parameter (delay in milliseconds, else 0).
+    pub param: u64,
+}
+
+impl ChaosMark {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        if self.param > 0 {
+            format!("chaos {} w{} +{}ms", self.kind, self.worker, self.param)
+        } else {
+            format!("chaos {} w{}", self.kind, self.worker)
+        }
+    }
+}
+
 /// A worker-process transport event (multi-process cluster runs only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkerEvent {
@@ -206,6 +267,13 @@ pub struct SuperstepRow {
     /// summaries, queries) that happened after this superstep (serve runs
     /// only).
     pub serve_events: Vec<ServeEvent>,
+    /// Asynchronous-snapshot barrier milestones after this superstep
+    /// (async-snapshot runs only).
+    pub snapshots: Vec<SnapshotMark>,
+    /// Chaos injections fired during this superstep (chaos-plane runs
+    /// only). These precede the row's `SuperstepCompleted` in the journal,
+    /// so they are buffered and attached when the row is created.
+    pub chaos: Vec<ChaosMark>,
     /// Bytes checkpointed after this superstep (0 = no checkpoint).
     pub checkpoint_bytes: Option<u64>,
 }
@@ -255,6 +323,10 @@ impl RunModel {
         // when the matching row appears; spans of a superstep that never
         // completes (a mid-step failure) are dropped with the buffer.
         let mut pending_spans: Vec<(u32, WorkerSpanMark)> = Vec::new();
+        // Chaos injections likewise fire while their superstep is still
+        // open, so they attach to the next row to complete — the superstep
+        // they actually disturbed (or its redo).
+        let mut pending_chaos: Vec<ChaosMark> = Vec::new();
         for event in events {
             match event {
                 JournalEvent::RunStarted { mode, parallelism, .. } => {
@@ -279,6 +351,7 @@ impl RunModel {
                         records_shuffled: *records_shuffled,
                         workset_size: *workset_size,
                         worker_spans,
+                        chaos: std::mem::take(&mut pending_chaos),
                         ..Default::default()
                     });
                 }
@@ -357,6 +430,29 @@ impl RunModel {
                             reshipped_bytes: *reshipped_bytes,
                         });
                     }
+                }
+                JournalEvent::SnapshotBarrierStarted { epoch, partitions } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.snapshots
+                            .push(SnapshotMark::Started { epoch: *epoch, partitions: *partitions });
+                    }
+                }
+                JournalEvent::SnapshotBarrierCompleted { epoch, partitions, bytes } => {
+                    if let Some(row) = model.rows.last_mut() {
+                        row.snapshots.push(SnapshotMark::Completed {
+                            epoch: *epoch,
+                            partitions: *partitions,
+                            bytes: *bytes,
+                        });
+                    }
+                }
+                JournalEvent::ChaosInjected { superstep, worker, kind, param } => {
+                    pending_chaos.push(ChaosMark {
+                        superstep: *superstep,
+                        worker: *worker,
+                        kind: kind.clone(),
+                        param: *param,
+                    });
                 }
                 JournalEvent::FailureInjected { lost_partitions, lost_records, .. } => {
                     if let Some(row) = model.rows.last_mut() {
@@ -472,6 +568,20 @@ impl RunModel {
             })
             .map(|r| r.superstep)
             .collect()
+    }
+
+    /// Supersteps after which an async-snapshot epoch completed.
+    pub fn snapshot_supersteps(&self) -> Vec<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.snapshots.iter().any(|s| matches!(s, SnapshotMark::Completed { .. })))
+            .map(|r| r.superstep)
+            .collect()
+    }
+
+    /// Total chaos injections the run absorbed.
+    pub fn chaos_injections(&self) -> usize {
+        self.rows.iter().map(|r| r.chaos.len()).sum()
     }
 
     /// Distinct worker ids that reported spans, ascending (cluster runs
@@ -688,6 +798,45 @@ mod tests {
         assert_eq!(model.rows[1].recovery_costs[0].detection, "heartbeat");
         assert_eq!(model.rows[1].recovery_costs[0].reshipped_bytes, 64);
         assert_eq!(model.span_workers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn snapshot_and_chaos_marks_attach_to_the_right_rows() {
+        let events = vec![
+            // Chaos fires while superstep 0 is open, before its completion.
+            JournalEvent::ChaosInjected {
+                superstep: 0,
+                worker: 1,
+                kind: "straggler".into(),
+                param: 50,
+            },
+            step(0, 0),
+            JournalEvent::SnapshotBarrierStarted { epoch: 0, partitions: 2 },
+            step(1, 1),
+            JournalEvent::SnapshotBarrierCompleted { epoch: 0, partitions: 2, bytes: 128 },
+            JournalEvent::ChaosInjected { superstep: 2, worker: 0, kind: "kill".into(), param: 0 },
+            step(2, 2),
+            JournalEvent::RunCompleted { supersteps: 3, iterations: 3, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert_eq!(
+            model.rows[0].chaos,
+            vec![ChaosMark { superstep: 0, worker: 1, kind: "straggler".into(), param: 50 }]
+        );
+        assert_eq!(model.rows[0].chaos[0].label(), "chaos straggler w1 +50ms");
+        assert_eq!(
+            model.rows[0].snapshots,
+            vec![SnapshotMark::Started { epoch: 0, partitions: 2 }]
+        );
+        assert_eq!(model.rows[0].snapshots[0].label(), "barrier e0 started (2 chunks)");
+        assert_eq!(
+            model.rows[1].snapshots,
+            vec![SnapshotMark::Completed { epoch: 0, partitions: 2, bytes: 128 }]
+        );
+        assert_eq!(model.rows[1].snapshots[0].label(), "barrier e0 complete (128B)");
+        assert_eq!(model.rows[2].chaos[0].label(), "chaos kill w0");
+        assert_eq!(model.snapshot_supersteps(), vec![1]);
+        assert_eq!(model.chaos_injections(), 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use telemetry::PartitionId;
 
 use crate::load::ReportSummary;
-use crate::model::{RecoveryAction, RunModel, WorkerEvent};
+use crate::model::{ChaosMark, RecoveryAction, RunModel, SnapshotMark, WorkerEvent};
 use crate::timeline::format_ns;
 
 /// The cost of one worker outage, attributed to the superstep it
@@ -57,6 +57,13 @@ pub struct RecoveryReport {
     /// Wall-clock spent in the `recovery` span, when a spans sidecar or
     /// report was available.
     pub recovery_wall_ns: Option<u64>,
+    /// Chaos-plane injections, in journal order: the faults the run was
+    /// billed for absorbing.
+    pub chaos: Vec<ChaosMark>,
+    /// Async-snapshot epochs that reached stable storage.
+    pub snapshot_epochs: u32,
+    /// Total bytes the completed snapshot epochs persisted.
+    pub snapshot_bytes: u64,
 }
 
 impl RecoveryReport {
@@ -113,6 +120,13 @@ pub fn build_recovery_report(model: &RunModel, report: Option<&ReportSummary>) -
         ..Default::default()
     };
     for row in &model.rows {
+        out.chaos.extend(row.chaos.iter().cloned());
+        for snapshot in &row.snapshots {
+            if let SnapshotMark::Completed { bytes, .. } = snapshot {
+                out.snapshot_epochs += 1;
+                out.snapshot_bytes += bytes;
+            }
+        }
         for cost in &row.recovery_costs {
             let lost_partitions = row
                 .worker_events
@@ -147,6 +161,18 @@ pub fn render_recovery(report: &RecoveryReport) -> String {
         report.failures,
         report.bills.len(),
     ));
+    if !report.chaos.is_empty() {
+        out.push_str(&format!("chaos plane: {} injection(s)\n", report.chaos.len()));
+        for mark in &report.chaos {
+            out.push_str(&format!("  s{:>3} {}\n", mark.superstep, mark.label()));
+        }
+    }
+    if report.snapshot_epochs > 0 {
+        out.push_str(&format!(
+            "async snapshots: {} epoch(s) completed, {}B persisted\n",
+            report.snapshot_epochs, report.snapshot_bytes,
+        ));
+    }
     if report.bills.is_empty() && report.failures == 0 {
         out.push_str("  no failures recorded; nothing to account\n");
         return out;
@@ -246,6 +272,24 @@ mod tests {
         assert!(text.contains("1.5ms"), "{text}");
         assert!(text.contains("reshipped     2048B"), "{text}");
         assert!(text.contains("recovery wall-clock (spans): 6.0ms"), "{text}");
+    }
+
+    #[test]
+    fn chaos_and_snapshot_accounting_reach_the_report() {
+        let mut model = cluster_model();
+        model.rows[1].chaos =
+            vec![ChaosMark { superstep: 1, worker: 1, kind: "kill".into(), param: 0 }];
+        model.rows[0].snapshots = vec![SnapshotMark::Started { epoch: 0, partitions: 4 }];
+        model.rows[2].snapshots =
+            vec![SnapshotMark::Completed { epoch: 0, partitions: 4, bytes: 512 }];
+        let report = build_recovery_report(&model, None);
+        assert_eq!(report.chaos.len(), 1);
+        assert_eq!(report.snapshot_epochs, 1);
+        assert_eq!(report.snapshot_bytes, 512);
+        let text = render_recovery(&report);
+        assert!(text.contains("chaos plane: 1 injection(s)"), "{text}");
+        assert!(text.contains("chaos kill w1"), "{text}");
+        assert!(text.contains("async snapshots: 1 epoch(s) completed, 512B persisted"), "{text}");
     }
 
     #[test]

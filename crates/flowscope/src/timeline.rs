@@ -83,6 +83,12 @@ fn annotations(row: &SuperstepRow) -> String {
     for event in &row.serve_events {
         notes.push(event.label());
     }
+    for mark in &row.chaos {
+        notes.push(mark.label());
+    }
+    for mark in &row.snapshots {
+        notes.push(mark.label());
+    }
     for cost in &row.recovery_costs {
         notes.push(format!(
             "bill[w{} {}: detect {} respawn {} reship {}B]",

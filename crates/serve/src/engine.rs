@@ -556,7 +556,7 @@ impl ServeEngine {
         let mut cfg =
             ClusterConfig::new(workers, self.config.parallelism, self.config.max_iterations)
                 .with_env_timing();
-        cfg.kill = Some(kill);
+        cfg = cfg.with_kill(kill);
         let program = match self.config.algorithm {
             ServeAlgorithm::ConnectedComponents => "cc",
             ServeAlgorithm::PageRank => "pagerank",

@@ -160,6 +160,39 @@ pub enum JournalEvent {
         /// Serialized size of the checkpoint.
         bytes: u64,
     },
+    /// An asynchronous snapshot barrier fired: every partition's chunk was
+    /// captured locally; the stable-storage writes spread over the
+    /// following supersteps (one [`JournalEvent::CheckpointWritten`] entry
+    /// per persisted chunk).
+    SnapshotBarrierStarted {
+        /// Logical iteration the snapshot captures (its epoch).
+        epoch: u32,
+        /// Partition chunks the barrier captured.
+        partitions: usize,
+    },
+    /// Every chunk of an asynchronous snapshot epoch reached stable
+    /// storage; the epoch is now the restore point.
+    SnapshotBarrierCompleted {
+        /// The completed epoch.
+        epoch: u32,
+        /// Partition chunks persisted.
+        partitions: usize,
+        /// Total serialized size of the epoch across all chunks.
+        bytes: u64,
+    },
+    /// The chaos plane injected a scheduled fault into a cluster run.
+    ChaosInjected {
+        /// Chronological superstep the injection targeted.
+        superstep: u32,
+        /// Worker process the injection targeted.
+        worker: usize,
+        /// Injection kind: `"kill"`, `"link_delay"`, `"link_drop"`, or
+        /// `"straggler"`.
+        kind: String,
+        /// Kind-specific parameter: delay in milliseconds for `link_delay`
+        /// and `straggler`, 0 for `kill` and `link_drop`.
+        param: u64,
+    },
     /// A partition task panicked mid-superstep. The executor caught the
     /// unwind and the engine converts the panic into a partition failure
     /// (the matching [`JournalEvent::FailureInjected`] entry follows), so a
@@ -361,6 +394,9 @@ impl JournalEvent {
             JournalEvent::SuperstepCompleted { .. } => "SuperstepCompleted",
             JournalEvent::ConvergenceSample { .. } => "ConvergenceSample",
             JournalEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            JournalEvent::SnapshotBarrierStarted { .. } => "SnapshotBarrierStarted",
+            JournalEvent::SnapshotBarrierCompleted { .. } => "SnapshotBarrierCompleted",
+            JournalEvent::ChaosInjected { .. } => "ChaosInjected",
             JournalEvent::PartitionPanicked { .. } => "PartitionPanicked",
             JournalEvent::WorkerLost { .. } => "WorkerLost",
             JournalEvent::WorkerSpan { .. } => "WorkerSpan",
@@ -442,6 +478,20 @@ impl JournalEvent {
             JournalEvent::CheckpointWritten { iteration, bytes } => {
                 obj.u64("iteration", u64::from(*iteration)).u64("bytes", *bytes).finish()
             }
+            JournalEvent::SnapshotBarrierStarted { epoch, partitions } => {
+                obj.u64("epoch", u64::from(*epoch)).u64("partitions", *partitions as u64).finish()
+            }
+            JournalEvent::SnapshotBarrierCompleted { epoch, partitions, bytes } => obj
+                .u64("epoch", u64::from(*epoch))
+                .u64("partitions", *partitions as u64)
+                .u64("bytes", *bytes)
+                .finish(),
+            JournalEvent::ChaosInjected { superstep, worker, kind, param } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("worker", *worker as u64)
+                .str("kind", kind)
+                .u64("param", *param)
+                .finish(),
             JournalEvent::PartitionPanicked { superstep, iteration, pid } => obj
                 .u64("superstep", u64::from(*superstep))
                 .u64("iteration", u64::from(*iteration))
@@ -674,6 +724,9 @@ mod tests {
             },
             JournalEvent::RunCompleted { supersteps: 3, iterations: 3, converged: true },
             JournalEvent::CheckpointWritten { iteration: 1, bytes: 10 },
+            JournalEvent::SnapshotBarrierStarted { epoch: 2, partitions: 4 },
+            JournalEvent::SnapshotBarrierCompleted { epoch: 2, partitions: 4, bytes: 64 },
+            JournalEvent::ChaosInjected { superstep: 3, worker: 1, kind: "kill".into(), param: 0 },
             JournalEvent::CheckpointRestored { iteration: 1 },
             JournalEvent::DiffChainReplayed { base_iteration: 0, diffs: 3 },
             JournalEvent::CompensationInvoked { name: "Fix".into(), iteration: 1 },
@@ -749,6 +802,33 @@ mod tests {
             "{\"event\":\"RecoveryCost\",\"superstep\":5,\"worker\":0,\
              \"detection\":\"read_error\",\"detect_ns\":1000,\"respawn_ns\":2000,\
              \"reshipped_bytes\":512}"
+        );
+    }
+
+    #[test]
+    fn chaos_and_snapshot_events_serialize_stably() {
+        let started = JournalEvent::SnapshotBarrierStarted { epoch: 4, partitions: 3 };
+        assert_eq!(
+            started.to_json(),
+            "{\"event\":\"SnapshotBarrierStarted\",\"epoch\":4,\"partitions\":3}"
+        );
+        let completed =
+            JournalEvent::SnapshotBarrierCompleted { epoch: 4, partitions: 3, bytes: 256 };
+        assert_eq!(
+            completed.to_json(),
+            "{\"event\":\"SnapshotBarrierCompleted\",\"epoch\":4,\
+             \"partitions\":3,\"bytes\":256}"
+        );
+        let chaos = JournalEvent::ChaosInjected {
+            superstep: 2,
+            worker: 1,
+            kind: "straggler".into(),
+            param: 150,
+        };
+        assert_eq!(
+            chaos.to_json(),
+            "{\"event\":\"ChaosInjected\",\"superstep\":2,\"worker\":1,\
+             \"kind\":\"straggler\",\"param\":150}"
         );
     }
 

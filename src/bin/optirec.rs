@@ -453,9 +453,11 @@ fn run_serve(invocation: &cli::ServeInvocation) -> Result<(), String> {
 }
 
 /// The `--cluster` path: real worker processes over loopback TCP. Failure
-/// injection here is a SIGKILL of a live process (`--kill`), and recovery is
-/// always optimistic compensation — the coordinator detects the loss at the
-/// network level and the re-spawned worker rejoins mid-run.
+/// injection here disturbs live processes and connections (`--kill` /
+/// `--chaos`), and recovery is either optimistic compensation (default) or
+/// asynchronous barrier snapshots (`--strategy async-snapshot`) — the
+/// coordinator detects each loss at the network level and the re-spawned
+/// worker rejoins mid-run.
 fn run_on_cluster(invocation: &Invocation, workers: usize) -> Result<(), String> {
     let program = match invocation.algorithm {
         Algorithm::ConnectedComponents => "cc",
@@ -478,8 +480,37 @@ fn run_on_cluster(invocation: &Invocation, workers: usize) -> Result<(), String>
         "running {:?} on {:?} with {workers} worker processes (parallelism {})",
         invocation.algorithm, invocation.graph, invocation.parallelism
     );
-    if let Some((superstep, worker)) = invocation.kill {
-        println!("will SIGKILL worker {worker} during superstep {superstep}");
+    if let recovery::Strategy::AsyncSnapshot { interval } = invocation.strategy {
+        println!("recovery: asynchronous barrier snapshots every {interval} superstep(s)");
+    }
+    for kill in &invocation.chaos.kills {
+        println!("will SIGKILL worker {} during superstep {}", kill.worker, kill.superstep);
+    }
+    for straggler in &invocation.chaos.stragglers {
+        println!(
+            "straggler: worker {} lags {}ms during supersteps {}..={}",
+            straggler.worker,
+            straggler.delay.as_millis(),
+            straggler.from,
+            straggler.to
+        );
+    }
+    for link in &invocation.chaos.links {
+        if !link.delay.is_zero() {
+            println!(
+                "link delay: worker {} frames +{}ms during supersteps {}..={}",
+                link.worker,
+                link.delay.as_millis(),
+                link.from,
+                link.to
+            );
+        }
+        if link.drop_probability > 0.0 {
+            println!(
+                "lossy link: worker {} drops with p={} (seed {}) during supersteps {}..={}",
+                link.worker, link.drop_probability, link.seed, link.from, link.to
+            );
+        }
     }
 
     let run = cluster::run_cluster(program, &graph, cfg, telemetry).map_err(|e| e.to_string())?;

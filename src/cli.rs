@@ -131,9 +131,9 @@ pub struct Invocation {
     /// in-process simulated cluster. Only cc and pagerank are compiled into
     /// the worker binary.
     pub cluster: Option<usize>,
-    /// With `--cluster`: SIGKILL worker `W` while superstep `S` is in
-    /// flight, as `(S, W)`.
-    pub kill: Option<(u32, usize)>,
+    /// With `--cluster`: the chaos plan assembled from `--kill` flags
+    /// (repeatable) and `--chaos` scenario specs.
+    pub chaos: cluster::ChaosPlan,
     /// With `--cluster`: heartbeat probe interval in milliseconds.
     pub heartbeat_interval_ms: Option<u64>,
     /// With `--cluster`: heartbeat read timeout in milliseconds — how long a
@@ -143,13 +143,17 @@ pub struct Invocation {
     pub step_timeout_ms: Option<u64>,
 }
 
+/// Default barrier interval of a bare `--strategy async-snapshot`.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u32 = 2;
+
 /// Parse a strategy spec: `optimistic`, `restart`, `ignore`,
-/// `checkpoint:K`, `incremental:K`.
+/// `checkpoint:K`, `incremental:K`, `async-snapshot[:K]`.
 pub fn parse_strategy(raw: &str) -> Result<Strategy, String> {
     match raw {
         "optimistic" => Ok(Strategy::Optimistic),
         "restart" => Ok(Strategy::Restart),
         "ignore" => Ok(Strategy::Ignore),
+        "async-snapshot" => Ok(Strategy::AsyncSnapshot { interval: DEFAULT_SNAPSHOT_INTERVAL }),
         other => {
             if let Some(k) = other.strip_prefix("checkpoint:") {
                 return k
@@ -163,8 +167,16 @@ pub fn parse_strategy(raw: &str) -> Result<Strategy, String> {
                     .map(|full_interval| Strategy::IncrementalCheckpoint { full_interval })
                     .map_err(|_| format!("invalid incremental interval {k:?}"));
             }
+            if let Some(k) = other.strip_prefix("async-snapshot:") {
+                return k
+                    .parse()
+                    .ok()
+                    .filter(|&interval| interval > 0)
+                    .map(|interval| Strategy::AsyncSnapshot { interval })
+                    .ok_or_else(|| format!("invalid async-snapshot interval {k:?}"));
+            }
             Err(format!(
-                "unknown strategy {other:?}; expected optimistic | checkpoint:K | incremental:K | restart | ignore"
+                "unknown strategy {other:?}; expected optimistic | checkpoint:K | incremental:K | async-snapshot[:K] | restart | ignore"
             ))
         }
     }
@@ -199,6 +211,128 @@ pub fn parse_kill(raw: &str) -> Result<(u32, usize), String> {
     Ok((superstep, worker))
 }
 
+/// Parse a chaos scenario spec into `plan`. The spec is either `@PATH`
+/// (read scenarios from a file: one per line, `#` comments) or
+/// `;`-separated scenarios:
+///
+/// * `kill@S:W1,W2,…` — SIGKILL workers `W…` during superstep `S` (several
+///   workers form a kill storm)
+/// * `slow@S-T:W:MS` — straggler: worker `W` runs `MS` ms late during
+///   supersteps `S..=T`
+/// * `delay@S-T:W:MS` — link delay: frames to worker `W` are delayed `MS`
+///   ms during supersteps `S..=T`
+/// * `drop@S-T:W:P:SEED` — lossy link: each superstep in `S..=T` the
+///   connection to worker `W` drops with probability `P`, decided
+///   deterministically from `SEED`
+pub fn parse_chaos(raw: &str, plan: &mut cluster::ChaosPlan) -> Result<(), String> {
+    if let Some(path) = raw.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read chaos scenario file {path}: {e}"))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            parse_chaos_scenario(line, plan)?;
+        }
+        return Ok(());
+    }
+    for scenario in raw.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        parse_chaos_scenario(scenario, plan)?;
+    }
+    Ok(())
+}
+
+fn parse_chaos_scenario(raw: &str, plan: &mut cluster::ChaosPlan) -> Result<(), String> {
+    let bad = |why: &str| format!("invalid chaos scenario {raw:?}: {why}");
+    let (kind, rest) =
+        raw.split_once('@').ok_or_else(|| bad("expected KIND@ARGS (kill/slow/delay/drop)"))?;
+    let parse_span = |s: &str| -> Result<(u32, u32), String> {
+        let (from, to) = match s.split_once('-') {
+            Some((from, to)) => (
+                from.parse().map_err(|_| bad("bad superstep range start"))?,
+                to.parse().map_err(|_| bad("bad superstep range end"))?,
+            ),
+            None => {
+                let at = s.parse().map_err(|_| bad("bad superstep"))?;
+                (at, at)
+            }
+        };
+        if from > to {
+            return Err(bad("superstep range runs backwards"));
+        }
+        Ok((from, to))
+    };
+    match kind {
+        "kill" => {
+            let (superstep, workers) =
+                rest.split_once(':').ok_or_else(|| bad("expected kill@S:W1,W2,…"))?;
+            let superstep = superstep.parse().map_err(|_| bad("bad superstep"))?;
+            for worker in workers.split(',') {
+                let worker = worker.parse().map_err(|_| bad("bad worker index"))?;
+                plan.kills.push(cluster::KillPlan { superstep, worker });
+            }
+        }
+        "slow" => {
+            let [span, worker, ms] =
+                split_fields(rest).ok_or_else(|| bad("expected slow@S-T:W:MS"))?;
+            let (from, to) = parse_span(span)?;
+            plan.stragglers.push(cluster::StragglerPlan {
+                from,
+                to,
+                worker: worker.parse().map_err(|_| bad("bad worker index"))?,
+                delay: std::time::Duration::from_millis(
+                    ms.parse().map_err(|_| bad("bad delay (ms)"))?,
+                ),
+            });
+        }
+        "delay" => {
+            let [span, worker, ms] =
+                split_fields(rest).ok_or_else(|| bad("expected delay@S-T:W:MS"))?;
+            let (from, to) = parse_span(span)?;
+            plan.links.push(cluster::LinkPlan {
+                from,
+                to,
+                worker: worker.parse().map_err(|_| bad("bad worker index"))?,
+                delay: std::time::Duration::from_millis(
+                    ms.parse().map_err(|_| bad("bad delay (ms)"))?,
+                ),
+                drop_probability: 0.0,
+                seed: 0,
+            });
+        }
+        "drop" => {
+            let fields: Vec<&str> = rest.split(':').collect();
+            let [span, worker, prob, seed] = fields.as_slice() else {
+                return Err(bad("expected drop@S-T:W:P:SEED"));
+            };
+            let (from, to) = parse_span(span)?;
+            let prob: f64 = prob.parse().map_err(|_| bad("bad drop probability"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(bad("drop probability must be in 0.0..=1.0"));
+            }
+            plan.links.push(cluster::LinkPlan {
+                from,
+                to,
+                worker: worker.parse().map_err(|_| bad("bad worker index"))?,
+                delay: std::time::Duration::ZERO,
+                drop_probability: prob,
+                seed: seed.parse().map_err(|_| bad("bad seed"))?,
+            });
+        }
+        other => return Err(bad(&format!("unknown scenario kind {other:?}"))),
+    }
+    Ok(())
+}
+
+fn split_fields(rest: &str) -> Option<[&str; 3]> {
+    let fields: Vec<&str> = rest.split(':').collect();
+    match fields.as_slice() {
+        [a, b, c] => Some([a, b, c]),
+        _ => None,
+    }
+}
+
 /// Valid flags of the run subcommand, listed in unknown-flag errors.
 pub const RUN_FLAGS: &[&str] = &[
     "--graph",
@@ -210,6 +344,7 @@ pub const RUN_FLAGS: &[&str] = &[
     "--journal",
     "--cluster",
     "--kill",
+    "--chaos",
     "--heartbeat-interval-ms",
     "--heartbeat-timeout-ms",
     "--step-timeout-ms",
@@ -231,7 +366,8 @@ ALGORITHMS:
 
 OPTIONS:
     --graph <SPEC>        demo | twitter:N | grid:WxH | path:N | file:PATH   [demo]
-    --strategy <SPEC>     optimistic | checkpoint:K | incremental:K | restart | ignore   [optimistic]
+    --strategy <SPEC>     optimistic | checkpoint:K | incremental:K |
+                          async-snapshot[:K] | restart | ignore   [optimistic]
     --fail <S:P1,P2>      fail partitions P1,P2 at superstep S (repeatable)
     --parallelism <N>     number of partitions / simulated workers   [4]
     --max-iterations <N>  iteration cap   [200]
@@ -241,7 +377,16 @@ OPTIONS:
     --cluster <N>         run on N real worker processes over loopback TCP
                           (cc and pagerank only; spawns `optirec worker`)
     --kill <S:W>          with --cluster: SIGKILL worker W while superstep S
-                          is in flight; recovery is optimistic compensation
+                          is in flight (repeatable; composes with --chaos)
+    --chaos <SPEC>        with --cluster: schedule failure injections.
+                          SPEC is `;`-separated scenarios, or @PATH to read
+                          them from a file (one per line, # comments):
+                            kill@S:W1,W2     SIGKILL workers at superstep S
+                            slow@S-T:W:MS    straggler: worker W lags MS ms
+                            delay@S-T:W:MS   link delay on frames to W
+                            drop@S-T:W:P:SEED  lossy link: sever W's
+                                             connection with probability P,
+                                             deterministic from SEED
     --heartbeat-interval-ms <MS>  with --cluster: delay between heartbeat
                           probes   [100; env OPTIREC_HEARTBEAT_INTERVAL_MS]
     --heartbeat-timeout-ms <MS>   with --cluster: silence before a worker is
@@ -254,6 +399,7 @@ EXAMPLES:
     optirec pagerank --graph twitter:50000 --strategy checkpoint:2 --parallelism 8
     optirec cc --journal results/cc_journal.jsonl
     optirec cc --cluster 2 --kill 2:1 --journal results/cluster_journal.jsonl
+    optirec cc --cluster 3 --strategy async-snapshot:2 --chaos 'kill@2:0,1;slow@3-5:2:50'
     optirec inspect convergence --journal results/cc_journal.jsonl
     optirec inspect recovery --journal results/cluster_journal.jsonl
     optirec inspect diff --baseline results/base_journal.jsonl --journal results/cc_journal.jsonl
@@ -470,7 +616,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         explain_only: false,
         journal: None,
         cluster: None,
-        kill: None,
+        chaos: cluster::ChaosPlan::default(),
         heartbeat_interval_ms: None,
         heartbeat_timeout_ms: None,
         step_timeout_ms: None,
@@ -502,7 +648,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 }
                 invocation.cluster = Some(workers);
             }
-            "--kill" => invocation.kill = Some(parse_kill(&value()?)?),
+            "--kill" => {
+                let (superstep, worker) = parse_kill(&value()?)?;
+                invocation.chaos.kills.push(cluster::KillPlan { superstep, worker });
+            }
+            "--chaos" => parse_chaos(&value()?, &mut invocation.chaos)?,
             "--heartbeat-interval-ms" => {
                 invocation.heartbeat_interval_ms =
                     Some(value()?.parse().map_err(|_| "invalid heartbeat interval".to_string())?);
@@ -518,8 +668,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             other => return Err(format!("{}\n\n{}", unknown_flag(other, RUN_FLAGS), usage())),
         }
     }
-    if invocation.kill.is_some() && invocation.cluster.is_none() {
-        return Err("--kill needs --cluster: it SIGKILLs a real worker process".into());
+    if !invocation.chaos.is_empty() && invocation.cluster.is_none() {
+        return Err("--kill/--chaos need --cluster: they disturb real worker processes".into());
     }
     if invocation.cluster.is_none()
         && (invocation.heartbeat_interval_ms.is_some()
@@ -528,16 +678,29 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     {
         return Err("heartbeat/step timeouts only apply to --cluster runs".into());
     }
-    if invocation.cluster.is_some() {
-        if invocation.strategy != Strategy::Optimistic {
-            return Err(
-                "--cluster always recovers via optimistic compensation; drop --strategy".into()
-            );
+    if let Some(workers) = invocation.cluster {
+        match invocation.strategy {
+            Strategy::Optimistic | Strategy::AsyncSnapshot { .. } => {}
+            _ => {
+                return Err("--cluster recovers via optimistic compensation or async-snapshot; \
+                     other strategies are in-process only"
+                    .into())
+            }
         }
         if !invocation.scenario.is_failure_free() {
             return Err(
-                "--fail simulates partition loss in-process; use --kill S:W with --cluster".into(),
+                "--fail simulates partition loss in-process; use --kill/--chaos with --cluster"
+                    .into(),
             );
+        }
+        // Parse-time worker validation: a kill aimed past the cluster used
+        // to be silently clamped to the last worker — fail loudly instead.
+        if let Some(worker) = invocation.chaos.max_worker().filter(|&w| w >= workers) {
+            return Err(format!(
+                "chaos/kill spec targets worker {worker}, but --cluster {workers} runs workers \
+                 0..={}",
+                workers - 1
+            ));
         }
     }
     Ok(invocation)
@@ -798,8 +961,9 @@ pub fn cluster_config(invocation: &Invocation, workers: usize) -> cluster::Clust
     if let Some(ms) = invocation.step_timeout_ms {
         cfg = cfg.with_step_timeout(Duration::from_millis(ms));
     }
-    if let Some((superstep, worker)) = invocation.kill {
-        cfg.kill = Some(cluster::KillPlan { superstep, worker });
+    cfg.chaos = invocation.chaos.clone();
+    if let Strategy::AsyncSnapshot { interval } = invocation.strategy {
+        cfg.strategy = cluster::ClusterStrategy::AsyncSnapshot { interval };
     }
     cfg
 }
@@ -1058,7 +1222,18 @@ mod tests {
     fn cluster_flags_parse_and_cross_validate() {
         let invocation = parse_args(&args(&["cc", "--cluster", "2", "--kill", "3:1"])).unwrap();
         assert_eq!(invocation.cluster, Some(2));
-        assert_eq!(invocation.kill, Some((3, 1)));
+        assert_eq!(invocation.chaos.kills, vec![cluster::KillPlan { superstep: 3, worker: 1 }]);
+
+        // Repeated --kill flags compose into one chaos plan.
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--kill", "3:1", "--kill", "5:0"])).unwrap();
+        assert_eq!(
+            invocation.chaos.kills,
+            vec![
+                cluster::KillPlan { superstep: 3, worker: 1 },
+                cluster::KillPlan { superstep: 5, worker: 0 },
+            ]
+        );
 
         // --kill without --cluster, zero workers, and combinations that the
         // multi-process backend cannot honor are rejected with guidance.
@@ -1072,6 +1247,89 @@ mod tests {
         assert!(err.contains("--kill"), "{err}");
         assert!(parse_kill("2").is_err());
         assert!(parse_kill("a:1").is_err());
+
+        // Worker indices are validated at parse time, not clamped at kill
+        // time: worker 2 does not exist in a 2-worker cluster.
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--kill", "3:2"])).unwrap_err();
+        assert!(err.contains("worker 2"), "{err}");
+        assert!(err.contains("0..=1"), "{err}");
+
+        // async-snapshot is the one non-optimistic strategy --cluster runs.
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--strategy", "async-snapshot:3"])).unwrap();
+        assert_eq!(invocation.strategy, Strategy::AsyncSnapshot { interval: 3 });
+        let cfg = cluster_config(&invocation, 2);
+        assert_eq!(cfg.strategy, cluster::ClusterStrategy::AsyncSnapshot { interval: 3 });
+    }
+
+    #[test]
+    fn chaos_specs_parse_and_cross_validate() {
+        let invocation = parse_args(&args(&[
+            "cc",
+            "--cluster",
+            "3",
+            "--chaos",
+            "kill@2:0,1; slow@3-5:2:50 ;delay@1-2:0:10;drop@4-6:1:0.5:99",
+        ]))
+        .unwrap();
+        assert_eq!(
+            invocation.chaos.kills,
+            vec![
+                cluster::KillPlan { superstep: 2, worker: 0 },
+                cluster::KillPlan { superstep: 2, worker: 1 },
+            ]
+        );
+        assert_eq!(
+            invocation.chaos.stragglers,
+            vec![cluster::StragglerPlan {
+                from: 3,
+                to: 5,
+                worker: 2,
+                delay: std::time::Duration::from_millis(50),
+            }]
+        );
+        assert_eq!(invocation.chaos.links.len(), 2);
+        assert_eq!(invocation.chaos.links[0].delay, std::time::Duration::from_millis(10));
+        assert_eq!(invocation.chaos.links[0].drop_probability, 0.0);
+        assert_eq!(invocation.chaos.links[1].drop_probability, 0.5);
+        assert_eq!(invocation.chaos.links[1].seed, 99);
+
+        // The chaos plan lands in the cluster config unchanged.
+        let cfg = cluster_config(&invocation, 3);
+        assert_eq!(cfg.chaos, invocation.chaos);
+
+        // Malformed scenarios are rejected with the offending spec echoed.
+        let mut plan = cluster::ChaosPlan::default();
+        assert!(parse_chaos("kill@2", &mut plan).is_err());
+        assert!(parse_chaos("slow@5-3:0:10", &mut plan).is_err(), "backwards range");
+        assert!(parse_chaos("drop@1-2:0:1.5:9", &mut plan).is_err(), "probability > 1");
+        assert!(parse_chaos("wat@1:0", &mut plan).is_err());
+        assert!(parse_chaos("@/nonexistent/chaos.txt", &mut plan).is_err());
+
+        // Chaos without --cluster, and out-of-range workers, are rejected.
+        assert!(parse_args(&args(&["cc", "--chaos", "kill@2:0"])).is_err());
+        let err =
+            parse_args(&args(&["cc", "--cluster", "2", "--chaos", "slow@1-2:5:10"])).unwrap_err();
+        assert!(err.contains("worker 5"), "{err}");
+    }
+
+    #[test]
+    fn chaos_scenario_files_parse() {
+        let dir = std::env::temp_dir().join("optirec-chaos-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("storm.chaos");
+        std::fs::write(&path, "# a storm plus a straggler\nkill@2:0,1\n\nslow@3-4:2:25\n").unwrap();
+        let invocation = parse_args(&args(&[
+            "cc",
+            "--cluster",
+            "3",
+            "--chaos",
+            &format!("@{}", path.display()),
+        ]))
+        .unwrap();
+        assert_eq!(invocation.chaos.kills.len(), 2);
+        assert_eq!(invocation.chaos.stragglers.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn pagerank_graph() -> graphs::Graph {
 fn optirec_worker_subcommand_recovers_a_sigkilled_cc_run() {
     let graph = cc_graph();
     let mut cfg = optirec_config(2, 4, 60);
-    cfg.kill = Some(KillPlan { superstep: 2, worker: 1 });
+    cfg = cfg.with_kill(KillPlan { superstep: 2, worker: 1 });
     let cluster = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap();
     let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
     assert_eq!(cluster.values, baseline.values, "compensation must reach the exact baseline");
@@ -61,7 +61,7 @@ fn optirec_worker_subcommand_recovers_a_sigkilled_cc_run() {
 fn optirec_worker_subcommand_recovers_a_sigkilled_pagerank_run() {
     let graph = pagerank_graph();
     let mut cfg = optirec_config(2, 4, 300);
-    cfg.kill = Some(KillPlan { superstep: 3, worker: 0 });
+    cfg = cfg.with_kill(KillPlan { superstep: 3, worker: 0 });
     let cluster = run_cluster("pagerank", &graph, cfg, SinkHandle::disabled()).unwrap();
     let baseline = run_local("pagerank", &graph, 4, 300, SinkHandle::disabled()).unwrap();
     assert!(cluster.stats.converged);
@@ -219,6 +219,93 @@ fn merged_journal_tags_worker_spans_and_inspect_recovery_bills_the_kill() {
     assert!(report.contains("detect["), "{report}");
     assert!(report.contains("recomputed 1 superstep(s)"), "{report}");
     assert!(!report.contains("reshipped        0B"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_diff_scoreboards_optimistic_against_async_snapshot_under_one_kill() {
+    let dir = std::env::temp_dir().join(format!("optirec_cluster_board_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (optimistic, snapshotting) = (dir.join("optimistic.jsonl"), dir.join("snapshot.jsonl"));
+
+    // The same seeded kill, two strategies. Superstep 5 gives the
+    // async-snapshot side time to complete epoch 0 (interval 1, 4 chunks).
+    let output = cli_cluster_run(&optimistic, &["--chaos", "kill@5:1"]);
+    assert!(output.status.success(), "stderr:\n{}", String::from_utf8_lossy(&output.stderr));
+    let output =
+        cli_cluster_run(&snapshotting, &["--chaos", "kill@5:1", "--strategy", "async-snapshot:1"]);
+    assert!(output.status.success(), "stderr:\n{}", String::from_utf8_lossy(&output.stderr));
+
+    let text = std::fs::read_to_string(&snapshotting).unwrap();
+    assert!(text.contains("\"event\":\"SnapshotBarrierCompleted\""), "{text}");
+    assert!(text.contains("\"event\":\"ChaosInjected\""), "{text}");
+    assert!(text.contains("\"event\":\"CheckpointRestored\""), "{text}");
+    assert!(text.contains("\"event\":\"RecoveryCost\""), "{text}");
+
+    // `inspect recovery` bills the chaos plane and the snapshot overhead.
+    let inspect = Command::new(optirec())
+        .args(["inspect", "recovery", "--journal"])
+        .arg(&snapshotting)
+        .output()
+        .expect("spawn optirec inspect recovery");
+    let report = String::from_utf8_lossy(&inspect.stdout);
+    assert!(inspect.status.success(), "{report}");
+    assert!(report.contains("chaos plane: 1 injection(s)"), "{report}");
+    assert!(report.contains("chaos kill w1"), "{report}");
+    assert!(report.contains("epoch(s) completed"), "{report}");
+
+    // `inspect diff` becomes the strategy-vs-strategy scoreboard: one
+    // recovery-cost row pair per axis, for both runs.
+    let inspect = Command::new(optirec())
+        .args(["inspect", "diff", "--baseline"])
+        .arg(&optimistic)
+        .arg("--journal")
+        .arg(&snapshotting)
+        .output()
+        .expect("spawn optirec inspect diff");
+    let board = String::from_utf8_lossy(&inspect.stdout);
+    assert!(board.contains("worker outages: 1 -> 1"), "{board}");
+    assert!(board.contains("chaos injections: 1 -> 1"), "{board}");
+    assert!(board.contains("snapshot epochs: 0 -> "), "{board}");
+    assert!(board.contains("detection latency:"), "{board}");
+    assert!(board.contains("re-shipped bytes:"), "{board}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_chaos_straggler_journals_the_injection_and_still_converges() {
+    let dir = std::env::temp_dir().join(format!("optirec_cluster_chaos_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let journal = dir.join("straggler.jsonl");
+
+    let output = cli_cluster_run(&journal, &["--chaos", "slow@1-2:1:25"]);
+    assert!(output.status.success(), "stderr:\n{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("components: 3"), "{stdout}");
+
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        text.contains(
+            "\"event\":\"ChaosInjected\",\"superstep\":1,\"worker\":1,\
+                       \"kind\":\"straggler\",\"param\":25"
+        ),
+        "{text}"
+    );
+    assert!(!text.contains("\"event\":\"WorkerLost\""), "a straggler is not a loss:\n{text}");
+
+    // The loaded journal still has zero unknown lines, and the timeline
+    // renders the injection.
+    let loaded = flowscope::load_journal(&journal).expect("journal loads");
+    assert_eq!(loaded.skipped, 0);
+    let inspect = Command::new(optirec())
+        .args(["inspect", "timeline", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("spawn optirec inspect timeline");
+    let timeline = String::from_utf8_lossy(&inspect.stdout);
+    assert!(timeline.contains("chaos straggler w1 +25ms"), "{timeline}");
 
     std::fs::remove_dir_all(&dir).ok();
 }
