@@ -7,9 +7,19 @@
 //!   telemetry sink, and — crucially for recovery — the authoritative copy
 //!   of the iteration state and the per-partition message inboxes.
 //! * Workers own the loop-invariant adjacency for their partitions and
-//!   execute [`crate::program::ClusterProgram::step`]. State and messages
-//!   flow through `RunStep`/`StepDone` frames every superstep, so the
-//!   network path is exercised (and measured) for real.
+//!   execute [`crate::program::ClusterProgram::step`]. Under the default
+//!   [`DataPlaneMode::Direct`] the coordinator is a pure control plane:
+//!   it broadcasts membership (peer addresses + epoch), dispatches
+//!   supersteps as thin `StepGo` frames, and receives state + convergence
+//!   counts in `StepDone`s — while the shuffled messages flow directly
+//!   between workers as batched peer frames, never touching the
+//!   coordinator. [`DataPlaneMode::Coordinator`] keeps the original
+//!   funnel (`RunStep` carries state *and* inbound messages down,
+//!   `StepDone` carries outbound back up) as the routed baseline.
+//! * Failure is detected at the network level either way, and recovery
+//!   authority never moves: state flows up in every `StepDone`, so the
+//!   coordinator can compensate/rollback and re-push authoritative state
+//!   in a `StepReset` regardless of which plane carried the messages.
 //! * Failure is detected at the network level: a dead worker surfaces as a
 //!   connection reset / EOF / read timeout on the control connection, or as
 //!   a heartbeat timeout on the dedicated heartbeat connection. Either
@@ -47,7 +57,8 @@ use telemetry::{JournalEvent, SinkHandle};
 
 use crate::program::{lookup, partition_rows, ClusterProgram};
 use crate::protocol::{
-    read_frame, write_frame, AdjRows, Message, Msg, Record, SpanRow, SPAN_PHASE_COMPUTE,
+    read_frame, write_frame, AdjRows, Message, Msg, Record, SpanRow, NO_INBOUND,
+    SPAN_PHASE_COMPUTE, SPAN_PHASE_EXCHANGE, SPAN_PHASE_PEER_BYTES, SPAN_PHASE_SHUFFLE,
 };
 use crate::worker::LISTENING_MARKER;
 
@@ -167,6 +178,14 @@ pub enum ClusterStrategy {
     /// Optimistic recovery: the program's compensation function rebuilds
     /// lost partitions (no failure-free overhead).
     Optimistic,
+    /// Synchronous checkpoints every `interval` supersteps: the driver
+    /// state, the message inboxes, and the logical step counter are
+    /// captured together; recovery rolls all three back to the last
+    /// checkpointed superstep.
+    Checkpoint {
+        /// Supersteps between checkpoints.
+        interval: u32,
+    },
     /// Asynchronous barrier snapshots every `interval` supersteps
     /// (Chandy–Lamport / Flink style): chunks ship to the owning workers in
     /// the background and recovery rolls back to the last complete epoch.
@@ -174,6 +193,32 @@ pub enum ClusterStrategy {
         /// Supersteps between barrier injections.
         interval: u32,
     },
+    /// The lineage baseline: any failure restarts the iteration from the
+    /// initial input at logical step 0.
+    Restart,
+}
+
+impl ClusterStrategy {
+    /// Whether recovery rolls back to captured inboxes (checkpoint /
+    /// async-snapshot) rather than recomputing forward. Rollback strategies
+    /// need the coordinator's inbox copy kept authoritative, so direct-mode
+    /// workers piggyback their outbound messages in `StepDone` for them.
+    fn is_rollback(self) -> bool {
+        matches!(self, ClusterStrategy::Checkpoint { .. } | ClusterStrategy::AsyncSnapshot { .. })
+    }
+}
+
+/// Which plane carries the shuffled messages of a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlaneMode {
+    /// Workers exchange messages directly over peer-to-peer connections
+    /// (batched frames, shuffle overlapped with compute). The default.
+    #[default]
+    Direct,
+    /// Every message is funnelled through the coordinator: `RunStep` ships
+    /// state + inbound down, `StepDone` ships outbound back up. The routed
+    /// baseline direct-mode runs are diffed against.
+    Coordinator,
 }
 
 /// Configuration of a cluster run.
@@ -193,6 +238,8 @@ pub struct ClusterConfig {
     pub chaos: ChaosPlan,
     /// How the run recovers from worker loss.
     pub strategy: ClusterStrategy,
+    /// Which plane carries the shuffled messages.
+    pub data_plane: DataPlaneMode,
     /// Delay between heartbeat probes.
     pub heartbeat_interval: Duration,
     /// Read timeout on the heartbeat connection; exceeding it marks the
@@ -222,6 +269,7 @@ impl ClusterConfig {
             worker_cmd: default_worker_cmd(),
             chaos: ChaosPlan::default(),
             strategy: ClusterStrategy::Optimistic,
+            data_plane: DataPlaneMode::default(),
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_timeout: Duration::from_secs(3),
             connect_attempts: 10,
@@ -241,6 +289,12 @@ impl ClusterConfig {
     /// Override the recovery strategy.
     pub fn with_strategy(mut self, strategy: ClusterStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Override which plane carries the shuffled messages.
+    pub fn with_data_plane(mut self, data_plane: DataPlaneMode) -> Self {
+        self.data_plane = data_plane;
         self
     }
 
@@ -314,11 +368,14 @@ pub struct ClusterRun {
     pub stats: RunStats,
 }
 
-/// One partition's input to a superstep.
+/// One partition's input to a superstep. The inbound messages are a shared
+/// snapshot of the committed inbox — an `Arc` clone, not a deep copy — so
+/// building a superstep's jobs holds the inbox lock for O(partitions)
+/// pointer bumps instead of cloning every message in the system.
 struct StepJob {
     pid: usize,
     state: Vec<Record>,
-    inbound: Vec<Msg>,
+    inbound: Arc<Vec<Msg>>,
 }
 
 /// One partition's output from a superstep.
@@ -327,6 +384,10 @@ struct StepResult {
     state: Vec<Record>,
     outbound: Vec<Msg>,
     changed: u64,
+    /// Messages the partition produced, counted *before* routing: in direct
+    /// mode with optimistic recovery `outbound` stays empty (the messages
+    /// went peer-to-peer), but the shuffle statistic must still be right.
+    shuffled: u64,
 }
 
 /// Where a superstep's partition work actually runs: in-process (the
@@ -377,11 +438,13 @@ impl StepBackend for LocalBackend {
                     &self.adjacency[job.pid],
                     self.n,
                 );
+                let shuffled = out.outbound.len() as u64;
                 StepResult {
                     pid: job.pid,
                     state: out.state,
                     outbound: out.outbound,
                     changed: out.changed,
+                    shuffled,
                 }
             })
             .collect())
@@ -393,6 +456,9 @@ impl StepBackend for LocalBackend {
 struct WorkerHandle {
     child: Child,
     stream: TcpStream,
+    /// Loopback port the worker listens on — published to peers in
+    /// [`Message::Membership`] so they can open data-plane links.
+    port: u16,
     dead: Arc<AtomicBool>,
     hb_stop: Arc<AtomicBool>,
     hb_thread: Option<JoinHandle<()>>,
@@ -437,6 +503,9 @@ struct ClusterBackend {
     heartbeat_rtt: Arc<Histogram>,
     worker_compute: Arc<PartitionedHistogram>,
     worker_shuffle: Arc<PartitionedHistogram>,
+    worker_exchange: Arc<PartitionedHistogram>,
+    peer_bytes: Arc<PartitionedHistogram>,
+    data_bytes_out: Arc<Counter>,
     detect_latency: Arc<Histogram>,
     respawn_latency: Arc<Histogram>,
     reshipped_bytes: Arc<Counter>,
@@ -446,6 +515,32 @@ struct ClusterBackend {
     step_started: Option<Instant>,
     /// Losses detected but not yet re-billed against a respawn.
     pending_recovery: Vec<PendingRecovery>,
+    /// Direct-mode membership epoch: bumped on every broadcast, so workers
+    /// can reject data-plane frames from replaced incarnations.
+    epoch: u64,
+    /// Whether every live worker holds the current membership. Cleared by a
+    /// respawn; the next direct-mode superstep rebroadcasts before
+    /// dispatching.
+    membership_current: bool,
+    /// Chronological superstep of the last committed superstep — the slot
+    /// name steady-state `StepGo` dispatches tell workers to consume.
+    last_committed: Option<u32>,
+    /// Whether the next direct-mode dispatch must push authoritative state
+    /// (`StepReset`): set initially and after every failure or rollback,
+    /// cleared on commit.
+    push_state: bool,
+    /// Workers respawned since the last commit: their data plane holds no
+    /// slots, so an optimistic retry hands them `NO_INBOUND` (compensation
+    /// absorbs the gap) while survivors re-consume the committed slot.
+    respawned_since_commit: Vec<bool>,
+    /// Set by a failure, consumed by the next commit: under the direct data
+    /// plane with optimistic recovery, compensated partitions recompute from
+    /// an *empty* inbound, which can report `changed == 0` on a converged
+    /// graph and terminate the run before their broadcasts repair the
+    /// labels. The first post-failure commit therefore forces at least one
+    /// changed record, buying the one extra superstep the (unconditional,
+    /// every-superstep) broadcasts need to flow back in.
+    force_changed: bool,
 }
 
 impl ClusterBackend {
@@ -466,11 +561,20 @@ impl ClusterBackend {
             heartbeat_rtt: metrics.histogram("net/heartbeat_rtt_ns"),
             worker_compute: metrics.partitioned_histogram("worker_compute_ns", cfg.workers),
             worker_shuffle: metrics.partitioned_histogram("worker_shuffle_ns", cfg.workers),
+            worker_exchange: metrics.partitioned_histogram("worker_exchange_ns", cfg.workers),
+            peer_bytes: metrics.partitioned_histogram("net/peer_bytes", cfg.workers),
+            data_bytes_out: metrics.counter("net/data_bytes_out"),
             detect_latency: metrics.histogram("recovery/detect_ns"),
             respawn_latency: metrics.histogram("recovery/respawn_ns"),
             reshipped_bytes: metrics.counter("recovery/reshipped_bytes"),
             step_started: None,
             pending_recovery: Vec::new(),
+            epoch: 0,
+            membership_current: false,
+            last_committed: None,
+            push_state: true,
+            respawned_since_commit: vec![false; cfg.workers],
+            force_changed: false,
             cfg,
             program_name: program_name.to_string(),
             n,
@@ -502,7 +606,7 @@ impl ClusterBackend {
             .spawn()
             .map_err(EngineError::Io)?;
 
-        let setup = (|| -> io::Result<(TcpStream, TcpStream, u32)> {
+        let setup = (|| -> io::Result<(TcpStream, TcpStream, u16, u32)> {
             let stdout = child.stdout.take().ok_or_else(|| io::Error::other("no stdout pipe"))?;
             let mut lines = BufReader::new(stdout);
             let port = loop {
@@ -542,10 +646,10 @@ impl ClusterBackend {
             expect_welcome(&mut stream, &self.bytes_in)?;
             let (hb_stream, _) = connect_with_backoff(&addr, &self.cfg)?;
             hb_stream.set_read_timeout(Some(self.cfg.heartbeat_timeout))?;
-            Ok((stream, hb_stream, attempts))
+            Ok((stream, hb_stream, port, attempts))
         })();
 
-        let (stream, hb_stream, attempts) = match setup {
+        let (stream, hb_stream, port, attempts) = match setup {
             Ok(parts) => parts,
             Err(e) => {
                 let _ = child.kill();
@@ -569,7 +673,10 @@ impl ClusterBackend {
                 heartbeat_loop(hb_stream, stop, dead, interval, rtt, bytes_out, bytes_in)
             })
         };
-        Ok((WorkerHandle { child, stream, dead, hb_stop, hb_thread: Some(hb_thread) }, attempts))
+        Ok((
+            WorkerHandle { child, stream, port, dead, hb_stop, hb_thread: Some(hb_thread) },
+            attempts,
+        ))
     }
 
     /// Bring every slot to a live worker: newly detected deaths become
@@ -591,6 +698,11 @@ impl ClusterBackend {
                 let respawn_ns = respawn_started.elapsed().as_nanos() as u64;
                 let reshipped = self.bytes_out.get().saturating_sub(bytes_before);
                 self.slots[worker].handle = Some(handle);
+                // The replacement listens on a fresh port and holds no
+                // data-plane state: the whole cluster needs a new membership
+                // epoch before the next direct-mode dispatch.
+                self.membership_current = false;
+                self.respawned_since_commit[worker] = true;
                 self.reconnects.inc();
                 self.respawn_latency.observe(respawn_ns);
                 self.reshipped_bytes.add(reshipped);
@@ -630,6 +742,14 @@ impl ClusterBackend {
         if let Some(handle) = self.slots[worker].handle.take() {
             handle.destroy();
         }
+        // Declared lost ⇒ actually dead: destroy() above SIGKILLs even a
+        // merely-slow worker, so its late data-plane frames stop at the
+        // epoch check and its late control frames at the superstep echo.
+        // The retry must re-push authoritative state (survivor caches hold
+        // the failed attempt's results), and the first post-failure commit
+        // must not be allowed to terminate the run (see `force_changed`).
+        self.push_state = true;
+        self.force_changed = true;
         let detection = if message.starts_with("heartbeat") { "heartbeat" } else { "read_error" };
         let detect_ns =
             self.step_started.map(|started| started.elapsed().as_nanos() as u64).unwrap_or(0);
@@ -658,10 +778,30 @@ impl ClusterBackend {
         frames.sort_unstable_by_key(|&(worker, seq, _)| (worker, seq));
         for (worker, seq, spans) in frames {
             for (pid, phase, records, duration_ns) in spans {
-                let (label, histogram) = if phase == SPAN_PHASE_COMPUTE {
-                    ("compute", &self.worker_compute)
-                } else {
-                    ("shuffle", &self.worker_shuffle)
+                let (label, histogram) = match phase {
+                    SPAN_PHASE_COMPUTE => ("compute", &self.worker_compute),
+                    SPAN_PHASE_SHUFFLE => ("shuffle", &self.worker_shuffle),
+                    SPAN_PHASE_EXCHANGE => ("exchange", &self.worker_exchange),
+                    SPAN_PHASE_PEER_BYTES => {
+                        // Direct-mode byte accounting: `pid` is the peer the
+                        // bytes went to, `records` the bytes, `duration_ns`
+                        // the frame count. Billed to the *sending* worker
+                        // (the connection the row arrived on) and kept out
+                        // of the duration histograms.
+                        self.data_bytes_out.add(records);
+                        self.peer_bytes.observe(worker, records);
+                        self.telemetry.emit(|| JournalEvent::WorkerSpan {
+                            superstep,
+                            worker,
+                            seq,
+                            pid: pid as usize,
+                            span: "peer_bytes".to_string(),
+                            records,
+                            duration_ns,
+                        });
+                        continue;
+                    }
+                    _ => continue,
                 };
                 histogram.observe(worker, duration_ns);
                 self.telemetry.emit(|| JournalEvent::WorkerSpan {
@@ -764,24 +904,65 @@ impl ClusterBackend {
         }
         (send_delay, recv_delay)
     }
-}
 
-impl StepBackend for ClusterBackend {
-    fn run_step(
+    /// Direct mode: make sure every worker holds the current membership —
+    /// peer addresses, epoch, and data-plane policy. A no-op while current;
+    /// after any respawn the epoch is bumped and rebroadcast, which is what
+    /// retires the dead incarnation's in-flight frames cluster-wide.
+    fn ensure_membership(&mut self, superstep: u32) -> Result<()> {
+        if self.membership_current {
+            return Ok(());
+        }
+        self.epoch += 1;
+        let peers: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(worker, slot)| {
+                let handle = slot.handle.as_ref().expect("ensure_workers ran");
+                (worker as u64, u64::from(handle.port))
+            })
+            .collect();
+        let msg = Message::Membership {
+            epoch: self.epoch,
+            parallelism: self.cfg.parallelism as u64,
+            ship_outbound: u64::from(self.cfg.strategy.is_rollback()),
+            // Half the control read timeout: a worker that gives up waiting
+            // for peer data still gets its StepFailed out well before the
+            // coordinator's own read deadline.
+            data_timeout_ms: (self.cfg.step_timeout / 2).as_millis() as u64,
+            peers,
+        };
+        for worker in 0..self.slots.len() {
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
+                return Err(self.fail(
+                    worker,
+                    superstep,
+                    format!("sending Membership failed: {e}"),
+                ));
+            }
+        }
+        for worker in 0..self.slots.len() {
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = expect_welcome_skipping_stale(&mut handle.stream, &self.bytes_in) {
+                return Err(self.fail(worker, superstep, format!("Membership ack failed: {e}")));
+            }
+        }
+        self.membership_current = true;
+        Ok(())
+    }
+
+    /// The original funnel dispatch: `RunStep` ships state + inbound down to
+    /// each partition's worker.
+    fn dispatch_funnel(
         &mut self,
         superstep: u32,
         step: u64,
         jobs: Vec<StepJob>,
-    ) -> Result<Vec<StepResult>> {
-        self.ensure_workers(superstep)?;
-        let (send_delay, mut recv_delay) = self.inject_chaos(superstep);
-
+        send_delay: &[Option<Duration>],
+    ) -> Result<()> {
         let workers = self.slots.len();
-        let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
-        self.step_started = Some(Instant::now());
-
-        // Send phase: every partition's frame goes out before any reply is
-        // awaited, so workers compute their partitions concurrently.
         for job in jobs {
             let worker = job.pid % workers;
             if let Some(delay) = send_delay[worker] {
@@ -792,25 +973,106 @@ impl StepBackend for ClusterBackend {
                 superstep,
                 step,
                 state: job.state,
-                inbound: job.inbound,
+                inbound: (*job.inbound).clone(),
             };
             let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
             if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
                 return Err(self.fail(worker, superstep, format!("sending RunStep failed: {e}")));
             }
         }
+        Ok(())
+    }
 
-        // Receive phase. Replies on one connection arrive in send order;
-        // frames tagged with an older superstep are leftovers of a superstep
-        // that failed after this worker had already answered — skip them.
-        // Workers write each telemetry frame *before* its StepDone, so by
-        // the time every StepDone is in, so is every telemetry frame for
-        // this superstep — `pending_spans` is complete without an extra
-        // drain round. Frames of a superstep that fails are dropped with
-        // the local stash, keeping the journal free of half-superstep data.
+    /// The direct-mode dispatch: one thin frame per *worker*. Steady state
+    /// is `StepGo` (compute the named pids from cached state, consuming the
+    /// last committed superstep's data-plane slot); after a failure,
+    /// rollback, or at the start it is `StepReset`, which pushes
+    /// authoritative state — and, for rollback strategies, the restored
+    /// inboxes — down the control connection.
+    fn dispatch_direct(
+        &mut self,
+        superstep: u32,
+        step: u64,
+        jobs: Vec<StepJob>,
+        send_delay: &[Option<Duration>],
+    ) -> Result<()> {
+        self.ensure_membership(superstep)?;
+        let workers = self.slots.len();
+        let mut per_worker: Vec<Vec<StepJob>> = (0..workers).map(|_| Vec::new()).collect();
+        for job in jobs {
+            per_worker[job.pid % workers].push(job);
+        }
+        // The slot steady-state dispatches consume: the messages produced by
+        // the last committed superstep. The logical first step has none.
+        let inbound_name = match self.last_committed {
+            Some(s) if step > 0 => s,
+            _ => NO_INBOUND,
+        };
+        let use_wire_inbound = self.cfg.strategy.is_rollback();
+        for (worker, wjobs) in per_worker.into_iter().enumerate() {
+            if let Some(delay) = send_delay[worker] {
+                thread::sleep(delay);
+            }
+            let msg = if self.push_state {
+                // A worker respawned since the last commit holds no
+                // data-plane slots: under optimistic recovery it computes
+                // from an empty inbound (compensation absorbs the gap)
+                // instead of stalling on a slot it can never complete.
+                let inbound_superstep = if use_wire_inbound || self.respawned_since_commit[worker] {
+                    NO_INBOUND
+                } else {
+                    inbound_name
+                };
+                Message::StepReset {
+                    superstep,
+                    step,
+                    inbound_superstep,
+                    use_wire_inbound: u64::from(use_wire_inbound),
+                    inboxes: if use_wire_inbound {
+                        wjobs.iter().map(|job| (job.pid as u64, (*job.inbound).clone())).collect()
+                    } else {
+                        Vec::new()
+                    },
+                    parts: wjobs.into_iter().map(|job| (job.pid as u64, job.state)).collect(),
+                }
+            } else {
+                Message::StepGo {
+                    superstep,
+                    step,
+                    inbound_superstep: inbound_name,
+                    pids: wjobs.iter().map(|job| job.pid as u64).collect(),
+                }
+            };
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
+                return Err(self.fail(
+                    worker,
+                    superstep,
+                    format!("sending step dispatch failed: {e}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive phase, shared by both dispatch modes. Replies on one
+    /// connection arrive in send order; frames tagged with an older
+    /// superstep are leftovers of a superstep that failed after this worker
+    /// had already answered — skip them. Workers write each telemetry frame
+    /// *before* its StepDone, so by the time every StepDone is in, so is
+    /// every telemetry frame for this superstep. Frames of a superstep that
+    /// fails are dropped with the local stash, keeping the journal free of
+    /// half-superstep data.
+    fn collect_step_results(
+        &mut self,
+        superstep: u32,
+        order: &[usize],
+        mut recv_delay: Vec<Option<Duration>>,
+    ) -> Result<Vec<StepResult>> {
+        let workers = self.slots.len();
         let mut results = Vec::with_capacity(order.len());
         let mut pending_spans: Vec<(usize, u64, Vec<SpanRow>)> = Vec::new();
-        for pid in order {
+        for &pid in order {
             let worker = pid % workers;
             // Straggler injection: the first read of this worker's replies
             // stalls, as if its compute ran slow. One stall per superstep.
@@ -826,12 +1088,13 @@ impl StepBackend for ClusterBackend {
                         state,
                         outbound,
                         changed,
+                        shuffled,
                     }) => {
                         if rss < superstep {
                             continue;
                         }
                         if rss == superstep && rpid == pid as u64 {
-                            results.push(StepResult { pid, state, outbound, changed });
+                            results.push(StepResult { pid, state, outbound, changed, shuffled });
                             break;
                         }
                         return Err(self.fail(
@@ -846,6 +1109,24 @@ impl StepBackend for ClusterBackend {
                         if rss == superstep {
                             pending_spans.push((worker, seq, spans));
                         }
+                    }
+                    Ok(Message::StepFailed { superstep: rss, waiting_on }) => {
+                        if rss < superstep {
+                            continue;
+                        }
+                        // A worker gave up waiting for peer data: the peer it
+                        // names is the loss; this worker computed nothing and
+                        // is intact. Declaring the peer lost SIGKILLs it (see
+                        // `fail`), so a slow-but-alive straggler cannot leak
+                        // frames into the retry either.
+                        let lost = waiting_on.first().map(|&w| w as usize).unwrap_or(worker);
+                        return Err(self.fail(
+                            lost,
+                            superstep,
+                            format!(
+                                "worker {worker} timed out waiting for data from {waiting_on:?}"
+                            ),
+                        ));
                     }
                     Ok(other) => {
                         return Err(self.fail(
@@ -865,6 +1146,49 @@ impl StepBackend for ClusterBackend {
             }
         }
         self.merge_telemetry(superstep, pending_spans);
+        Ok(results)
+    }
+}
+
+impl StepBackend for ClusterBackend {
+    fn run_step(
+        &mut self,
+        superstep: u32,
+        step: u64,
+        jobs: Vec<StepJob>,
+    ) -> Result<Vec<StepResult>> {
+        self.ensure_workers(superstep)?;
+        let (send_delay, recv_delay) = self.inject_chaos(superstep);
+        let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
+        self.step_started = Some(Instant::now());
+
+        // Send phase: every frame goes out before any reply is awaited, so
+        // workers compute their partitions concurrently.
+        match self.cfg.data_plane {
+            DataPlaneMode::Coordinator => {
+                self.dispatch_funnel(superstep, step, jobs, &send_delay)?
+            }
+            DataPlaneMode::Direct => self.dispatch_direct(superstep, step, jobs, &send_delay)?,
+        }
+        let mut results = self.collect_step_results(superstep, &order, recv_delay)?;
+
+        // Returning `Ok` *is* the commit: nothing in the step operator can
+        // fail past this point, so the bookkeeping that distinguishes a
+        // steady-state dispatch from a recovery dispatch settles here.
+        if std::mem::take(&mut self.force_changed)
+            && self.cfg.data_plane == DataPlaneMode::Direct
+            && self.cfg.strategy == ClusterStrategy::Optimistic
+            && results.iter().all(|result| result.changed == 0)
+        {
+            // See `force_changed`: compensated partitions recomputed from an
+            // empty inbound; give their broadcasts one superstep to land.
+            if let Some(first) = results.first_mut() {
+                first.changed = 1;
+            }
+        }
+        self.last_committed = Some(superstep);
+        self.push_state = false;
+        self.respawned_since_commit.iter_mut().for_each(|flag| *flag = false);
         Ok(results)
     }
 
@@ -909,6 +1233,29 @@ fn expect_welcome(stream: &mut TcpStream, bytes_in: &Counter) -> io::Result<()> 
             io::ErrorKind::InvalidData,
             format!("expected Welcome, got {other:?}"),
         )),
+    }
+}
+
+/// Like [`expect_welcome`], but tolerant of leftovers from a failed
+/// superstep: a membership broadcast happens right after a failure, while
+/// survivors may still be pushing the dead superstep's `StepDone` /
+/// `TelemetryFrame` / `StepFailed` frames (or a `SnapshotAck` the barrier
+/// path never drained) up the control connection.
+fn expect_welcome_skipping_stale(stream: &mut TcpStream, bytes_in: &Counter) -> io::Result<()> {
+    loop {
+        match read_frame(stream, Some(bytes_in))? {
+            Message::Welcome => return Ok(()),
+            Message::StepDone { .. }
+            | Message::TelemetryFrame { .. }
+            | Message::StepFailed { .. }
+            | Message::SnapshotAck { .. } => continue,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Welcome, got {other:?}"),
+                ))
+            }
+        }
     }
 }
 
@@ -965,9 +1312,15 @@ struct SharedStepState {
     /// Per-partition message inboxes with snapshot/commit semantics:
     /// inboxes are only replaced when a superstep *commits*, so the re-run
     /// after a failed attempt re-reads the exact same inbound messages.
-    inboxes: parking_lot::Mutex<Vec<Vec<Msg>>>,
+    /// Each inbox is an immutable `Arc` snapshot, sorted at commit time —
+    /// dispatch and snapshot captures clone pointers, never messages.
+    inboxes: parking_lot::Mutex<Vec<Arc<Vec<Msg>>>>,
     /// Logical step index: the number of committed supersteps.
     steps_committed: AtomicU64,
+}
+
+fn empty_inboxes(parallelism: usize) -> Vec<Arc<Vec<Msg>>> {
+    (0..parallelism).map(|_| Arc::new(Vec::new())).collect()
 }
 
 /// The distributed-superstep operator injected into the iteration body.
@@ -983,16 +1336,17 @@ impl DynOp for ClusterStepOp {
         let state: Partitions<Record> = inputs[0].clone().take("ClusterStep(state)")?;
 
         let (jobs, parallelism) = {
+            // Satellite fix: the old code deep-cloned (and re-sorted) every
+            // partition's full inbox under this lock every superstep. The
+            // inboxes are immutable snapshots now, sorted once at commit, so
+            // the lock covers O(partitions) `Arc` clones.
             let inboxes = self.shared.inboxes.lock();
             let jobs: Vec<StepJob> = state
                 .iter()
-                .map(|(pid, records)| {
-                    let mut inbound = inboxes[pid].clone();
-                    // Sorting fixes the fold order of floating-point sums,
-                    // making every superstep bitwise deterministic regardless
-                    // of which worker answered first.
-                    inbound.sort_unstable();
-                    StepJob { pid, state: records.to_vec(), inbound }
+                .map(|(pid, records)| StepJob {
+                    pid,
+                    state: records.to_vec(),
+                    inbound: inboxes[pid].clone(),
                 })
                 .collect();
             (jobs, inboxes.len())
@@ -1008,12 +1362,23 @@ impl DynOp for ClusterStepOp {
         let mut shuffled = 0u64;
         for result in results {
             changed_total += result.changed;
-            shuffled += result.outbound.len() as u64;
+            shuffled += result.shuffled;
             for msg in result.outbound {
                 inboxes[(msg.1 as usize) % parallelism].push(msg);
             }
             parts[result.pid] = result.state;
         }
+        // Sorting at commit fixes the fold order of floating-point sums,
+        // making every superstep bitwise deterministic regardless of which
+        // worker answered first — and it happens once per inbox lifetime
+        // instead of once per dispatch.
+        let inboxes: Vec<Arc<Vec<Msg>>> = inboxes
+            .into_iter()
+            .map(|mut inbox| {
+                inbox.sort_unstable();
+                Arc::new(inbox)
+            })
+            .collect();
         *self.shared.inboxes.lock() = inboxes;
         self.shared.steps_committed.fetch_add(1, Ordering::SeqCst);
         self.changed.store(changed_total, Ordering::SeqCst);
@@ -1031,10 +1396,13 @@ impl DynOp for ClusterStepOp {
 /// until the epoch completes. State after superstep `E` plus the messages
 /// produced *by* superstep `E` form the consistent cut — the superstep
 /// boundary plays the role of Chandy–Lamport's channel drain.
+/// One captured channel cut: `(epoch, inbox snapshots, committed steps)`.
+type ChannelCapture = (u32, Vec<Arc<Vec<Msg>>>, u64);
+
 #[derive(Default)]
 struct StagedChannels {
-    in_flight: Option<(u32, Vec<Vec<Msg>>, u64)>,
-    complete: Option<(u32, Vec<Vec<Msg>>, u64)>,
+    in_flight: Option<ChannelCapture>,
+    complete: Option<ChannelCapture>,
 }
 
 /// [`recovery::AsyncSnapshotBulkHandler`] wrapped with the cluster's extra
@@ -1116,14 +1484,102 @@ impl dataflow::ft::BulkFaultHandler<Record> for ClusterSnapshotHandler {
                 self.shared.steps_committed.store(*step, Ordering::SeqCst);
             }
             dataflow::ft::BulkRecoveryAction::Restart => {
-                for inbox in self.shared.inboxes.lock().iter_mut() {
-                    inbox.clear();
-                }
+                let mut inboxes = self.shared.inboxes.lock();
+                let parallelism = inboxes.len();
+                *inboxes = empty_inboxes(parallelism);
                 self.shared.steps_committed.store(0, Ordering::SeqCst);
             }
             _ => {}
         }
         Ok(action)
+    }
+}
+
+/// [`recovery::CheckpointBulkHandler`] wrapped with the cluster's extra
+/// capture/restore obligations: every synchronous checkpoint also captures
+/// the shared inboxes and the step counter (pointer clones of the committed
+/// snapshots), and a rollback rewinds all three together.
+struct ClusterCheckpointHandler {
+    inner: recovery::CheckpointBulkHandler<Record, recovery::MemoryStore>,
+    shared: Arc<SharedStepState>,
+    captured: Option<ChannelCapture>,
+}
+
+impl ClusterCheckpointHandler {
+    fn new(interval: u32, shared: Arc<SharedStepState>, telemetry: SinkHandle) -> Self {
+        ClusterCheckpointHandler {
+            inner: recovery::CheckpointBulkHandler::new(recovery::MemoryStore::new(), interval)
+                .with_telemetry(telemetry),
+            shared,
+            captured: None,
+        }
+    }
+}
+
+impl dataflow::ft::BulkFaultHandler<Record> for ClusterCheckpointHandler {
+    fn after_superstep(
+        &mut self,
+        iteration: u32,
+        state: &Partitions<Record>,
+    ) -> Result<Option<dataflow::ft::CheckpointCost>> {
+        let cost = self.inner.after_superstep(iteration, state)?;
+        if cost.is_some() {
+            let inboxes = self.shared.inboxes.lock().clone();
+            let step = self.shared.steps_committed.load(Ordering::SeqCst);
+            self.captured = Some((iteration, inboxes, step));
+        }
+        Ok(cost)
+    }
+
+    fn on_failure(
+        &mut self,
+        iteration: u32,
+        lost: &[PartitionId],
+        state: &mut Partitions<Record>,
+    ) -> Result<dataflow::ft::BulkRecoveryAction<Record>> {
+        let action = self.inner.on_failure(iteration, lost, state)?;
+        match &action {
+            dataflow::ft::BulkRecoveryAction::Restored { iteration: ckpt, .. } => {
+                let (_, inboxes, step) =
+                    self.captured.as_ref().filter(|c| c.0 == *ckpt).ok_or_else(|| {
+                        EngineError::Recovery(format!(
+                            "checkpoint {ckpt} has no captured channel state"
+                        ))
+                    })?;
+                *self.shared.inboxes.lock() = inboxes.clone();
+                self.shared.steps_committed.store(*step, Ordering::SeqCst);
+            }
+            dataflow::ft::BulkRecoveryAction::Restart => {
+                let mut inboxes = self.shared.inboxes.lock();
+                let parallelism = inboxes.len();
+                *inboxes = empty_inboxes(parallelism);
+                self.shared.steps_committed.store(0, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        Ok(action)
+    }
+}
+
+/// The lineage baseline as a cluster strategy: any failure clears the
+/// shared inboxes and the step counter and tells the driver to restart
+/// from the initial input.
+struct ClusterRestartHandler {
+    shared: Arc<SharedStepState>,
+}
+
+impl dataflow::ft::BulkFaultHandler<Record> for ClusterRestartHandler {
+    fn on_failure(
+        &mut self,
+        _iteration: u32,
+        _lost: &[PartitionId],
+        _state: &mut Partitions<Record>,
+    ) -> Result<dataflow::ft::BulkRecoveryAction<Record>> {
+        let mut inboxes = self.shared.inboxes.lock();
+        let parallelism = inboxes.len();
+        *inboxes = empty_inboxes(parallelism);
+        self.shared.steps_committed.store(0, Ordering::SeqCst);
+        Ok(dataflow::ft::BulkRecoveryAction::Restart)
     }
 }
 
@@ -1170,6 +1626,11 @@ pub fn run_cluster(
     if let ClusterStrategy::AsyncSnapshot { interval: 0 } = cfg.strategy {
         return Err(EngineError::Plan(
             "async-snapshot needs an interval of at least 1 superstep".into(),
+        ));
+    }
+    if let ClusterStrategy::Checkpoint { interval: 0 } = cfg.strategy {
+        return Err(EngineError::Plan(
+            "checkpoint needs an interval of at least 1 superstep".into(),
         ));
     }
     let program = resolve(program_name)?;
@@ -1283,7 +1744,7 @@ fn run_with_backend(
     let backend: Arc<parking_lot::Mutex<Box<dyn StepBackend>>> =
         Arc::new(parking_lot::Mutex::new(backend));
     let shared = Arc::new(SharedStepState {
-        inboxes: parking_lot::Mutex::new(vec![Vec::new(); parallelism]),
+        inboxes: parking_lot::Mutex::new(empty_inboxes(parallelism)),
         steps_committed: AtomicU64::new(0),
     });
 
@@ -1308,6 +1769,13 @@ fn run_with_backend(
                 OptimisticBulkHandler::new(compensation).with_telemetry(telemetry),
             );
         }
+        ClusterStrategy::Checkpoint { interval } => {
+            iteration.set_fault_handler(ClusterCheckpointHandler::new(
+                interval,
+                shared.clone(),
+                telemetry,
+            ));
+        }
         ClusterStrategy::AsyncSnapshot { interval } => {
             iteration.set_fault_handler(ClusterSnapshotHandler::new(
                 interval,
@@ -1315,6 +1783,9 @@ fn run_with_backend(
                 shared.clone(),
                 telemetry,
             ));
+        }
+        ClusterStrategy::Restart => {
+            iteration.set_fault_handler(ClusterRestartHandler { shared: shared.clone() });
         }
     }
     iteration.set_convergence_probe(|prev: &Partitions<Record>, next: &Partitions<Record>| {
@@ -1491,6 +1962,31 @@ mod tests {
             .with_strategy(ClusterStrategy::AsyncSnapshot { interval: 0 });
         let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
         assert!(err.to_string().contains("interval"), "{err}");
+    }
+
+    #[test]
+    fn zero_interval_checkpoints_are_plan_errors() {
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg =
+            ClusterConfig::new(2, 4, 10).with_strategy(ClusterStrategy::Checkpoint { interval: 0 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("interval"), "{err}");
+    }
+
+    #[test]
+    fn direct_data_plane_is_the_default_and_the_builder_overrides_it() {
+        let cfg = ClusterConfig::new(2, 4, 10);
+        assert_eq!(cfg.data_plane, DataPlaneMode::Direct);
+        let cfg = cfg.with_data_plane(DataPlaneMode::Coordinator);
+        assert_eq!(cfg.data_plane, DataPlaneMode::Coordinator);
+    }
+
+    #[test]
+    fn rollback_strategies_ship_outbound_through_the_coordinator() {
+        assert!(!ClusterStrategy::Optimistic.is_rollback());
+        assert!(!ClusterStrategy::Restart.is_rollback());
+        assert!(ClusterStrategy::Checkpoint { interval: 2 }.is_rollback());
+        assert!(ClusterStrategy::AsyncSnapshot { interval: 2 }.is_rollback());
     }
 
     #[test]

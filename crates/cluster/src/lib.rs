@@ -21,22 +21,27 @@
 //!   on the engine's existing [`dataflow::codec::Codec`] trait.
 //! * [`program`] — named [`program::ClusterProgram`]s ("cc", "pagerank")
 //!   compiled into both binaries, since closures cannot cross processes.
+//! * [`exchange`] — the worker-side data-plane inbox: per-superstep slots
+//!   of peer-shuffled messages with epoch-based stale-frame rejection.
 //! * [`worker`] — the worker process: partition execution behind an accept
-//!   loop.
+//!   loop, plus the direct data plane (peer links, batched shuffle,
+//!   superstep execution from cached state).
 //! * [`coordinator`] — worker lifecycle (spawn / heartbeat / kill /
-//!   respawn-with-backoff), the distributed superstep operator, and the
-//!   [`coordinator::run_cluster`] / [`coordinator::run_local`] entry points.
+//!   respawn-with-backoff), the distributed superstep operator in both
+//!   data-plane modes, and the [`coordinator::run_cluster`] /
+//!   [`coordinator::run_local`] entry points.
 
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod exchange;
 pub mod program;
 pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
     default_worker_cmd, run_cluster, run_local, run_local_warm, ChaosPlan, ClusterConfig,
-    ClusterRun, ClusterStrategy, KillPlan, LinkPlan, StragglerPlan,
+    ClusterRun, ClusterStrategy, DataPlaneMode, KillPlan, LinkPlan, StragglerPlan,
 };
 pub use program::{lookup, program_names, ClusterProgram, StepOutput};
 pub use protocol::{Message, Msg, Record};

@@ -1,13 +1,22 @@
-//! The coordinator↔worker wire protocol.
+//! The cluster wire protocol: coordinator↔worker control frames and
+//! worker↔worker data-plane frames.
 //!
 //! Every message travels as one *frame*: a little-endian `u32` payload length
 //! followed by the payload, which is a [`Codec`]-encoded [`Message`] (a `u8`
 //! tag plus the variant's fields). The same [`Codec`] trait serialises
 //! checkpoints, so the cluster layer adds no second serialisation scheme.
+//! Payload lengths are validated through [`checked_frame_len`] before any
+//! byte is written: a payload beyond the `u32` prefix range (or the
+//! [`MAX_FRAME_BYTES`] cap) fails loudly as
+//! [`EngineError::FrameTooLarge`] instead of silently truncating the length
+//! and corrupting the stream.
 //!
 //! Frame I/O optionally feeds the `net/bytes_in` / `net/bytes_out` counters
 //! of the coordinator's metric registry — the length prefix is included, so
-//! the counters reflect actual bytes on the wire.
+//! the counters reflect actual bytes on the wire. Under the direct data
+//! plane those counters cover the *control* plane only; peer-to-peer
+//! shuffle bytes are self-reported by workers via
+//! [`SPAN_PHASE_PEER_BYTES`] telemetry rows.
 
 use std::io::{self, Read, Write};
 
@@ -38,6 +47,21 @@ pub type SpanRow = (u64, u64, u64, u64);
 pub const SPAN_PHASE_COMPUTE: u64 = 0;
 /// [`SpanRow`] phase code for encoding the reply frame for the wire.
 pub const SPAN_PHASE_SHUFFLE: u64 = 1;
+/// [`SpanRow`] phase code for the direct data plane's send work: routing a
+/// partition's outbound messages into per-peer batches and writing full
+/// batches to the peer sockets (overlapped with the remaining partitions'
+/// compute). Fields: `(pid, phase, messages_routed, duration_ns)`.
+pub const SPAN_PHASE_EXCHANGE: u64 = 2;
+/// [`SpanRow`] phase code for per-peer data-plane byte accounting, reported
+/// once per superstep per peer. Fields repurpose the row as
+/// `(peer_worker, phase, bytes_sent, frames_sent)`.
+pub const SPAN_PHASE_PEER_BYTES: u64 = 3;
+
+/// Sentinel for [`Message::StepGo::inbound_superstep`] /
+/// [`Message::StepReset::inbound_superstep`]: the step consumes no
+/// data-plane inbox slot (the initial superstep, or a restart from
+/// scratch).
+pub const NO_INBOUND: u32 = u32::MAX;
 
 /// Upper bound on a single frame's payload; a length prefix beyond this is
 /// treated as stream corruption rather than an allocation request.
@@ -82,7 +106,8 @@ pub enum Message {
         /// Inbound messages for this partition, sorted by `(src, dst, bits)`.
         inbound: Vec<Msg>,
     },
-    /// Worker → coordinator: the result of one [`Message::RunStep`].
+    /// Worker → coordinator: the result of one [`Message::RunStep`] or of
+    /// one partition inside a [`Message::StepGo`] / [`Message::StepReset`].
     StepDone {
         /// Partition that was stepped.
         pid: u64,
@@ -91,9 +116,17 @@ pub enum Message {
         /// The partition's new state, same vertex order as the request.
         state: Vec<Record>,
         /// Messages produced for the *next* superstep (any destination).
+        /// Under the direct data plane this is empty unless the membership
+        /// frame set `ship_outbound` (rollback strategies keep the
+        /// coordinator's inbox copy authoritative); the messages themselves
+        /// travel peer-to-peer as [`Message::ShuffleFrame`]s.
         outbound: Vec<Msg>,
         /// Records considered changed by the program's convergence test.
         changed: u64,
+        /// Messages produced by this partition (counted before any
+        /// data-plane routing), so shuffle statistics survive an empty
+        /// `outbound`.
+        shuffled: u64,
     },
     /// Coordinator → worker: liveness probe (dedicated connection).
     Heartbeat {
@@ -149,6 +182,115 @@ pub enum Message {
         /// Bytes staged for this chunk.
         bytes: u64,
     },
+    /// Coordinator → worker: the cluster's current membership, enabling the
+    /// direct data plane. Re-broadcast with a bumped `epoch` after every
+    /// respawn; each worker (re)connects its outgoing peer links and drops
+    /// data-plane frames tagged with any other epoch. Acked with
+    /// [`Message::Welcome`] once the worker's peer links are up. Never sent
+    /// in coordinator-routed mode, which is how workers know which mode a
+    /// run uses.
+    Membership {
+        /// Membership epoch; bumped on every (re)broadcast.
+        epoch: u64,
+        /// Number of partitions (destination routing: `dst % parallelism`).
+        parallelism: u64,
+        /// Non-zero when workers must piggyback their outbound messages in
+        /// [`Message::StepDone`] so the coordinator's inbox copy stays
+        /// authoritative (required by rollback strategies' channel
+        /// captures).
+        ship_outbound: u64,
+        /// How long a worker waits for data-plane completeness before
+        /// reporting [`Message::StepFailed`], in milliseconds.
+        data_timeout_ms: u64,
+        /// Listener address of every member: `(worker, port)`, loopback.
+        peers: Vec<(u64, u64)>,
+    },
+    /// Worker → worker: the first frame on an outgoing peer connection,
+    /// identifying the sender and its membership epoch.
+    PeerHello {
+        /// Coordinator-side index of the connecting worker.
+        from_worker: u64,
+        /// The sender's membership epoch at connect time.
+        epoch: u64,
+    },
+    /// Worker → worker: one batch of shuffle messages produced during
+    /// `superstep`, destined to partitions the receiving worker owns.
+    ShuffleFrame {
+        /// Producing worker.
+        from_worker: u64,
+        /// The producer's membership epoch; receivers drop frames from any
+        /// other epoch (a straggler declared dead cannot double-deliver).
+        epoch: u64,
+        /// Chronological superstep that *produced* these messages. The
+        /// consuming step names this tag explicitly, so output of failed
+        /// attempts is never consumed.
+        superstep: u32,
+        /// The messages.
+        msgs: Vec<Msg>,
+    },
+    /// Worker → worker: end-of-superstep marker on the data plane — the
+    /// producer has no more [`Message::ShuffleFrame`]s for `superstep`. A
+    /// receiver's inbox slot is complete once every current member flushed.
+    ShuffleFlush {
+        /// Producing worker.
+        from_worker: u64,
+        /// The producer's membership epoch.
+        epoch: u64,
+        /// Chronological superstep being flushed.
+        superstep: u32,
+        /// Data frames this producer sent to this peer for `superstep`.
+        frames: u64,
+        /// Wire bytes (including length prefixes) behind those frames.
+        bytes: u64,
+    },
+    /// Coordinator → worker: run one superstep over all of the worker's
+    /// partitions from its cached state, consuming the data-plane inbox slot
+    /// named by `inbound_superstep`. The cheap steady-state dispatch of the
+    /// direct data plane — state travels down only in [`Message::StepReset`].
+    StepGo {
+        /// Chronological superstep.
+        superstep: u32,
+        /// Logical step index (committed supersteps so far).
+        step: u64,
+        /// Chronological superstep whose data-plane output to consume, or
+        /// [`NO_INBOUND`] for an empty inbound.
+        inbound_superstep: u32,
+        /// The worker's partitions, ascending; replies come back in this
+        /// order.
+        pids: Vec<u64>,
+    },
+    /// Coordinator → worker: like [`Message::StepGo`], but pushes
+    /// authoritative partition state first — the recovery/retry dispatch
+    /// (first superstep, post-failure retries, rollback restores).
+    StepReset {
+        /// Chronological superstep.
+        superstep: u32,
+        /// Logical step index.
+        step: u64,
+        /// Chronological superstep whose data-plane output to consume when
+        /// `use_wire_inbound` is zero, or [`NO_INBOUND`].
+        inbound_superstep: u32,
+        /// Non-zero: compute from the pushed `inboxes` (rollback restores
+        /// an exact channel capture). Zero: compute from whatever the
+        /// retained data-plane slot holds (optimistic recovery — a
+        /// respawned worker's empty slot is compensated for by the
+        /// algorithm).
+        use_wire_inbound: u64,
+        /// Authoritative state per owned partition: `(pid, records)`.
+        parts: Vec<(u64, Vec<Record>)>,
+        /// Pushed inbound messages per owned partition: `(pid, msgs)`;
+        /// meaningful only when `use_wire_inbound` is non-zero.
+        inboxes: Vec<(u64, Vec<Msg>)>,
+    },
+    /// Worker → coordinator: the worker timed out waiting for data-plane
+    /// completeness and computed nothing for `superstep`. The coordinator
+    /// treats the first peer in `waiting_on` as lost.
+    StepFailed {
+        /// Chronological superstep that could not start.
+        superstep: u32,
+        /// Members whose [`Message::ShuffleFlush`] never arrived.
+        waiting_on: Vec<u64>,
+    },
 }
 
 impl Codec for Message {
@@ -173,13 +315,14 @@ impl Codec for Message {
                 state.encode(out);
                 inbound.encode(out);
             }
-            Message::StepDone { pid, superstep, state, outbound, changed } => {
+            Message::StepDone { pid, superstep, state, outbound, changed, shuffled } => {
                 out.push(4);
                 pid.encode(out);
                 superstep.encode(out);
                 state.encode(out);
                 outbound.encode(out);
                 changed.encode(out);
+                shuffled.encode(out);
             }
             Message::Heartbeat { nonce } => {
                 out.push(5);
@@ -209,6 +352,62 @@ impl Codec for Message {
                 pid.encode(out);
                 bytes.encode(out);
             }
+            Message::Membership { epoch, parallelism, ship_outbound, data_timeout_ms, peers } => {
+                out.push(11);
+                epoch.encode(out);
+                parallelism.encode(out);
+                ship_outbound.encode(out);
+                data_timeout_ms.encode(out);
+                peers.encode(out);
+            }
+            Message::PeerHello { from_worker, epoch } => {
+                out.push(12);
+                from_worker.encode(out);
+                epoch.encode(out);
+            }
+            Message::ShuffleFrame { from_worker, epoch, superstep, msgs } => {
+                out.push(13);
+                from_worker.encode(out);
+                epoch.encode(out);
+                superstep.encode(out);
+                msgs.encode(out);
+            }
+            Message::ShuffleFlush { from_worker, epoch, superstep, frames, bytes } => {
+                out.push(14);
+                from_worker.encode(out);
+                epoch.encode(out);
+                superstep.encode(out);
+                frames.encode(out);
+                bytes.encode(out);
+            }
+            Message::StepGo { superstep, step, inbound_superstep, pids } => {
+                out.push(15);
+                superstep.encode(out);
+                step.encode(out);
+                inbound_superstep.encode(out);
+                pids.encode(out);
+            }
+            Message::StepReset {
+                superstep,
+                step,
+                inbound_superstep,
+                use_wire_inbound,
+                parts,
+                inboxes,
+            } => {
+                out.push(16);
+                superstep.encode(out);
+                step.encode(out);
+                inbound_superstep.encode(out);
+                use_wire_inbound.encode(out);
+                parts.encode(out);
+                inboxes.encode(out);
+            }
+            Message::StepFailed { superstep, waiting_on } => {
+                out.push(17);
+                superstep.encode(out);
+                waiting_on.encode(out);
+            }
         }
     }
 
@@ -235,6 +434,7 @@ impl Codec for Message {
                 state: Vec::decode(input)?,
                 outbound: Vec::decode(input)?,
                 changed: u64::decode(input)?,
+                shuffled: u64::decode(input)?,
             },
             5 => Message::Heartbeat { nonce: u64::decode(input)? },
             6 => Message::HeartbeatAck { nonce: u64::decode(input)? },
@@ -255,6 +455,47 @@ impl Codec for Message {
                 pid: u64::decode(input)?,
                 bytes: u64::decode(input)?,
             },
+            11 => Message::Membership {
+                epoch: u64::decode(input)?,
+                parallelism: u64::decode(input)?,
+                ship_outbound: u64::decode(input)?,
+                data_timeout_ms: u64::decode(input)?,
+                peers: Vec::decode(input)?,
+            },
+            12 => {
+                Message::PeerHello { from_worker: u64::decode(input)?, epoch: u64::decode(input)? }
+            }
+            13 => Message::ShuffleFrame {
+                from_worker: u64::decode(input)?,
+                epoch: u64::decode(input)?,
+                superstep: u32::decode(input)?,
+                msgs: Vec::decode(input)?,
+            },
+            14 => Message::ShuffleFlush {
+                from_worker: u64::decode(input)?,
+                epoch: u64::decode(input)?,
+                superstep: u32::decode(input)?,
+                frames: u64::decode(input)?,
+                bytes: u64::decode(input)?,
+            },
+            15 => Message::StepGo {
+                superstep: u32::decode(input)?,
+                step: u64::decode(input)?,
+                inbound_superstep: u32::decode(input)?,
+                pids: Vec::decode(input)?,
+            },
+            16 => Message::StepReset {
+                superstep: u32::decode(input)?,
+                step: u64::decode(input)?,
+                inbound_superstep: u32::decode(input)?,
+                use_wire_inbound: u64::decode(input)?,
+                parts: Vec::decode(input)?,
+                inboxes: Vec::decode(input)?,
+            },
+            17 => Message::StepFailed {
+                superstep: u32::decode(input)?,
+                waiting_on: Vec::decode(input)?,
+            },
             other => {
                 return Err(EngineError::Codec(format!("unknown cluster message tag {other}")))
             }
@@ -272,6 +513,17 @@ pub fn write_frame(
     write_encoded_frame(w, &payload, bytes_out)
 }
 
+/// Validate a payload size against the frame format's `u32` length prefix
+/// and the [`MAX_FRAME_BYTES`] cap. Every frame write routes through this
+/// check *before* any byte hits the wire: an unchecked `len as u32` would
+/// silently truncate a >4 GiB payload and desynchronise the stream for
+/// every later frame. Returns [`EngineError::FrameTooLarge`] on overflow.
+pub fn checked_frame_len(payload_len: usize) -> Result<u32> {
+    u32::try_from(payload_len).ok().filter(|&len| len <= MAX_FRAME_BYTES).ok_or(
+        EngineError::FrameTooLarge { len: payload_len as u64, max: u64::from(MAX_FRAME_BYTES) },
+    )
+}
+
 /// Write an already-encoded message payload as one frame. Split out of
 /// [`write_frame`] so the worker can time encoding (the telemetry
 /// "shuffle" phase) separately from the socket write.
@@ -280,14 +532,8 @@ pub fn write_encoded_frame(
     payload: &[u8],
     bytes_out: Option<&Counter>,
 ) -> io::Result<()> {
-    let len = u32::try_from(payload.len()).ok().filter(|&len| len <= MAX_FRAME_BYTES).ok_or_else(
-        || {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
-            )
-        },
-    )?;
+    let len = checked_frame_len(payload.len())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
@@ -353,6 +599,7 @@ mod tests {
             state: vec![(1, 0)],
             outbound: vec![(1, 0, 0)],
             changed: 1,
+            shuffled: 7,
         });
         round_trip(Message::Heartbeat { nonce: 42 });
         round_trip(Message::HeartbeatAck { nonce: 42 });
@@ -365,6 +612,59 @@ mod tests {
         });
         round_trip(Message::SnapshotBarrier { epoch: 6, pid: 2, chunk: vec![1, 2, 3, 255] });
         round_trip(Message::SnapshotAck { epoch: 6, pid: 2, bytes: 4 });
+        round_trip(Message::Membership {
+            epoch: 3,
+            parallelism: 8,
+            ship_outbound: 1,
+            data_timeout_ms: 2_500,
+            peers: vec![(0, 40_001), (1, 40_002), (2, 40_003)],
+        });
+        round_trip(Message::PeerHello { from_worker: 2, epoch: 3 });
+        round_trip(Message::ShuffleFrame {
+            from_worker: 1,
+            epoch: 3,
+            superstep: 9,
+            msgs: vec![(0, 4, 17), (1, 6, 2)],
+        });
+        round_trip(Message::ShuffleFlush {
+            from_worker: 1,
+            epoch: 3,
+            superstep: 9,
+            frames: 2,
+            bytes: 96,
+        });
+        round_trip(Message::StepGo {
+            superstep: 9,
+            step: 8,
+            inbound_superstep: 8,
+            pids: vec![1, 3],
+        });
+        round_trip(Message::StepReset {
+            superstep: 10,
+            step: 8,
+            inbound_superstep: NO_INBOUND,
+            use_wire_inbound: 1,
+            parts: vec![(1, vec![(1, 1), (5, 1)]), (3, vec![(3, 3)])],
+            inboxes: vec![(1, vec![(1, 1, 0)]), (3, vec![])],
+        });
+        round_trip(Message::StepFailed { superstep: 10, waiting_on: vec![0, 2] });
+    }
+
+    #[test]
+    fn frame_len_boundaries_are_checked() {
+        assert_eq!(checked_frame_len(0).unwrap(), 0);
+        assert_eq!(checked_frame_len(MAX_FRAME_BYTES as usize).unwrap(), MAX_FRAME_BYTES);
+        let err = checked_frame_len(MAX_FRAME_BYTES as usize + 1).unwrap_err();
+        assert!(
+            matches!(err, EngineError::FrameTooLarge { len, max }
+                if len == u64::from(MAX_FRAME_BYTES) + 1 && max == u64::from(MAX_FRAME_BYTES)),
+            "{err}"
+        );
+        // A payload past u32::MAX must fail the checked conversion rather
+        // than silently truncate the way `len as u32` used to.
+        let err = checked_frame_len(u32::MAX as usize + 10).unwrap_err();
+        assert!(err.to_string().contains("frame too large"), "{err}");
+        assert!(err.to_string().contains(&u64::from(MAX_FRAME_BYTES).to_string()), "{err}");
     }
 
     #[test]

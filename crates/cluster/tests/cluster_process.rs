@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cluster::{
-    run_cluster, run_local, ClusterConfig, ClusterStrategy, KillPlan, LinkPlan, StragglerPlan,
+    run_cluster, run_local, ClusterConfig, ClusterStrategy, DataPlaneMode, KillPlan, LinkPlan,
+    StragglerPlan,
 };
 use graphs::GraphBuilder;
 use telemetry::{MemorySink, SinkHandle};
@@ -259,4 +260,148 @@ fn network_metrics_are_recorded() {
         metrics.histogram("net/heartbeat_rtt_ns").count() > 0,
         "heartbeat round-trips were measured"
     );
+    // Direct mode (the default): worker-to-worker shuffle traffic is
+    // accounted separately from the control plane, attributed to the
+    // worker that shipped it.
+    assert!(metrics.counter("net/data_bytes_out").get() > 0, "peer frames were shipped");
+    let snapshot = metrics.snapshot();
+    assert!(
+        snapshot.histograms.keys().any(|k| k.starts_with("net/peer_bytes/p")),
+        "per-worker traffic tracks exist: {:?}",
+        snapshot.histograms.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        snapshot.histograms.keys().any(|k| k.starts_with("worker_exchange_ns/p")),
+        "exchange waits were measured: {:?}",
+        snapshot.histograms.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn the_coordinator_funnel_ships_no_peer_traffic() {
+    let graph = cc_graph();
+    let telemetry = SinkHandle::new(Arc::new(MemorySink::new()));
+    let mut cfg = test_config(2, 4, 60);
+    cfg = cfg.with_data_plane(DataPlaneMode::Coordinator);
+    run_cluster("cc", &graph, cfg, telemetry.clone()).unwrap();
+
+    let metrics = telemetry.metrics();
+    assert!(metrics.counter("net/bytes_out").get() > 0, "the funnel still moves frames");
+    assert_eq!(
+        metrics.counter("net/data_bytes_out").get(),
+        0,
+        "funnel mode must not open a data plane"
+    );
+}
+
+#[test]
+fn direct_and_funneled_data_planes_agree_bitwise_when_failure_free() {
+    for program in ["cc", "pagerank"] {
+        let graph = if program == "cc" { cc_graph() } else { pagerank_graph() };
+        let direct = run_cluster(
+            program,
+            &graph,
+            test_config(2, 4, 300).with_data_plane(DataPlaneMode::Direct),
+            SinkHandle::disabled(),
+        )
+        .unwrap();
+        let funnel = run_cluster(
+            program,
+            &graph,
+            test_config(2, 4, 300).with_data_plane(DataPlaneMode::Coordinator),
+            SinkHandle::disabled(),
+        )
+        .unwrap();
+        // Workers bucket and sort shuffled messages into the same canonical
+        // order the funnel produced, so the data planes agree down to the
+        // bit pattern — and in the same number of supersteps.
+        assert_eq!(direct.values, funnel.values, "{program}: data planes diverged");
+        assert_eq!(direct.stats.supersteps(), funnel.stats.supersteps(), "{program}");
+        assert!(direct.stats.converged && funnel.stats.converged, "{program}");
+    }
+}
+
+#[test]
+fn checkpoint_cluster_rolls_back_to_the_captured_interval() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let cfg = test_config(2, 4, 60)
+        .with_strategy(ClusterStrategy::Checkpoint { interval: 1 })
+        .with_kill(KillPlan { superstep: 3, worker: 1 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values, "rollback must reach the exact baseline");
+    assert!(cluster.stats.converged);
+    assert!(
+        cluster.stats.supersteps() > baseline.stats.supersteps(),
+        "rolled-back supersteps must be redone"
+    );
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "journal:\n{journal}");
+    assert!(
+        journal.contains("\"event\":\"CheckpointRestored\""),
+        "the kill must restore a synchronous checkpoint, journal:\n{journal}"
+    );
+}
+
+#[test]
+fn restart_cluster_reruns_from_scratch_and_reaches_the_fixpoint() {
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let cfg = test_config(2, 4, 60)
+        .with_strategy(ClusterStrategy::Restart)
+        .with_kill(KillPlan { superstep: 3, worker: 0 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values);
+    assert!(cluster.stats.converged);
+    assert!(
+        cluster.stats.supersteps() >= baseline.stats.supersteps() + 3,
+        "a restart repeats every superstep run before the kill, got {} vs baseline {}",
+        cluster.stats.supersteps(),
+        baseline.stats.supersteps()
+    );
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "journal:\n{journal}");
+}
+
+#[test]
+fn frames_delivered_by_a_worker_declared_dead_do_not_double_deliver() {
+    // Satellite regression for the data plane: the straggler stalls the
+    // coordinator's read of worker 0's replies over supersteps 2..=4 while
+    // both workers keep exchanging shuffle frames directly, and the kill
+    // then takes worker 1 out at superstep 3 — after frames for in-flight
+    // supersteps already landed in peer inboxes. The retry runs under a
+    // fresh chronological superstep and a bumped epoch, so every frame of
+    // the dead incarnation sits below the exchange floor: folding any of
+    // them in twice would corrupt the labels.
+    let graph = cc_graph();
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = SinkHandle::new(sink.clone());
+
+    let mut cfg = test_config(2, 4, 60);
+    cfg.chaos.stragglers.push(StragglerPlan {
+        from: 2,
+        to: 4,
+        worker: 0,
+        delay: Duration::from_millis(60),
+    });
+    cfg = cfg.with_kill(KillPlan { superstep: 3, worker: 1 });
+    let cluster = run_cluster("cc", &graph, cfg, telemetry).unwrap();
+
+    let baseline = run_local("cc", &graph, 4, 60, SinkHandle::disabled()).unwrap();
+    assert_eq!(cluster.values, baseline.values, "stale peer frames must not double-deliver");
+    assert!(cluster.stats.converged);
+
+    let journal = sink.journal_lines();
+    assert!(journal.contains("\"kind\":\"straggler\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"WorkerLost\""), "journal:\n{journal}");
+    assert!(journal.contains("\"event\":\"CompensationInvoked\""), "journal:\n{journal}");
 }

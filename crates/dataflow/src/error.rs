@@ -58,6 +58,18 @@ pub enum EngineError {
     },
     /// Checkpoint (de)serialisation failed.
     Codec(String),
+    /// A wire frame's payload exceeds the protocol's length-prefix range.
+    ///
+    /// Raised by network backends before anything is written: the frame
+    /// format carries a `u32` length prefix with a hard cap, and silently
+    /// truncating an oversized payload (`len as u32`) would corrupt the
+    /// stream for every later frame. The send fails loudly instead.
+    FrameTooLarge {
+        /// The payload size that was requested, in bytes.
+        len: u64,
+        /// The protocol's maximum payload size, in bytes.
+        max: u64,
+    },
     /// Underlying I/O failure (disk-backed checkpoint stores).
     Io(std::io::Error),
 }
@@ -85,6 +97,9 @@ impl fmt::Display for EngineError {
                 None => write!(f, "worker {worker} (partitions {pids:?}) lost: {message}"),
             },
             EngineError::Codec(msg) => write!(f, "codec error: {msg}"),
+            EngineError::FrameTooLarge { len, max } => {
+                write!(f, "frame too large: {len}-byte payload exceeds the {max}-byte frame limit")
+            }
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -148,6 +163,15 @@ mod tests {
             message: "heartbeat timeout".into(),
         };
         assert_eq!(e.to_string(), "worker 0 (partitions [0]) lost: heartbeat timeout");
+    }
+
+    #[test]
+    fn frame_too_large_names_both_sizes() {
+        let e = EngineError::FrameTooLarge { len: 5_000_000_000, max: 1 << 30 };
+        assert_eq!(
+            e.to_string(),
+            "frame too large: 5000000000-byte payload exceeds the 1073741824-byte frame limit"
+        );
     }
 
     #[test]

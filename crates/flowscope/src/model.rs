@@ -64,7 +64,9 @@ pub struct WorkerSpanMark {
     pub seq: u64,
     /// Partition the span timed.
     pub pid: PartitionId,
-    /// Phase label (`compute` or `shuffle`).
+    /// Phase label (`compute`, `shuffle`, `exchange`), or `peer_bytes` for
+    /// direct-data-plane traffic rows (`pid` = destination worker,
+    /// `records` = bytes shipped).
     pub span: String,
     /// Records the phase touched.
     pub records: u64,

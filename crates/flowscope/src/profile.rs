@@ -23,14 +23,20 @@ pub struct PartitionProfile {
     pub compute_ns: u64,
     /// Nanoseconds of shuffle cost attributed to this partition.
     pub shuffle_ns: u64,
+    /// Nanoseconds blocked on the peer exchange (worker tracks of direct
+    /// data-plane cluster runs; zero elsewhere).
+    pub exchange_ns: u64,
+    /// Bytes shipped to peers over the direct data plane (worker tracks
+    /// only; zero elsewhere).
+    pub peer_bytes: u64,
     /// Flagged as a straggler against the median partition.
     pub straggler: bool,
 }
 
 impl PartitionProfile {
-    /// Compute plus shuffle.
+    /// Compute plus shuffle plus exchange wait.
     pub fn total_ns(&self) -> u64 {
-        self.compute_ns + self.shuffle_ns
+        self.compute_ns + self.shuffle_ns + self.exchange_ns
     }
 }
 
@@ -40,8 +46,9 @@ pub struct Profile {
     /// Per-partition attribution, ordered by pid.
     pub partitions: Vec<PartitionProfile>,
     /// Per-worker attribution from the cluster's merged telemetry
-    /// (`worker_compute_ns` / `worker_shuffle_ns` tracks, `pid` = worker
-    /// id). Empty for single-process reports.
+    /// (`worker_compute_ns` / `worker_shuffle_ns` / `worker_exchange_ns` /
+    /// `net/peer_bytes` tracks, `pid` = worker id). Empty for
+    /// single-process reports.
     pub workers: Vec<PartitionProfile>,
     /// Total nanoseconds per operator kind (from `op/<kind>_ns` histograms).
     pub operators: Vec<(String, u64)>,
@@ -82,6 +89,16 @@ pub fn build_profile(report: &ReportSummary, straggler_factor: f64) -> Profile {
                 .entry(worker)
                 .or_insert_with(|| PartitionProfile { pid: worker, ..Default::default() });
             slot.shuffle_ns += stats.sum;
+        } else if let Some(worker) = partition_track(name, "worker_exchange_ns") {
+            let slot = workers
+                .entry(worker)
+                .or_insert_with(|| PartitionProfile { pid: worker, ..Default::default() });
+            slot.exchange_ns += stats.sum;
+        } else if let Some(worker) = partition_track(name, "net/peer_bytes") {
+            let slot = workers
+                .entry(worker)
+                .or_insert_with(|| PartitionProfile { pid: worker, ..Default::default() });
+            slot.peer_bytes += stats.sum;
         } else if let Some(op) = name.strip_prefix("op/").and_then(|n| n.strip_suffix("_ns")) {
             *operators.entry(op.to_string()).or_default() += stats.sum;
         }
@@ -162,8 +179,18 @@ pub fn render_profile(profile: &Profile) -> String {
         let w_max = profile.workers.iter().map(PartitionProfile::total_ns).max().unwrap_or(0);
         let w_total: u64 = profile.workers.iter().map(PartitionProfile::total_ns).sum();
         for w in &profile.workers {
+            let exchange = if w.exchange_ns > 0 {
+                format!("  exchange {:>9}", format_ns(w.exchange_ns))
+            } else {
+                String::new()
+            };
+            let traffic = if w.peer_bytes > 0 {
+                format!("  ->peers {}B", w.peer_bytes)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  w{:<3} |{:<24}| {:>6.2}%  compute {:>9}  shuffle {:>9}\n",
+                "  w{:<3} |{:<24}| {:>6.2}%  compute {:>9}  shuffle {:>9}{exchange}{traffic}\n",
                 w.pid,
                 bar(w.total_ns(), w_max, 24),
                 pct(w.total_ns(), w_total),
@@ -324,13 +351,19 @@ mod tests {
         report.histograms.insert("worker_compute_ns/p0".into(), hist(1_500_000));
         report.histograms.insert("worker_compute_ns/p1".into(), hist(2_500_000));
         report.histograms.insert("worker_shuffle_ns/p1".into(), hist(40_000));
+        report.histograms.insert("worker_exchange_ns/p1".into(), hist(60_000));
+        report.histograms.insert("net/peer_bytes/p1".into(), hist(8_192));
         let profile = build_profile(&report, 2.0);
         assert_eq!(profile.workers.len(), 2);
-        assert_eq!(profile.workers[1].total_ns(), 2_540_000);
+        assert_eq!(profile.workers[1].total_ns(), 2_600_000);
         let text = render_profile(&profile);
         assert!(text.contains("per-worker time"), "{text}");
         assert!(text.contains("1.5ms"), "{text}");
         assert!(text.contains("40.0us"), "{text}");
+        // Direct data-plane tracks render on the worker that shipped them.
+        assert!(text.contains("exchange"), "{text}");
+        assert!(text.contains("60.0us"), "{text}");
+        assert!(text.contains("->peers 8192B"), "{text}");
         // Worker tracks must not leak into the per-partition section.
         assert_eq!(profile.partitions.len(), 3);
     }

@@ -11,11 +11,13 @@ use std::collections::BTreeMap;
 use crate::load::SpanEntry;
 use crate::model::{RunModel, SuperstepRow};
 
-/// Bar glyphs: compute, shuffle-dominated remainder, checkpoint, recovery.
+/// Bar glyphs: compute, shuffle-dominated remainder, checkpoint, recovery,
+/// and (worker lanes only) time blocked waiting on the peer exchange.
 const COMPUTE: char = '#';
 const SHUFFLE: char = '~';
 const CHECKPOINT: char = '%';
 const RECOVERY: char = '!';
+const EXCHANGE: char = '.';
 
 const MAX_BAR: usize = 48;
 const LANE_BAR: usize = 24;
@@ -105,22 +107,45 @@ fn annotations(row: &SuperstepRow) -> String {
     notes.join("  ")
 }
 
-/// Per-worker aggregation of one row's spans: worker id -> (compute_ns,
-/// shuffle_ns, partitions touched), in ascending worker order.
-fn worker_lanes(row: &SuperstepRow) -> Vec<(usize, u64, u64, Vec<usize>)> {
-    let mut lanes: BTreeMap<usize, (u64, u64, Vec<usize>)> = BTreeMap::new();
+/// One worker's aggregated spans for one superstep row.
+#[derive(Default)]
+struct WorkerLane {
+    compute_ns: u64,
+    shuffle_ns: u64,
+    exchange_ns: u64,
+    peer_bytes: u64,
+    pids: Vec<usize>,
+}
+
+impl WorkerLane {
+    fn busy_ns(&self) -> u64 {
+        self.compute_ns + self.shuffle_ns + self.exchange_ns
+    }
+}
+
+/// Per-worker aggregation of one row's spans, in ascending worker order.
+fn worker_lanes(row: &SuperstepRow) -> Vec<(usize, WorkerLane)> {
+    let mut lanes: BTreeMap<usize, WorkerLane> = BTreeMap::new();
     for span in &row.worker_spans {
         let lane = lanes.entry(span.worker).or_default();
         match span.span.as_str() {
-            "compute" => lane.0 += span.duration_ns,
-            "shuffle" => lane.1 += span.duration_ns,
+            "compute" => lane.compute_ns += span.duration_ns,
+            "shuffle" => lane.shuffle_ns += span.duration_ns,
+            "exchange" => lane.exchange_ns += span.duration_ns,
+            // peer_bytes rows reuse `pid` for the destination worker and
+            // `records` for the byte count: traffic accounting, not a timed
+            // partition phase — keep them out of the partition list.
+            "peer_bytes" => {
+                lane.peer_bytes += span.records;
+                continue;
+            }
             _ => {}
         }
-        if !lane.2.contains(&span.pid) {
-            lane.2.push(span.pid);
+        if !lane.pids.contains(&span.pid) {
+            lane.pids.push(span.pid);
         }
     }
-    lanes.into_iter().map(|(w, (c, s, p))| (w, c, s, p)).collect()
+    lanes.into_iter().collect()
 }
 
 /// Render the Gantt timeline. Pass the spans sidecar when available; without
@@ -150,7 +175,7 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
     let lane_max = model
         .rows
         .iter()
-        .flat_map(|r| worker_lanes(r).into_iter().map(|(_, c, s, _)| c + s))
+        .flat_map(|r| worker_lanes(r).into_iter().map(|(_, lane)| lane.busy_ns()))
         .max()
         .unwrap_or(0);
     if lane_max > 0 {
@@ -218,7 +243,7 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
         ));
         // Per-worker lanes under the superstep they measured, scaled
         // against the busiest worker-superstep in the run.
-        for (worker, compute_ns, shuffle_ns, pids) in worker_lanes(row) {
+        for (worker, stats) in worker_lanes(row) {
             let lane_scaled = |part: u64| -> usize {
                 if part == 0 {
                     0
@@ -227,15 +252,26 @@ pub fn render_timeline(model: &RunModel, spans: Option<&[SpanEntry]>) -> String 
                 }
             };
             let mut lane = String::new();
-            lane.extend(std::iter::repeat_n(COMPUTE, lane_scaled(compute_ns)));
-            lane.extend(std::iter::repeat_n(SHUFFLE, lane_scaled(shuffle_ns)));
+            lane.extend(std::iter::repeat_n(COMPUTE, lane_scaled(stats.compute_ns)));
+            lane.extend(std::iter::repeat_n(SHUFFLE, lane_scaled(stats.shuffle_ns)));
+            lane.extend(std::iter::repeat_n(EXCHANGE, lane_scaled(stats.exchange_ns)));
+            let exchange = if stats.exchange_ns > 0 {
+                format!(" exchange {}", format_ns(stats.exchange_ns))
+            } else {
+                String::new()
+            };
+            let traffic = if stats.peer_bytes > 0 {
+                format!(" ->peers {}B", stats.peer_bytes)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "     w{:<4} |{:<width$}| compute {} shuffle {} p{:?}\n",
+                "     w{:<4} |{:<width$}| compute {} shuffle {}{exchange}{traffic} p{:?}\n",
                 worker,
                 lane,
-                format_ns(compute_ns),
-                format_ns(shuffle_ns),
-                pids,
+                format_ns(stats.compute_ns),
+                format_ns(stats.shuffle_ns),
+                stats.pids,
                 width = LANE_BAR,
             ));
         }
@@ -347,6 +383,33 @@ mod tests {
             text.contains("bill[w1 heartbeat: detect 1.2ms respawn 3.0ms reship 4096B]"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn exchange_and_peer_traffic_render_without_polluting_partitions() {
+        use crate::model::WorkerSpanMark;
+        let mut model = model_with_failure();
+        for (pid, span, records, ns) in [
+            (0usize, "compute", 5u64, 40_000u64),
+            (0, "exchange", 0, 10_000),
+            // Traffic rows: pid is the *destination worker*, records = bytes.
+            (1, "peer_bytes", 4096, 2),
+        ] {
+            model.rows[0].worker_spans.push(WorkerSpanMark {
+                worker: 0,
+                seq: 0,
+                pid,
+                span: span.into(),
+                records,
+                duration_ns: ns,
+            });
+        }
+        let text = render_timeline(&model, None);
+        assert!(text.contains("exchange 10.0us"), "{text}");
+        assert!(text.contains("->peers 4096B"), "{text}");
+        // Destination worker 1 must not show up as a partition of worker 0.
+        assert!(text.contains("p[0]"), "{text}");
+        assert!(!text.contains("p[0, 1]"), "{text}");
     }
 
     #[test]

@@ -141,6 +141,9 @@ pub struct Invocation {
     pub heartbeat_timeout_ms: Option<u64>,
     /// With `--cluster`: per-superstep control read timeout in milliseconds.
     pub step_timeout_ms: Option<u64>,
+    /// With `--cluster`: which data plane ships shuffle traffic. `None`
+    /// keeps the cluster default (direct worker-to-worker exchange).
+    pub data_plane: Option<cluster::DataPlaneMode>,
 }
 
 /// Default barrier interval of a bare `--strategy async-snapshot`.
@@ -348,6 +351,7 @@ pub const RUN_FLAGS: &[&str] = &[
     "--heartbeat-interval-ms",
     "--heartbeat-timeout-ms",
     "--step-timeout-ms",
+    "--data-plane",
 ];
 
 /// Usage text.
@@ -376,6 +380,10 @@ OPTIONS:
                           plus spans and report sidecars (inspect reads them)
     --cluster <N>         run on N real worker processes over loopback TCP
                           (cc and pagerank only; spawns `optirec worker`)
+    --data-plane <MODE>   with --cluster: direct (workers shuffle peer to
+                          peer over their own connections) or coordinator
+                          (all traffic funnels through the coordinator, the
+                          pre-direct baseline)   [direct]
     --kill <S:W>          with --cluster: SIGKILL worker W while superstep S
                           is in flight (repeatable; composes with --chaos)
     --chaos <SPEC>        with --cluster: schedule failure injections.
@@ -620,6 +628,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         heartbeat_interval_ms: None,
         heartbeat_timeout_ms: None,
         step_timeout_ms: None,
+        data_plane: None,
     };
     while let Some(flag) = iter.next() {
         let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
@@ -665,6 +674,17 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 invocation.step_timeout_ms =
                     Some(value()?.parse().map_err(|_| "invalid step timeout".to_string())?);
             }
+            "--data-plane" => {
+                invocation.data_plane = Some(match value()?.as_str() {
+                    "direct" => cluster::DataPlaneMode::Direct,
+                    "coordinator" => cluster::DataPlaneMode::Coordinator,
+                    other => {
+                        return Err(format!(
+                            "unknown data plane {other:?}; expected direct | coordinator"
+                        ))
+                    }
+                });
+            }
             other => return Err(format!("{}\n\n{}", unknown_flag(other, RUN_FLAGS), usage())),
         }
     }
@@ -674,16 +694,20 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     if invocation.cluster.is_none()
         && (invocation.heartbeat_interval_ms.is_some()
             || invocation.heartbeat_timeout_ms.is_some()
-            || invocation.step_timeout_ms.is_some())
+            || invocation.step_timeout_ms.is_some()
+            || invocation.data_plane.is_some())
     {
-        return Err("heartbeat/step timeouts only apply to --cluster runs".into());
+        return Err("heartbeat/step timeouts and --data-plane only apply to --cluster runs".into());
     }
     if let Some(workers) = invocation.cluster {
         match invocation.strategy {
-            Strategy::Optimistic | Strategy::AsyncSnapshot { .. } => {}
+            Strategy::Optimistic
+            | Strategy::AsyncSnapshot { .. }
+            | Strategy::Checkpoint { .. }
+            | Strategy::Restart => {}
             _ => {
-                return Err("--cluster recovers via optimistic compensation or async-snapshot; \
-                     other strategies are in-process only"
+                return Err("--cluster recovers via optimistic compensation, checkpoint:K, \
+                     async-snapshot, or restart; other strategies are in-process only"
                     .into())
             }
         }
@@ -962,8 +986,18 @@ pub fn cluster_config(invocation: &Invocation, workers: usize) -> cluster::Clust
         cfg = cfg.with_step_timeout(Duration::from_millis(ms));
     }
     cfg.chaos = invocation.chaos.clone();
-    if let Strategy::AsyncSnapshot { interval } = invocation.strategy {
-        cfg.strategy = cluster::ClusterStrategy::AsyncSnapshot { interval };
+    match invocation.strategy {
+        Strategy::AsyncSnapshot { interval } => {
+            cfg.strategy = cluster::ClusterStrategy::AsyncSnapshot { interval };
+        }
+        Strategy::Checkpoint { interval } => {
+            cfg.strategy = cluster::ClusterStrategy::Checkpoint { interval };
+        }
+        Strategy::Restart => cfg.strategy = cluster::ClusterStrategy::Restart,
+        _ => {}
+    }
+    if let Some(mode) = invocation.data_plane {
+        cfg = cfg.with_data_plane(mode);
     }
     cfg
 }
@@ -1240,9 +1274,11 @@ mod tests {
         assert!(parse_args(&args(&["cc", "--kill", "3:1"])).is_err());
         assert!(parse_args(&args(&["cc", "--cluster", "0"])).is_err());
         assert!(parse_args(&args(&["cc", "--cluster", "x"])).is_err());
-        let err =
-            parse_args(&args(&["cc", "--cluster", "2", "--strategy", "restart"])).unwrap_err();
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--strategy", "ignore"])).unwrap_err();
         assert!(err.contains("optimistic"), "{err}");
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--strategy", "incremental:2"]))
+            .unwrap_err();
+        assert!(err.contains("in-process only"), "{err}");
         let err = parse_args(&args(&["cc", "--cluster", "2", "--fail", "1:0"])).unwrap_err();
         assert!(err.contains("--kill"), "{err}");
         assert!(parse_kill("2").is_err());
@@ -1254,12 +1290,45 @@ mod tests {
         assert!(err.contains("worker 2"), "{err}");
         assert!(err.contains("0..=1"), "{err}");
 
-        // async-snapshot is the one non-optimistic strategy --cluster runs.
+        // Rollback strategies also run on the cluster and map onto the
+        // cluster-side strategy enum.
         let invocation =
             parse_args(&args(&["cc", "--cluster", "2", "--strategy", "async-snapshot:3"])).unwrap();
         assert_eq!(invocation.strategy, Strategy::AsyncSnapshot { interval: 3 });
         let cfg = cluster_config(&invocation, 2);
         assert_eq!(cfg.strategy, cluster::ClusterStrategy::AsyncSnapshot { interval: 3 });
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--strategy", "checkpoint:2"])).unwrap();
+        let cfg = cluster_config(&invocation, 2);
+        assert_eq!(cfg.strategy, cluster::ClusterStrategy::Checkpoint { interval: 2 });
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--strategy", "restart"])).unwrap();
+        let cfg = cluster_config(&invocation, 2);
+        assert_eq!(cfg.strategy, cluster::ClusterStrategy::Restart);
+    }
+
+    #[test]
+    fn data_plane_flag_parses_and_cross_validates() {
+        // The direct data plane is the default; the flag can pin either mode.
+        let invocation = parse_args(&args(&["cc", "--cluster", "2"])).unwrap();
+        assert_eq!(invocation.data_plane, None);
+        assert_eq!(cluster_config(&invocation, 2).data_plane, cluster::DataPlaneMode::Direct);
+
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--data-plane", "coordinator"])).unwrap();
+        assert_eq!(invocation.data_plane, Some(cluster::DataPlaneMode::Coordinator));
+        assert_eq!(cluster_config(&invocation, 2).data_plane, cluster::DataPlaneMode::Coordinator);
+
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--data-plane", "direct"])).unwrap();
+        assert_eq!(cluster_config(&invocation, 2).data_plane, cluster::DataPlaneMode::Direct);
+
+        // Nonsense modes and --data-plane without --cluster are rejected.
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--data-plane", "carrier-pigeon"]))
+            .unwrap_err();
+        assert!(err.contains("direct | coordinator"), "{err}");
+        let err = parse_args(&args(&["cc", "--data-plane", "direct"])).unwrap_err();
+        assert!(err.contains("--cluster"), "{err}");
     }
 
     #[test]

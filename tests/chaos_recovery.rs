@@ -157,6 +157,137 @@ proptest! {
     }
 }
 
+// ---- direct vs coordinator-routed data plane, multi-process ------------
+//
+// The same seeded kill plan drives one run per data-plane mode per
+// strategy, on real `optirec worker` processes. Whatever the chaos does,
+// the two data planes must land on the same answer: bitwise for connected
+// components, 1e-6 for PageRank (optimistic compensation legitimately
+// takes a different trajectory per mode, but both terminate within the
+// 1e-9 epsilon of the unique fixed point).
+
+use cluster::{run_cluster, ClusterConfig, ClusterStrategy, DataPlaneMode, KillPlan};
+use telemetry::SinkHandle;
+
+fn cluster_strategies(interval: u32) -> Vec<ClusterStrategy> {
+    vec![
+        ClusterStrategy::Optimistic,
+        ClusterStrategy::Checkpoint { interval },
+        ClusterStrategy::AsyncSnapshot { interval },
+        ClusterStrategy::Restart,
+    ]
+}
+
+fn cluster_cfg(
+    strategy: ClusterStrategy,
+    mode: DataPlaneMode,
+    kill: KillPlan,
+    max_iterations: u32,
+) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(2, 4, max_iterations)
+        .with_strategy(strategy)
+        .with_data_plane(mode)
+        .with_kill(kill);
+    cfg.worker_cmd = vec![env!("CARGO_BIN_EXE_optirec").to_string(), "worker".to_string()];
+    cfg.heartbeat_interval = std::time::Duration::from_millis(20);
+    cfg.heartbeat_timeout = std::time::Duration::from_millis(500);
+    cfg.step_timeout = std::time::Duration::from_secs(10);
+    cfg
+}
+
+fn cluster_cc_graph() -> Graph {
+    let mut b = GraphBuilder::undirected(24);
+    for start in [0u64, 8, 16] {
+        for v in start..start + 7 {
+            b.add_edge(v, v + 1);
+        }
+    }
+    b.build()
+}
+
+fn cluster_pagerank_graph() -> Graph {
+    let mut b = GraphBuilder::directed(20);
+    for v in 0..20u64 {
+        b.add_edge(v, (v + 1) % 20);
+    }
+    for v in (0..20u64).step_by(3) {
+        b.add_edge(v, (v + 7) % 20);
+    }
+    b.build()
+}
+
+proptest! {
+    // Each case spawns 16 worker processes (4 strategies x 2 modes x 2
+    // workers); keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 2, .. ProptestConfig::default() })]
+
+    #[test]
+    fn direct_and_funneled_cluster_cc_agree_bitwise_under_seeded_kills(
+        superstep in 1u32..5,
+        worker in 0usize..2,
+        interval in 1u32..3,
+    ) {
+        let graph = cluster_cc_graph();
+        let kill = KillPlan { superstep, worker };
+        for strategy in cluster_strategies(interval) {
+            let direct = run_cluster(
+                "cc",
+                &graph,
+                cluster_cfg(strategy, DataPlaneMode::Direct, kill, 60),
+                SinkHandle::disabled(),
+            ).unwrap();
+            let funnel = run_cluster(
+                "cc",
+                &graph,
+                cluster_cfg(strategy, DataPlaneMode::Coordinator, kill, 60),
+                SinkHandle::disabled(),
+            ).unwrap();
+            prop_assert!(direct.stats.converged, "{strategy:?}: direct did not converge");
+            prop_assert!(funnel.stats.converged, "{strategy:?}: funnel did not converge");
+            prop_assert_eq!(
+                &direct.values,
+                &funnel.values,
+                "{:?}: data planes diverged under kill@{}:{}",
+                strategy, superstep, worker
+            );
+        }
+    }
+
+    #[test]
+    fn direct_and_funneled_cluster_pagerank_agree_under_seeded_kills(
+        superstep in 1u32..5,
+        worker in 0usize..2,
+        interval in 1u32..3,
+    ) {
+        let graph = cluster_pagerank_graph();
+        let kill = KillPlan { superstep, worker };
+        for strategy in cluster_strategies(interval) {
+            let direct = run_cluster(
+                "pagerank",
+                &graph,
+                cluster_cfg(strategy, DataPlaneMode::Direct, kill, 300),
+                SinkHandle::disabled(),
+            ).unwrap();
+            let funnel = run_cluster(
+                "pagerank",
+                &graph,
+                cluster_cfg(strategy, DataPlaneMode::Coordinator, kill, 300),
+                SinkHandle::disabled(),
+            ).unwrap();
+            prop_assert!(direct.stats.converged, "{strategy:?}: direct did not converge");
+            prop_assert!(funnel.stats.converged, "{strategy:?}: funnel did not converge");
+            for (&(v, a), &(_, b)) in direct.values.iter().zip(&funnel.values) {
+                let (a, b) = (f64::from_bits(a), f64::from_bits(b));
+                prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "{:?}: vertex {} rank {} (direct) vs {} (funnel)",
+                    strategy, v, a, b
+                );
+            }
+        }
+    }
+}
+
 /// Two-partition state with distinguishable contents per epoch.
 fn state_at(epoch: u64) -> Partitions<u64> {
     Partitions::from_parts(vec![vec![epoch, epoch + 1], vec![epoch + 2]])
