@@ -55,12 +55,27 @@ use recovery::OptimisticBulkHandler;
 use telemetry::metrics::{Counter, Histogram, PartitionedHistogram};
 use telemetry::{JournalEvent, SinkHandle};
 
+use crate::placement::{PartitionMap, Rebalancer};
 use crate::program::{lookup, partition_rows, ClusterProgram};
 use crate::protocol::{
     read_frame, write_frame, AdjRows, Message, Msg, Record, SpanRow, NO_INBOUND,
     SPAN_PHASE_COMPUTE, SPAN_PHASE_EXCHANGE, SPAN_PHASE_PEER_BYTES, SPAN_PHASE_SHUFFLE,
 };
 use crate::worker::LISTENING_MARKER;
+
+/// A planned membership change: at chronological superstep `superstep` the
+/// cluster rescales to `workers` worker processes. Scale-down is a
+/// [`EngineError::WorkerLost`] we scheduled ourselves — the retiring workers
+/// get a graceful [`Message::Drain`] instead of a SIGKILL, and their
+/// partitions are re-shipped over the same `LoadProgram` path recovery uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Chronological superstep at which the rescale happens (fires at the
+    /// first superstep barrier at or after this value).
+    pub superstep: u32,
+    /// Target worker count (`1 ..= parallelism`).
+    pub workers: usize,
+}
 
 /// Deterministic failure injection: SIGKILL `worker` just before its frames
 /// for chronological superstep `superstep` are sent, so the loss is always
@@ -224,9 +239,12 @@ pub enum DataPlaneMode {
 /// Configuration of a cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of worker processes (`1 ..= parallelism`).
+    /// Number of worker processes at start (`1 ..= parallelism`); scale
+    /// events can change the live count mid-run.
     pub workers: usize,
-    /// Number of partitions; partition `p` lives on worker `p % workers`.
+    /// Number of partitions. Ownership (partition → worker) is the
+    /// [`crate::placement::PartitionMap`]'s business; the initial assignment
+    /// is `p % workers` and only rebalances change it.
     pub parallelism: usize,
     /// Logical iteration cap handed to the bulk driver.
     pub max_iterations: u32,
@@ -236,6 +254,8 @@ pub struct ClusterConfig {
     pub worker_cmd: Vec<String>,
     /// Scheduled failure injections (kills, stragglers, link degradation).
     pub chaos: ChaosPlan,
+    /// Planned membership changes, applied at superstep barriers in order.
+    pub scale: Vec<ScaleEvent>,
     /// How the run recovers from worker loss.
     pub strategy: ClusterStrategy,
     /// Which plane carries the shuffled messages.
@@ -268,6 +288,7 @@ impl ClusterConfig {
             max_iterations,
             worker_cmd: default_worker_cmd(),
             chaos: ChaosPlan::default(),
+            scale: Vec::new(),
             strategy: ClusterStrategy::Optimistic,
             data_plane: DataPlaneMode::default(),
             heartbeat_interval: Duration::from_millis(100),
@@ -283,6 +304,13 @@ impl ClusterConfig {
     /// chaos plan's kill list).
     pub fn with_kill(mut self, kill: KillPlan) -> Self {
         self.chaos.kills.push(kill);
+        self
+    }
+
+    /// Schedule one planned membership change (composes: each call appends
+    /// to the scale plan).
+    pub fn with_scale_event(mut self, event: ScaleEvent) -> Self {
+        self.scale.push(event);
         self
     }
 
@@ -509,7 +537,17 @@ struct ClusterBackend {
     detect_latency: Arc<Histogram>,
     respawn_latency: Arc<Histogram>,
     reshipped_bytes: Arc<Counter>,
+    /// Bytes re-shipped by *planned* rebalances — billed separately from
+    /// `recovery/reshipped_bytes` so `inspect recovery` can split planned
+    /// from unplanned reships.
+    rebalance_reshipped_bytes: Arc<Counter>,
     chaos: ChaosPlan,
+    /// Planned membership changes still to fire; drained like chaos kills.
+    scale: Vec<ScaleEvent>,
+    /// The single source of truth for partition → worker ownership. Every
+    /// lookup — dispatch, result collection, snapshot staging, reships,
+    /// `WorkerLost` blame — routes through here; rebalances replace it.
+    map: PartitionMap,
     /// When the current superstep's frames started going out — the baseline
     /// for failure-detection latency.
     step_started: Option<Instant>,
@@ -552,21 +590,29 @@ impl ClusterBackend {
         telemetry: SinkHandle,
     ) -> Result<Self> {
         let metrics = telemetry.metrics();
+        // Per-worker instruments are sized for the largest membership the
+        // scale plan can reach, not the starting count — a track must exist
+        // for every worker index that can ever report.
+        let max_workers =
+            cfg.scale.iter().map(|event| event.workers).chain([cfg.workers]).max().unwrap_or(1);
         let mut backend = ClusterBackend {
             slots: (0..cfg.workers).map(|_| WorkerSlot { handle: None }).collect(),
             chaos: cfg.chaos.clone(),
+            scale: cfg.scale.clone(),
+            map: PartitionMap::initial(cfg.parallelism, cfg.workers),
             bytes_in: metrics.counter("net/bytes_in"),
             bytes_out: metrics.counter("net/bytes_out"),
             reconnects: metrics.counter("net/reconnects"),
             heartbeat_rtt: metrics.histogram("net/heartbeat_rtt_ns"),
-            worker_compute: metrics.partitioned_histogram("worker_compute_ns", cfg.workers),
-            worker_shuffle: metrics.partitioned_histogram("worker_shuffle_ns", cfg.workers),
-            worker_exchange: metrics.partitioned_histogram("worker_exchange_ns", cfg.workers),
-            peer_bytes: metrics.partitioned_histogram("net/peer_bytes", cfg.workers),
+            worker_compute: metrics.partitioned_histogram("worker_compute_ns", max_workers),
+            worker_shuffle: metrics.partitioned_histogram("worker_shuffle_ns", max_workers),
+            worker_exchange: metrics.partitioned_histogram("worker_exchange_ns", max_workers),
+            peer_bytes: metrics.partitioned_histogram("net/peer_bytes", max_workers),
             data_bytes_out: metrics.counter("net/data_bytes_out"),
             detect_latency: metrics.histogram("recovery/detect_ns"),
             respawn_latency: metrics.histogram("recovery/respawn_ns"),
             reshipped_bytes: metrics.counter("recovery/reshipped_bytes"),
+            rebalance_reshipped_bytes: metrics.counter("rebalance/reshipped_bytes"),
             step_started: None,
             pending_recovery: Vec::new(),
             epoch: 0,
@@ -588,9 +634,9 @@ impl ClusterBackend {
         Ok(backend)
     }
 
-    /// Partitions owned by `worker`.
+    /// Partitions owned by `worker`, per the placement map.
     fn pids_of(&self, worker: usize) -> Vec<usize> {
-        (0..self.cfg.parallelism).filter(|pid| pid % self.cfg.workers == worker).collect()
+        self.map.pids_of(worker)
     }
 
     /// Spawn a worker process, wait for its port announcement, connect
@@ -735,6 +781,162 @@ impl ClusterBackend {
         Ok(())
     }
 
+    /// Fire every scale event due at `superstep` (drained from the plan
+    /// like chaos kills, so a post-failure retry of the same chronological
+    /// superstep cannot rescale twice).
+    fn apply_scale_events(&mut self, superstep: u32) -> Result<()> {
+        if self.scale.is_empty() {
+            return Ok(());
+        }
+        let (due, rest): (Vec<ScaleEvent>, Vec<ScaleEvent>) = std::mem::take(&mut self.scale)
+            .into_iter()
+            .partition(|event| event.superstep <= superstep);
+        self.scale = rest;
+        for event in due {
+            self.rescale(superstep, event.workers)?;
+        }
+        Ok(())
+    }
+
+    /// Rescale the live cluster to `target` workers at a superstep barrier.
+    ///
+    /// This is recovery's reship path, scheduled instead of suffered:
+    /// the [`Rebalancer`] computes a minimal-move map, joining workers are
+    /// spawned and loaded exactly like respawned replacements
+    /// ([`Message::WorkerJoin`] instead of a `WorkerRejoined` bill),
+    /// retiring workers get a graceful [`Message::Drain`] + `Shutdown`
+    /// instead of a SIGKILL, and survivors that gained partitions receive
+    /// their full new set over the same `LoadProgram` frame a rejoin uses.
+    /// The membership (and the new map) is re-broadcast under a bumped
+    /// epoch before the next dispatch, so any in-flight frames addressed by
+    /// the old ownership stay dropped.
+    fn rescale(&mut self, superstep: u32, target: usize) -> Result<()> {
+        let current = self.slots.len();
+        if target == current {
+            return Ok(());
+        }
+        self.telemetry.emit(|| JournalEvent::RebalanceStarted {
+            superstep,
+            from_workers: current,
+            to_workers: target,
+        });
+        let bytes_before = self.bytes_out.get();
+        let outcome = Rebalancer::rebalance(&self.map, target);
+        let moved = outcome.moved;
+        self.map = outcome.map;
+        if target > current {
+            // Scale-up: spawn the joiners with the new map already
+            // installed, so spawn_and_load ships each exactly the
+            // partitions the rebalance gave it.
+            for worker in current..target {
+                self.slots.push(WorkerSlot { handle: None });
+                self.respawned_since_commit.push(true);
+                let (handle, _attempts) = self.spawn_and_load(worker)?;
+                self.slots[worker].handle = Some(handle);
+                self.join_worker(worker, superstep)?;
+                self.telemetry.emit(|| JournalEvent::WorkerJoined { superstep, worker });
+            }
+        } else {
+            // Scale-down: planned WorkerLost. Drain the retiring workers
+            // gracefully — best-effort, since their partitions are already
+            // reassigned and the coordinator holds the authoritative state.
+            for worker in target..current {
+                if let Some(handle) = self.slots[worker].handle.as_mut() {
+                    let drained = write_frame(
+                        &mut handle.stream,
+                        &Message::Drain { superstep },
+                        Some(&self.bytes_out),
+                    )
+                    .and_then(|()| {
+                        expect_welcome_skipping_stale(&mut handle.stream, &self.bytes_in)
+                    })
+                    .and_then(|()| {
+                        write_frame(&mut handle.stream, &Message::Shutdown, Some(&self.bytes_out))
+                    });
+                    // A worker dying during its own drain is not a loss:
+                    // nothing it owned survives the rebalance anyway.
+                    let _ = drained;
+                }
+                if let Some(handle) = self.slots[worker].handle.take() {
+                    handle.destroy();
+                }
+            }
+            self.slots.truncate(target);
+            self.respawned_since_commit.truncate(target);
+            // A pending loss bill for a retired index can never pair with a
+            // respawn now.
+            self.pending_recovery.retain(|pending| pending.worker < target);
+        }
+        // Survivors that gained partitions get their full new set re-shipped
+        // over the recovery path (LoadProgram replaces the worker's whole
+        // assignment). On scale-up the rebalancer only moves partitions to
+        // the joiners, so this set is empty there.
+        let mut gainers: Vec<usize> =
+            moved.iter().map(|m| m.to).filter(|&w| w < current.min(target)).collect();
+        gainers.sort_unstable();
+        gainers.dedup();
+        for worker in gainers {
+            self.reload_worker(worker, superstep)?;
+        }
+        // The epilogue mirrors an unplanned loss: membership (and the new
+        // map) rebroadcast under a bumped epoch, authoritative state pushed
+        // in the next dispatch, and — because moved partitions' in-flight
+        // messages live in old owners' data-plane slots — every worker
+        // computes the post-scale superstep from an empty inbound under
+        // non-rollback strategies (`respawned_since_commit` forces
+        // `NO_INBOUND` per worker), with `force_changed` buying the one
+        // superstep the unconditional rebroadcasts need to repair it.
+        // Rollback strategies and the funnel push exact inboxes instead.
+        self.membership_current = false;
+        self.push_state = true;
+        self.force_changed = true;
+        self.respawned_since_commit.iter_mut().for_each(|flag| *flag = true);
+        let reshipped = self.bytes_out.get().saturating_sub(bytes_before);
+        self.rebalance_reshipped_bytes.add(reshipped);
+        let moved_partitions = moved.len();
+        self.telemetry.emit(|| JournalEvent::RebalanceCompleted {
+            superstep,
+            moved_partitions,
+            reshipped_bytes: reshipped,
+        });
+        Ok(())
+    }
+
+    /// Tell a freshly spawned joiner which superstep it is joining at.
+    fn join_worker(&mut self, worker: usize, superstep: u32) -> Result<()> {
+        let msg = Message::WorkerJoin { worker: worker as u64, superstep };
+        let handle = self.slots[worker].handle.as_mut().expect("joiner just spawned");
+        if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
+            return Err(self.fail(worker, superstep, format!("sending WorkerJoin failed: {e}")));
+        }
+        let handle = self.slots[worker].handle.as_mut().expect("joiner just spawned");
+        if let Err(e) = expect_welcome(&mut handle.stream, &self.bytes_in) {
+            return Err(self.fail(worker, superstep, format!("WorkerJoin ack failed: {e}")));
+        }
+        Ok(())
+    }
+
+    /// Re-ship a surviving worker's full post-rebalance partition set — the
+    /// exact `LoadProgram` frame a respawned replacement gets, so moved
+    /// partitions ride the same reship path recovery uses.
+    fn reload_worker(&mut self, worker: usize, superstep: u32) -> Result<()> {
+        let adjacency = self
+            .pids_of(worker)
+            .into_iter()
+            .map(|pid| (pid as u64, self.adjacency[pid].clone()))
+            .collect();
+        let msg = Message::LoadProgram { program: self.program_name.clone(), n: self.n, adjacency };
+        let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+        if let Err(e) = write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)) {
+            return Err(self.fail(worker, superstep, format!("rebalance reship failed: {e}")));
+        }
+        let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+        if let Err(e) = expect_welcome_skipping_stale(&mut handle.stream, &self.bytes_in) {
+            return Err(self.fail(worker, superstep, format!("rebalance reship ack failed: {e}")));
+        }
+        Ok(())
+    }
+
     /// Tear the worker's slot down, record the loss's detection facts for
     /// the eventual [`JournalEvent::RecoveryCost`] bill, and build the
     /// error the driver's recovery arm consumes.
@@ -849,6 +1051,11 @@ impl ClusterBackend {
             .partition(|k| k.superstep == superstep);
         self.chaos.kills = rest;
         for plan in due {
+            // A kill aimed at a worker the cluster has (elastically) scaled
+            // away from is a no-op: the target already left gracefully.
+            if plan.worker >= workers {
+                continue;
+            }
             self.kill_worker(plan.worker);
             self.telemetry.emit(|| JournalEvent::ChaosInjected {
                 superstep,
@@ -859,7 +1066,7 @@ impl ClusterBackend {
         }
 
         for link in self.chaos.links.clone() {
-            if !link.active(superstep) {
+            if !link.active(superstep) || link.worker >= workers {
                 continue;
             }
             if !link.delay.is_zero() {
@@ -891,7 +1098,7 @@ impl ClusterBackend {
         }
 
         for straggler in self.chaos.stragglers.clone() {
-            if !straggler.active(superstep) {
+            if !straggler.active(superstep) || straggler.worker >= workers {
                 continue;
             }
             recv_delay[straggler.worker] = Some(straggler.delay);
@@ -949,6 +1156,26 @@ impl ClusterBackend {
                 return Err(self.fail(worker, superstep, format!("Membership ack failed: {e}")));
             }
         }
+        // The map rides every membership broadcast under the same epoch:
+        // workers route outbound messages by it, so ownership changes land
+        // atomically with the epoch that retires the old routing's frames.
+        let map_msg = Message::MapUpdate {
+            epoch: self.epoch,
+            version: self.map.version(),
+            assignment: self.map.assignment().iter().map(|&w| w as u64).collect(),
+        };
+        for worker in 0..self.slots.len() {
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = write_frame(&mut handle.stream, &map_msg, Some(&self.bytes_out)) {
+                return Err(self.fail(worker, superstep, format!("sending MapUpdate failed: {e}")));
+            }
+        }
+        for worker in 0..self.slots.len() {
+            let handle = self.slots[worker].handle.as_mut().expect("ensure_workers ran");
+            if let Err(e) = expect_welcome_skipping_stale(&mut handle.stream, &self.bytes_in) {
+                return Err(self.fail(worker, superstep, format!("MapUpdate ack failed: {e}")));
+            }
+        }
         self.membership_current = true;
         Ok(())
     }
@@ -962,9 +1189,8 @@ impl ClusterBackend {
         jobs: Vec<StepJob>,
         send_delay: &[Option<Duration>],
     ) -> Result<()> {
-        let workers = self.slots.len();
         for job in jobs {
-            let worker = job.pid % workers;
+            let worker = self.map.worker_of(job.pid);
             if let Some(delay) = send_delay[worker] {
                 thread::sleep(delay);
             }
@@ -1000,7 +1226,7 @@ impl ClusterBackend {
         let workers = self.slots.len();
         let mut per_worker: Vec<Vec<StepJob>> = (0..workers).map(|_| Vec::new()).collect();
         for job in jobs {
-            per_worker[job.pid % workers].push(job);
+            per_worker[self.map.worker_of(job.pid)].push(job);
         }
         // The slot steady-state dispatches consume: the messages produced by
         // the last committed superstep. The logical first step has none.
@@ -1069,11 +1295,10 @@ impl ClusterBackend {
         order: &[usize],
         mut recv_delay: Vec<Option<Duration>>,
     ) -> Result<Vec<StepResult>> {
-        let workers = self.slots.len();
         let mut results = Vec::with_capacity(order.len());
         let mut pending_spans: Vec<(usize, u64, Vec<SpanRow>)> = Vec::new();
         for &pid in order {
-            let worker = pid % workers;
+            let worker = self.map.worker_of(pid);
             // Straggler injection: the first read of this worker's replies
             // stalls, as if its compute ran slow. One stall per superstep.
             if let Some(delay) = recv_delay[worker].take() {
@@ -1119,7 +1344,14 @@ impl ClusterBackend {
                         // is intact. Declaring the peer lost SIGKILLs it (see
                         // `fail`), so a slow-but-alive straggler cannot leak
                         // frames into the retry either.
-                        let lost = waiting_on.first().map(|&w| w as usize).unwrap_or(worker);
+                        // A blamed peer index can be stale after a scale-down
+                        // (the worker waited on a member that since drained);
+                        // out-of-range blame falls back to the reporter.
+                        let lost = waiting_on
+                            .first()
+                            .map(|&w| w as usize)
+                            .filter(|&w| w < self.slots.len())
+                            .unwrap_or(worker);
                         return Err(self.fail(
                             lost,
                             superstep,
@@ -1158,6 +1390,7 @@ impl StepBackend for ClusterBackend {
         jobs: Vec<StepJob>,
     ) -> Result<Vec<StepResult>> {
         self.ensure_workers(superstep)?;
+        self.apply_scale_events(superstep)?;
         let (send_delay, recv_delay) = self.inject_chaos(superstep);
         let order: Vec<usize> = jobs.iter().map(|job| job.pid).collect();
         self.step_started = Some(Instant::now());
@@ -1177,7 +1410,7 @@ impl StepBackend for ClusterBackend {
         // steady-state dispatch from a recovery dispatch settles here.
         if std::mem::take(&mut self.force_changed)
             && self.cfg.data_plane == DataPlaneMode::Direct
-            && self.cfg.strategy == ClusterStrategy::Optimistic
+            && !self.cfg.strategy.is_rollback()
             && results.iter().all(|result| result.changed == 0)
         {
             // See `force_changed`: compensated partitions recomputed from an
@@ -1193,7 +1426,11 @@ impl StepBackend for ClusterBackend {
     }
 
     fn stage_snapshot(&mut self, epoch: u32, pid: usize, chunk: &[u8]) {
-        let worker = pid % self.slots.len();
+        // Satellite fix: this used to route by `pid % self.slots.len()`
+        // while every other site used `cfg.workers` — two sources of truth
+        // that could disagree during a membership change. The map is the
+        // only truth now.
+        let worker = self.map.worker_of(pid);
         let Some(handle) = self.slots[worker].handle.as_mut() else { return };
         let msg = Message::SnapshotBarrier { epoch, pid: pid as u64, chunk: chunk.to_vec() };
         if write_frame(&mut handle.stream, &msg, Some(&self.bytes_out)).is_err() {
@@ -1617,10 +1854,22 @@ pub fn run_cluster(
             cfg.workers, cfg.parallelism
         )));
     }
-    if let Some(worker) = cfg.chaos.max_worker().filter(|&w| w >= cfg.workers) {
+    if let Some(event) =
+        cfg.scale.iter().find(|event| event.workers == 0 || event.workers > cfg.parallelism)
+    {
         return Err(EngineError::Plan(format!(
-            "chaos plan targets worker {worker}, but the cluster has workers 0..{}",
-            cfg.workers
+            "scale event at superstep {} targets {} workers, but the cluster has {} partitions",
+            event.superstep, event.workers, cfg.parallelism
+        )));
+    }
+    // Chaos may target any worker index the cluster will *ever* have: a kill
+    // aimed at a worker that only exists after a scale-up is legitimate (and
+    // a no-op if it fires while that worker is absent).
+    let max_workers =
+        cfg.scale.iter().map(|event| event.workers).chain([cfg.workers]).max().unwrap_or(1);
+    if let Some(worker) = cfg.chaos.max_worker().filter(|&w| w >= max_workers) {
+        return Err(EngineError::Plan(format!(
+            "chaos plan targets worker {worker}, but the cluster never has more than {max_workers} workers"
         )));
     }
     if let ClusterStrategy::AsyncSnapshot { interval: 0 } = cfg.strategy {
@@ -1952,7 +2201,33 @@ mod tests {
         let cfg = ClusterConfig::new(2, 4, 10).with_kill(KillPlan { superstep: 1, worker: 5 });
         let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
         assert!(err.to_string().contains("targets worker 5"), "{err}");
-        assert!(err.to_string().contains("workers 0..2"), "{err}");
+        assert!(err.to_string().contains("never has more than 2 workers"), "{err}");
+    }
+
+    #[test]
+    fn chaos_may_target_workers_a_scale_up_will_add() {
+        // A kill aimed at worker 3 is valid when a scale event grows the
+        // cluster to 4, even though the cluster starts with 2 workers —
+        // but a target beyond the scale ceiling is still a plan error.
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg = ClusterConfig::new(2, 4, 10)
+            .with_scale_event(ScaleEvent { superstep: 1, workers: 4 })
+            .with_kill(KillPlan { superstep: 9, worker: 5 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("never has more than 4 workers"), "{err}");
+    }
+
+    #[test]
+    fn scale_events_beyond_parallelism_are_plan_errors() {
+        let graph = GraphBuilder::undirected(4).build();
+        let cfg =
+            ClusterConfig::new(2, 4, 10).with_scale_event(ScaleEvent { superstep: 1, workers: 5 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("targets 5 workers"), "{err}");
+        let cfg =
+            ClusterConfig::new(2, 4, 10).with_scale_event(ScaleEvent { superstep: 1, workers: 0 });
+        let err = run_cluster("cc", &graph, cfg, SinkHandle::disabled()).unwrap_err();
+        assert!(err.to_string().contains("targets 0 workers"), "{err}");
     }
 
     #[test]

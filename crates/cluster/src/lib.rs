@@ -23,6 +23,9 @@
 //!   compiled into both binaries, since closures cannot cross processes.
 //! * [`exchange`] — the worker-side data-plane inbox: per-superstep slots
 //!   of peer-shuffled messages with epoch-based stale-frame rejection.
+//! * [`placement`] — the versioned partition → worker map every ownership
+//!   lookup routes through, and the minimal-move rebalancer that rewrites
+//!   it on elastic scale events.
 //! * [`worker`] — the worker process: partition execution behind an accept
 //!   loop, plus the direct data plane (peer links, batched shuffle,
 //!   superstep execution from cached state).
@@ -35,13 +38,15 @@
 
 pub mod coordinator;
 pub mod exchange;
+pub mod placement;
 pub mod program;
 pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
     default_worker_cmd, run_cluster, run_local, run_local_warm, ChaosPlan, ClusterConfig,
-    ClusterRun, ClusterStrategy, DataPlaneMode, KillPlan, LinkPlan, StragglerPlan,
+    ClusterRun, ClusterStrategy, DataPlaneMode, KillPlan, LinkPlan, ScaleEvent, StragglerPlan,
 };
+pub use placement::{PartitionMap, Rebalance, Rebalancer};
 pub use program::{lookup, program_names, ClusterProgram, StepOutput};
 pub use protocol::{Message, Msg, Record};

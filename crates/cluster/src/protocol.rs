@@ -291,6 +291,47 @@ pub enum Message {
         /// Members whose [`Message::ShuffleFlush`] never arrived.
         waiting_on: Vec<u64>,
     },
+    /// Coordinator → worker: this worker is joining a computation already in
+    /// progress (a scale-up at a superstep barrier). Purely informational —
+    /// the partitions themselves arrive via the usual
+    /// [`Message::LoadProgram`] reship and state via
+    /// [`Message::StepReset`] — but it tells the worker which superstep the
+    /// cluster is at so its logs and telemetry line up. Acked with
+    /// [`Message::Welcome`].
+    WorkerJoin {
+        /// The joining worker's coordinator-side index.
+        worker: u64,
+        /// Chronological superstep the cluster will run next.
+        superstep: u32,
+    },
+    /// Coordinator → worker: this worker is leaving the computation at a
+    /// superstep barrier (a scale-down — a planned
+    /// [`WorkerLost`](dataflow::error::EngineError::WorkerLost) with a
+    /// graceful drain instead of a kill). The worker acknowledges with
+    /// [`Message::Welcome`] once it has flushed any in-flight data-plane
+    /// output, then waits for the [`Message::Shutdown`] that follows. Its
+    /// partitions have already been reassigned under a new map version; any
+    /// straggling frames it emits afterwards carry the old epoch and are
+    /// dropped by peers.
+    Drain {
+        /// Chronological superstep at which the drain was scheduled.
+        superstep: u32,
+    },
+    /// Coordinator → worker: the current partition → worker assignment,
+    /// broadcast immediately after [`Message::Membership`] under the same
+    /// epoch in direct mode. Workers route outbound messages by this table
+    /// (`assignment[dst % parallelism]`) instead of assuming `pid % members`,
+    /// which is what lets partitions move between workers mid-run. Acked
+    /// with [`Message::Welcome`]; a frame whose `epoch` is not the worker's
+    /// current membership epoch is ignored (stale).
+    MapUpdate {
+        /// Membership epoch this map was broadcast under.
+        epoch: u64,
+        /// Placement map version (see `placement::PartitionMap`).
+        version: u64,
+        /// `assignment[pid]` = owning worker index.
+        assignment: Vec<u64>,
+    },
 }
 
 impl Codec for Message {
@@ -408,6 +449,21 @@ impl Codec for Message {
                 superstep.encode(out);
                 waiting_on.encode(out);
             }
+            Message::WorkerJoin { worker, superstep } => {
+                out.push(18);
+                worker.encode(out);
+                superstep.encode(out);
+            }
+            Message::Drain { superstep } => {
+                out.push(19);
+                superstep.encode(out);
+            }
+            Message::MapUpdate { epoch, version, assignment } => {
+                out.push(20);
+                epoch.encode(out);
+                version.encode(out);
+                assignment.encode(out);
+            }
         }
     }
 
@@ -495,6 +551,15 @@ impl Codec for Message {
             17 => Message::StepFailed {
                 superstep: u32::decode(input)?,
                 waiting_on: Vec::decode(input)?,
+            },
+            18 => {
+                Message::WorkerJoin { worker: u64::decode(input)?, superstep: u32::decode(input)? }
+            }
+            19 => Message::Drain { superstep: u32::decode(input)? },
+            20 => Message::MapUpdate {
+                epoch: u64::decode(input)?,
+                version: u64::decode(input)?,
+                assignment: Vec::decode(input)?,
             },
             other => {
                 return Err(EngineError::Codec(format!("unknown cluster message tag {other}")))
@@ -648,6 +713,9 @@ mod tests {
             inboxes: vec![(1, vec![(1, 1, 0)]), (3, vec![])],
         });
         round_trip(Message::StepFailed { superstep: 10, waiting_on: vec![0, 2] });
+        round_trip(Message::WorkerJoin { worker: 2, superstep: 11 });
+        round_trip(Message::Drain { superstep: 11 });
+        round_trip(Message::MapUpdate { epoch: 4, version: 2, assignment: vec![0, 1, 2, 0] });
     }
 
     #[test]

@@ -105,8 +105,15 @@ struct DirectCtx {
     /// How long to wait for data-plane completeness before reporting
     /// [`Message::StepFailed`].
     data_timeout: Duration,
-    /// Total cluster members (partition → worker routing: `pid % members`).
+    /// Total cluster members. Fallback partition → worker routing when no
+    /// [`Message::MapUpdate`] has arrived for the current epoch:
+    /// `pid % members` (the initial assignment the coordinator's placement
+    /// map starts from).
     members: u64,
+    /// Partition → worker assignment installed by [`Message::MapUpdate`];
+    /// empty until one arrives for the current epoch. Routing consults this
+    /// first — it is what lets partitions live anywhere after a rebalance.
+    assignment: Vec<u64>,
     /// Outgoing data-plane links: `(peer worker, stream)`. A write failure
     /// drops the link; the coordinator's failure detector owns the rest.
     links: Vec<(u64, TcpStream)>,
@@ -246,7 +253,11 @@ fn serve(
                     );
                     // Survivors keep their cached state across a membership
                     // change; the coordinator pushes authoritative state in
-                    // the StepReset that follows a failure anyway.
+                    // the StepReset that follows a failure anyway. The
+                    // placement assignment is NOT kept: ownership may have
+                    // moved under the new epoch, so routing falls back to
+                    // `pid % members` until the MapUpdate that follows every
+                    // Membership broadcast re-installs it.
                     let state = ctx.take().map(|c| c.state).unwrap_or_default();
                     ctx = Some(DirectCtx {
                         epoch,
@@ -254,9 +265,51 @@ fn serve(
                         ship_outbound: ship_outbound != 0,
                         data_timeout: Duration::from_millis(data_timeout_ms),
                         members: peers.len() as u64,
+                        assignment: Vec::new(),
                         links,
                         state,
                     });
+                    write_frame(&mut stream, &Message::Welcome, None)?;
+                }
+                Message::MapUpdate { epoch, version, assignment } => {
+                    let direct = ctx.as_mut().ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "MapUpdate before Membership")
+                    })?;
+                    if epoch == direct.epoch {
+                        wlog(
+                            worker,
+                            None,
+                            "map_update",
+                            &format!("epoch={epoch} version={version} pids={}", assignment.len()),
+                        );
+                        direct.assignment = assignment;
+                    } else {
+                        // A stale map (raced with a newer Membership) must
+                        // not overwrite routing, but the coordinator still
+                        // waits for the ack.
+                        wlog(
+                            worker,
+                            None,
+                            "map_update_stale",
+                            &format!("epoch={epoch} current={}", direct.epoch),
+                        );
+                    }
+                    write_frame(&mut stream, &Message::Welcome, None)?;
+                }
+                Message::WorkerJoin { worker: id, superstep } => {
+                    // Informational: this worker was spawned into a
+                    // computation already at `superstep`. Partitions arrive
+                    // via LoadProgram, state via StepReset.
+                    wlog(Some(id), Some(superstep), "worker_join", "");
+                    write_frame(&mut stream, &Message::Welcome, None)?;
+                }
+                Message::Drain { superstep } => {
+                    // Planned departure at a superstep barrier. All
+                    // data-plane output of the last superstep was flushed
+                    // before its StepDones were written, so there is nothing
+                    // left in flight: acknowledge and wait for the Shutdown
+                    // that follows.
+                    wlog(worker, Some(superstep), "drain", "");
                     write_frame(&mut stream, &Message::Welcome, None)?;
                 }
                 Message::StepGo { superstep, step, inbound_superstep, pids } => {
@@ -606,7 +659,12 @@ fn run_direct_step(
         let exchange_start = Instant::now();
         let shuffled = out.outbound.len() as u64;
         for &msg in &out.outbound {
-            let dest = (msg.1 % ctx.parallelism) % ctx.members;
+            let dest_pid = msg.1 % ctx.parallelism;
+            // Ownership comes from the coordinator's placement map when one
+            // was shipped for this epoch; the modulo fallback matches the
+            // map's initial assignment.
+            let dest =
+                ctx.assignment.get(dest_pid as usize).copied().unwrap_or(dest_pid % ctx.members);
             if dest == worker {
                 self_msgs.push(msg);
             } else {

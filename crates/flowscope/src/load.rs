@@ -164,6 +164,20 @@ fn parse_event(v: &Value) -> std::result::Result<Option<JournalEvent>, String> {
             worker: u64_field(v, "worker")? as usize,
             reconnect_attempts: u32_field(v, "reconnect_attempts")?,
         },
+        "WorkerJoined" => JournalEvent::WorkerJoined {
+            superstep: u32_field(v, "superstep")?,
+            worker: u64_field(v, "worker")? as usize,
+        },
+        "RebalanceStarted" => JournalEvent::RebalanceStarted {
+            superstep: u32_field(v, "superstep")?,
+            from_workers: u64_field(v, "from_workers")? as usize,
+            to_workers: u64_field(v, "to_workers")? as usize,
+        },
+        "RebalanceCompleted" => JournalEvent::RebalanceCompleted {
+            superstep: u32_field(v, "superstep")?,
+            moved_partitions: u64_field(v, "moved_partitions")? as usize,
+            reshipped_bytes: u64_field(v, "reshipped_bytes")?,
+        },
         "RecoveryCost" => JournalEvent::RecoveryCost {
             superstep: u32_field(v, "superstep")?,
             worker: u64_field(v, "worker")? as usize,
@@ -400,6 +414,11 @@ mod tests {
         "{\"event\":\"WorkerSpan\",\"superstep\":0,\"worker\":0,\"seq\":0,\"pid\":0,",
         "\"span\":\"compute\",\"records\":4,\"duration_ns\":1500}\n",
         "{\"event\":\"WorkerRejoined\",\"superstep\":1,\"worker\":1,\"reconnect_attempts\":2}\n",
+        "{\"event\":\"RebalanceStarted\",\"superstep\":1,\"from_workers\":2,\"to_workers\":4}\n",
+        "{\"event\":\"WorkerJoined\",\"superstep\":1,\"worker\":2}\n",
+        "{\"event\":\"WorkerJoined\",\"superstep\":1,\"worker\":3}\n",
+        "{\"event\":\"RebalanceCompleted\",\"superstep\":1,\"moved_partitions\":2,",
+        "\"reshipped_bytes\":2048}\n",
         "{\"event\":\"RecoveryCost\",\"superstep\":1,\"worker\":1,\"detection\":\"heartbeat\",",
         "\"detect_ns\":500000,\"respawn_ns\":2000000,\"reshipped_bytes\":4096}\n",
         "{\"event\":\"RunCompleted\",\"supersteps\":1,\"iterations\":1,\"converged\":true}\n",

@@ -169,6 +169,12 @@ pub enum WorkerEvent {
         /// Connection attempts the backoff loop needed.
         reconnect_attempts: u32,
     },
+    /// A worker process joined at a superstep barrier because of a planned
+    /// elastic scale-up (vs. `Rejoined`, the unplanned-loss replacement).
+    Joined {
+        /// Index of the worker process that joined.
+        worker: usize,
+    },
 }
 
 impl WorkerEvent {
@@ -180,6 +186,40 @@ impl WorkerEvent {
             }
             WorkerEvent::Rejoined { worker, reconnect_attempts } => {
                 format!("worker {worker} rejoined ({reconnect_attempts} attempts)")
+            }
+            WorkerEvent::Joined { worker } => format!("worker {worker} joined (scale-up)"),
+        }
+    }
+}
+
+/// An elastic-rescale milestone (elastic cluster runs only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebalanceMark {
+    /// The placement subsystem began rewriting the partition map.
+    Started {
+        /// Worker count before the rescale.
+        from_workers: usize,
+        /// Worker count after the rescale.
+        to_workers: usize,
+    },
+    /// The new map is installed and every moved partition was re-shipped.
+    Completed {
+        /// Partitions whose owner changed.
+        moved_partitions: usize,
+        /// Bytes the planned reship moved.
+        reshipped_bytes: u64,
+    },
+}
+
+impl RebalanceMark {
+    /// Short label for timeline annotations.
+    pub fn label(&self) -> String {
+        match self {
+            RebalanceMark::Started { from_workers, to_workers } => {
+                format!("rescale {from_workers}->{to_workers} workers")
+            }
+            RebalanceMark::Completed { moved_partitions, reshipped_bytes } => {
+                format!("rebalanced: {moved_partitions} moved, {reshipped_bytes}B reshipped")
             }
         }
     }
@@ -265,6 +305,11 @@ pub struct SuperstepRow {
     /// Recovery bills charged to this superstep's failures (cluster runs
     /// only).
     pub recovery_costs: Vec<RecoveryCostMark>,
+    /// Elastic-rescale milestones fired at the barrier before this
+    /// superstep's dispatch (elastic cluster runs only). Like chaos marks,
+    /// they precede the row's `SuperstepCompleted` in the journal, so they
+    /// are buffered and attached when the row is created.
+    pub rebalances: Vec<RebalanceMark>,
     /// Serving-engine epoch events (mutation batches, re-convergence
     /// summaries, queries) that happened after this superstep (serve runs
     /// only).
@@ -329,6 +374,11 @@ impl RunModel {
         // open, so they attach to the next row to complete — the superstep
         // they actually disturbed (or its redo).
         let mut pending_chaos: Vec<ChaosMark> = Vec::new();
+        // Rescales fire at the barrier before a superstep's dispatch, so
+        // their marks (and the joins they caused) attach forward to the
+        // first post-scale row.
+        let mut pending_rebalances: Vec<RebalanceMark> = Vec::new();
+        let mut pending_joins: Vec<WorkerEvent> = Vec::new();
         for event in events {
             match event {
                 JournalEvent::RunStarted { mode, parallelism, .. } => {
@@ -354,6 +404,8 @@ impl RunModel {
                         workset_size: *workset_size,
                         worker_spans,
                         chaos: std::mem::take(&mut pending_chaos),
+                        rebalances: std::mem::take(&mut pending_rebalances),
+                        worker_events: std::mem::take(&mut pending_joins),
                         ..Default::default()
                     });
                 }
@@ -393,6 +445,21 @@ impl RunModel {
                             reconnect_attempts: *reconnect_attempts,
                         });
                     }
+                }
+                JournalEvent::WorkerJoined { worker, .. } => {
+                    pending_joins.push(WorkerEvent::Joined { worker: *worker });
+                }
+                JournalEvent::RebalanceStarted { from_workers, to_workers, .. } => {
+                    pending_rebalances.push(RebalanceMark::Started {
+                        from_workers: *from_workers,
+                        to_workers: *to_workers,
+                    });
+                }
+                JournalEvent::RebalanceCompleted { moved_partitions, reshipped_bytes, .. } => {
+                    pending_rebalances.push(RebalanceMark::Completed {
+                        moved_partitions: *moved_partitions,
+                        reshipped_bytes: *reshipped_bytes,
+                    });
                 }
                 JournalEvent::WorkerSpan {
                     superstep,
@@ -586,6 +653,15 @@ impl RunModel {
         self.rows.iter().map(|r| r.chaos.len()).sum()
     }
 
+    /// Supersteps whose dispatch a completed rescale preceded.
+    pub fn rebalance_supersteps(&self) -> Vec<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.rebalances.iter().any(|m| matches!(m, RebalanceMark::Completed { .. })))
+            .map(|r| r.superstep)
+            .collect()
+    }
+
     /// Distinct worker ids that reported spans, ascending (cluster runs
     /// only — empty for single-process journals).
     pub fn span_workers(&self) -> Vec<usize> {
@@ -708,6 +784,40 @@ mod tests {
         assert!(model.rows[1].worker_events.is_empty());
         assert_eq!(model.rows[0].worker_events[0].label(), "worker 1 LOST p[1, 3]");
         assert_eq!(model.rows[0].worker_events[1].label(), "worker 1 rejoined (3 attempts)");
+    }
+
+    #[test]
+    fn rebalance_marks_attach_to_the_first_post_scale_row() {
+        let events = vec![
+            step(0, 0),
+            JournalEvent::RebalanceStarted { superstep: 1, from_workers: 2, to_workers: 4 },
+            JournalEvent::WorkerJoined { superstep: 1, worker: 2 },
+            JournalEvent::WorkerJoined { superstep: 1, worker: 3 },
+            JournalEvent::RebalanceCompleted {
+                superstep: 1,
+                moved_partitions: 2,
+                reshipped_bytes: 512,
+            },
+            step(1, 1),
+            JournalEvent::RunCompleted { supersteps: 2, iterations: 2, converged: true },
+        ];
+        let model = RunModel::from_events(&events);
+        assert!(model.rows[0].rebalances.is_empty());
+        assert_eq!(
+            model.rows[1].rebalances,
+            vec![
+                RebalanceMark::Started { from_workers: 2, to_workers: 4 },
+                RebalanceMark::Completed { moved_partitions: 2, reshipped_bytes: 512 },
+            ]
+        );
+        assert_eq!(
+            model.rows[1].worker_events,
+            vec![WorkerEvent::Joined { worker: 2 }, WorkerEvent::Joined { worker: 3 }]
+        );
+        assert_eq!(model.rows[1].rebalances[0].label(), "rescale 2->4 workers");
+        assert_eq!(model.rows[1].rebalances[1].label(), "rebalanced: 2 moved, 512B reshipped");
+        assert_eq!(model.rows[1].worker_events[0].label(), "worker 2 joined (scale-up)");
+        assert_eq!(model.rebalance_supersteps(), vec![1]);
     }
 
     #[test]

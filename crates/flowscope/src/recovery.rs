@@ -15,7 +15,7 @@
 use telemetry::PartitionId;
 
 use crate::load::ReportSummary;
-use crate::model::{ChaosMark, RecoveryAction, RunModel, SnapshotMark, WorkerEvent};
+use crate::model::{ChaosMark, RebalanceMark, RecoveryAction, RunModel, SnapshotMark, WorkerEvent};
 use crate::timeline::format_ns;
 
 /// The cost of one worker outage, attributed to the superstep it
@@ -42,11 +42,31 @@ pub struct RecoveryBill {
     pub lost_partitions: Vec<PartitionId>,
 }
 
+/// The cost of one *planned* rescale — an elastic scale event, billed
+/// separately from the unplanned [`RecoveryBill`]s so "what did elasticity
+/// cost" and "what did failures cost" stay distinguishable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceBill {
+    /// Superstep whose dispatch the rescale preceded.
+    pub superstep: u32,
+    /// Worker count before the rescale.
+    pub from_workers: usize,
+    /// Worker count after the rescale.
+    pub to_workers: usize,
+    /// Partitions whose owner changed.
+    pub moved_partitions: usize,
+    /// Bytes the planned reship moved.
+    pub reshipped_bytes: u64,
+}
+
 /// A whole run's recovery accounting.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
     /// One bill per worker outage, in journal order.
     pub bills: Vec<RecoveryBill>,
+    /// One bill per elastic rescale, in journal order — planned reships,
+    /// kept apart from the unplanned outage bills above.
+    pub rebalances: Vec<RebalanceBill>,
     /// Failures recorded in the journal (includes single-process injected
     /// failures that carry no worker bill).
     pub failures: u32,
@@ -86,6 +106,11 @@ impl RecoveryReport {
     pub fn total_recomputed(&self) -> u32 {
         self.bills.iter().map(|b| b.supersteps_recomputed).sum()
     }
+
+    /// Sum of *planned* re-shipped bytes across rescales.
+    pub fn total_planned_reshipped_bytes(&self) -> u64 {
+        self.rebalances.iter().map(|b| b.reshipped_bytes).sum()
+    }
 }
 
 /// Supersteps a failure at `row` forced the engine to recompute.
@@ -121,6 +146,27 @@ pub fn build_recovery_report(model: &RunModel, report: Option<&ReportSummary>) -
     };
     for row in &model.rows {
         out.chaos.extend(row.chaos.iter().cloned());
+        // A Started/Completed pair journals per rescale; pair them up in
+        // order. A Started with no Completed (journal truncated mid-scale)
+        // is dropped.
+        let mut pending_scale: Option<(usize, usize)> = None;
+        for mark in &row.rebalances {
+            match mark {
+                RebalanceMark::Started { from_workers, to_workers } => {
+                    pending_scale = Some((*from_workers, *to_workers));
+                }
+                RebalanceMark::Completed { moved_partitions, reshipped_bytes } => {
+                    let (from_workers, to_workers) = pending_scale.take().unwrap_or((0, 0));
+                    out.rebalances.push(RebalanceBill {
+                        superstep: row.superstep,
+                        from_workers,
+                        to_workers,
+                        moved_partitions: *moved_partitions,
+                        reshipped_bytes: *reshipped_bytes,
+                    });
+                }
+            }
+        }
         for snapshot in &row.snapshots {
             if let SnapshotMark::Completed { bytes, .. } = snapshot {
                 out.snapshot_epochs += 1;
@@ -173,8 +219,30 @@ pub fn render_recovery(report: &RecoveryReport) -> String {
             report.snapshot_epochs, report.snapshot_bytes,
         ));
     }
+    if !report.rebalances.is_empty() {
+        out.push_str(&format!(
+            "planned rescales: {} event(s), {}B reshipped (planned)\n",
+            report.rebalances.len(),
+            report.total_planned_reshipped_bytes(),
+        ));
+        for bill in &report.rebalances {
+            out.push_str(&format!(
+                "  s{:>3} rescale {}->{} workers  moved {:>2} partition(s)  \
+                 reshipped {:>8}B (planned)\n",
+                bill.superstep,
+                bill.from_workers,
+                bill.to_workers,
+                bill.moved_partitions,
+                bill.reshipped_bytes,
+            ));
+        }
+    }
     if report.bills.is_empty() && report.failures == 0 {
-        out.push_str("  no failures recorded; nothing to account\n");
+        if report.rebalances.is_empty() {
+            out.push_str("  no failures recorded; nothing to account\n");
+        } else {
+            out.push_str("  no unplanned failures; all reships above were scheduled\n");
+        }
         return out;
     }
     for bill in &report.bills {
@@ -193,7 +261,8 @@ pub fn render_recovery(report: &RecoveryReport) -> String {
     }
     if !report.bills.is_empty() {
         out.push_str(&format!(
-            "totals: detect {}  respawn {}  reshipped {}B  recomputed {} superstep(s)\n",
+            "totals: detect {}  respawn {}  reshipped {}B (unplanned)  \
+             recomputed {} superstep(s)\n",
             format_ns(report.total_detect_ns()),
             format_ns(report.total_respawn_ns()),
             report.total_reshipped_bytes(),
@@ -290,6 +359,47 @@ mod tests {
         assert!(text.contains("chaos plane: 1 injection(s)"), "{text}");
         assert!(text.contains("chaos kill w1"), "{text}");
         assert!(text.contains("async snapshots: 1 epoch(s) completed, 512B persisted"), "{text}");
+    }
+
+    #[test]
+    fn planned_rescales_bill_separately_from_outages() {
+        let mut model = cluster_model();
+        model.rows[2].rebalances = vec![
+            RebalanceMark::Started { from_workers: 2, to_workers: 4 },
+            RebalanceMark::Completed { moved_partitions: 2, reshipped_bytes: 1024 },
+        ];
+        let report = build_recovery_report(&model, None);
+        assert_eq!(
+            report.rebalances,
+            vec![RebalanceBill {
+                superstep: 2,
+                from_workers: 2,
+                to_workers: 4,
+                moved_partitions: 2,
+                reshipped_bytes: 1024,
+            }]
+        );
+        assert_eq!(report.total_planned_reshipped_bytes(), 1024);
+        assert_eq!(report.total_reshipped_bytes(), 2048, "unplanned total excludes the rescale");
+        let text = render_recovery(&report);
+        assert!(text.contains("planned rescales: 1 event(s), 1024B reshipped (planned)"), "{text}");
+        assert!(text.contains("rescale 2->4 workers"), "{text}");
+        assert!(text.contains("2048B (unplanned)"), "{text}");
+    }
+
+    #[test]
+    fn failure_free_elastic_runs_note_the_scheduled_reships() {
+        let mut model = RunModel::default();
+        model.rows.push(SuperstepRow {
+            superstep: 0,
+            rebalances: vec![
+                RebalanceMark::Started { from_workers: 2, to_workers: 3 },
+                RebalanceMark::Completed { moved_partitions: 1, reshipped_bytes: 64 },
+            ],
+            ..Default::default()
+        });
+        let text = render_recovery(&build_recovery_report(&model, None));
+        assert!(text.contains("all reships above were scheduled"), "{text}");
     }
 
     #[test]

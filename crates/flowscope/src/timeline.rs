@@ -85,6 +85,9 @@ fn annotations(row: &SuperstepRow) -> String {
     for event in &row.serve_events {
         notes.push(event.label());
     }
+    for mark in &row.rebalances {
+        notes.push(mark.label());
+    }
     for mark in &row.chaos {
         notes.push(mark.label());
     }
@@ -319,6 +322,21 @@ mod tests {
         let bar_len = |line: &str| line.chars().filter(|&c| c == COMPUTE).count();
         let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('s')).collect();
         assert!(bar_len(lines[0]) > bar_len(lines[1]), "{text}");
+    }
+
+    #[test]
+    fn rescale_markers_render_inline() {
+        use crate::model::RebalanceMark;
+        let mut model = model_with_failure();
+        model.rows[1].rebalances = vec![
+            RebalanceMark::Started { from_workers: 2, to_workers: 4 },
+            RebalanceMark::Completed { moved_partitions: 2, reshipped_bytes: 1024 },
+        ];
+        model.rows[1].worker_events.push(WorkerEvent::Joined { worker: 2 });
+        let text = render_timeline(&model, None);
+        assert!(text.contains("rescale 2->4 workers"), "{text}");
+        assert!(text.contains("rebalanced: 2 moved, 1024B reshipped"), "{text}");
+        assert!(text.contains("worker 2 joined (scale-up)"), "{text}");
     }
 
     #[test]

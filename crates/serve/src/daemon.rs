@@ -105,6 +105,10 @@ pub fn apply_command(engine: &mut ServeEngine, command: &Command) -> (String, bo
             let algorithm = engine_algorithm(engine);
             (format!("ok {}", format_top(algorithm, &engine.top(*n))), false)
         }
+        Command::Scale(n) => match engine.set_scale_target(*n) {
+            Ok(target) => (format!("ok scale target {target}"), false),
+            Err(message) => (format!("err {message}"), false),
+        },
         Command::Stats => {
             let algorithm = engine_algorithm(engine);
             let queries = engine.telemetry().metrics().counter("serve/queries").get();
@@ -279,7 +283,7 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
             });
             (format!("ok {}", format_top(shared.algorithm, &entries)), false)
         }
-        Command::Insert(_, _) | Command::Delete(_, _) | Command::Commit => {
+        Command::Insert(_, _) | Command::Delete(_, _) | Command::Commit | Command::Scale(_) => {
             let result = shared.engine.lock().map_err(lock_poisoned).map(|mut engine| {
                 let response = match command {
                     Command::Insert(u, v) => {
@@ -295,6 +299,10 @@ fn dispatch(command: &Command, shared: &Shared) -> (String, bool) {
                             shared.publish(engine.snapshot());
                             format!("ok {}", format_commit(&report))
                         }
+                        Err(message) => format!("err {message}"),
+                    },
+                    Command::Scale(n) => match engine.set_scale_target(*n) {
+                        Ok(target) => format!("ok scale target {target}"),
                         Err(message) => format!("err {message}"),
                     },
                     _ => unreachable!("query commands handled above"),
@@ -357,6 +365,15 @@ mod tests {
         assert_eq!(responses[4], "ok top 0:6 6:6");
         assert_eq!(responses[5], "ok stats algo cc epoch 1 vertices 12 staged 0 queries 3");
         assert_eq!(responses[6], "ok bye");
+    }
+
+    #[test]
+    fn scale_on_a_non_elastic_engine_is_an_error() {
+        let mut engine = bootstrap_cc();
+        let (response, quit) = apply_command(&mut engine, &Command::Scale(3));
+        assert!(response.starts_with("err "), "{response}");
+        assert!(response.contains("not elastic"), "{response}");
+        assert!(!quit);
     }
 
     #[test]

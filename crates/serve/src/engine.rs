@@ -20,11 +20,12 @@
 //! corrupts what queries see.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use algos::common::FtConfig;
 use algos::connected_components::{self as cc, CcConfig, CcSeed, Label};
 use algos::pagerank::{self as pr, PrConfig, Rank};
-use cluster::{ClusterConfig, KillPlan};
+use cluster::{ClusterConfig, KillPlan, ScaleEvent};
 use dataflow::stats::RunStats;
 use graphs::{Graph, VertexId};
 use recovery::scenario::FailureScenario;
@@ -88,6 +89,24 @@ pub enum InjectionKind {
     },
 }
 
+/// Elastic worker range for cluster-backed epochs
+/// (`optirec serve --min-workers/--max-workers`).
+///
+/// When set, every epoch — bootstrap included — runs on real worker
+/// processes, and the [`ElasticController`] decides how many. Planned
+/// rescales fire at the epoch's first superstep barrier and ride the same
+/// `LoadProgram` reship path recovery uses, journalled as
+/// `RebalanceStarted`/`WorkerJoined`/`RebalanceCompleted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticRange {
+    /// Smallest cluster the controller will shrink to (also the bootstrap
+    /// size). Must be at least 1.
+    pub min_workers: usize,
+    /// Largest cluster the controller will grow to. Must be at least
+    /// `min_workers` and at most the parallelism.
+    pub max_workers: usize,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -103,6 +122,9 @@ pub struct ServeConfig {
     pub telemetry: SinkHandle,
     /// Optional failure injection into one epoch.
     pub inject: Option<EpochInjection>,
+    /// Optional elastic worker range: when set, epochs run on worker
+    /// processes sized by the load-driven [`ElasticController`].
+    pub elastic: Option<ElasticRange>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +136,83 @@ impl Default for ServeConfig {
             epsilon: 1e-9,
             telemetry: SinkHandle::disabled(),
             inject: None,
+            elastic: None,
+        }
+    }
+}
+
+/// Epoch wall-clock (milliseconds) above which the controller grows the
+/// cluster by one worker.
+pub const GROW_ABOVE_MS: u64 = 500;
+
+/// Epoch wall-clock (milliseconds) below which the controller shrinks the
+/// cluster by one worker toward the minimum.
+pub const SHRINK_BELOW_MS: u64 = 50;
+
+/// The load-driven scaling controller: a pure state machine deciding how
+/// many workers the next epoch runs on.
+///
+/// It tracks the worker count the last epoch actually ran with (`workers`)
+/// and the desired count for the next one (`target`). The two diverge when
+/// an operator issues a `scale N` verb or when an epoch's wall time crosses
+/// the [`GROW_ABOVE_MS`]/[`SHRINK_BELOW_MS`] thresholds; the next committed
+/// epoch then starts on the old membership and rescales to the target at
+/// its first superstep barrier — a planned rebalance, not a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticController {
+    min: usize,
+    max: usize,
+    /// Worker count of the last epoch that ran (rescales included).
+    workers: usize,
+    /// Desired worker count for the next epoch.
+    target: usize,
+}
+
+impl ElasticController {
+    /// A controller starting (and bootstrapping) at `range.min_workers`.
+    pub fn new(range: ElasticRange) -> Self {
+        ElasticController {
+            min: range.min_workers,
+            max: range.max_workers,
+            workers: range.min_workers,
+            target: range.min_workers,
+        }
+    }
+
+    /// Worker count the cluster currently has (last applied).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Desired worker count for the next epoch.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Operator override (`scale N`): clamps to the elastic range and
+    /// returns the effective target.
+    pub fn set_target(&mut self, n: usize) -> usize {
+        self.target = n.clamp(self.min, self.max);
+        self.target
+    }
+
+    /// The next epoch's cluster plan: the worker count to start on, plus
+    /// the rescale target to apply at the epoch's first superstep barrier
+    /// (`None` when the cluster is already at target).
+    pub fn plan(&self) -> (usize, Option<usize>) {
+        (self.workers, (self.target != self.workers).then_some(self.target))
+    }
+
+    /// Record a successfully finished epoch (its planned rescale, if any,
+    /// has been applied) and nudge the target by its wall time: grow one
+    /// worker under latency pressure, shrink one toward the minimum when
+    /// nearly idle.
+    pub fn observe(&mut self, epoch_wall_ms: u64) {
+        self.workers = self.target;
+        if epoch_wall_ms > GROW_ABOVE_MS && self.target < self.max {
+            self.target += 1;
+        } else if epoch_wall_ms < SHRINK_BELOW_MS && self.target > self.min {
+            self.target -= 1;
         }
     }
 }
@@ -232,13 +331,38 @@ pub struct ServeEngine {
     solution: Solution,
     staged_inserts: Vec<(VertexId, VertexId)>,
     staged_deletes: Vec<(VertexId, VertexId)>,
+    /// Present iff `config.elastic` is: sizes every cluster-backed epoch.
+    elastic: Option<ElasticController>,
 }
 
 impl ServeEngine {
     /// Bootstrap: converge cold over the initial graph (epoch 0). CC
     /// expects an undirected graph, PageRank a directed one — same contract
-    /// as the batch runners.
+    /// as the batch runners. With [`ServeConfig::elastic`] set the bootstrap
+    /// (and every later epoch) runs on worker processes, starting at
+    /// `min_workers`.
     pub fn bootstrap(config: ServeConfig, graph: &Graph) -> Result<(Self, EpochReport), String> {
+        let elastic = match config.elastic {
+            Some(range) => {
+                if range.min_workers == 0 {
+                    return Err("elastic range needs at least one worker".to_string());
+                }
+                if range.min_workers > range.max_workers {
+                    return Err(format!(
+                        "elastic range is empty: min {} > max {}",
+                        range.min_workers, range.max_workers
+                    ));
+                }
+                if range.max_workers > config.parallelism {
+                    return Err(format!(
+                        "elastic max {} exceeds parallelism {}",
+                        range.max_workers, config.parallelism
+                    ));
+                }
+                Some(ElasticController::new(range))
+            }
+            None => None,
+        };
         let live = LiveGraph::from_graph(graph);
         let mut engine = ServeEngine {
             config,
@@ -247,8 +371,13 @@ impl ServeEngine {
             solution: Solution::Components(Vec::new()),
             staged_inserts: Vec::new(),
             staged_deletes: Vec::new(),
+            elastic,
         };
+        let started = Instant::now();
         let (solution, stats) = engine.converge(graph, None)?;
+        if let Some(controller) = &mut engine.elastic {
+            controller.observe(started.elapsed().as_millis() as u64);
+        }
         engine.solution = solution;
         let report = EpochReport {
             epoch: 0,
@@ -279,6 +408,30 @@ impl ServeEngine {
     /// Number of staged (uncommitted) mutations.
     pub fn staged(&self) -> usize {
         self.staged_inserts.len() + self.staged_deletes.len()
+    }
+
+    /// Current cluster worker count, `None` when the engine is not elastic.
+    pub fn workers(&self) -> Option<usize> {
+        self.elastic.as_ref().map(ElasticController::workers)
+    }
+
+    /// The controller's target worker count for the next epoch, `None` when
+    /// the engine is not elastic.
+    pub fn scale_target(&self) -> Option<usize> {
+        self.elastic.as_ref().map(ElasticController::target)
+    }
+
+    /// The `scale N` verb: set the target worker count for the next epoch,
+    /// clamped to the elastic range. The rescale itself happens at the next
+    /// commit's first superstep barrier. Errors when the engine was started
+    /// without an elastic range.
+    pub fn set_scale_target(&mut self, n: usize) -> Result<usize, String> {
+        match &mut self.elastic {
+            Some(controller) => Ok(controller.set_target(n)),
+            None => {
+                Err("engine is not elastic (serve without --min-workers/--max-workers)".to_string())
+            }
+        }
     }
 
     /// An immutable view of the maintained solution.
@@ -360,11 +513,19 @@ impl ServeEngine {
             seeded,
         });
 
-        let report = if inserts == 0 && deletes == 0 {
+        // A pending `scale N` makes even an empty commit run its epoch: the
+        // rescale fires at the epoch's first barrier, so committing is how
+        // an operator forces the resize through.
+        let pending_rescale = self.elastic.as_ref().is_some_and(|c| c.plan().1.is_some());
+        let report = if inserts == 0 && deletes == 0 && !pending_rescale {
             // Nothing changed: the previous fixpoint is still the fixpoint.
             EpochReport { epoch, inserts: 0, deletes: 0, seeded: 0, supersteps: 0, converged: true }
         } else {
+            let started = Instant::now();
             let (solution, stats) = self.converge_at(&graph, Some(&seed), epoch)?;
+            if let Some(controller) = &mut self.elastic {
+                controller.observe(started.elapsed().as_millis() as u64);
+            }
             self.solution = solution;
             EpochReport {
                 epoch,
@@ -487,8 +648,16 @@ impl ServeEngine {
             }
             None => {}
         }
+        if let Some(controller) = &self.elastic {
+            // Elastic engines run every epoch on the cluster; the controller
+            // decides the worker count (an injected ClusterKill's worker
+            // count is ignored, its kill plan rides along).
+            let (workers, rescale_to) = controller.plan();
+            let kill = cluster_kill.map(|(_, kill)| kill);
+            return self.converge_on_cluster(graph, seed, workers, kill, rescale_to);
+        }
         if let Some((workers, kill)) = cluster_kill {
-            return self.converge_on_cluster(graph, seed, workers, kill);
+            return self.converge_on_cluster(graph, seed, workers, Some(kill), None);
         }
 
         let ft =
@@ -543,20 +712,28 @@ impl ServeEngine {
         }
     }
 
-    /// The cluster SIGKILL injector: run the epoch on real worker processes,
-    /// warm-started from the seed, and let the coordinator's network-level
-    /// detection plus the optimistic handler absorb the kill.
+    /// The cluster epoch path: run the epoch on real worker processes,
+    /// warm-started from the seed. Used by the SIGKILL injector (the
+    /// coordinator's network-level detection plus the optimistic handler
+    /// absorb the kill) and by elastic engines, whose planned rescale — if
+    /// any — fires at the epoch's first superstep barrier.
     fn converge_on_cluster(
         &self,
         graph: &Graph,
         seed: Option<&EpochSeed>,
         workers: usize,
-        kill: KillPlan,
+        kill: Option<KillPlan>,
+        rescale_to: Option<usize>,
     ) -> Result<(Solution, RunStats), String> {
         let mut cfg =
             ClusterConfig::new(workers, self.config.parallelism, self.config.max_iterations)
                 .with_env_timing();
-        cfg = cfg.with_kill(kill);
+        if let Some(kill) = kill {
+            cfg = cfg.with_kill(kill);
+        }
+        if let Some(target) = rescale_to {
+            cfg = cfg.with_scale_event(ScaleEvent { superstep: 0, workers: target });
+        }
         let program = match self.config.algorithm {
             ServeAlgorithm::ConnectedComponents => "cc",
             ServeAlgorithm::PageRank => "pagerank",
@@ -756,6 +933,59 @@ mod tests {
             }
         }
         assert_eq!(labels_of(&engine), cold_cc(&expected.build()));
+    }
+
+    #[test]
+    fn elastic_controller_plans_rescales_and_tracks_load() {
+        let mut c = ElasticController::new(ElasticRange { min_workers: 2, max_workers: 4 });
+        assert_eq!((c.workers(), c.target()), (2, 2));
+        assert_eq!(c.plan(), (2, None), "already at target: no rescale");
+
+        // Operator override clamps to the range and plans a rescale.
+        assert_eq!(c.set_target(9), 4);
+        assert_eq!(c.plan(), (2, Some(4)), "epoch starts on 2 workers, rescales to 4");
+        c.observe(100);
+        assert_eq!(c.workers(), 4, "observe applies the rescale");
+        assert_eq!(c.plan(), (4, None));
+
+        // Idle epochs shrink one worker at a time toward the minimum.
+        c.observe(SHRINK_BELOW_MS - 1);
+        assert_eq!(c.plan(), (4, Some(3)));
+        c.observe(SHRINK_BELOW_MS - 1);
+        c.observe(SHRINK_BELOW_MS - 1);
+        assert_eq!((c.workers(), c.target()), (2, 2), "shrink stops at min");
+
+        // Latency pressure grows one worker at a time up to the maximum.
+        c.observe(GROW_ABOVE_MS + 1);
+        assert_eq!(c.plan(), (2, Some(3)));
+        assert_eq!(c.set_target(0), 2, "scale below min clamps up");
+    }
+
+    #[test]
+    fn elastic_ranges_are_validated_at_bootstrap() {
+        let graph = graphs::generators::path(8);
+        let bad = |min_workers, max_workers| {
+            let config = ServeConfig {
+                elastic: Some(ElasticRange { min_workers, max_workers }),
+                ..Default::default()
+            };
+            match ServeEngine::bootstrap(config, &graph) {
+                Ok(_) => panic!("elastic range {min_workers}..={max_workers} must be rejected"),
+                Err(message) => message,
+            }
+        };
+        assert!(bad(0, 2).contains("at least one worker"));
+        assert!(bad(3, 2).contains("min 3 > max 2"));
+        assert!(bad(2, 9).contains("exceeds parallelism 4"));
+    }
+
+    #[test]
+    fn scale_verbs_require_an_elastic_engine() {
+        let graph = graphs::generators::path(8);
+        let (mut engine, _) = cc_engine(&graph);
+        assert_eq!(engine.workers(), None);
+        assert_eq!(engine.scale_target(), None);
+        assert!(engine.set_scale_target(3).unwrap_err().contains("not elastic"));
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod mutation;
 
 pub use daemon::{apply_command, replay, spawn, DaemonHandle};
 pub use engine::{
-    EpochInjection, EpochReport, InjectionKind, PointAnswer, ServeAlgorithm, ServeConfig,
-    ServeEngine, Snapshot, Solution, TopEntry,
+    ElasticController, ElasticRange, EpochInjection, EpochReport, InjectionKind, PointAnswer,
+    ServeAlgorithm, ServeConfig, ServeEngine, Snapshot, Solution, TopEntry,
 };
 pub use live_graph::LiveGraph;
 pub use mutation::{load_replay, parse_line, Command};

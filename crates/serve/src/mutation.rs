@@ -9,6 +9,7 @@
 //! commit        # apply the staged batch: incremental re-convergence
 //! get 17        # point query against the maintained solution set
 //! top 5         # top-N query (largest components / highest ranks)
+//! scale 4       # set the elastic worker target (applies at next commit)
 //! stats         # one-line introspection snapshot (epoch, staged, queries)
 //! quit          # close the connection / end the replay
 //! ```
@@ -34,6 +35,9 @@ pub enum Command {
     Get(VertexId),
     /// Top-N query: `top n`.
     Top(usize),
+    /// Set the elastic worker target (rescales at the next commit):
+    /// `scale n`.
+    Scale(usize),
     /// Live introspection snapshot: `stats`.
     Stats,
     /// End the session: `quit`.
@@ -50,6 +54,7 @@ impl Command {
             Command::Commit => "commit".to_string(),
             Command::Get(v) => format!("get {v}"),
             Command::Top(n) => format!("top {n}"),
+            Command::Scale(n) => format!("scale {n}"),
             Command::Stats => "stats".to_string(),
             Command::Quit => "quit".to_string(),
         }
@@ -82,12 +87,19 @@ pub fn parse_line(raw: &str) -> Result<Option<Command>, String> {
             }
             Command::Top(n)
         }
+        "scale" => {
+            let word = words.next().ok_or("`scale` needs a worker count")?;
+            let n: usize = word.parse().map_err(|_| format!("invalid worker count {word:?}"))?;
+            if n == 0 {
+                return Err("`scale` needs a worker count of at least 1".into());
+            }
+            Command::Scale(n)
+        }
         "stats" => Command::Stats,
         "quit" => Command::Quit,
         other => {
-            return Err(format!(
-                "unknown command {other:?}; expected + | - | commit | get | top | stats | quit"
-            ))
+            let verbs = "+ | - | commit | get | top | scale | stats | quit";
+            return Err(format!("unknown command {other:?}; expected {verbs}"));
         }
     };
     if let Some(extra) = words.next() {
@@ -121,13 +133,14 @@ mod tests {
 
     #[test]
     fn commands_parse_and_roundtrip() {
-        let lines = ["+ 3 17", "- 4 9", "commit", "get 17", "top 5", "stats", "quit"];
+        let lines = ["+ 3 17", "- 4 9", "commit", "get 17", "top 5", "scale 4", "stats", "quit"];
         for raw in lines {
             let command = parse_line(raw).unwrap().unwrap();
             assert_eq!(command.to_line(), raw);
         }
         assert_eq!(parse_line("+ 1 2").unwrap(), Some(Command::Insert(1, 2)));
         assert_eq!(parse_line("top 3").unwrap(), Some(Command::Top(3)));
+        assert_eq!(parse_line("scale 2").unwrap(), Some(Command::Scale(2)));
     }
 
     #[test]
@@ -144,6 +157,8 @@ mod tests {
         assert!(parse_line("get").unwrap_err().contains("needs v"));
         assert!(parse_line("top 0").unwrap_err().contains("at least 1"));
         assert!(parse_line("top x").unwrap_err().contains("invalid count"));
+        assert!(parse_line("scale 0").unwrap_err().contains("at least 1"));
+        assert!(parse_line("scale x").unwrap_err().contains("invalid worker count"));
         assert!(parse_line("+ 1 2 3").unwrap_err().contains("trailing"));
         assert!(parse_line("frob 1").unwrap_err().contains("unknown command"));
     }

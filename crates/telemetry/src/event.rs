@@ -265,6 +265,43 @@ pub enum JournalEvent {
         /// Connection attempts the exponential-backoff reconnect needed.
         reconnect_attempts: u32,
     },
+    /// A worker process joined the live cluster at a superstep barrier
+    /// because of an elastic scale-up — a *planned* membership change, in
+    /// contrast to [`JournalEvent::WorkerRejoined`], which records a
+    /// replacement for an unplanned loss.
+    WorkerJoined {
+        /// Chronological superstep barrier at which the joiner came up. Like
+        /// a rejoin this is a transport-level event with no view of logical
+        /// iterations.
+        superstep: u32,
+        /// Index of the worker process that joined.
+        worker: usize,
+    },
+    /// An elastic rescale began: the placement subsystem is rewriting the
+    /// partition map and the coordinator is about to move partitions over
+    /// the recovery reship path. Closed by the matching
+    /// [`JournalEvent::RebalanceCompleted`] entry.
+    RebalanceStarted {
+        /// Chronological superstep barrier the rescale fires at.
+        superstep: u32,
+        /// Worker count before the rescale.
+        from_workers: usize,
+        /// Worker count after the rescale.
+        to_workers: usize,
+    },
+    /// An elastic rescale finished: the new partition map is installed and
+    /// every moved partition was re-shipped. The byte cost here is a
+    /// *planned* reship — `inspect recovery` bills it separately from the
+    /// unplanned [`JournalEvent::RecoveryCost`] reships.
+    RebalanceCompleted {
+        /// Chronological superstep barrier the rescale fired at.
+        superstep: u32,
+        /// Partitions whose owner changed.
+        moved_partitions: usize,
+        /// Bytes written while rescaling (spawn loads, drains, reloads) —
+        /// dominated by the `LoadProgram` reships of moved partitions.
+        reshipped_bytes: u64,
+    },
     /// Per-failure recovery-cost accounting, emitted by the cluster
     /// coordinator right after the matching [`JournalEvent::WorkerRejoined`]
     /// entry: how long the loss took to detect, how long the respawn took,
@@ -401,6 +438,9 @@ impl JournalEvent {
             JournalEvent::WorkerLost { .. } => "WorkerLost",
             JournalEvent::WorkerSpan { .. } => "WorkerSpan",
             JournalEvent::WorkerRejoined { .. } => "WorkerRejoined",
+            JournalEvent::WorkerJoined { .. } => "WorkerJoined",
+            JournalEvent::RebalanceStarted { .. } => "RebalanceStarted",
+            JournalEvent::RebalanceCompleted { .. } => "RebalanceCompleted",
             JournalEvent::RecoveryCost { .. } => "RecoveryCost",
             JournalEvent::FailureInjected { .. } => "FailureInjected",
             JournalEvent::CompensationApplied { .. } => "CompensationApplied",
@@ -525,6 +565,20 @@ impl JournalEvent {
                 .u64("worker", *worker as u64)
                 .u64("reconnect_attempts", u64::from(*reconnect_attempts))
                 .finish(),
+            JournalEvent::WorkerJoined { superstep, worker } => {
+                obj.u64("superstep", u64::from(*superstep)).u64("worker", *worker as u64).finish()
+            }
+            JournalEvent::RebalanceStarted { superstep, from_workers, to_workers } => obj
+                .u64("superstep", u64::from(*superstep))
+                .u64("from_workers", *from_workers as u64)
+                .u64("to_workers", *to_workers as u64)
+                .finish(),
+            JournalEvent::RebalanceCompleted { superstep, moved_partitions, reshipped_bytes } => {
+                obj.u64("superstep", u64::from(*superstep))
+                    .u64("moved_partitions", *moved_partitions as u64)
+                    .u64("reshipped_bytes", *reshipped_bytes)
+                    .finish()
+            }
             JournalEvent::RecoveryCost {
                 superstep,
                 worker,
@@ -738,6 +792,13 @@ mod tests {
                 lost_partitions: vec![2, 3],
             },
             JournalEvent::WorkerRejoined { superstep: 3, worker: 1, reconnect_attempts: 2 },
+            JournalEvent::WorkerJoined { superstep: 3, worker: 2 },
+            JournalEvent::RebalanceStarted { superstep: 3, from_workers: 2, to_workers: 4 },
+            JournalEvent::RebalanceCompleted {
+                superstep: 3,
+                moved_partitions: 2,
+                reshipped_bytes: 4096,
+            },
             JournalEvent::WorkerSpan {
                 superstep: 2,
                 worker: 1,
@@ -802,6 +863,29 @@ mod tests {
             "{\"event\":\"RecoveryCost\",\"superstep\":5,\"worker\":0,\
              \"detection\":\"read_error\",\"detect_ns\":1000,\"respawn_ns\":2000,\
              \"reshipped_bytes\":512}"
+        );
+    }
+
+    #[test]
+    fn elastic_events_serialize_stably() {
+        let joined = JournalEvent::WorkerJoined { superstep: 6, worker: 3 };
+        assert_eq!(joined.to_json(), "{\"event\":\"WorkerJoined\",\"superstep\":6,\"worker\":3}");
+        let started =
+            JournalEvent::RebalanceStarted { superstep: 6, from_workers: 2, to_workers: 4 };
+        assert_eq!(
+            started.to_json(),
+            "{\"event\":\"RebalanceStarted\",\"superstep\":6,\
+             \"from_workers\":2,\"to_workers\":4}"
+        );
+        let completed = JournalEvent::RebalanceCompleted {
+            superstep: 6,
+            moved_partitions: 2,
+            reshipped_bytes: 2048,
+        };
+        assert_eq!(
+            completed.to_json(),
+            "{\"event\":\"RebalanceCompleted\",\"superstep\":6,\
+             \"moved_partitions\":2,\"reshipped_bytes\":2048}"
         );
     }
 

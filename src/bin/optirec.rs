@@ -393,12 +393,19 @@ fn run_serve(invocation: &cli::ServeInvocation) -> Result<(), String> {
         max_iterations: invocation.max_iterations,
         telemetry,
         inject: invocation.inject.clone(),
+        elastic: invocation.elastic,
         ..Default::default()
     };
     println!(
         "serve {:?} on {:?} (parallelism {})",
         invocation.algorithm, invocation.graph, invocation.parallelism
     );
+    if let Some(range) = invocation.elastic {
+        println!(
+            "elastic: epochs run on {}..={} worker processes (scale verb sets the target)",
+            range.min_workers, range.max_workers
+        );
+    }
     if let Some(inject) = &invocation.inject {
         println!("will inject {:?} into epoch {}", inject.kind, inject.epoch);
     }
@@ -482,6 +489,9 @@ fn run_on_cluster(invocation: &Invocation, workers: usize) -> Result<(), String>
     );
     if let recovery::Strategy::AsyncSnapshot { interval } = invocation.strategy {
         println!("recovery: asynchronous barrier snapshots every {interval} superstep(s)");
+    }
+    for event in &invocation.scale {
+        println!("planned rescale: to {} workers at superstep {}", event.workers, event.superstep);
     }
     for kill in &invocation.chaos.kills {
         println!("will SIGKILL worker {} during superstep {}", kill.worker, kill.superstep);

@@ -134,6 +134,9 @@ pub struct Invocation {
     /// With `--cluster`: the chaos plan assembled from `--kill` flags
     /// (repeatable) and `--chaos` scenario specs.
     pub chaos: cluster::ChaosPlan,
+    /// With `--cluster`: planned membership changes from `--scale` flags
+    /// (repeatable) — the cluster rescales to N workers at superstep S.
+    pub scale: Vec<cluster::ScaleEvent>,
     /// With `--cluster`: heartbeat probe interval in milliseconds.
     pub heartbeat_interval_ms: Option<u64>,
     /// With `--cluster`: heartbeat read timeout in milliseconds — how long a
@@ -201,6 +204,21 @@ pub fn parse_failure(raw: &str) -> Result<(u32, Vec<usize>), String> {
         return Err("failure spec needs at least one partition".into());
     }
     Ok((superstep, partitions))
+}
+
+/// Parse a planned rescale for `--scale`: `SUPERSTEP:WORKERS`.
+pub fn parse_scale(raw: &str) -> Result<cluster::ScaleEvent, String> {
+    let (superstep, workers) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("scale spec must be SUPERSTEP:WORKERS — got {raw:?}"))?;
+    let superstep =
+        superstep.parse().map_err(|_| format!("invalid scale superstep {superstep:?}"))?;
+    let workers: usize =
+        workers.parse().map_err(|_| format!("invalid scale worker count {workers:?}"))?;
+    if workers == 0 {
+        return Err("scale spec needs at least one worker".into());
+    }
+    Ok(cluster::ScaleEvent { superstep, workers })
 }
 
 /// Parse a SIGKILL plan for `--kill`: `SUPERSTEP:WORKER`.
@@ -348,6 +366,7 @@ pub const RUN_FLAGS: &[&str] = &[
     "--cluster",
     "--kill",
     "--chaos",
+    "--scale",
     "--heartbeat-interval-ms",
     "--heartbeat-timeout-ms",
     "--step-timeout-ms",
@@ -386,6 +405,10 @@ OPTIONS:
                           pre-direct baseline)   [direct]
     --kill <S:W>          with --cluster: SIGKILL worker W while superstep S
                           is in flight (repeatable; composes with --chaos)
+    --scale <S:N>         with --cluster: planned rescale to N workers at
+                          superstep S (repeatable) — joiners are spawned and
+                          loaded live, leavers drain gracefully, and moved
+                          partitions re-ship over the recovery path
     --chaos <SPEC>        with --cluster: schedule failure injections.
                           SPEC is `;`-separated scenarios, or @PATH to read
                           them from a file (one per line, # comments):
@@ -407,6 +430,7 @@ EXAMPLES:
     optirec pagerank --graph twitter:50000 --strategy checkpoint:2 --parallelism 8
     optirec cc --journal results/cc_journal.jsonl
     optirec cc --cluster 2 --kill 2:1 --journal results/cluster_journal.jsonl
+    optirec cc --cluster 2 --scale 2:4 --scale 5:2 --journal results/elastic_journal.jsonl
     optirec cc --cluster 3 --strategy async-snapshot:2 --chaos 'kill@2:0,1;slow@3-5:2:50'
     optirec inspect convergence --journal results/cc_journal.jsonl
     optirec inspect recovery --journal results/cluster_journal.jsonl
@@ -625,6 +649,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         journal: None,
         cluster: None,
         chaos: cluster::ChaosPlan::default(),
+        scale: Vec::new(),
         heartbeat_interval_ms: None,
         heartbeat_timeout_ms: None,
         step_timeout_ms: None,
@@ -662,6 +687,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 invocation.chaos.kills.push(cluster::KillPlan { superstep, worker });
             }
             "--chaos" => parse_chaos(&value()?, &mut invocation.chaos)?,
+            "--scale" => invocation.scale.push(parse_scale(&value()?)?),
             "--heartbeat-interval-ms" => {
                 invocation.heartbeat_interval_ms =
                     Some(value()?.parse().map_err(|_| "invalid heartbeat interval".to_string())?);
@@ -691,6 +717,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     if !invocation.chaos.is_empty() && invocation.cluster.is_none() {
         return Err("--kill/--chaos need --cluster: they disturb real worker processes".into());
     }
+    if !invocation.scale.is_empty() && invocation.cluster.is_none() {
+        return Err("--scale needs --cluster: it resizes real worker processes".into());
+    }
     if invocation.cluster.is_none()
         && (invocation.heartbeat_interval_ms.is_some()
             || invocation.heartbeat_timeout_ms.is_some()
@@ -717,13 +746,25 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .into(),
             );
         }
+        if let Some(event) =
+            invocation.scale.iter().find(|event| event.workers > invocation.parallelism)
+        {
+            return Err(format!(
+                "--scale {}:{} targets more workers than --parallelism {} partitions",
+                event.superstep, event.workers, invocation.parallelism
+            ));
+        }
         // Parse-time worker validation: a kill aimed past the cluster used
         // to be silently clamped to the last worker — fail loudly instead.
-        if let Some(worker) = invocation.chaos.max_worker().filter(|&w| w >= workers) {
+        // Chaos may target any worker index the cluster ever has, including
+        // ones a planned scale-up adds.
+        let max_workers =
+            invocation.scale.iter().map(|event| event.workers).chain([workers]).max().unwrap_or(1);
+        if let Some(worker) = invocation.chaos.max_worker().filter(|&w| w >= max_workers) {
             return Err(format!(
-                "chaos/kill spec targets worker {worker}, but --cluster {workers} runs workers \
-                 0..={}",
-                workers - 1
+                "chaos/kill spec targets worker {worker}, but this run never has more than \
+                 {max_workers} workers (indices 0..={})",
+                max_workers - 1
             ));
         }
     }
@@ -752,6 +793,10 @@ pub struct ServeInvocation {
     pub journal: Option<PathBuf>,
     /// Failure injection into one epoch's (re-)convergence.
     pub inject: Option<serve::EpochInjection>,
+    /// Elastic worker range (`--min-workers`/`--max-workers`): epochs run
+    /// on worker processes sized by the load-driven controller, and the
+    /// `scale N` verb sets the target for the next commit.
+    pub elastic: Option<serve::ElasticRange>,
 }
 
 /// Usage text of the `serve` subcommand.
@@ -779,11 +824,20 @@ OPTIONS:
                             mtbf:E:PROB:SEED   seeded random failures all epoch
                             kill:E:S:W:N       run epoch E on N worker processes,
                                                SIGKILL worker W at superstep S
+    --min-workers <N>     with --max-workers: run every epoch on worker
+                          processes, elastically sized between N and the
+                          maximum — the controller grows the cluster under
+                          epoch-latency pressure and shrinks it when idle;
+                          `scale N` sets the target explicitly
+    --max-workers <N>     upper bound of the elastic range (at most
+                          --parallelism)
 
 LINE PROTOCOL (TCP and replay files):
     + u v    stage an edge insert        get v    point query
     - u v    stage an edge delete        top n    largest components / top ranks
     commit   apply the batch: incremental re-convergence
+    scale n  set the elastic worker target (needs --min/--max-workers;
+             the rescale fires at the next commit's first barrier)
     stats    one-line introspection snapshot (epoch, staged batch, queries);
              `optirec top --connect ADDR` polls it for you
     quit     end the session
@@ -791,6 +845,7 @@ LINE PROTOCOL (TCP and replay files):
 EXAMPLES:
     optirec serve cc --graph path:64 --replay mutations.txt --journal results/serve_journal.jsonl
     optirec serve cc --listen 127.0.0.1:7878
+    optirec serve cc --min-workers 2 --max-workers 4 --replay m.txt --journal results/j.jsonl
     optirec serve pagerank --replay m.txt --inject panic:1:2
 "
 }
@@ -847,6 +902,8 @@ pub const SERVE_FLAGS: &[&str] = &[
     "--serve-seconds",
     "--journal",
     "--inject",
+    "--min-workers",
+    "--max-workers",
 ];
 
 /// Parse the arguments following `serve`.
@@ -868,7 +925,10 @@ pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, String> {
         serve_seconds: None,
         journal: None,
         inject: None,
+        elastic: None,
     };
+    let mut min_workers: Option<usize> = None;
+    let mut max_workers: Option<usize> = None;
     while let Some(flag) = iter.next() {
         let mut value = || iter.next().ok_or_else(|| format!("flag {flag} needs a value")).cloned();
         match flag.as_str() {
@@ -889,11 +949,36 @@ pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, String> {
             }
             "--journal" => invocation.journal = Some(PathBuf::from(value()?)),
             "--inject" => invocation.inject = Some(parse_inject(&value()?)?),
+            "--min-workers" => {
+                min_workers =
+                    Some(value()?.parse().map_err(|_| "invalid minimum worker count".to_string())?);
+            }
+            "--max-workers" => {
+                max_workers =
+                    Some(value()?.parse().map_err(|_| "invalid maximum worker count".to_string())?);
+            }
             other => {
                 return Err(format!("{}\n\n{}", unknown_flag(other, SERVE_FLAGS), serve_usage()))
             }
         }
     }
+    invocation.elastic = match (min_workers, max_workers) {
+        (Some(min_workers), Some(max_workers)) => {
+            if min_workers > max_workers {
+                return Err(format!(
+                    "--min-workers {min_workers} exceeds --max-workers {max_workers}"
+                ));
+            }
+            Some(serve::ElasticRange { min_workers, max_workers })
+        }
+        (None, None) => None,
+        _ => {
+            return Err(
+                "--min-workers and --max-workers come as a pair: they bound the elastic range"
+                    .into(),
+            )
+        }
+    };
     if invocation.replay.is_none() && invocation.listen.is_none() {
         return Err("serve needs --replay and/or --listen (otherwise it converges once and exits \
                     with nothing to do)"
@@ -986,6 +1071,7 @@ pub fn cluster_config(invocation: &Invocation, workers: usize) -> cluster::Clust
         cfg = cfg.with_step_timeout(Duration::from_millis(ms));
     }
     cfg.chaos = invocation.chaos.clone();
+    cfg.scale = invocation.scale.clone();
     match invocation.strategy {
         Strategy::AsyncSnapshot { interval } => {
             cfg.strategy = cluster::ClusterStrategy::AsyncSnapshot { interval };
@@ -1305,6 +1391,79 @@ mod tests {
             parse_args(&args(&["cc", "--cluster", "2", "--strategy", "restart"])).unwrap();
         let cfg = cluster_config(&invocation, 2);
         assert_eq!(cfg.strategy, cluster::ClusterStrategy::Restart);
+    }
+
+    #[test]
+    fn scale_flags_parse_and_cross_validate() {
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--scale", "2:4", "--scale", "5:2"]))
+                .unwrap();
+        assert_eq!(
+            invocation.scale,
+            vec![
+                cluster::ScaleEvent { superstep: 2, workers: 4 },
+                cluster::ScaleEvent { superstep: 5, workers: 2 },
+            ]
+        );
+        // The scale plan lands in the cluster config unchanged.
+        let cfg = cluster_config(&invocation, 2);
+        assert_eq!(cfg.scale, invocation.scale);
+
+        // Chaos may target a worker index only a scale-up adds...
+        let invocation =
+            parse_args(&args(&["cc", "--cluster", "2", "--scale", "1:4", "--kill", "3:3"]))
+                .unwrap();
+        assert_eq!(invocation.chaos.kills, vec![cluster::KillPlan { superstep: 3, worker: 3 }]);
+        // ...but not one beyond the scale ceiling.
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--scale", "1:3", "--kill", "2:3"]))
+            .unwrap_err();
+        assert!(err.contains("never has more than 3 workers"), "{err}");
+
+        // --scale needs --cluster, targets are bounded by the parallelism,
+        // and specs must be well-formed.
+        let err = parse_args(&args(&["cc", "--scale", "2:4"])).unwrap_err();
+        assert!(err.contains("--cluster"), "{err}");
+        let err = parse_args(&args(&["cc", "--cluster", "2", "--scale", "2:9"])).unwrap_err();
+        assert!(err.contains("--parallelism 4"), "{err}");
+        assert!(parse_scale("2").is_err());
+        assert!(parse_scale("2:0").is_err());
+        assert!(parse_scale("x:2").is_err());
+    }
+
+    #[test]
+    fn serve_elastic_flags_parse_as_a_pair() {
+        let invocation = parse_serve(&args(&[
+            "cc",
+            "--replay",
+            "m.txt",
+            "--min-workers",
+            "2",
+            "--max-workers",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            invocation.elastic,
+            Some(serve::ElasticRange { min_workers: 2, max_workers: 4 })
+        );
+        let invocation = parse_serve(&args(&["cc", "--replay", "m.txt"])).unwrap();
+        assert_eq!(invocation.elastic, None);
+        let err =
+            parse_serve(&args(&["cc", "--replay", "m.txt", "--min-workers", "2"])).unwrap_err();
+        assert!(err.contains("pair"), "{err}");
+        let err = parse_serve(&args(&["cc", "--listen", "x", "--max-workers", "4"])).unwrap_err();
+        assert!(err.contains("pair"), "{err}");
+        let err = parse_serve(&args(&[
+            "cc",
+            "--replay",
+            "m.txt",
+            "--min-workers",
+            "4",
+            "--max-workers",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--min-workers 4 exceeds --max-workers 2"), "{err}");
     }
 
     #[test]
